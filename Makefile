@@ -1,0 +1,43 @@
+# BOW reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all build vet test bench repro examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full test log, as recorded in test_output.txt.
+test-log:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+# Regenerate every table and figure of the paper.
+repro:
+	$(GO) run ./cmd/bowbench
+
+# One testing.B per paper artifact + microbenchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+bench-log:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/windowsweep SAD
+	$(GO) run ./examples/energystudy
+	$(GO) run ./examples/customkernel
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

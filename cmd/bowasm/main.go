@@ -1,0 +1,73 @@
+// Command bowasm assembles a kernel source file, prints its
+// disassembly, and dumps the BOW-WR compiler analysis: CFG summary,
+// liveness footprint, and the per-instruction write-back hints.
+//
+// Usage:
+//
+//	bowasm kernel.s                 # assemble + hint dump at IW 3
+//	bowasm -iw 4 kernel.s
+//	bowasm -bench BTREE             # inspect a built-in benchmark
+//	bowasm -snippet                 # the paper's Fig. 6 fragment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bow/internal/asm"
+	"bow/internal/compiler"
+	"bow/internal/experiments"
+	"bow/internal/workloads"
+)
+
+func main() {
+	iw := flag.Int("iw", 3, "instruction window size for hint analysis")
+	benchName := flag.String("bench", "", "inspect a built-in benchmark instead of a file")
+	snippet := flag.Bool("snippet", false, "inspect the paper's Fig. 6 BTREE fragment")
+	flag.Parse()
+
+	var prog *asm.Program
+	var err error
+	switch {
+	case *snippet:
+		prog = workloads.BTreeSnippet()
+	case *benchName != "":
+		b, berr := workloads.ByName(*benchName)
+		if berr != nil {
+			fmt.Fprintln(os.Stderr, "bowasm:", berr)
+			os.Exit(1)
+		}
+		prog = b.Program()
+	case flag.NArg() == 1:
+		src, rerr := os.ReadFile(flag.Arg(0))
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "bowasm:", rerr)
+			os.Exit(1)
+		}
+		prog, err = asm.Parse(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bowasm:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: bowasm [-iw N] (<file.s> | -bench NAME | -snippet)")
+		os.Exit(2)
+	}
+
+	cfg, err := compiler.BuildCFG(prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bowasm:", err)
+		os.Exit(1)
+	}
+	lv := compiler.ComputeLiveness(cfg)
+	fmt.Printf("// %d instructions, %d basic blocks, %d registers, max %d live\n",
+		len(prog.Code), len(cfg.Blocks), prog.NumRegs(), lv.MaxLive())
+
+	dump, err := experiments.HintDump(prog, *iw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bowasm:", err)
+		os.Exit(1)
+	}
+	fmt.Print(dump)
+}

@@ -1,0 +1,178 @@
+// Command bowbench regenerates the BOW paper's evaluation artifacts:
+// every table and figure of the paper is reproduced from simulation and
+// printed as a text table.
+//
+// Usage:
+//
+//	bowbench                 # run everything
+//	bowbench -exp fig10      # one experiment
+//	bowbench -list           # list experiment IDs
+//
+// Experiment IDs: fig1 fig3 fig4 table1 fig7 fig8 fig9 fig10 fig11
+// fig12 fig13 table2 table3 table4 rfc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bow/internal/experiments"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func(r *experiments.Runner) (string, error)
+}
+
+func static(s string) func(*experiments.Runner) (string, error) {
+	return func(*experiments.Runner) (string, error) { return s, nil }
+}
+
+func allExperiments() []experiment {
+	return []experiment{
+		{"fig1", "Fig 1: on-chip memory growth", static(experiments.Fig1())},
+		{"fig3", "Fig 3: bypass opportunity vs window size", func(r *experiments.Runner) (string, error) {
+			f, err := experiments.Fig3(r)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+		{"fig4", "Fig 4: time in operand-collection stage", func(r *experiments.Runner) (string, error) {
+			f, err := experiments.Fig4(r)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+		{"table1", "Table I: RF writes for the Fig 6 fragment", func(*experiments.Runner) (string, error) {
+			t, err := experiments.TableI()
+			if err != nil {
+				return "", err
+			}
+			return t.Render(), nil
+		}},
+		{"fig7", "Fig 7: write-destination distribution (BOW-WR)", func(r *experiments.Runner) (string, error) {
+			f, err := experiments.Fig7(r)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+		{"fig8", "Fig 8: source operands per instruction", func(r *experiments.Runner) (string, error) {
+			f, err := experiments.Fig8(r)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+		{"fig9", "Fig 9: BOC occupancy", func(r *experiments.Runner) (string, error) {
+			f, err := experiments.Fig9(r)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+		{"fig10", "Fig 10: IPC improvement", func(r *experiments.Runner) (string, error) {
+			f, err := experiments.Fig10(r)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+		{"fig11", "Fig 11: IPC with half-size BOC", func(r *experiments.Runner) (string, error) {
+			f, err := experiments.Fig11(r)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+		{"fig12", "Fig 12: OC-stage cycles vs baseline", func(r *experiments.Runner) (string, error) {
+			f, err := experiments.Fig12(r)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+		{"fig13", "Fig 13: normalized RF dynamic energy", func(r *experiments.Runner) (string, error) {
+			f, err := experiments.Fig13(r)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+		{"table2", "Table II: GPU configuration", static(experiments.TableII())},
+		{"table3", "Table III: benchmarks", static(experiments.TableIII())},
+		{"table4", "Table IV: BOC overheads", static(experiments.TableIV())},
+		{"rfc", "Register-file-cache comparison", func(r *experiments.Runner) (string, error) {
+			f, err := experiments.RFC(r)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+		{"extend", "Ablation: extended instruction window", func(r *experiments.Runner) (string, error) {
+			f, err := experiments.ExtendAblation(r)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+		{"beyond", "Future work: capacity-bound bypassing", func(r *experiments.Runner) (string, error) {
+			f, err := experiments.BeyondWindow(r)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+		{"reorder", "Extension: compiler reordering for locality", func(r *experiments.Runner) (string, error) {
+			f, err := experiments.Reorder(r)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+		{"reusedist", "Motivation (§III): register reuse distances", func(r *experiments.Runner) (string, error) {
+			f, err := experiments.ReuseDist(r)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+	}
+}
+
+func main() {
+	expID := flag.String("exp", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	exps := allExperiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-8s %s\n", e.id, e.title)
+		}
+		return
+	}
+
+	r := experiments.NewRunner()
+	ran := 0
+	for _, e := range exps {
+		if *expID != "" && e.id != *expID {
+			continue
+		}
+		out, err := e.run(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bowbench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s ====\n%s\n", e.title, out)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "bowbench: unknown experiment %q (try -list)\n", *expID)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,154 @@
+// Command bowsim runs one benchmark kernel through the GPU simulator
+// under a chosen bypass configuration and prints the run report:
+// IPC, register-file traffic, bypass fractions, energy, and collector
+// occupancy.
+//
+// Usage:
+//
+//	bowsim -bench LIB -policy bow-wr -iw 3 -capacity 6
+//	bowsim -list
+//	bowsim -bench SAD -policy baseline -sms 2 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bow/internal/compiler"
+	"bow/internal/config"
+	"bow/internal/core"
+	"bow/internal/energy"
+	"bow/internal/gpu"
+	"bow/internal/mem"
+	"bow/internal/rfc"
+	"bow/internal/sm"
+	"bow/internal/workloads"
+)
+
+func parsePolicy(s string) (core.Config, bool, error) {
+	switch s {
+	case "baseline":
+		return core.Config{Policy: core.PolicyBaseline}, false, nil
+	case "bow", "bow-wt", "write-through":
+		return core.Config{Policy: core.PolicyWriteThrough}, false, nil
+	case "bow-wb", "write-back":
+		return core.Config{Policy: core.PolicyWriteBack}, false, nil
+	case "bow-wr", "hints", "compiler":
+		return core.Config{Policy: core.PolicyCompilerHints}, true, nil
+	case "rfc":
+		return rfc.Config(rfc.DefaultEntriesPerWarp), false, nil
+	}
+	return core.Config{}, false, fmt.Errorf("unknown policy %q (baseline|bow|bow-wb|bow-wr|rfc)", s)
+}
+
+func main() {
+	benchName := flag.String("bench", "VECTORADD", "benchmark name (see -list)")
+	policy := flag.String("policy", "bow-wr", "baseline | bow | bow-wb | bow-wr | rfc")
+	iw := flag.Int("iw", 3, "instruction window size")
+	capacity := flag.Int("capacity", 0, "BOC entries (0 = conservative 4*IW)")
+	sms := flag.Int("sms", 1, "number of SMs")
+	list := flag.Bool("list", false, "list benchmarks")
+	verbose := flag.Bool("v", false, "print detailed counters")
+	beyond := flag.Bool("beyond", false, "future-work mode: capacity-bound bypassing (no nominal window cutoff)")
+	noExtend := flag.Bool("noextend", false, "ablation: disable the extended instruction window")
+	reorder := flag.Bool("reorder", false, "extension: compiler reordering for reuse locality")
+	flag.Parse()
+
+	if *list {
+		for _, b := range workloads.All() {
+			fmt.Printf("%-11s %-9s %s\n", b.Name, b.Suite, b.Description)
+		}
+		return
+	}
+
+	b, err := workloads.ByName(*benchName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bowsim:", err)
+		os.Exit(1)
+	}
+	bcfg, hints, err := parsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bowsim:", err)
+		os.Exit(1)
+	}
+	if bcfg.Policy.Bypassing() && !bcfg.ForwardThroughPort {
+		bcfg.IW = *iw
+		bcfg.Capacity = *capacity
+		bcfg.BeyondWindow = *beyond
+		bcfg.NoExtend = *noExtend
+	}
+
+	prog := b.Program()
+	if *reorder {
+		if err := compiler.Reorder(prog, *iw); err != nil {
+			fmt.Fprintln(os.Stderr, "bowsim: reorder:", err)
+			os.Exit(1)
+		}
+		fmt.Println("kernel reordered for reuse locality (footnote-1 extension)")
+	}
+	if hints {
+		hs, err := compiler.Annotate(prog, bcfg.IW)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bowsim: annotate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("compiler hints: %s\n", hs.String())
+	}
+
+	m := mem.NewMemory()
+	if b.Init != nil {
+		if err := b.Init(m); err != nil {
+			fmt.Fprintln(os.Stderr, "bowsim: init:", err)
+			os.Exit(1)
+		}
+	}
+	gcfg := config.SimDefault()
+	gcfg.NumSMs = *sms
+	k := &sm.Kernel{
+		Program: prog, GridDim: b.GridDim, BlockDim: b.BlockDim,
+		SharedLen: b.SharedLen, Params: b.Params,
+	}
+	d, err := gpu.New(gcfg, bcfg, k, m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bowsim:", err)
+		os.Exit(1)
+	}
+	res, err := d.Run(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bowsim:", err)
+		os.Exit(1)
+	}
+	checked := "skipped"
+	if b.Check != nil {
+		if err := b.Check(m); err != nil {
+			fmt.Fprintln(os.Stderr, "bowsim: FUNCTIONAL CHECK FAILED:", err)
+			os.Exit(1)
+		}
+		checked = "ok"
+	}
+
+	rep := energy.Compute(res.Energy)
+	fmt.Printf("benchmark   %s (%s) — %s\n", b.Name, b.Suite, b.Description)
+	fmt.Printf("launch      grid %d x block %d, policy %v, IW %d\n",
+		b.GridDim, b.BlockDim, bcfg.Policy, bcfg.IW)
+	fmt.Printf("result      functional check %s\n", checked)
+	fmt.Printf("cycles      %d\n", res.Cycles)
+	fmt.Printf("warp-insts  %d (IPC %.3f)\n", res.Stats.Executed, res.Stats.IPC())
+	fmt.Printf("rf reads    %d  (bypassed %d, %.1f%%)\n",
+		res.Engine.RFReads, res.Engine.BypassedRead, 100*res.Engine.ReadBypassFrac())
+	fmt.Printf("rf writes   %d  (eliminated %.1f%%)\n",
+		res.Engine.RFWrites, 100*res.Engine.WriteBypassFrac())
+	fmt.Printf("energy      RF %.1f nJ + overhead %.1f nJ\n",
+		rep.RFDynamicPJ/1000, rep.OverheadPJ()/1000)
+	if *verbose {
+		fmt.Printf("oc share    %.1f%% (mem %.1f%%, non-mem %.1f%%)\n",
+			100*res.Stats.OCShare(), 100*res.Stats.MemOCShare(), 100*res.Stats.NonMemOCShare())
+		fmt.Printf("bank conf   %d\n", res.RF.BankConflicts)
+		fmt.Printf("mem txns    %d\n", res.Stats.MemTransactions)
+		fmt.Printf("divergences %d\n", res.Stats.Divergences)
+		fmt.Printf("writes by hint: rf-only %d, both %d, boc-only %d\n",
+			res.Stats.WritebacksByHint[1], res.Stats.WritebacksByHint[0], res.Stats.WritebacksByHint[2])
+		fmt.Printf("occupancy   mean %.2f entries\n", res.Stats.OccupancyBOC.Mean())
+	}
+}

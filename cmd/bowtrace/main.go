@@ -1,0 +1,108 @@
+// Command bowtrace captures a benchmark's dynamic per-warp instruction
+// traces from a baseline simulation and reports the register
+// reuse-distance characterization that motivates the paper's window
+// sizes (§III): how often the same register is touched again within k
+// instructions.
+//
+// Usage:
+//
+//	bowtrace -bench SAD
+//	bowtrace -bench LIB -dump 20   # also print the head of warp 0's trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"bow/internal/config"
+	"bow/internal/core"
+	"bow/internal/gpu"
+	"bow/internal/mem"
+	"bow/internal/sm"
+	"bow/internal/stats"
+	"bow/internal/trace"
+	"bow/internal/workloads"
+)
+
+func main() {
+	benchName := flag.String("bench", "SAD", "benchmark name")
+	dump := flag.Int("dump", 0, "print the first N instructions of one warp's trace")
+	flag.Parse()
+
+	b, err := workloads.ByName(*benchName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bowtrace:", err)
+		os.Exit(1)
+	}
+	m := mem.NewMemory()
+	if b.Init != nil {
+		if err := b.Init(m); err != nil {
+			fmt.Fprintln(os.Stderr, "bowtrace:", err)
+			os.Exit(1)
+		}
+	}
+	gcfg := config.SimDefault()
+	gcfg.NumSMs = 1
+	k := &sm.Kernel{
+		Program: b.Program(), GridDim: b.GridDim, BlockDim: b.BlockDim,
+		SharedLen: b.SharedLen, Params: b.Params,
+	}
+	d, err := gpu.New(gcfg, core.Config{Policy: core.PolicyBaseline}, k, m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bowtrace:", err)
+		os.Exit(1)
+	}
+	d.CaptureTrace = true
+	res, err := d.Run(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bowtrace:", err)
+		os.Exit(1)
+	}
+
+	// Aggregate reuse distances over every warp.
+	agg := stats.NewHistogram()
+	keys := make([][2]int, 0, len(res.Traces))
+	for key := range res.Traces {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	var insts int
+	for _, key := range keys {
+		agg.Merge(trace.ReuseDistances(res.Traces[key]))
+		insts += len(res.Traces[key])
+	}
+	sum := trace.Summarize(agg)
+
+	fmt.Printf("benchmark %s: %d warps, %d dynamic instructions, %d register reuses\n",
+		b.Name, len(keys), insts, sum.Accesses)
+	fmt.Printf("mean reuse distance %.2f instructions (capped at %d)\n\n",
+		sum.Mean, trace.MaxTrackedDistance)
+	fmt.Println("fraction of reuses within a window of size k (paper §III):")
+	for iw := 2; iw <= 7; iw++ {
+		frac := sum.Within[iw]
+		bar := make([]byte, int(frac*50))
+		for i := range bar {
+			bar[i] = '#'
+		}
+		fmt.Printf("  k=%d  %5.1f%%  %s\n", iw, 100*frac, bar)
+	}
+
+	if *dump > 0 && len(keys) > 0 {
+		t := res.Traces[keys[0]]
+		n := *dump
+		if n > len(t) {
+			n = len(t)
+		}
+		fmt.Printf("\ntrace head (cta %d, warp %d):\n", keys[0][0], keys[0][1])
+		for i := 0; i < n; i++ {
+			fmt.Printf("%4d:  %s\n", i, t[i].String())
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Customkernel: write your own kernel in the SASS-like dialect, inspect
+// what the BOW-WR compiler pass decides for every destination register,
+// then run it under the bypassing pipeline and verify the result.
+//
+//	go run ./examples/customkernel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bow/internal/asm"
+	"bow/internal/compiler"
+	"bow/internal/config"
+	"bow/internal/core"
+	"bow/internal/experiments"
+	"bow/internal/gpu"
+	"bow/internal/mem"
+	"bow/internal/sm"
+)
+
+// A horner-rule polynomial evaluation: out[i] = ((c3*x + c2)*x + c1)*x + c0
+// over integers. The accumulator r10 is rewritten three times back to
+// back — prime write-consolidation territory for BOW-WR.
+const horner = `
+.kernel horner
+  mov r0, %tid.x
+  mov r1, %ctaid.x
+  mov r2, %ntid.x
+  mad r3, r1, r2, r0
+  shl r4, r3, 0x2
+  ld.param r5, [rz+0x0]       // &x
+  ld.param r6, [rz+0x4]       // &out
+  add r7, r5, r4
+  ld.global r8, [r7+0x0]      // x
+  mov r10, 0x7                // c3
+  mad r10, r10, r8, rz        // c3*x       (note rz addend)
+  add r10, r10, 0x5           // +c2
+  mul r10, r10, r8
+  add r10, r10, 0x3           // +c1
+  mul r10, r10, r8
+  add r10, r10, 0x1           // +c0
+  add r11, r6, r4
+  st.global [r11+0x0], r10
+  exit
+`
+
+func main() {
+	prog, err := asm.Parse(horner)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Show the compiler's view before running anything.
+	dump, err := experiments.HintDump(prog.Clone(), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compiler analysis (IW 3):")
+	fmt.Println(dump)
+
+	// Annotate the real program and run it under BOW-WR.
+	if _, err := compiler.Annotate(prog, 3); err != nil {
+		log.Fatal(err)
+	}
+	const grid, block = 4, 128
+	const n = grid * block
+	m := mem.NewMemory()
+	for i := 0; i < n; i++ {
+		m.Write32(0x1000+uint32(4*i), uint32(i%50))
+	}
+	k := &sm.Kernel{
+		Program: prog, GridDim: grid, BlockDim: block,
+		Params: []uint32{0x1000, 0x9000},
+	}
+	dev, err := gpu.New(config.SimDefault(),
+		core.Config{IW: 3, Capacity: 6, Policy: core.PolicyCompilerHints}, k, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dev.Run(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i := 0; i < n; i++ {
+		x := uint32(i % 50)
+		want := ((7*x+5)*x+3)*x + 1
+		got, _ := m.Read32(0x9000 + uint32(4*i))
+		if got != want {
+			log.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+	fmt.Printf("horner result verified (%d threads)\n", n)
+	fmt.Printf("reads bypassed: %.1f%%   writes eliminated: %.1f%%   IPC: %.3f\n",
+		100*res.Engine.ReadBypassFrac(),
+		100*res.Engine.WriteBypassFrac(),
+		res.Stats.IPC())
+	fmt.Printf("the r10 chain consolidated %d of its writes inside the window\n",
+		res.Engine.CoalescedWrites)
+}

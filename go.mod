@@ -1,0 +1,3 @@
+module bow
+
+go 1.22

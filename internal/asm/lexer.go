@@ -1,0 +1,264 @@
+// Package asm implements the textual assembler for the BOW simulator's
+// SASS-like dialect. Kernels are written as assembly text (see the BOW
+// paper's Fig. 6 for the style it imitates), parsed into
+// []isa.Instruction with labels resolved, and validated.
+//
+// Grammar sketch (one instruction per line, ';' or newline terminated):
+//
+//	line      := [label ':'] [guard] mnemonic [operands] [comment]
+//	guard     := '@' ['!'] pred
+//	mnemonic  := opcode ['.' modifier]*        e.g. setp.ne, ld.global
+//	operands  := operand (',' operand)*
+//	operand   := reg | pred | imm | special | '[' reg ['+' imm] ']' | ident
+//	reg       := 'r' digits | 'rz'
+//	pred      := 'p' digits | 'pt'
+//	imm       := ['-'] ('0x' hex | digits)
+//	special   := '%' ident ['.' ident]
+//
+// Comments run from "//" or '#' to end of line.
+package asm
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokNewline
+	tokIdent   // mnemonic, label, register, etc.
+	tokNumber  // immediate
+	tokSpecial // %tid.x
+	tokComma
+	tokColon
+	tokLBracket
+	tokRBracket
+	tokPlus
+	tokAt
+	tokBang
+	tokDot
+	tokDirective // .kernel etc.
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	case tokNewline:
+		return "<newline>"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("asm: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// next returns the next token. Newlines are significant (instruction
+// terminators) and returned as tokNewline; consecutive blank lines
+// collapse into one.
+func (l *lexer) next() (token, error) {
+	// Skip horizontal whitespace and comments.
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return token{kind: tokEOF, line: l.line, col: l.col}, nil
+		}
+		if c == ' ' || c == '\t' || c == '\r' {
+			l.advance()
+			continue
+		}
+		if c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+			continue
+		}
+		if c == '#' {
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+			continue
+		}
+		break
+	}
+
+	startLine, startCol := l.line, l.col
+	c := l.advance()
+	mk := func(k tokenKind, text string) token {
+		return token{kind: k, text: text, line: startLine, col: startCol}
+	}
+
+	switch {
+	case c == '\n' || c == ';':
+		return mk(tokNewline, "\n"), nil
+	case c == ',':
+		return mk(tokComma, ","), nil
+	case c == ':':
+		return mk(tokColon, ":"), nil
+	case c == '[':
+		return mk(tokLBracket, "["), nil
+	case c == ']':
+		return mk(tokRBracket, "]"), nil
+	case c == '+':
+		return mk(tokPlus, "+"), nil
+	case c == '@':
+		return mk(tokAt, "@"), nil
+	case c == '!':
+		return mk(tokBang, "!"), nil
+	case c == '%':
+		// special register: %ident(.ident)*
+		var sb strings.Builder
+		sb.WriteByte('%')
+		for {
+			c, ok := l.peekByte()
+			if !ok || (!isIdentChar(c) && c != '.') {
+				break
+			}
+			sb.WriteByte(l.advance())
+		}
+		return mk(tokSpecial, sb.String()), nil
+	case c == '.':
+		// directive at start-of-statement, or a bare dot within mnemonics
+		// (mnemonic dots are consumed by the parser via tokDot).
+		nc, ok := l.peekByte()
+		if ok && isIdentStart(nc) {
+			var sb strings.Builder
+			sb.WriteByte('.')
+			for {
+				c, ok := l.peekByte()
+				if !ok || !isIdentChar(c) {
+					break
+				}
+				sb.WriteByte(l.advance())
+			}
+			return mk(tokDirective, sb.String()), nil
+		}
+		return mk(tokDot, "."), nil
+	case c == '-' || isDigit(c):
+		var sb strings.Builder
+		sb.WriteByte(c)
+		if c == '-' {
+			nc, ok := l.peekByte()
+			if !ok || !isDigit(nc) {
+				return token{}, l.errf("dangling '-'")
+			}
+		}
+		hex := false
+		if c == '0' {
+			if nc, ok := l.peekByte(); ok && (nc == 'x' || nc == 'X') {
+				hex = true
+				sb.WriteByte(l.advance())
+			}
+		}
+		for {
+			nc, ok := l.peekByte()
+			if !ok {
+				break
+			}
+			if hex && isHexDigit(nc) || !hex && isDigit(nc) {
+				sb.WriteByte(l.advance())
+				continue
+			}
+			// 0x prefix appearing after '-'
+			if !hex && (nc == 'x' || nc == 'X') && sb.String() == "-0" {
+				hex = true
+				sb.WriteByte(l.advance())
+				continue
+			}
+			break
+		}
+		return mk(tokNumber, sb.String()), nil
+	case isIdentStart(c):
+		var sb strings.Builder
+		sb.WriteByte(c)
+		for {
+			nc, ok := l.peekByte()
+			if !ok || !isIdentChar(nc) {
+				break
+			}
+			sb.WriteByte(l.advance())
+		}
+		return mk(tokIdent, sb.String()), nil
+	}
+	return token{}, l.errf("unexpected character %q", c)
+}
+
+// lexAll tokenizes the entire source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,545 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bow/internal/isa"
+)
+
+// Program is an assembled kernel: a flat instruction sequence with
+// resolved branch targets plus the label table.
+type Program struct {
+	Name   string
+	Code   []isa.Instruction
+	Labels map[string]int
+}
+
+// NumRegs returns 1 + the highest general-purpose register number used
+// by the program (the per-thread register footprint a compiler would
+// report for occupancy).
+func (p *Program) NumRegs() int {
+	max := -1
+	var buf []uint8
+	for i := range p.Code {
+		in := &p.Code[i]
+		buf = in.SrcRegs(buf[:0])
+		for _, r := range buf {
+			if int(r) > max {
+				max = int(r)
+			}
+		}
+		if d, ok := in.DstReg(); ok && int(d) > max {
+			max = int(d)
+		}
+	}
+	return max + 1
+}
+
+// Clone returns a deep copy of the program. Compiler passes annotate
+// instructions in place, so callers that need a pristine copy (e.g. to
+// compare hint assignments) should clone first.
+func (p *Program) Clone() *Program {
+	cp := &Program{Name: p.Name, Labels: make(map[string]int, len(p.Labels))}
+	cp.Code = append([]isa.Instruction(nil), p.Code...)
+	for k, v := range p.Labels {
+		cp.Labels[k] = v
+	}
+	return cp
+}
+
+// String disassembles the program.
+func (p *Program) String() string {
+	byPC := make(map[int][]string)
+	for l, pc := range p.Labels {
+		byPC[pc] = append(byPC[pc], l)
+	}
+	var sb strings.Builder
+	if p.Name != "" {
+		fmt.Fprintf(&sb, ".kernel %s\n", p.Name)
+	}
+	for pc := range p.Code {
+		for _, l := range byPC[pc] {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+		fmt.Fprintf(&sb, "  %s\n", p.Code[pc].String())
+	}
+	return sb.String()
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	prog *Program
+	// fixups maps instruction index -> label name for unresolved targets.
+	fixups map[int]string
+}
+
+// Parse assembles source text into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		toks:   toks,
+		prog:   &Program{Labels: make(map[string]int)},
+		fixups: make(map[int]string),
+	}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	// Resolve label fixups.
+	for idx, label := range p.fixups {
+		pc, ok := p.prog.Labels[label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", label)
+		}
+		p.prog.Code[idx].Target = pc
+	}
+	// Validate.
+	for i := range p.prog.Code {
+		p.prog.Code[i].PC = i
+		if err := p.prog.Code[i].Validate(); err != nil {
+			return nil, fmt.Errorf("asm: instruction %d (%s): %w", i, p.prog.Code[i].String(), err)
+		}
+		if p.prog.Code[i].IsBranch() || p.prog.Code[i].Op == isa.OpSSY {
+			if t := p.prog.Code[i].Target; t < 0 || t > len(p.prog.Code) {
+				return nil, fmt.Errorf("asm: instruction %d: branch target %d out of range", i, t)
+			}
+		}
+	}
+	return p.prog, nil
+}
+
+// MustParse is Parse that panics on error; used by the built-in
+// workloads, which are compile-time constants.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) take() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("asm: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) run() error {
+	for {
+		switch p.cur().kind {
+		case tokEOF:
+			return nil
+		case tokNewline:
+			p.take()
+		case tokDirective:
+			if err := p.parseDirective(); err != nil {
+				return err
+			}
+		case tokIdent, tokAt:
+			if err := p.parseStatement(); err != nil {
+				return err
+			}
+		default:
+			return p.errf(p.cur(), "unexpected token %s", p.cur())
+		}
+	}
+}
+
+func (p *parser) parseDirective() error {
+	d := p.take()
+	switch d.text {
+	case ".kernel", ".entry":
+		name := p.take()
+		if name.kind != tokIdent {
+			return p.errf(name, ".kernel requires a name")
+		}
+		p.prog.Name = name.text
+	case ".reg", ".shared", ".param":
+		// Declarations are accepted and ignored (registers are implicit).
+		for p.cur().kind != tokNewline && p.cur().kind != tokEOF {
+			p.take()
+		}
+	default:
+		return p.errf(d, "unknown directive %q", d.text)
+	}
+	return nil
+}
+
+// parseStatement handles `label:` and instruction lines.
+func (p *parser) parseStatement() error {
+	// Label?
+	if p.cur().kind == tokIdent && p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokColon {
+		label := p.take()
+		p.take() // colon
+		if _, dup := p.prog.Labels[label.text]; dup {
+			return p.errf(label, "duplicate label %q", label.text)
+		}
+		p.prog.Labels[label.text] = len(p.prog.Code)
+		return nil
+	}
+	return p.parseInstruction()
+}
+
+var opcodeByName = map[string]isa.Opcode{
+	"nop": isa.OpNop, "mov": isa.OpMov, "add": isa.OpAdd, "sub": isa.OpSub,
+	"mul": isa.OpMul, "mad": isa.OpMad, "shl": isa.OpShl, "shr": isa.OpShr,
+	"and": isa.OpAnd, "or": isa.OpOr, "xor": isa.OpXor, "min": isa.OpMin,
+	"max": isa.OpMax, "abs": isa.OpAbs,
+	"fadd": isa.OpFAdd, "fsub": isa.OpFSub, "fmul": isa.OpFMul,
+	"ffma": isa.OpFFma, "fmin": isa.OpFMin, "fmax": isa.OpFMax,
+	"i2f": isa.OpI2F, "f2i": isa.OpF2I,
+	"rcp": isa.OpRcp, "sqrt": isa.OpSqrt, "ex2": isa.OpEx2, "lg2": isa.OpLg2,
+	"sin": isa.OpSin, "cos": isa.OpCos,
+	"setp": isa.OpSetp, "sel": isa.OpSel,
+	"ld": isa.OpLd, "st": isa.OpSt, "atom": isa.OpAtm,
+	"bra": isa.OpBra, "ssy": isa.OpSSY, "sync": isa.OpSync,
+	"bar": isa.OpBar, "exit": isa.OpExit, "ret": isa.OpRet,
+}
+
+var cmpByName = map[string]isa.CmpOp{
+	"eq": isa.CmpEQ, "ne": isa.CmpNE, "lt": isa.CmpLT,
+	"le": isa.CmpLE, "gt": isa.CmpGT, "ge": isa.CmpGE,
+}
+
+var spaceByName = map[string]isa.MemSpace{
+	"global": isa.SpaceGlobal, "shared": isa.SpaceShared,
+	"local": isa.SpaceLocal, "param": isa.SpaceParam,
+}
+
+var specialByName = map[string]isa.Special{
+	"%tid.x": isa.SpecTidX, "%ctaid.x": isa.SpecCtaidX,
+	"%ntid.x": isa.SpecNtidX, "%nctaid.x": isa.SpecNctaidX,
+	"%laneid": isa.SpecLaneID, "%warpid": isa.SpecWarpID,
+}
+
+func parseRegName(s string) (uint8, bool) {
+	ls := strings.ToLower(s)
+	if ls == "rz" {
+		return isa.RegZero, true
+	}
+	if len(ls) >= 2 && ls[0] == 'r' {
+		n, err := strconv.Atoi(ls[1:])
+		if err == nil && n >= 0 && n < isa.NumArchRegs {
+			return uint8(n), true
+		}
+	}
+	return 0, false
+}
+
+func parsePredName(s string) (uint8, bool) {
+	ls := strings.ToLower(s)
+	if ls == "pt" {
+		return isa.PredTrue, true
+	}
+	if len(ls) >= 2 && ls[0] == 'p' {
+		n, err := strconv.Atoi(ls[1:])
+		if err == nil && n >= 0 && n < isa.NumPredRegs {
+			return uint8(n), true
+		}
+	}
+	return 0, false
+}
+
+func parseImm(s string) (uint32, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(strings.ToLower(s), "0x"), func() int {
+		if strings.HasPrefix(strings.ToLower(s), "0x") {
+			return 16
+		}
+		return 10
+	}(), 64)
+	if err != nil {
+		return 0, err
+	}
+	if v > 0xFFFFFFFF {
+		return 0, fmt.Errorf("immediate %s overflows 32 bits", s)
+	}
+	u := uint32(v)
+	if neg {
+		u = -u
+	}
+	return u, nil
+}
+
+func (p *parser) parseInstruction() error {
+	var in isa.Instruction
+	in.PredReg = isa.PredTrue
+	in.Target = -1
+
+	// Guard predicate.
+	if p.cur().kind == tokAt {
+		p.take()
+		if p.cur().kind == tokBang {
+			p.take()
+			in.PredNeg = true
+		}
+		t := p.take()
+		pr, ok := parsePredName(t.text)
+		if !ok {
+			return p.errf(t, "invalid guard predicate %q", t.text)
+		}
+		in.PredReg = pr
+	}
+
+	mn := p.take()
+	if mn.kind != tokIdent {
+		return p.errf(mn, "expected mnemonic, got %s", mn)
+	}
+	op, ok := opcodeByName[strings.ToLower(mn.text)]
+	if !ok {
+		return p.errf(mn, "unknown mnemonic %q", mn.text)
+	}
+	in.Op = op
+
+	// Modifiers: .ne .global .add .sync .u32 (type suffixes ignored).
+	for p.cur().kind == tokDot || p.cur().kind == tokDirective {
+		var mod string
+		if p.cur().kind == tokDirective {
+			mod = strings.TrimPrefix(p.take().text, ".")
+		} else {
+			p.take() // dot
+			t := p.take()
+			if t.kind != tokIdent && t.kind != tokNumber {
+				return p.errf(t, "expected modifier after '.'")
+			}
+			mod = t.text
+		}
+		lmod := strings.ToLower(mod)
+		switch {
+		case cmpIs(lmod):
+			in.Cmp = cmpByName[lmod]
+		case spaceByName[lmod] != isa.SpaceNone:
+			in.Space = spaceByName[lmod]
+		case lmod == "sync" && in.Op == isa.OpBar:
+			// bar.sync — no-op modifier.
+		case lmod == "add" && in.Op == isa.OpAtm:
+			// atom.add — only atomic supported.
+		default:
+			// Type suffixes (u32, s32, f32, wide, lo, hi, half...) are
+			// accepted and ignored: the simulator is 32-bit throughout.
+		}
+	}
+
+	// Operand list.
+	if err := p.parseOperands(&in); err != nil {
+		return err
+	}
+
+	t := p.cur()
+	if t.kind != tokNewline && t.kind != tokEOF {
+		return p.errf(t, "trailing tokens after instruction: %s", t)
+	}
+
+	p.prog.Code = append(p.prog.Code, in)
+	return nil
+}
+
+func cmpIs(s string) bool { _, ok := cmpByName[s]; return ok }
+
+func (p *parser) parseOperands(in *isa.Instruction) error {
+	switch in.Op {
+	case isa.OpNop, isa.OpExit, isa.OpRet, isa.OpSync, isa.OpBar:
+		return nil
+	case isa.OpBra, isa.OpSSY:
+		t := p.take()
+		if t.kind != tokIdent {
+			return p.errf(t, "%s requires a label", in.Op)
+		}
+		in.Label = t.text
+		p.fixups[len(p.prog.Code)] = t.text
+		return nil
+	case isa.OpLd:
+		// ld.space d, [addr+off]
+		if err := p.parseDstReg(in); err != nil {
+			return err
+		}
+		if err := p.expectComma(); err != nil {
+			return err
+		}
+		return p.parseAddress(in)
+	case isa.OpSt:
+		// st.space [addr+off], v
+		if err := p.parseAddress(in); err != nil {
+			return err
+		}
+		if err := p.expectComma(); err != nil {
+			return err
+		}
+		o, err := p.parseOperand()
+		if err != nil {
+			return err
+		}
+		in.Srcs[1] = o
+		in.NSrc = 2
+		return nil
+	case isa.OpAtm:
+		// atom.add.space d, [addr+off], v
+		if err := p.parseDstReg(in); err != nil {
+			return err
+		}
+		if err := p.expectComma(); err != nil {
+			return err
+		}
+		if err := p.parseAddress(in); err != nil {
+			return err
+		}
+		if err := p.expectComma(); err != nil {
+			return err
+		}
+		o, err := p.parseOperand()
+		if err != nil {
+			return err
+		}
+		in.Srcs[1] = o
+		in.NSrc = 2
+		return nil
+	case isa.OpSetp:
+		// setp.cmp p, a, b
+		t := p.take()
+		pr, ok := parsePredName(t.text)
+		if !ok {
+			return p.errf(t, "setp requires a predicate destination, got %q", t.text)
+		}
+		in.DstPred = pr
+		in.HasDstPred = true
+		if err := p.expectComma(); err != nil {
+			return err
+		}
+		return p.parseSrcList(in, 2)
+	case isa.OpSel:
+		// sel d, a, b, p
+		if err := p.parseDstReg(in); err != nil {
+			return err
+		}
+		if err := p.expectComma(); err != nil {
+			return err
+		}
+		return p.parseSrcList(in, 3)
+	}
+
+	// Generic ALU/FPU/SFU form: op d, srcs...
+	if err := p.parseDstReg(in); err != nil {
+		return err
+	}
+	want := 0
+	switch in.Op {
+	case isa.OpMov, isa.OpAbs, isa.OpI2F, isa.OpF2I,
+		isa.OpRcp, isa.OpSqrt, isa.OpEx2, isa.OpLg2, isa.OpSin, isa.OpCos:
+		want = 1
+	case isa.OpMad, isa.OpFFma:
+		want = 3
+	default:
+		want = 2
+	}
+	if err := p.expectComma(); err != nil {
+		return err
+	}
+	return p.parseSrcList(in, want)
+}
+
+func (p *parser) expectComma() error {
+	t := p.take()
+	if t.kind != tokComma {
+		return p.errf(t, "expected ',', got %s", t)
+	}
+	return nil
+}
+
+func (p *parser) parseDstReg(in *isa.Instruction) error {
+	t := p.take()
+	r, ok := parseRegName(t.text)
+	if !ok {
+		return p.errf(t, "expected destination register, got %q", t.text)
+	}
+	in.Dst = r
+	in.HasDst = true
+	return nil
+}
+
+func (p *parser) parseSrcList(in *isa.Instruction, n int) error {
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			if err := p.expectComma(); err != nil {
+				return err
+			}
+		}
+		o, err := p.parseOperand()
+		if err != nil {
+			return err
+		}
+		in.Srcs[in.NSrc] = o
+		in.NSrc++
+	}
+	return nil
+}
+
+func (p *parser) parseOperand() (isa.Operand, error) {
+	t := p.take()
+	switch t.kind {
+	case tokIdent:
+		if r, ok := parseRegName(t.text); ok {
+			return isa.Reg(r), nil
+		}
+		if pr, ok := parsePredName(t.text); ok {
+			return isa.Pred(pr), nil
+		}
+		return isa.Operand{}, p.errf(t, "unknown operand %q", t.text)
+	case tokNumber:
+		v, err := parseImm(t.text)
+		if err != nil {
+			return isa.Operand{}, p.errf(t, "%v", err)
+		}
+		return isa.Imm(v), nil
+	case tokSpecial:
+		s, ok := specialByName[strings.ToLower(t.text)]
+		if !ok {
+			return isa.Operand{}, p.errf(t, "unknown special register %q", t.text)
+		}
+		return isa.Spec(s), nil
+	}
+	return isa.Operand{}, p.errf(t, "unexpected operand token %s", t)
+}
+
+// parseAddress parses '[' reg ['+' imm] ']' into Srcs[0] and ImmOff.
+func (p *parser) parseAddress(in *isa.Instruction) error {
+	t := p.take()
+	if t.kind != tokLBracket {
+		return p.errf(t, "expected '[', got %s", t)
+	}
+	rt := p.take()
+	r, ok := parseRegName(rt.text)
+	if !ok {
+		return p.errf(rt, "expected address register, got %q", rt.text)
+	}
+	in.Srcs[0] = isa.Reg(r)
+	if in.NSrc < 1 {
+		in.NSrc = 1
+	}
+	if p.cur().kind == tokPlus {
+		p.take()
+		it := p.take()
+		if it.kind != tokNumber {
+			return p.errf(it, "expected offset immediate, got %s", it)
+		}
+		v, err := parseImm(it.text)
+		if err != nil {
+			return p.errf(it, "%v", err)
+		}
+		in.ImmOff = v
+	}
+	t = p.take()
+	if t.kind != tokRBracket {
+		return p.errf(t, "expected ']', got %s", t)
+	}
+	return nil
+}

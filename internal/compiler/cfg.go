@@ -1,0 +1,258 @@
+// Package compiler implements the static analyses the BOW paper tasks
+// the compiler with (§IV-B): control-flow graph construction, backward
+// liveness dataflow, per-window register-reuse analysis, and assignment
+// of the two-bit write-back hints (rf-only / boc-only / both) to every
+// instruction with a destination register.
+//
+// The analyses are conservative across basic blocks: a bypass chain is
+// only recognized inside a single block, and any value live out of its
+// defining block is considered to need the register file. This matches
+// the paper's simplifying restriction that the window never bypasses
+// past the compiler's visibility (§IV-C).
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"bow/internal/asm"
+	"bow/internal/isa"
+)
+
+// BasicBlock is a maximal straight-line instruction sequence.
+type BasicBlock struct {
+	ID    int
+	Start int // first PC (inclusive)
+	End   int // last PC (inclusive)
+	Succs []int
+	Preds []int
+}
+
+// CFG is the control-flow graph of one kernel.
+type CFG struct {
+	Prog    *asm.Program
+	Blocks  []BasicBlock
+	BlockOf []int // PC -> block ID
+}
+
+// BuildCFG partitions the program into basic blocks and links edges.
+func BuildCFG(p *asm.Program) (*CFG, error) {
+	n := len(p.Code)
+	if n == 0 {
+		return nil, fmt.Errorf("compiler: empty program")
+	}
+
+	leader := make([]bool, n)
+	leader[0] = true
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		switch in.Op {
+		case isa.OpBra:
+			if in.Target < n {
+				leader[in.Target] = true
+			}
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		case isa.OpExit, isa.OpRet:
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		case isa.OpSSY:
+			// ssy targets are reconvergence points: they begin blocks too,
+			// since divergent paths merge there.
+			if in.Target < n {
+				leader[in.Target] = true
+			}
+		}
+	}
+	// Any label is a potential join point.
+	for _, pc := range p.Labels {
+		if pc < n {
+			leader[pc] = true
+		}
+	}
+
+	cfg := &CFG{Prog: p, BlockOf: make([]int, n)}
+	for pc := 0; pc < n; {
+		end := pc
+		for end+1 < n && !leader[end+1] {
+			end++
+		}
+		id := len(cfg.Blocks)
+		cfg.Blocks = append(cfg.Blocks, BasicBlock{ID: id, Start: pc, End: end})
+		for i := pc; i <= end; i++ {
+			cfg.BlockOf[i] = id
+		}
+		pc = end + 1
+	}
+
+	addEdge := func(from, to int) {
+		b := &cfg.Blocks[from]
+		for _, s := range b.Succs {
+			if s == to {
+				return
+			}
+		}
+		b.Succs = append(b.Succs, to)
+		cfg.Blocks[to].Preds = append(cfg.Blocks[to].Preds, from)
+	}
+
+	for bi := range cfg.Blocks {
+		b := &cfg.Blocks[bi]
+		last := &p.Code[b.End]
+		switch last.Op {
+		case isa.OpBra:
+			if last.Target < n {
+				addEdge(bi, cfg.BlockOf[last.Target])
+			}
+			// A predicated branch falls through as well; an unpredicated
+			// branch is unconditional.
+			if last.PredReg != isa.PredTrue && b.End+1 < n {
+				addEdge(bi, cfg.BlockOf[b.End+1])
+			}
+		case isa.OpExit, isa.OpRet:
+			// no successors
+		default:
+			if b.End+1 < n {
+				addEdge(bi, cfg.BlockOf[b.End+1])
+			}
+		}
+	}
+	return cfg, nil
+}
+
+// PostOrder returns block IDs in post-order from the entry block.
+// Unreachable blocks are appended at the end so dataflow still covers
+// them.
+func (c *CFG) PostOrder() []int {
+	seen := make([]bool, len(c.Blocks))
+	var order []int
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		succs := append([]int(nil), c.Blocks[b].Succs...)
+		sort.Ints(succs)
+		for _, s := range succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(0)
+	for b := range c.Blocks {
+		if !seen[b] {
+			dfs(b)
+		}
+	}
+	return order
+}
+
+// ImmediatePostDominators computes, for every block, its immediate
+// post-dominator block ID (-1 for exit blocks and blocks with no path to
+// exit). The SIMT reconvergence machinery uses the instruction-level
+// projection of this (see ReconvergencePCs).
+func (c *CFG) ImmediatePostDominators() []int {
+	n := len(c.Blocks)
+	const none = -1
+
+	// Build a virtual exit: all blocks with no successors post-dominate
+	// into it. Standard iterative dataflow on the reverse graph.
+	ipdom := make([]int, n)
+	for i := range ipdom {
+		ipdom[i] = none
+	}
+
+	// Reverse post-order on the reverse CFG approximated by iterating
+	// until fixpoint over post-dominator sets (bitset per block).
+	// Programs here are small (tens to hundreds of blocks), so the
+	// O(n^2) set representation is fine.
+	pdom := make([][]bool, n)
+	exitBlocks := []int{}
+	for i := range c.Blocks {
+		pdom[i] = make([]bool, n)
+		if len(c.Blocks[i].Succs) == 0 {
+			exitBlocks = append(exitBlocks, i)
+			pdom[i][i] = true
+		} else {
+			for j := range pdom[i] {
+				pdom[i][j] = true
+			}
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := range c.Blocks {
+			if len(c.Blocks[i].Succs) == 0 {
+				continue
+			}
+			// new = intersection of succ pdoms, plus self
+			tmp := make([]bool, n)
+			for j := range tmp {
+				tmp[j] = true
+			}
+			for _, s := range c.Blocks[i].Succs {
+				for j := range tmp {
+					tmp[j] = tmp[j] && pdom[s][j]
+				}
+			}
+			tmp[i] = true
+			for j := range tmp {
+				if tmp[j] != pdom[i][j] {
+					pdom[i] = tmp
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// ipdom(b) = the post-dominator d != b such that every other
+	// post-dominator of b also post-dominates d ("closest").
+	for b := range c.Blocks {
+		var cands []int
+		for d := range c.Blocks {
+			if d != b && pdom[b][d] {
+				cands = append(cands, d)
+			}
+		}
+		for _, d := range cands {
+			closest := true
+			for _, e := range cands {
+				if e != d && !pdom[d][e] {
+					closest = false
+					break
+				}
+			}
+			if closest {
+				ipdom[b] = d
+				break
+			}
+		}
+	}
+	_ = exitBlocks
+	return ipdom
+}
+
+// ReconvergencePCs returns, for every branch PC, the PC at which
+// divergent execution should reconverge (start of the branch block's
+// immediate post-dominator). Branches without a post-dominator map to
+// len(code) (reconverge at program end).
+func (c *CFG) ReconvergencePCs() map[int]int {
+	ipdom := c.ImmediatePostDominators()
+	out := make(map[int]int)
+	for pc := range c.Prog.Code {
+		if !c.Prog.Code[pc].IsBranch() {
+			continue
+		}
+		b := c.BlockOf[pc]
+		if d := ipdom[b]; d >= 0 {
+			out[pc] = c.Blocks[d].Start
+		} else {
+			out[pc] = len(c.Prog.Code)
+		}
+	}
+	return out
+}

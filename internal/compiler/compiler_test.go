@@ -1,0 +1,369 @@
+package compiler
+
+import (
+	"testing"
+
+	"bow/internal/asm"
+	"bow/internal/isa"
+)
+
+func TestBuildCFGStraightLine(t *testing.T) {
+	p := asm.MustParse(`
+  mov r1, 0x1
+  add r2, r1, r1
+  exit
+`)
+	cfg, err := BuildCFG(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(cfg.Blocks))
+	}
+	if cfg.Blocks[0].Start != 0 || cfg.Blocks[0].End != 2 {
+		t.Errorf("block bounds %d..%d", cfg.Blocks[0].Start, cfg.Blocks[0].End)
+	}
+	if len(cfg.Blocks[0].Succs) != 0 {
+		t.Errorf("exit block has successors: %v", cfg.Blocks[0].Succs)
+	}
+}
+
+func TestBuildCFGDiamond(t *testing.T) {
+	p := asm.MustParse(`
+  setp.eq p0, r1, r2
+  @p0 bra THEN
+  mov r3, 0x1
+  bra JOIN
+THEN:
+  mov r3, 0x2
+JOIN:
+  add r4, r3, 0x1
+  exit
+`)
+	cfg, err := BuildCFG(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4 (entry/else/then/join)", len(cfg.Blocks))
+	}
+	entry := cfg.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("entry succs = %v, want 2", entry.Succs)
+	}
+	join := cfg.BlockOf[p.Labels["JOIN"]]
+	if len(cfg.Blocks[join].Preds) != 2 {
+		t.Errorf("join preds = %v, want 2", cfg.Blocks[join].Preds)
+	}
+
+	// The reconvergence PC of the diverging branch must be JOIN.
+	rpc := cfg.ReconvergencePCs()
+	if got := rpc[1]; got != p.Labels["JOIN"] {
+		t.Errorf("reconv of branch = %d, want %d", got, p.Labels["JOIN"])
+	}
+}
+
+func TestBuildCFGLoop(t *testing.T) {
+	p := asm.MustParse(`
+  mov r1, 0x0
+L:
+  add r1, r1, 0x1
+  setp.lt p0, r1, 0x8
+  @p0 bra L
+  exit
+`)
+	cfg, err := BuildCFG(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loopB := cfg.BlockOf[p.Labels["L"]]
+	hasBackEdge := false
+	for _, s := range cfg.Blocks[loopB].Succs {
+		if s == loopB {
+			hasBackEdge = true
+		}
+	}
+	if !hasBackEdge {
+		t.Error("loop block should have a self back-edge")
+	}
+	// The loop branch reconverges at the fallthrough (exit block).
+	rpc := cfg.ReconvergencePCs()
+	if got := rpc[3]; got != 4 {
+		t.Errorf("loop branch reconv = %d, want 4", got)
+	}
+}
+
+func TestBuildCFGEmpty(t *testing.T) {
+	if _, err := BuildCFG(&asm.Program{}); err == nil {
+		t.Error("empty program should be rejected")
+	}
+}
+
+func TestLivenessStraightLine(t *testing.T) {
+	p := asm.MustParse(`
+  mov r1, 0x1
+  mov r2, 0x2
+  add r3, r1, r2
+  st.global [r4+0x0], r3
+  exit
+`)
+	cfg, _ := BuildCFG(p)
+	lv := ComputeLiveness(cfg)
+
+	// r1 live after pc0 (used at 2), dead after 2.
+	if !lv.LiveAfter(0, 1) {
+		t.Error("r1 should be live after its def")
+	}
+	if lv.LiveAfter(2, 1) {
+		t.Error("r1 should be dead after its last use")
+	}
+	// r3 live between def (2) and use (3).
+	if !lv.LiveAfter(2, 3) || lv.LiveAfter(3, 3) {
+		t.Error("r3 liveness wrong")
+	}
+	// r4 (the address) is live-in at the top (never defined).
+	if !lv.LiveIn[0].Has(4) {
+		t.Error("r4 should be upward-exposed live-in")
+	}
+}
+
+func TestLivenessAcrossLoop(t *testing.T) {
+	p := asm.MustParse(`
+  mov r1, 0x0
+  mov r9, 0x5
+L:
+  add r1, r1, r9
+  setp.lt p0, r1, 0x64
+  @p0 bra L
+  st.global [r2+0x0], r1
+  exit
+`)
+	cfg, _ := BuildCFG(p)
+	lv := ComputeLiveness(cfg)
+	// r9 is used in the loop body every iteration: it must be live at the
+	// loop back edge (LiveOut of the branch).
+	braPC := 4
+	if !lv.LiveOut[braPC].Has(9) {
+		t.Error("r9 must be live across the back edge")
+	}
+	if !lv.LiveOut[braPC].Has(1) {
+		t.Error("r1 must be live out of the loop (stored after)")
+	}
+}
+
+func TestPredicatedWriteIsUse(t *testing.T) {
+	p := asm.MustParse(`
+  mov r1, 0x1
+  @p0 mov r1, 0x2
+  st.global [r2+0x0], r1
+  exit
+`)
+	cfg, _ := BuildCFG(p)
+	lv := ComputeLiveness(cfg)
+	// The predicated write merges with the old value, so r1 is live
+	// after pc0 even though pc1 "redefines" it.
+	if !lv.LiveAfter(0, 1) {
+		t.Error("r1 must stay live into a predicated redefinition")
+	}
+}
+
+func TestAnnotateClasses(t *testing.T) {
+	p := asm.MustParse(`
+  mov r1, 0x1
+  add r2, r1, 0x1
+  mov r3, 0x2
+  mov r4, 0x3
+  mov r5, 0x4
+  add r6, r1, 0x5
+  st.global [r7+0x0], r6
+  exit
+`)
+	st, err := Annotate(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r1: used at pc1 (in-window) and pc5 (gap 4 from last access pc1 ->
+	// out of window) => both.
+	if p.Code[0].WBHint != isa.WBBoth {
+		t.Errorf("r1 hint = %v, want both", p.Code[0].WBHint)
+	}
+	// r2: dead (never read) => boc-only.
+	if p.Code[1].WBHint != isa.WBCollectorOnly {
+		t.Errorf("r2 hint = %v, want boc-only", p.Code[1].WBHint)
+	}
+	// r6: read at pc6 (distance 1) then dead => transient.
+	if p.Code[5].WBHint != isa.WBCollectorOnly {
+		t.Errorf("r6 hint = %v, want boc-only", p.Code[5].WBHint)
+	}
+	if st.Total() != 6 {
+		t.Errorf("classified %d writes, want 6", st.Total())
+	}
+}
+
+func TestAnnotateLiveOutOfBlock(t *testing.T) {
+	p := asm.MustParse(`
+  mov r1, 0x1
+  add r2, r1, 0x1
+  setp.eq p0, r2, 0x5
+  @p0 bra SKIP
+  add r3, r2, 0x1
+SKIP:
+  st.global [r4+0x0], r2
+  exit
+`)
+	if _, err := Annotate(p, 3); err != nil {
+		t.Fatal(err)
+	}
+	// r2 is defined at pc1, read at pc2 (in window) but live out of the
+	// block (read at pc4 and pc5 in successor blocks) => both, never
+	// boc-only.
+	if p.Code[1].WBHint != isa.WBBoth {
+		t.Errorf("r2 hint = %v, want both (live across block end)", p.Code[1].WBHint)
+	}
+}
+
+func TestAnnotateRejectsTinyWindow(t *testing.T) {
+	p := asm.MustParse("mov r1, 0x1\nexit")
+	if _, err := Annotate(p, 1); err == nil {
+		t.Error("IW=1 should be rejected")
+	}
+}
+
+func TestClearHints(t *testing.T) {
+	p := asm.MustParse(`
+  mov r1, 0x1
+  add r2, r1, 0x1
+  exit
+`)
+	if _, err := Annotate(p, 3); err != nil {
+		t.Fatal(err)
+	}
+	ClearHints(p)
+	for i := range p.Code {
+		if p.Code[i].WBHint != isa.WBBoth {
+			t.Errorf("pc %d hint not cleared", i)
+		}
+	}
+}
+
+func TestHintSoundness(t *testing.T) {
+	// Soundness invariant: a boc-only value must never be read at a
+	// distance the window cannot chain to, and must not be live out of
+	// its block. Verify over every built-in style program shape by
+	// re-deriving reads per def.
+	progs := []string{
+		`
+  mov r1, 0x1
+  add r2, r1, r1
+  add r3, r2, r2
+  add r4, r3, r3
+  st.global [r5+0x0], r4
+  exit`,
+		`
+  mov r1, 0x0
+L:
+  add r1, r1, 0x1
+  mul r2, r1, r1
+  setp.lt p0, r1, 0x8
+  @p0 bra L
+  st.global [r3+0x0], r2
+  exit`,
+	}
+	for pi, src := range progs {
+		p := asm.MustParse(src)
+		const iw = 3
+		if _, err := Annotate(p, iw); err != nil {
+			t.Fatal(err)
+		}
+		cfg, _ := BuildCFG(p)
+		lv := ComputeLiveness(cfg)
+		for bi := range cfg.Blocks {
+			b := &cfg.Blocks[bi]
+			for pc := b.Start; pc <= b.End; pc++ {
+				in := &p.Code[pc]
+				d, ok := in.DstReg()
+				if !ok || in.WBHint != isa.WBCollectorOnly {
+					continue
+				}
+				// Walk the block: every read must be chain-reachable.
+				last := pc
+				for q := pc + 1; q <= b.End; q++ {
+					use, def := useDef(&cfg.Prog.Code[q])
+					if use.Has(d) {
+						if q-last >= iw {
+							t.Errorf("prog %d pc %d: boc-only value read at %d beyond window", pi, pc, q)
+						}
+						last = q
+					}
+					if def.Has(d) && cfg.Prog.Code[q].PredReg == isa.PredTrue {
+						last = -1
+						break
+					}
+				}
+				if last >= 0 && lv.LiveOut[b.End].Has(d) {
+					t.Errorf("prog %d pc %d: boc-only value live out of block", pi, pc)
+				}
+			}
+		}
+	}
+}
+
+func TestRegSet(t *testing.T) {
+	var s RegSet
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(254)
+	if !s.Has(0) || !s.Has(63) || !s.Has(64) || !s.Has(254) || s.Has(1) {
+		t.Error("RegSet membership wrong")
+	}
+	if s.Count() != 4 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	s.Remove(63)
+	if s.Has(63) || s.Count() != 3 {
+		t.Error("Remove failed")
+	}
+	var o RegSet
+	o.Add(7)
+	if !s.UnionWith(&o) || !s.Has(7) {
+		t.Error("UnionWith failed")
+	}
+	if s.UnionWith(&o) {
+		t.Error("idempotent union reported change")
+	}
+}
+
+func TestMaxLive(t *testing.T) {
+	p := asm.MustParse(`
+  mov r1, 0x1
+  mov r2, 0x2
+  mov r3, 0x3
+  add r4, r1, r2
+  add r4, r4, r3
+  st.global [r5+0x0], r4
+  exit
+`)
+	cfg, _ := BuildCFG(p)
+	lv := ComputeLiveness(cfg)
+	// r5 is live throughout; r1,r2,r3 all live simultaneously before pc3.
+	if ml := lv.MaxLive(); ml < 4 {
+		t.Errorf("MaxLive = %d, want >= 4", ml)
+	}
+}
+
+func TestPostOrderCoversAllBlocks(t *testing.T) {
+	p := asm.MustParse(`
+  bra END
+DEAD:
+  mov r1, 0x1
+END:
+  exit
+`)
+	cfg, _ := BuildCFG(p)
+	order := cfg.PostOrder()
+	if len(order) != len(cfg.Blocks) {
+		t.Errorf("post-order covers %d of %d blocks (unreachable included?)",
+			len(order), len(cfg.Blocks))
+	}
+}

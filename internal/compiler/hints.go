@@ -1,0 +1,141 @@
+package compiler
+
+import (
+	"fmt"
+
+	"bow/internal/asm"
+	"bow/internal/isa"
+)
+
+// HintStats summarizes the static classification of destination writes.
+type HintStats struct {
+	RegfileOnly   int // no reuse inside the window -> write RF directly
+	CollectorOnly int // transient: all reuse inside window, dead after
+	Both          int // reuse inside window and live afterwards
+}
+
+// Total returns the number of classified writes.
+func (s HintStats) Total() int { return s.RegfileOnly + s.CollectorOnly + s.Both }
+
+func (s HintStats) String() string {
+	t := s.Total()
+	if t == 0 {
+		return "no destination writes"
+	}
+	return fmt.Sprintf("rf-only %d (%.0f%%), both %d (%.0f%%), boc-only %d (%.0f%%)",
+		s.RegfileOnly, 100*float64(s.RegfileOnly)/float64(t),
+		s.Both, 100*float64(s.Both)/float64(t),
+		s.CollectorOnly, 100*float64(s.CollectorOnly)/float64(t))
+}
+
+// Annotate runs the BOW-WR compiler pass on prog for the given
+// instruction-window size: every instruction with a GPR destination gets
+// a WritebackHint. The pass is conservative across basic blocks (a chain
+// of in-window reuses is only recognized inside one block; any value
+// live out of its block is treated as needing the RF).
+//
+// The program is modified in place; the returned stats count the static
+// classification.
+func Annotate(prog *asm.Program, iw int) (HintStats, error) {
+	if iw < 2 {
+		return HintStats{}, fmt.Errorf("compiler: instruction window %d too small (min 2)", iw)
+	}
+	cfg, err := BuildCFG(prog)
+	if err != nil {
+		return HintStats{}, err
+	}
+	lv := ComputeLiveness(cfg)
+
+	var stats HintStats
+	for bi := range cfg.Blocks {
+		b := &cfg.Blocks[bi]
+		for pc := b.Start; pc <= b.End; pc++ {
+			in := &prog.Code[pc]
+			d, ok := in.DstReg()
+			if !ok {
+				continue
+			}
+			hint := classify(cfg, lv, b, pc, d, iw)
+			in.WBHint = hint
+			switch hint {
+			case isa.WBRegfileOnly:
+				stats.RegfileOnly++
+			case isa.WBCollectorOnly:
+				stats.CollectorOnly++
+			case isa.WBBoth:
+				stats.Both++
+			}
+		}
+	}
+	return stats, nil
+}
+
+// classify determines the write-back hint for the value produced at pc
+// into register d, using the window-chaining rule from the paper: a read
+// at distance < iw from the previous access of the value is bypassed (it
+// also extends the value's residence in the window). The classification
+// is:
+//
+//   - boc-only (transient): at least the full set of subsequent reads of
+//     this value is bypassed, and the value is dead afterwards;
+//   - rf-only: no read of the value is bypassed;
+//   - both: some reads are bypassed but the value stays live beyond the
+//     window (or beyond the block).
+//
+// A value with no reads at all is classified boc-only: it is dead, so it
+// never needs an RF write (a real compiler would eliminate the
+// instruction outright).
+func classify(cfg *CFG, lv *Liveness, b *BasicBlock, pc int, d uint8, iw int) isa.WritebackHint {
+	last := pc // last access of the value (write or bypassed read)
+	inWindowReuse := false
+	liveBeyond := false
+
+scan:
+	for q := pc + 1; q <= b.End; q++ {
+		qi := &cfg.Prog.Code[q]
+		use, def := useDef(qi)
+		if use.Has(d) {
+			if q-last < iw {
+				inWindowReuse = true
+				last = q
+			} else {
+				// A reader exists that the window cannot reach: the value
+				// must be in the RF by then.
+				liveBeyond = true
+				break scan
+			}
+		}
+		if def.Has(d) && qi.PredReg == isa.PredTrue {
+			// Unconditional redefinition: the value dies here.
+			return doneHint(inWindowReuse, liveBeyond)
+		}
+	}
+	if !liveBeyond {
+		// Reached the end of the block without a kill: if the register is
+		// live out of the block, the value escapes the window guarantee.
+		liveBeyond = lv.LiveOut[b.End].Has(d)
+	}
+	return doneHint(inWindowReuse, liveBeyond)
+}
+
+func doneHint(inWindowReuse, liveBeyond bool) isa.WritebackHint {
+	switch {
+	case inWindowReuse && !liveBeyond:
+		return isa.WBCollectorOnly
+	case inWindowReuse && liveBeyond:
+		return isa.WBBoth
+	case liveBeyond:
+		return isa.WBRegfileOnly
+	default:
+		// Dead value, no reads: never needs the RF.
+		return isa.WBCollectorOnly
+	}
+}
+
+// ClearHints resets every hint to the default (both), the behaviour of
+// BOW-WR without compiler support.
+func ClearHints(prog *asm.Program) {
+	for i := range prog.Code {
+		prog.Code[i].WBHint = isa.WBBoth
+	}
+}

@@ -1,0 +1,156 @@
+package compiler
+
+import (
+	"bow/internal/isa"
+)
+
+// RegSet is a dense bitset over general-purpose register numbers.
+type RegSet [4]uint64 // 256 bits: covers R0..R254 and RZ (ignored)
+
+// Has reports membership.
+func (s *RegSet) Has(r uint8) bool { return s[r>>6]&(1<<(r&63)) != 0 }
+
+// Add inserts r.
+func (s *RegSet) Add(r uint8) { s[r>>6] |= 1 << (r & 63) }
+
+// Remove deletes r.
+func (s *RegSet) Remove(r uint8) { s[r>>6] &^= 1 << (r & 63) }
+
+// UnionWith merges o into s and reports whether s changed.
+func (s *RegSet) UnionWith(o *RegSet) bool {
+	changed := false
+	for i := range s {
+		n := s[i] | o[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Count returns the number of registers in the set.
+func (s *RegSet) Count() int {
+	n := 0
+	for _, w := range s {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Liveness holds the result of the backward liveness dataflow: for every
+// instruction, the set of general-purpose registers live immediately
+// after it (LiveOut) and immediately before it (LiveIn).
+type Liveness struct {
+	CFG     *CFG
+	LiveIn  []RegSet // per PC
+	LiveOut []RegSet // per PC
+}
+
+// useDef returns the use and def register sets of one instruction.
+// Predicates are tracked separately and ignored here: the BOW window
+// buffers only general-purpose operands.
+func useDef(in *isa.Instruction) (use, def RegSet) {
+	var buf [isa.MaxSrcOperands]uint8
+	srcs := in.SrcRegs(buf[:0])
+	for _, r := range srcs {
+		use.Add(r)
+	}
+	if d, ok := in.DstReg(); ok {
+		// A predicated write merges into the old value: lanes where the
+		// guard is false keep the previous contents, so the destination
+		// is also a use unless the write is unconditional.
+		if in.PredReg != isa.PredTrue {
+			use.Add(d)
+		}
+		def.Add(d)
+	}
+	return use, def
+}
+
+// ComputeLiveness runs the standard backward may-liveness fixpoint over
+// the CFG.
+func ComputeLiveness(cfg *CFG) *Liveness {
+	n := len(cfg.Prog.Code)
+	lv := &Liveness{
+		CFG:     cfg,
+		LiveIn:  make([]RegSet, n),
+		LiveOut: make([]RegSet, n),
+	}
+
+	blockIn := make([]RegSet, len(cfg.Blocks))
+	blockOut := make([]RegSet, len(cfg.Blocks))
+
+	// Precompute per-block gen (upward-exposed uses) and kill (defs).
+	gen := make([]RegSet, len(cfg.Blocks))
+	kill := make([]RegSet, len(cfg.Blocks))
+	for bi := range cfg.Blocks {
+		b := &cfg.Blocks[bi]
+		for pc := b.End; pc >= b.Start; pc-- {
+			use, def := useDef(&cfg.Prog.Code[pc])
+			// gen = use ∪ (gen − def); kill = kill ∪ def, walking backward
+			for w := 0; w < len(gen[bi]); w++ {
+				gen[bi][w] = use[w] | (gen[bi][w] &^ def[w])
+				kill[bi][w] |= def[w]
+			}
+		}
+	}
+
+	order := cfg.PostOrder() // blocks in post-order: good order for backward flow
+	changed := true
+	for changed {
+		changed = false
+		for _, bi := range order {
+			b := &cfg.Blocks[bi]
+			var out RegSet
+			for _, s := range b.Succs {
+				out.UnionWith(&blockIn[s])
+			}
+			var in RegSet
+			for w := range in {
+				in[w] = gen[bi][w] | (out[w] &^ kill[bi][w])
+			}
+			if out != blockOut[bi] || in != blockIn[bi] {
+				blockOut[bi] = out
+				blockIn[bi] = in
+				changed = true
+			}
+		}
+	}
+
+	// Propagate within blocks to per-instruction sets.
+	for bi := range cfg.Blocks {
+		b := &cfg.Blocks[bi]
+		out := blockOut[bi]
+		for pc := b.End; pc >= b.Start; pc-- {
+			lv.LiveOut[pc] = out
+			use, def := useDef(&cfg.Prog.Code[pc])
+			var in RegSet
+			for w := range in {
+				in[w] = use[w] | (out[w] &^ def[w])
+			}
+			lv.LiveIn[pc] = in
+			out = in
+		}
+	}
+	return lv
+}
+
+// LiveAfter reports whether register r is live immediately after pc.
+func (lv *Liveness) LiveAfter(pc int, r uint8) bool {
+	return lv.LiveOut[pc].Has(r)
+}
+
+// MaxLive returns the maximum number of simultaneously live registers at
+// any program point — a proxy for the RF footprint the kernel needs.
+func (lv *Liveness) MaxLive() int {
+	max := 0
+	for i := range lv.LiveIn {
+		if c := lv.LiveIn[i].Count(); c > max {
+			max = c
+		}
+	}
+	return max
+}

@@ -1,0 +1,243 @@
+package compiler
+
+import (
+	"bow/internal/asm"
+	"bow/internal/isa"
+)
+
+// Reorder implements the optimization the paper leaves on the table in
+// its footnote 1 (§IV-B): reordering instructions within a basic block
+// to shorten register reuse distances, so more accesses land inside the
+// bypass window.
+//
+// The pass list-schedules each basic block: among the instructions
+// whose dependencies are satisfied, it greedily picks the one that
+// touches the most registers accessed within the last iw-1 scheduled
+// instructions (ties broken by original order, keeping the schedule
+// stable). Dependencies preserved:
+//
+//   - register RAW/WAW/WAR (including the implicit read of a predicated
+//     destination),
+//   - predicate RAW/WAW/WAR,
+//   - memory and barrier order: ld/st/atom/bar are kept in their
+//     original relative order (a conservative full memory fence),
+//   - control instructions terminate the block and never move.
+//
+// The program is rewritten in place. Branch targets are unaffected:
+// only interiors of basic blocks are permuted, block boundaries (and
+// thus label PCs) stay fixed because every block keeps its instruction
+// count and its terminator.
+func Reorder(prog *asm.Program, iw int) error {
+	cfg, err := BuildCFG(prog)
+	if err != nil {
+		return err
+	}
+	for bi := range cfg.Blocks {
+		b := &cfg.Blocks[bi]
+		reorderBlock(prog, b.Start, b.End, iw)
+	}
+	// PCs moved: refresh them and the branch targets they anchor.
+	// Block boundaries didn't move, and control instructions stayed at
+	// block ends, so Target values (block starts) remain valid; only the
+	// PC field of each instruction needs updating.
+	for pc := range prog.Code {
+		prog.Code[pc].PC = pc
+	}
+	return nil
+}
+
+// deps captures the per-instruction scheduling constraints inside one
+// block.
+type depNode struct {
+	idx      int // original position (within block)
+	in       *isa.Instruction
+	preds    []int // indices (within block) that must schedule first
+	npred    int   // outstanding predecessors
+	succs    []int
+	regsUsed []uint8 // registers this instruction touches (for affinity)
+}
+
+func reorderBlock(prog *asm.Program, start, end, iw int) {
+	n := end - start + 1
+	if n < 3 {
+		return
+	}
+	// The terminator (control instruction) must stay last; schedule the
+	// interior only.
+	interior := n
+	if prog.Code[end].IsControl() {
+		interior = n - 1
+	}
+	if interior < 3 {
+		return
+	}
+
+	nodes := make([]*depNode, interior)
+	for i := 0; i < interior; i++ {
+		in := &prog.Code[start+i]
+		nd := &depNode{idx: i, in: in}
+		var buf [isa.MaxSrcOperands]uint8
+		nd.regsUsed = append(nd.regsUsed, in.SrcRegs(buf[:0])...)
+		if d, ok := in.DstReg(); ok {
+			nd.regsUsed = append(nd.regsUsed, d)
+		}
+		nodes[i] = nd
+	}
+
+	addDep := func(from, to int) {
+		if from == to {
+			return
+		}
+		for _, p := range nodes[to].preds {
+			if p == from {
+				return
+			}
+		}
+		nodes[to].preds = append(nodes[to].preds, from)
+		nodes[to].npred++
+		nodes[from].succs = append(nodes[from].succs, to)
+	}
+
+	// Register and predicate dependencies.
+	lastWrite := map[uint8]int{}   // reg -> node index
+	lastReads := map[uint8][]int{} // reg -> node indices since last write
+	lastPredWrite := map[uint8]int{}
+	lastPredReads := map[uint8][]int{}
+	lastMem := -1
+
+	for i := 0; i < interior; i++ {
+		in := nodes[i].in
+		use, def := useDef(in)
+		for r := 0; r < 255; r++ {
+			reg := uint8(r)
+			if use.Has(reg) {
+				if w, ok := lastWrite[reg]; ok {
+					addDep(w, i) // RAW
+				}
+				lastReads[reg] = append(lastReads[reg], i)
+			}
+			if def.Has(reg) {
+				if w, ok := lastWrite[reg]; ok {
+					addDep(w, i) // WAW
+				}
+				for _, rd := range lastReads[reg] {
+					addDep(rd, i) // WAR
+				}
+				lastWrite[reg] = i
+				lastReads[reg] = nil
+			}
+		}
+		// Predicates: guard is a read; setp destination is a write;
+		// sel's predicate source is a read.
+		predReads := []uint8{}
+		if in.PredReg != isa.PredTrue {
+			predReads = append(predReads, in.PredReg)
+		}
+		for s := 0; s < in.NSrc; s++ {
+			if in.Srcs[s].Kind == isa.OpdPred && in.Srcs[s].Reg != isa.PredTrue {
+				predReads = append(predReads, in.Srcs[s].Reg)
+			}
+		}
+		for _, p := range predReads {
+			if w, ok := lastPredWrite[p]; ok {
+				addDep(w, i)
+			}
+			lastPredReads[p] = append(lastPredReads[p], i)
+		}
+		if in.HasDstPred && in.DstPred != isa.PredTrue {
+			p := in.DstPred
+			if w, ok := lastPredWrite[p]; ok {
+				addDep(w, i)
+			}
+			for _, rd := range lastPredReads[p] {
+				addDep(rd, i)
+			}
+			lastPredWrite[p] = i
+			lastPredReads[p] = nil
+		}
+		// Memory fence ordering.
+		if in.IsMem() || in.Op == isa.OpBar {
+			if lastMem >= 0 {
+				addDep(lastMem, i)
+			}
+			lastMem = i
+		}
+	}
+
+	// Greedy list scheduling with reuse affinity.
+	scheduled := make([]*isa.Instruction, 0, interior)
+	var recent []uint8 // registers touched by the last iw-1 picks
+	ready := []int{}
+	for i := 0; i < interior; i++ {
+		if nodes[i].npred == 0 {
+			ready = append(ready, i)
+		}
+	}
+	done := make([]bool, interior)
+	for len(scheduled) < interior {
+		best, bestScore := -1, -1
+		for _, c := range ready {
+			if done[c] {
+				continue
+			}
+			score := 0
+			for _, r := range nodes[c].regsUsed {
+				for _, rr := range recent {
+					if r == rr {
+						score++
+					}
+				}
+			}
+			// Stable tie-break: prefer original order.
+			if score > bestScore || (score == bestScore && best >= 0 && c < best) {
+				best, bestScore = c, score
+			}
+		}
+		if best < 0 {
+			// Should be impossible in a DAG; bail out leaving the block
+			// partially ordered rather than corrupting it.
+			return
+		}
+		done[best] = true
+		// Remove from ready, release successors.
+		nr := ready[:0]
+		for _, c := range ready {
+			if c != best && !done[c] {
+				nr = append(nr, c)
+			}
+		}
+		ready = nr
+		for _, s := range nodes[best].succs {
+			nodes[s].npred--
+			if nodes[s].npred == 0 {
+				ready = append(ready, s)
+			}
+		}
+		scheduled = append(scheduled, nodes[best].in)
+		recent = append(recent, nodes[best].regsUsed...)
+		// Keep only the registers of the last iw-1 instructions: track
+		// counts by trimming on instruction granularity.
+		if len(scheduled) >= iw {
+			// Rebuild from the last iw-1 scheduled instructions.
+			recent = recent[:0]
+			for k := len(scheduled) - (iw - 1); k < len(scheduled); k++ {
+				in := scheduled[k]
+				var buf [isa.MaxSrcOperands]uint8
+				recent = append(recent, in.SrcRegs(buf[:0])...)
+				if d, ok := in.DstReg(); ok {
+					recent = append(recent, d)
+				}
+			}
+		}
+	}
+
+	// Write the permutation back (copy values, not pointers, since the
+	// scheduled slice aliases prog.Code).
+	tmp := make([]isa.Instruction, interior)
+	for i, in := range scheduled {
+		tmp[i] = *in
+	}
+	for i := 0; i < interior; i++ {
+		prog.Code[start+i] = tmp[i]
+	}
+}

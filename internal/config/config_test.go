@@ -1,0 +1,77 @@
+package config
+
+import "testing"
+
+func TestTitanXPascal(t *testing.T) {
+	g := TitanXPascal()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	// Table II anchors.
+	if g.NumSMs != 56 || g.CoresPerSM != 128 || g.MaxWarpsPerSM != 32 ||
+		g.MaxThreads != 1024 || g.RegFileKBPerSM != 256 || g.MaxTBsPerSM != 16 {
+		t.Errorf("Table II values drifted: %+v", g)
+	}
+	if g.Scheduler != "gto" {
+		t.Errorf("scheduler = %q, want gto", g.Scheduler)
+	}
+}
+
+func TestSimDefault(t *testing.T) {
+	g := SimDefault()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("sim default invalid: %v", err)
+	}
+	if g.NumSMs >= TitanXPascal().NumSMs {
+		t.Error("sim default should scale down the SM count")
+	}
+	// Per-SM microarchitecture must be identical to the full chip.
+	full := TitanXPascal()
+	g.NumSMs = full.NumSMs
+	if g != full {
+		t.Error("SimDefault changed per-SM parameters, not just NumSMs")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []func(*GPU){
+		func(g *GPU) { g.NumSMs = 0 },
+		func(g *GPU) { g.MaxWarpsPerSM = 0 },
+		func(g *GPU) { g.MaxWarpsPerSM = 100 },
+		func(g *GPU) { g.NumSched = 3 }, // doesn't divide 32
+		func(g *GPU) { g.NumRFBanks = 0 },
+		func(g *GPU) { g.Scheduler = "fifo" },
+	}
+	for i, mutate := range bad {
+		g := TitanXPascal()
+		mutate(&g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad[%d] accepted: %+v", i, g)
+		}
+	}
+}
+
+func TestFig1Data(t *testing.T) {
+	data := Fig1Data()
+	if len(data) != 5 {
+		t.Fatalf("generations = %d, want 5", len(data))
+	}
+	// Register file share must grow monotonically (the paper's
+	// motivation).
+	for i := 1; i < len(data); i++ {
+		if data[i].RegFile <= data[i-1].RegFile {
+			t.Errorf("RF size not growing: %s -> %s", data[i-1].Generation, data[i].Generation)
+		}
+		if data[i].Year <= data[i-1].Year {
+			t.Errorf("years out of order")
+		}
+	}
+	// Pascal: 14 MB RF, >60% of on-chip storage (paper intro).
+	p := data[3]
+	if p.Generation != "PASCAL" || p.RegFile != 14.0 {
+		t.Errorf("Pascal row wrong: %+v", p)
+	}
+	if share := p.RegFile / (p.RegFile + p.L1Shared + p.L2); share < 0.6 {
+		t.Errorf("Pascal RF share = %.2f, paper says ~63%%", share)
+	}
+}

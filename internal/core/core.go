@@ -1,0 +1,537 @@
+// Package core implements the BOW mechanism itself: the per-warp
+// breathing operand window. The Engine tracks the register operands of
+// the last IW instructions of one warp, decides which reads can be
+// bypassed (served from the Bypassing Operand Collector instead of the
+// register-file banks), and which writes can be consolidated (never
+// written to the RF because a newer write inside the window supersedes
+// them, or because the compiler tagged the value transient).
+//
+// The engine is purely a bookkeeping/value structure with no notion of
+// cycles. The timing pipeline (internal/sm) drives it with three calls
+// per dynamic instruction:
+//
+//	plan := e.Advance(inst)        // at issue: slide window, plan reads
+//	e.FillFromRF(reg, val, plan)   // when an RF bank read completes
+//	e.Writeback(inst, reg, value)  // when the result is produced
+//
+// Trace-level analyses (Fig. 3, Table I) use Replay, which performs the
+// three steps back-to-back with no timing in between.
+package core
+
+import (
+	"fmt"
+
+	"bow/internal/isa"
+)
+
+// Value is one warp-wide register value (32 lanes × 32 bits).
+type Value [isa.WarpSize]uint32
+
+// Policy selects the write-back behaviour of the window (paper §IV).
+type Policy uint8
+
+// Policies.
+const (
+	// PolicyBaseline disables bypassing entirely: every read and write
+	// goes to the register file (conventional OCU behaviour).
+	PolicyBaseline Policy = iota
+	// PolicyWriteThrough is baseline BOW: reads are bypassed, but every
+	// result is written to both the BOC and the RF.
+	PolicyWriteThrough
+	// PolicyWriteBack is BOW-WR without compiler hints: results are
+	// written to the BOC only and reach the RF when the value slides out
+	// of the window un-superseded.
+	PolicyWriteBack
+	// PolicyCompilerHints is BOW-WR with the two-bit compiler hints
+	// steering each write to the RF, the BOC, or both.
+	PolicyCompilerHints
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyBaseline:
+		return "baseline"
+	case PolicyWriteThrough:
+		return "bow-wt"
+	case PolicyWriteBack:
+		return "bow-wb"
+	case PolicyCompilerHints:
+		return "bow-wr"
+	}
+	return fmt.Sprintf("Policy(%d)", uint8(p))
+}
+
+// Bypassing reports whether the policy uses the window at all.
+func (p Policy) Bypassing() bool { return p != PolicyBaseline }
+
+// WriteCause distinguishes why a register-file write was generated.
+type WriteCause uint8
+
+// Write causes.
+const (
+	// CauseWriteThrough: the write-through policy copies every result to
+	// the RF at writeback time.
+	CauseWriteThrough WriteCause = iota
+	// CauseWindowEvict: a dirty value slid out of the instruction window
+	// without being superseded.
+	CauseWindowEvict
+	// CauseCapacityEvict: the (down-sized) BOC ran out of entries and a
+	// dirty value was forced out early. This fires even for values the
+	// compiler tagged boc-only — correctness requires saving them.
+	CauseCapacityEvict
+	// CauseHintDirect: the compiler tagged the value rf-only, so it goes
+	// straight to the RF and never occupies a BOC entry.
+	CauseHintDirect
+)
+
+func (c WriteCause) String() string {
+	switch c {
+	case CauseWriteThrough:
+		return "write-through"
+	case CauseWindowEvict:
+		return "window-evict"
+	case CauseCapacityEvict:
+		return "capacity-evict"
+	case CauseHintDirect:
+		return "hint-direct"
+	}
+	return fmt.Sprintf("WriteCause(%d)", uint8(c))
+}
+
+// RFWriteSink receives the register-file writes the engine decides to
+// perform. The timing pipeline turns these into bank requests; trace
+// replays just count them.
+type RFWriteSink func(reg uint8, val Value, cause WriteCause)
+
+// Config parametrizes an Engine.
+type Config struct {
+	// IW is the instruction-window size (paper default 3).
+	IW int
+	// Capacity is the maximum number of live entries in the BOC
+	// (registers buffered). 0 means the conservative worst-case sizing
+	// of 4 entries per windowed instruction (4*IW). The down-sized design
+	// of §IV-C uses 2*IW.
+	Capacity int
+	// Policy selects the write-back behaviour.
+	Policy Policy
+	// ForwardThroughPort models a register-file-cache (RFC) comparator
+	// instead of BOW's forwarding network: values found in the buffer
+	// still pass through the collector's single port one per cycle, so
+	// energy improves but port serialization remains (paper §V-A,
+	// "Comparison to Register File Caching"). The timing pipeline reads
+	// this flag; the window engine itself is unaffected.
+	ForwardThroughPort bool
+	// NoExtend disables the paper's "Extended Instruction Window": a
+	// read hit no longer refreshes the value's residence, so a value is
+	// evicted IW instructions after it entered regardless of reuse.
+	// Ablation knob only (the paper's design always extends).
+	NoExtend bool
+	// BeyondWindow implements the paper's stated future work (§IV-C
+	// closing paragraph): bypassing is no longer cut off at the nominal
+	// window — values stay in the BOC until capacity evicts them. The
+	// nominal IW still bounds what the *compiler* may assume, so this
+	// knob is only safe with PolicyWriteThrough or PolicyWriteBack
+	// (Normalize rejects it with compiler hints: a boc-only tag derived
+	// from a fixed window is unsound when eviction timing changes).
+	BeyondWindow bool
+}
+
+// Normalize fills defaults and validates.
+func (c Config) Normalize() (Config, error) {
+	if c.Policy == PolicyBaseline {
+		return c, nil
+	}
+	if c.IW < 2 {
+		return c, fmt.Errorf("core: instruction window %d too small (min 2)", c.IW)
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 4 * c.IW
+	}
+	if c.Capacity < 1 {
+		return c, fmt.Errorf("core: capacity %d invalid", c.Capacity)
+	}
+	if c.BeyondWindow && c.Policy == PolicyCompilerHints {
+		return c, fmt.Errorf("core: BeyondWindow is unsound with compiler hints " +
+			"(transient tags assume the fixed nominal window)")
+	}
+	return c, nil
+}
+
+// entry is one buffered register value inside the window.
+type entry struct {
+	reg        uint8
+	val        Value
+	lastAccess int64 // sequence number of the most recent access
+	dirty      bool  // value newer than the RF copy
+	hint       isa.WritebackHint
+	cancelWB   bool // a newer write inside the window superseded this value
+	// pending marks an entry whose RF fill is still in flight: the slot
+	// is reserved and later readers forward from it (request merging),
+	// but the value is not yet architecturally valid.
+	pending bool
+}
+
+// Stats counts the engine's traffic. All counts are in warp-register
+// accesses (one access = one 128-byte warp-wide operand).
+type Stats struct {
+	Instructions int64 // dynamic instructions advanced through the window
+
+	RFReads      int64 // reads served by the register file
+	BypassedRead int64 // reads served by the BOC (forwarded)
+
+	RFWrites         int64 // writes that reached the register file
+	CoalescedWrites  int64 // dirty values superseded inside the window (write bypassed)
+	DroppedTransient int64 // dirty boc-only values discarded at window exit
+	FlushDropped     int64 // dirty values discarded when the warp exited
+	CapacityEvicts   int64 // early evictions forced by a full BOC
+
+	BOCReads  int64 // reads of BOC entries (forwards)
+	BOCWrites int64 // writes into BOC entries (fills + results)
+
+	// RFWritesByReg histograms RF writes per architectural register
+	// (used by the Table I reproduction).
+	RFWritesByReg [256]int64
+	// RFWriteCauses histograms writes by cause.
+	RFWriteCauses [4]int64
+}
+
+// Merge accumulates o into s (aggregation across warps and SMs).
+func (s *Stats) Merge(o *Stats) {
+	s.Instructions += o.Instructions
+	s.RFReads += o.RFReads
+	s.BypassedRead += o.BypassedRead
+	s.RFWrites += o.RFWrites
+	s.CoalescedWrites += o.CoalescedWrites
+	s.DroppedTransient += o.DroppedTransient
+	s.FlushDropped += o.FlushDropped
+	s.CapacityEvicts += o.CapacityEvicts
+	s.BOCReads += o.BOCReads
+	s.BOCWrites += o.BOCWrites
+	for i := range s.RFWritesByReg {
+		s.RFWritesByReg[i] += o.RFWritesByReg[i]
+	}
+	for i := range s.RFWriteCauses {
+		s.RFWriteCauses[i] += o.RFWriteCauses[i]
+	}
+}
+
+// TotalReads is all operand reads, bypassed or not.
+func (s *Stats) TotalReads() int64 { return s.RFReads + s.BypassedRead }
+
+// TotalWrites is all result writes, whether they reached the RF or not.
+func (s *Stats) TotalWrites() int64 {
+	return s.RFWrites + s.CoalescedWrites + s.DroppedTransient + s.FlushDropped
+}
+
+// ReadBypassFrac is the fraction of reads eliminated from the RF.
+func (s *Stats) ReadBypassFrac() float64 {
+	if t := s.TotalReads(); t > 0 {
+		return float64(s.BypassedRead) / float64(t)
+	}
+	return 0
+}
+
+// WriteBypassFrac is the fraction of writes eliminated from the RF.
+func (s *Stats) WriteBypassFrac() float64 {
+	if t := s.TotalWrites(); t > 0 {
+		return float64(t-s.RFWrites) / float64(t)
+	}
+	return 0
+}
+
+// Plan is the operand-collection plan returned by Advance: which source
+// operands were forwarded from the window and which must be fetched from
+// the register-file banks.
+type Plan struct {
+	Seq int64 // sequence number assigned to the instruction
+
+	// Bypassed operands: register number and forwarded value.
+	BypassedRegs [isa.MaxSrcOperands]uint8
+	Bypassed     [isa.MaxSrcOperands]Value
+	NBypassed    int
+
+	// NeedRF operands must be read from the banks.
+	NeedRF  [isa.MaxSrcOperands]uint8
+	NNeedRF int
+
+	// PendingRegs are operands whose bank read was already issued by an
+	// earlier in-flight instruction: no new bank request is needed — the
+	// caller wires the arriving fill to this instruction too (request
+	// merging in the collector).
+	PendingRegs  [isa.MaxSrcOperands]uint8
+	NPendingRegs int
+}
+
+// Engine is the breathing operand window of a single warp.
+type Engine struct {
+	cfg     Config
+	sink    RFWriteSink
+	seq     int64
+	entries map[uint8]*entry
+	stats   Stats
+}
+
+// NewEngine creates a window engine. sink must not be nil for bypassing
+// policies (baseline tolerates nil).
+func NewEngine(cfg Config, sink RFWriteSink) (*Engine, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Policy.Bypassing() && sink == nil {
+		return nil, fmt.Errorf("core: bypassing policy %v requires a write sink", cfg.Policy)
+	}
+	return &Engine{
+		cfg:     cfg,
+		sink:    sink,
+		entries: make(map[uint8]*entry, cfg.Capacity+1),
+	}, nil
+}
+
+// Config returns the engine's normalized configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Occupancy returns the number of live BOC entries (for Fig. 9).
+func (e *Engine) Occupancy() int { return len(e.entries) }
+
+// Lookup returns the buffered value of reg, if present. Used by the
+// functional executor to obtain the *effective* architectural value
+// (window copy is always newer than the RF copy when dirty). Pending
+// entries hold no valid value yet and do not count.
+func (e *Engine) Lookup(reg uint8) (Value, bool) {
+	if en, ok := e.entries[reg]; ok && !en.pending {
+		return en.val, true
+	}
+	return Value{}, false
+}
+
+// Advance slides the window over the next dynamic instruction of the
+// warp: values that fall out of the window are evicted (writing dirty
+// survivors to the RF through the sink), the instruction's source
+// operands are looked up for forwarding, and a pending older write to
+// the same destination is consolidated.
+func (e *Engine) Advance(in *isa.Instruction) Plan {
+	e.seq++
+	e.stats.Instructions++
+	p := Plan{Seq: e.seq}
+
+	if !e.cfg.Policy.Bypassing() {
+		regs, n := in.UniqueSrcRegs()
+		for i := 0; i < n; i++ {
+			p.NeedRF[p.NNeedRF] = regs[i]
+			p.NNeedRF++
+			e.stats.RFReads++
+		}
+		return p
+	}
+
+	// 1. Window slide: evict entries whose last access is IW or more
+	// instructions behind.
+	e.evictExpired()
+
+	// 2. Source operand lookup. A hit on a pending entry forwards from
+	// the in-flight fill (request merging): no extra bank read, but the
+	// value arrives with the fill rather than immediately.
+	regs, n := in.UniqueSrcRegs()
+	for i := 0; i < n; i++ {
+		r := regs[i]
+		if en, ok := e.entries[r]; ok {
+			if !e.cfg.NoExtend {
+				en.lastAccess = e.seq
+			}
+			if en.pending {
+				p.PendingRegs[p.NPendingRegs] = r
+				p.NPendingRegs++
+			} else {
+				p.BypassedRegs[p.NBypassed] = r
+				p.Bypassed[p.NBypassed] = en.val
+				p.NBypassed++
+			}
+			e.stats.BypassedRead++
+			e.stats.BOCReads++
+		} else {
+			p.NeedRF[p.NNeedRF] = r
+			p.NNeedRF++
+			e.stats.RFReads++
+			// Reserve the slot so later in-flight readers merge into this
+			// fill instead of issuing their own bank read.
+			e.entries[r] = &entry{reg: r, lastAccess: e.seq, pending: true}
+			e.stats.BOCWrites++
+			e.enforceCapacity()
+		}
+	}
+
+	// 3. Destination consolidation: a pending dirty value of the same
+	// register is superseded by this instruction (the paper's write
+	// bypass). The entry's value stays valid until the new result
+	// arrives, but its RF write-back is cancelled now.
+	if d, ok := in.DstReg(); ok {
+		if en, ok := e.entries[d]; ok && !en.cancelWB {
+			if en.dirty {
+				e.stats.CoalescedWrites++
+			}
+			en.cancelWB = true
+		}
+	}
+	return p
+}
+
+// evictExpired removes entries that slid out of the instruction window.
+// With BeyondWindow, the nominal window never expires values — only
+// capacity pressure does (the paper's stated future work).
+func (e *Engine) evictExpired() {
+	if e.cfg.BeyondWindow {
+		return
+	}
+	for r, en := range e.entries {
+		if e.seq-en.lastAccess >= int64(e.cfg.IW) {
+			e.evict(r, en, false)
+		}
+	}
+}
+
+// evict removes one entry, writing it back to the RF when required.
+// capacity marks a forced early eviction (full BOC).
+func (e *Engine) evict(r uint8, en *entry, capacity bool) {
+	delete(e.entries, r)
+	if !en.dirty || en.cancelWB {
+		return
+	}
+	if capacity {
+		// Early eviction must preserve the value even if the compiler
+		// tagged it boc-only: its remaining reuses haven't happened yet.
+		e.emitRF(r, en.val, CauseCapacityEvict)
+		e.stats.CapacityEvicts++
+		return
+	}
+	if e.cfg.Policy == PolicyCompilerHints && en.hint == isa.WBCollectorOnly {
+		// Transient value: dead beyond the window, never touches the RF.
+		e.stats.DroppedTransient++
+		return
+	}
+	e.emitRF(r, en.val, CauseWindowEvict)
+}
+
+func (e *Engine) emitRF(r uint8, v Value, cause WriteCause) {
+	e.stats.RFWrites++
+	e.stats.RFWritesByReg[r]++
+	e.stats.RFWriteCauses[cause]++
+	if e.sink != nil {
+		e.sink(r, v, cause)
+	}
+}
+
+// FillFromRF records that an RF bank read for the plan's instruction
+// delivered reg's value, completing the pending slot Advance reserved.
+// If the slot was already evicted (window slide or capacity) the fill
+// is dropped — its waiting readers receive the value through the
+// caller's own plumbing, and re-inserting here would resurrect a value
+// the window semantics already aged out.
+func (e *Engine) FillFromRF(reg uint8, val Value, seq int64) {
+	if !e.cfg.Policy.Bypassing() {
+		return
+	}
+	if en, ok := e.entries[reg]; ok {
+		if en.pending {
+			en.val = val
+			en.pending = false
+		}
+		if seq > en.lastAccess {
+			en.lastAccess = seq
+		}
+	}
+}
+
+// Writeback delivers the result of the instruction issued at seq. The
+// caller passes the full warp-wide merged value (predication merges are
+// the functional executor's job). Returns true when the value was
+// buffered in the BOC.
+func (e *Engine) Writeback(reg uint8, val Value, hint isa.WritebackHint, seq int64) bool {
+	switch e.cfg.Policy {
+	case PolicyBaseline:
+		e.emitRF(reg, val, CauseWriteThrough)
+		return false
+	case PolicyWriteThrough:
+		e.emitRF(reg, val, CauseWriteThrough)
+		e.install(reg, val, false, isa.WBBoth, seq)
+		return true
+	case PolicyWriteBack:
+		e.install(reg, val, true, isa.WBBoth, seq)
+		return true
+	case PolicyCompilerHints:
+		if hint == isa.WBRegfileOnly {
+			// Straight to the RF; drop any stale window copy (its pending
+			// write was already cancelled by Advance's consolidation).
+			delete(e.entries, reg)
+			e.emitRF(reg, val, CauseHintDirect)
+			return false
+		}
+		e.install(reg, val, true, hint, seq)
+		return true
+	}
+	return false
+}
+
+// install creates or refreshes the window entry for reg.
+func (e *Engine) install(reg uint8, val Value, dirty bool, hint isa.WritebackHint, seq int64) {
+	if en, ok := e.entries[reg]; ok {
+		en.val = val
+		en.dirty = dirty
+		en.hint = hint
+		en.cancelWB = false
+		en.pending = false
+		if seq > en.lastAccess {
+			en.lastAccess = seq
+		}
+		e.stats.BOCWrites++
+		return
+	}
+	e.entries[reg] = &entry{reg: reg, val: val, lastAccess: seq, dirty: dirty, hint: hint}
+	e.stats.BOCWrites++
+	e.enforceCapacity()
+}
+
+// enforceCapacity evicts oldest-accessed entries until the BOC fits its
+// physical entry budget (FIFO on last access, per §IV-C).
+func (e *Engine) enforceCapacity() {
+	for len(e.entries) > e.cfg.Capacity {
+		var victim *entry
+		var vreg uint8
+		for r, en := range e.entries {
+			if victim == nil || en.lastAccess < victim.lastAccess ||
+				(en.lastAccess == victim.lastAccess && r < vreg) {
+				victim = en
+				vreg = r
+			}
+		}
+		e.evict(vreg, victim, true)
+	}
+}
+
+// Flush ends the warp: remaining window contents are discarded. The
+// register context dies with the kernel, so dirty values need not reach
+// the RF; callers needing the final architectural state use Lookup
+// before flushing.
+func (e *Engine) Flush() {
+	for r, en := range e.entries {
+		if en.dirty && !en.cancelWB {
+			e.stats.FlushDropped++
+		}
+		delete(e.entries, r)
+	}
+}
+
+// DrainToRF force-writes every dirty, un-superseded value to the RF and
+// empties the window. Used when precise RF state is required mid-kernel
+// (not at exit).
+func (e *Engine) DrainToRF() {
+	for r, en := range e.entries {
+		delete(e.entries, r)
+		if en.dirty && !en.cancelWB {
+			e.emitRF(r, en.val, CauseWindowEvict)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import "bow/internal/isa"
+
+// Replay drives an Engine over a dynamic instruction stream with no
+// timing model in between: every RF read completes immediately and every
+// result writes back immediately. It is the measurement harness behind
+// the paper's trace-level characterizations (Fig. 3 bypass opportunity
+// curves, Table I write counts).
+//
+// The stream is the warp's dynamic instruction sequence (loops already
+// unrolled by execution or by the caller). Values are irrelevant for
+// counting, so zeroes flow through.
+func Replay(stream []*isa.Instruction, cfg Config) (Stats, error) {
+	eng, err := NewEngine(cfg, func(uint8, Value, WriteCause) {})
+	if err != nil {
+		return Stats{}, err
+	}
+	for _, in := range stream {
+		plan := eng.Advance(in)
+		for i := 0; i < plan.NNeedRF; i++ {
+			eng.FillFromRF(plan.NeedRF[i], Value{}, plan.Seq)
+		}
+		if d, ok := in.DstReg(); ok {
+			eng.Writeback(d, Value{}, in.WBHint, plan.Seq)
+		}
+	}
+	eng.Flush()
+	return eng.Stats(), nil
+}
+
+// ReplayOccupancy is Replay that additionally samples the window
+// occupancy (live BOC entries) after every instruction, returning the
+// histogram occupancy -> instruction count. This feeds the Fig. 9
+// reproduction.
+func ReplayOccupancy(stream []*isa.Instruction, cfg Config) (Stats, map[int]int64, error) {
+	eng, err := NewEngine(cfg, func(uint8, Value, WriteCause) {})
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	occ := make(map[int]int64)
+	for _, in := range stream {
+		plan := eng.Advance(in)
+		for i := 0; i < plan.NNeedRF; i++ {
+			eng.FillFromRF(plan.NeedRF[i], Value{}, plan.Seq)
+		}
+		if d, ok := in.DstReg(); ok {
+			eng.Writeback(d, Value{}, in.WBHint, plan.Seq)
+		}
+		occ[eng.Occupancy()]++
+	}
+	eng.Flush()
+	return eng.Stats(), occ, nil
+}

@@ -1,0 +1,83 @@
+// Package energy implements the dynamic-energy accounting model of the
+// BOW paper's evaluation (§V, Fig. 13 and Table IV). Per-access energies
+// come from the paper's CACTI 7.0 numbers at 28 nm; dynamic energy is
+// access counts × per-access energy, exactly how the paper's normalized
+// results are computed.
+package energy
+
+import "fmt"
+
+// Per-access and leakage constants (paper Table IV, 28 nm, 0.96 V).
+const (
+	// RFAccessPJ is the energy of one 128-byte warp-register access to a
+	// register bank.
+	RFAccessPJ = 185.26
+	// BOCAccessPJ is the energy of one access to a bypassing operand
+	// collector entry.
+	BOCAccessPJ = 2.72
+	// NetworkPJ approximates the per-access cost of the modified operand
+	// delivery network (crossbar + bus arbiters; the paper reports 33.2 mW
+	// for the redesigned BOC network at 1 GHz with 50% write duty, which
+	// amortizes to roughly this per access).
+	NetworkPJ = 2.08
+
+	// RFBankLeakageMW is the leakage power of one 64 KB register bank.
+	RFBankLeakageMW = 111.84
+	// BOCLeakageMW is the leakage power of one 1.5 KB BOC.
+	BOCLeakageMW = 1.11
+)
+
+// Counts are the access tallies an experiment feeds the model.
+type Counts struct {
+	RFReads   int64
+	RFWrites  int64
+	BOCReads  int64
+	BOCWrites int64
+}
+
+// Add accumulates.
+func (c *Counts) Add(o Counts) {
+	c.RFReads += o.RFReads
+	c.RFWrites += o.RFWrites
+	c.BOCReads += o.BOCReads
+	c.BOCWrites += o.BOCWrites
+}
+
+// Report is the dynamic-energy breakdown of one run.
+type Report struct {
+	RFDynamicPJ  float64 // energy spent in the register banks
+	BOCDynamicPJ float64 // energy spent in the BOC structures (overhead)
+	NetworkPJ    float64 // energy spent in the modified interconnect (overhead)
+}
+
+// TotalPJ is RF + overheads.
+func (r Report) TotalPJ() float64 { return r.RFDynamicPJ + r.BOCDynamicPJ + r.NetworkPJ }
+
+// OverheadPJ is the energy added by the BOW structures.
+func (r Report) OverheadPJ() float64 { return r.BOCDynamicPJ + r.NetworkPJ }
+
+// Compute turns access counts into a Report.
+func Compute(c Counts) Report {
+	bocAcc := float64(c.BOCReads + c.BOCWrites)
+	return Report{
+		RFDynamicPJ:  float64(c.RFReads+c.RFWrites) * RFAccessPJ,
+		BOCDynamicPJ: bocAcc * BOCAccessPJ,
+		NetworkPJ:    bocAcc * NetworkPJ,
+	}
+}
+
+// Normalized expresses a run's energy relative to a baseline run's RF
+// dynamic energy (the paper's Fig. 13 normalization): the first return
+// is the RF component, the second the overhead component; their sum is
+// the bar height.
+func Normalized(run, baseline Report) (rfFrac, overheadFrac float64, err error) {
+	if baseline.RFDynamicPJ <= 0 {
+		return 0, 0, fmt.Errorf("energy: baseline RF energy is zero")
+	}
+	return run.RFDynamicPJ / baseline.RFDynamicPJ,
+		run.OverheadPJ() / baseline.RFDynamicPJ, nil
+}
+
+// BOCStorageBytes returns the per-SM BOC storage of a configuration:
+// numBOCs collectors × entries × 128 B.
+func BOCStorageBytes(numBOCs, entries int) int { return numBOCs * entries * 128 }

@@ -1,0 +1,63 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCompute(t *testing.T) {
+	rep := Compute(Counts{RFReads: 10, RFWrites: 5, BOCReads: 7, BOCWrites: 3})
+	wantRF := 15 * RFAccessPJ
+	if math.Abs(rep.RFDynamicPJ-wantRF) > 1e-9 {
+		t.Errorf("RF = %v, want %v", rep.RFDynamicPJ, wantRF)
+	}
+	wantBOC := 10 * BOCAccessPJ
+	if math.Abs(rep.BOCDynamicPJ-wantBOC) > 1e-9 {
+		t.Errorf("BOC = %v, want %v", rep.BOCDynamicPJ, wantBOC)
+	}
+	if rep.TotalPJ() != rep.RFDynamicPJ+rep.OverheadPJ() {
+		t.Error("total != rf + overhead")
+	}
+}
+
+func TestCountsAdd(t *testing.T) {
+	a := Counts{RFReads: 1, RFWrites: 2, BOCReads: 3, BOCWrites: 4}
+	a.Add(Counts{RFReads: 10, RFWrites: 20, BOCReads: 30, BOCWrites: 40})
+	if a.RFReads != 11 || a.RFWrites != 22 || a.BOCReads != 33 || a.BOCWrites != 44 {
+		t.Errorf("Add wrong: %+v", a)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	base := Compute(Counts{RFReads: 100, RFWrites: 100})
+	run := Compute(Counts{RFReads: 50, RFWrites: 50, BOCReads: 100, BOCWrites: 100})
+	rf, ovh, err := Normalized(run, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rf-0.5) > 1e-9 {
+		t.Errorf("rf frac = %v, want 0.5", rf)
+	}
+	if ovh <= 0 || ovh > 0.1 {
+		t.Errorf("overhead frac = %v, want small positive", ovh)
+	}
+	if _, _, err := Normalized(run, Report{}); err == nil {
+		t.Error("zero baseline accepted")
+	}
+}
+
+// The paper's Table IV ratio: a BOC access must cost about 1.5% of a
+// bank access — that asymmetry is the whole energy argument.
+func TestAccessEnergyRatio(t *testing.T) {
+	ratio := BOCAccessPJ / RFAccessPJ
+	if ratio > 0.02 {
+		t.Errorf("BOC/RF access energy ratio = %.4f, must stay << 1", ratio)
+	}
+}
+
+func TestBOCStorageBytes(t *testing.T) {
+	// 32 BOCs of 12 entries = 48 KB raw storage.
+	if got := BOCStorageBytes(32, 12); got != 48*1024 {
+		t.Errorf("storage = %d, want 48KB", got)
+	}
+}

@@ -1,0 +1,98 @@
+package exec
+
+import (
+	"bow/internal/isa"
+)
+
+// PipeConfig sizes the functional-unit pipelines of one SM.
+type PipeConfig struct {
+	ALULatency int
+	FPULatency int
+	SFULatency int
+	NumALU     int // warp instructions accepted per cycle
+	NumFPU     int
+	NumSFU     int
+	NumLSU     int // memory instructions accepted per cycle
+	NumCtrl    int // branch/control unit slots per cycle
+}
+
+// DefaultPipeConfig matches the Pascal SM: 4 warp-wide ALU and FPU
+// pipes, one SFU quad, one LSU port, and a dedicated branch unit.
+func DefaultPipeConfig() PipeConfig {
+	return PipeConfig{
+		ALULatency: 4, FPULatency: 4, SFULatency: 16,
+		NumALU: 4, NumFPU: 4, NumSFU: 1, NumLSU: 1, NumCtrl: 4,
+	}
+}
+
+// Pipes tracks per-cycle issue slots of the functional units. Latency is
+// applied by the SM's event queue; Pipes only answers "can another warp
+// instruction of this class start this cycle?".
+type Pipes struct {
+	cfg   PipeConfig
+	cycle int64
+	used  [5]int // slots consumed this cycle per class (alu/fpu/sfu/mem/ctrl)
+}
+
+// NewPipes creates the issue-slot tracker.
+func NewPipes(cfg PipeConfig) *Pipes {
+	return &Pipes{cfg: cfg}
+}
+
+func classIndex(c isa.FUClass) int {
+	switch c {
+	case isa.FUAlu:
+		return 0
+	case isa.FUFpu:
+		return 1
+	case isa.FUSfu:
+		return 2
+	case isa.FUMem:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// NewCycle resets the per-cycle slot counters.
+func (p *Pipes) NewCycle(cycle int64) {
+	p.cycle = cycle
+	p.used = [5]int{}
+}
+
+// TryIssue consumes an issue slot for the class if one is free this
+// cycle.
+func (p *Pipes) TryIssue(c isa.FUClass) bool {
+	idx := classIndex(c)
+	var cap int
+	switch idx {
+	case 0:
+		cap = p.cfg.NumALU
+	case 1:
+		cap = p.cfg.NumFPU
+	case 2:
+		cap = p.cfg.NumSFU
+	case 3:
+		cap = p.cfg.NumLSU
+	default:
+		cap = p.cfg.NumCtrl
+	}
+	if p.used[idx] >= cap {
+		return false
+	}
+	p.used[idx]++
+	return true
+}
+
+// Latency returns the execution latency of the class (memory latency is
+// computed by the cache hierarchy instead).
+func (p *Pipes) Latency(c isa.FUClass) int {
+	switch classIndex(c) {
+	case 1:
+		return p.cfg.FPULatency
+	case 2:
+		return p.cfg.SFULatency
+	default:
+		return p.cfg.ALULatency
+	}
+}

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bow/internal/core"
+	"bow/internal/isa"
+	"bow/internal/stats"
+)
+
+// Fig3Result holds the bypass-opportunity characterization: the fraction
+// of register-file read and write requests eliminated per benchmark as a
+// function of the instruction-window size (paper Fig. 3).
+type Fig3Result struct {
+	Windows    []int
+	Benchmarks []string
+	ReadFrac   map[string][]float64 // benchmark -> per-window fraction
+	WriteFrac  map[string][]float64
+	MeanRead   []float64 // per window
+	MeanWrite  []float64
+}
+
+// Fig3 measures read/write bypass opportunity over IW 2..7. Reads are
+// eliminated whenever the operand is found in the window; writes are
+// eliminated when a newer write supersedes the value inside the window
+// *or* the value is transient (its lifetime ends inside the window, so
+// it never needs an RF allocation — the dominant term in the paper's
+// bottom panel). Both are captured by the compiler-hints configuration.
+func Fig3(r *Runner) (*Fig3Result, error) {
+	res := &Fig3Result{
+		Windows:   []int{2, 3, 4, 5, 6, 7},
+		ReadFrac:  map[string][]float64{},
+		WriteFrac: map[string][]float64{},
+	}
+	res.MeanRead = make([]float64, len(res.Windows))
+	res.MeanWrite = make([]float64, len(res.Windows))
+	for _, b := range Suite() {
+		res.Benchmarks = append(res.Benchmarks, b.Name)
+		for wi, iw := range res.Windows {
+			// Reads: the pure locality characterization, measured on the
+			// write-back window (every result enters the BOC, so every
+			// forwarding opportunity is visible).
+			rb, err := r.Run(b, core.Config{IW: iw, Policy: core.PolicyWriteBack})
+			if err != nil {
+				return nil, err
+			}
+			// Writes: eliminated = consolidated inside the window plus
+			// transient (lifetime ends in-window), which the hints
+			// configuration exposes.
+			out, err := r.Run(b, core.Config{IW: iw, Policy: core.PolicyCompilerHints})
+			if err != nil {
+				return nil, err
+			}
+			rf := rb.Engine.ReadBypassFrac()
+			wf := out.Engine.WriteBypassFrac()
+			res.ReadFrac[b.Name] = append(res.ReadFrac[b.Name], rf)
+			res.WriteFrac[b.Name] = append(res.WriteFrac[b.Name], wf)
+			res.MeanRead[wi] += rf / float64(len(Suite()))
+			res.MeanWrite[wi] += wf / float64(len(Suite()))
+		}
+	}
+	return res, nil
+}
+
+// Render formats the two panels of Fig. 3.
+func (f *Fig3Result) Render() string {
+	var sb strings.Builder
+	for _, panel := range []struct {
+		title string
+		data  map[string][]float64
+		mean  []float64
+	}{
+		{"Eliminated READ requests through operand bypassing", f.ReadFrac, f.MeanRead},
+		{"Eliminated WRITE requests through operand bypassing", f.WriteFrac, f.MeanWrite},
+	} {
+		sb.WriteString(panel.title + "\n")
+		hdr := []string{"benchmark"}
+		for _, iw := range f.Windows {
+			hdr = append(hdr, fmt.Sprintf("IW%d", iw))
+		}
+		t := stats.NewTable(hdr...)
+		for _, b := range f.Benchmarks {
+			row := []string{b}
+			for i := range f.Windows {
+				row = append(row, stats.Pct(panel.data[b][i]))
+			}
+			t.AddRow(row...)
+		}
+		mrow := []string{"MEAN"}
+		for i := range f.Windows {
+			mrow = append(mrow, stats.Pct(panel.mean[i]))
+		}
+		t.AddRow(mrow...)
+		sb.WriteString(t.String() + "\n")
+	}
+	return sb.String()
+}
+
+// Fig4Result is the operand-collection-stage residency breakdown of the
+// baseline pipeline (paper Fig. 4).
+type Fig4Result struct {
+	Benchmarks []string
+	NonMem     map[string]float64
+	Mem        map[string]float64
+	Overall    map[string]float64
+	MeanOvr    float64
+}
+
+// Fig4 measures the share of instruction lifetime spent in the operand
+// collectors on the unmodified (baseline) pipeline.
+func Fig4(r *Runner) (*Fig4Result, error) {
+	res := &Fig4Result{
+		NonMem:  map[string]float64{},
+		Mem:     map[string]float64{},
+		Overall: map[string]float64{},
+	}
+	for _, b := range Suite() {
+		out, err := r.Baseline(b)
+		if err != nil {
+			return nil, err
+		}
+		res.Benchmarks = append(res.Benchmarks, b.Name)
+		res.NonMem[b.Name] = out.Stats.NonMemOCShare()
+		res.Mem[b.Name] = out.Stats.MemOCShare()
+		res.Overall[b.Name] = out.Stats.OCShare()
+		res.MeanOvr += out.Stats.OCShare() / float64(len(Suite()))
+	}
+	return res, nil
+}
+
+// Render formats Fig. 4.
+func (f *Fig4Result) Render() string {
+	t := stats.NewTable("benchmark", "non-memory", "memory", "overall")
+	for _, b := range f.Benchmarks {
+		t.AddRow(b, stats.Pct(f.NonMem[b]), stats.Pct(f.Mem[b]), stats.Pct(f.Overall[b]))
+	}
+	t.AddRow("MEAN", "", "", stats.Pct(f.MeanOvr))
+	return "Time in operand-collection stage (baseline)\n" + t.String()
+}
+
+// Fig7Result is the dynamic distribution of write destinations under
+// BOW-WR with compiler hints (paper Fig. 7).
+type Fig7Result struct {
+	Benchmarks []string
+	RFOnly     map[string]float64
+	Both       map[string]float64
+	BOCOnly    map[string]float64
+	MeanRF     float64
+	MeanBoth   float64
+	MeanBOC    float64
+}
+
+// Fig7 measures where results are steered by the two-bit hints at IW 3.
+func Fig7(r *Runner) (*Fig7Result, error) {
+	res := &Fig7Result{
+		RFOnly:  map[string]float64{},
+		Both:    map[string]float64{},
+		BOCOnly: map[string]float64{},
+	}
+	for _, b := range Suite() {
+		out, err := r.Run(b, core.Config{IW: 3, Policy: core.PolicyCompilerHints})
+		if err != nil {
+			return nil, err
+		}
+		var tot int64
+		for _, c := range out.Stats.WritebacksByHint {
+			tot += c
+		}
+		if tot == 0 {
+			tot = 1
+		}
+		rf := float64(out.Stats.WritebacksByHint[isa.WBRegfileOnly]) / float64(tot)
+		both := float64(out.Stats.WritebacksByHint[isa.WBBoth]) / float64(tot)
+		boc := float64(out.Stats.WritebacksByHint[isa.WBCollectorOnly]) / float64(tot)
+		res.Benchmarks = append(res.Benchmarks, b.Name)
+		res.RFOnly[b.Name] = rf
+		res.Both[b.Name] = both
+		res.BOCOnly[b.Name] = boc
+		res.MeanRF += rf / float64(len(Suite()))
+		res.MeanBoth += both / float64(len(Suite()))
+		res.MeanBOC += boc / float64(len(Suite()))
+	}
+	return res, nil
+}
+
+// Render formats Fig. 7.
+func (f *Fig7Result) Render() string {
+	t := stats.NewTable("benchmark", "rf-only", "boc-then-rf", "boc-only (transient)")
+	for _, b := range f.Benchmarks {
+		t.AddRow(b, stats.Pct(f.RFOnly[b]), stats.Pct(f.Both[b]), stats.Pct(f.BOCOnly[b]))
+	}
+	t.AddRow("MEAN", stats.Pct(f.MeanRF), stats.Pct(f.MeanBoth), stats.Pct(f.MeanBOC))
+	return "Distribution of write destinations in BOW-WR (IW 3)\n" + t.String()
+}
+
+// Fig8Result is the operand-count histogram of issued instructions
+// (paper Fig. 8): how many register source operands each instruction
+// actually collects.
+type Fig8Result struct {
+	Benchmarks []string
+	Frac       map[string][4]float64 // 0..3 source registers
+	Mean       [4]float64
+}
+
+// Fig8 measures collector occupancy demand on the baseline run.
+func Fig8(r *Runner) (*Fig8Result, error) {
+	res := &Fig8Result{Frac: map[string][4]float64{}}
+	for _, b := range Suite() {
+		out, err := r.Baseline(b)
+		if err != nil {
+			return nil, err
+		}
+		var f [4]float64
+		for k := 0; k <= 3; k++ {
+			f[k] = out.Stats.SrcOperands.Frac(k)
+			res.Mean[k] += f[k] / float64(len(Suite()))
+		}
+		res.Benchmarks = append(res.Benchmarks, b.Name)
+		res.Frac[b.Name] = f
+	}
+	return res, nil
+}
+
+// Render formats Fig. 8.
+func (f *Fig8Result) Render() string {
+	t := stats.NewTable("benchmark", "0 srcs", "1 src", "2 srcs", "3 srcs")
+	for _, b := range f.Benchmarks {
+		fr := f.Frac[b]
+		t.AddRow(b, stats.Pct(fr[0]), stats.Pct(fr[1]), stats.Pct(fr[2]), stats.Pct(fr[3]))
+	}
+	t.AddRow("MEAN", stats.Pct(f.Mean[0]), stats.Pct(f.Mean[1]), stats.Pct(f.Mean[2]), stats.Pct(f.Mean[3]))
+	return "Operand-collector occupancy: register source operands per instruction\n" + t.String()
+}
+
+// Fig9Result is the BOC entry-occupancy distribution at IW 3 with the
+// conservative 12-entry sizing (paper Fig. 9).
+type Fig9Result struct {
+	Benchmarks []string
+	// FracAtMost6 is the fraction of warp-cycles using at most half the
+	// entries; FracOver6 the rest. Histo keeps the full distribution.
+	FracAtMost6 map[string]float64
+	MeanAtMost6 float64
+	Histo       map[string]map[int]float64
+}
+
+// Fig9 samples window occupancy per active warp-cycle under BOW-WR.
+func Fig9(r *Runner) (*Fig9Result, error) {
+	res := &Fig9Result{
+		FracAtMost6: map[string]float64{},
+		Histo:       map[string]map[int]float64{},
+	}
+	for _, b := range Suite() {
+		out, err := r.Run(b, core.Config{IW: 3, Capacity: 12, Policy: core.PolicyCompilerHints})
+		if err != nil {
+			return nil, err
+		}
+		h := out.Stats.OccupancyBOC
+		atMost6 := 1 - h.FracAtLeast(7)
+		res.Benchmarks = append(res.Benchmarks, b.Name)
+		res.FracAtMost6[b.Name] = atMost6
+		res.MeanAtMost6 += atMost6 / float64(len(Suite()))
+		dist := map[int]float64{}
+		for _, k := range h.Keys() {
+			dist[k] = h.Frac(k)
+		}
+		res.Histo[b.Name] = dist
+	}
+	return res, nil
+}
+
+// Render formats Fig. 9.
+func (f *Fig9Result) Render() string {
+	t := stats.NewTable("benchmark", "<=2", "3", "4", "5", "6", ">=7")
+	for _, b := range f.Benchmarks {
+		d := f.Histo[b]
+		le2 := d[0] + d[1] + d[2]
+		var ge7 float64
+		for k, v := range d {
+			if k >= 7 {
+				ge7 += v
+			}
+		}
+		t.AddRow(b, stats.Pct(le2), stats.Pct(d[3]), stats.Pct(d[4]),
+			stats.Pct(d[5]), stats.Pct(d[6]), stats.Pct(ge7))
+	}
+	return fmt.Sprintf("BOC occupancy at IW 3 (12-entry BOC); mean %.1f%% of cycles need at most half the entries\n",
+		100*f.MeanAtMost6) + t.String()
+}

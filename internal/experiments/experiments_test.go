@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"bow/internal/asm"
+	"bow/internal/core"
+	"bow/internal/workloads"
+)
+
+// TestTableIExact is the repository's flagship assertion: Table I must
+// reproduce the paper's 10/5/2 exactly, per register.
+func TestTableIExact(t *testing.T) {
+	res, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, wb, hints := res.Totals()
+	if wt != 10 || wb != 5 || hints != 2 {
+		t.Fatalf("Table I totals %d/%d/%d, want 10/5/2", wt, wb, hints)
+	}
+	wantWT := map[int]int64{0: 3, 1: 4, 2: 2, 3: 1}
+	wantWB := map[int]int64{0: 1, 1: 2, 2: 1, 3: 1}
+	wantWR := map[int]int64{0: 0, 1: 1, 2: 0, 3: 1}
+	for _, r := range res.Regs {
+		if res.WT[r] != wantWT[r] || res.WB[r] != wantWB[r] || res.Hints[r] != wantWR[r] {
+			t.Errorf("r%d = %d/%d/%d, want %d/%d/%d", r,
+				res.WT[r], res.WB[r], res.Hints[r], wantWT[r], wantWB[r], wantWR[r])
+		}
+	}
+	if !strings.Contains(res.Render(), "Total") {
+		t.Error("render missing totals row")
+	}
+}
+
+// TestRunnerCache: identical runs must be memoized.
+func TestRunnerCache(t *testing.T) {
+	r := NewRunner()
+	b, err := workloads.ByName("VECTORADD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := r.Run(b, core.Config{IW: 3, Policy: core.PolicyWriteBack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.Run(b, core.Config{IW: 3, Policy: core.PolicyWriteBack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("identical run not served from cache")
+	}
+	other, err := r.Run(b, core.Config{IW: 4, Policy: core.PolicyWriteBack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == first {
+		t.Error("different config wrongly cached")
+	}
+}
+
+// TestStaticRenders: the static artifacts must produce non-empty,
+// well-formed tables.
+func TestStaticRenders(t *testing.T) {
+	for name, s := range map[string]string{
+		"fig1":   Fig1(),
+		"table2": TableII(),
+		"table3": TableIII(),
+		"table4": TableIV(),
+	} {
+		if len(s) < 100 || !strings.Contains(s, "\n") {
+			t.Errorf("%s render suspiciously small:\n%s", name, s)
+		}
+	}
+	if !strings.Contains(TableIII(), "BTREE") || !strings.Contains(TableIII(), "Parboil") {
+		t.Error("Table III missing expected rows")
+	}
+	if !strings.Contains(TableIV(), "185.26") {
+		t.Error("Table IV missing the paper's bank access energy")
+	}
+}
+
+// TestFig3Shape runs the characterization and asserts the paper's
+// qualitative claims: elimination grows with the window, the IW3 means
+// sit in a plausible band, and reads at IW7 exceed 70%-ish territory.
+func TestFig3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite sweep")
+	}
+	r := NewRunner()
+	f, err := Fig3(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 15 {
+		t.Fatalf("benchmarks = %d", len(f.Benchmarks))
+	}
+	for wi := 1; wi < len(f.Windows); wi++ {
+		if f.MeanRead[wi] < f.MeanRead[wi-1]-0.02 {
+			t.Errorf("mean read elimination shrank at IW%d: %.3f -> %.3f",
+				f.Windows[wi], f.MeanRead[wi-1], f.MeanRead[wi])
+		}
+	}
+	if f.MeanRead[1] < 0.35 || f.MeanRead[1] > 0.70 {
+		t.Errorf("IW3 read elimination %.2f outside [0.35,0.70] (paper 0.59)", f.MeanRead[1])
+	}
+	if f.MeanWrite[1] < 0.30 || f.MeanWrite[1] > 0.70 {
+		t.Errorf("IW3 write elimination %.2f outside [0.30,0.70] (paper 0.52)", f.MeanWrite[1])
+	}
+	if f.MeanRead[5] < 0.65 {
+		t.Errorf("IW7 read elimination %.2f, paper reports >0.70", f.MeanRead[5])
+	}
+}
+
+// TestFig10Shape asserts the performance claims that must survive the
+// reproduction: positive mean gains, BOW-WR >= BOW at IW3, and the
+// paper's register-sensitive benchmarks on top.
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite sweep")
+	}
+	r := NewRunner()
+	f, err := Fig10(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iw3 := 1
+	if f.MeanBOW[iw3] <= 0.01 {
+		t.Errorf("BOW mean IPC gain %.3f, want clearly positive", f.MeanBOW[iw3])
+	}
+	if f.MeanBOWWR[iw3] < f.MeanBOW[iw3]-0.01 {
+		t.Errorf("BOW-WR (%.3f) should be at least BOW (%.3f)",
+			f.MeanBOWWR[iw3], f.MeanBOW[iw3])
+	}
+	// The paper's most register-sensitive kernels must beat the
+	// streaming ones.
+	top := (f.BOWWR["LIB"][iw3] + f.BOWWR["STO"][iw3] + f.BOWWR["SAD"][iw3]) / 3
+	bottom := (f.BOWWR["VECTORADD"][iw3] + f.BOWWR["SQUEEZENET"][iw3] + f.BOWWR["WP"][iw3]) / 3
+	if top <= bottom {
+		t.Errorf("register-sensitive mean %.3f not above streaming mean %.3f", top, bottom)
+	}
+}
+
+// TestFig13Shape asserts the energy ordering: BOW-WR saves more than
+// BOW, both save something, overheads stay small.
+func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite sweep")
+	}
+	r := NewRunner()
+	f, err := Fig13(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MeanBOW >= 1 {
+		t.Errorf("BOW normalized energy %.2f, expected saving", f.MeanBOW)
+	}
+	if f.MeanBOWWR >= f.MeanBOW {
+		t.Errorf("BOW-WR (%.2f) must save more than BOW (%.2f)", f.MeanBOWWR, f.MeanBOW)
+	}
+	if f.MeanBOWWR > 0.75 {
+		t.Errorf("BOW-WR saving too small: normalized %.2f (paper 0.45)", f.MeanBOWWR)
+	}
+	for _, b := range f.Benchmarks {
+		if f.BOWOvh[b] > 0.06 || f.WROvh[b] > 0.06 {
+			t.Errorf("%s: overhead exceeds 6%% (%v/%v)", b, f.BOWOvh[b], f.WROvh[b])
+		}
+	}
+}
+
+// TestRFCOrdering: the comparator must not beat BOW-WR.
+func TestRFCOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite sweep")
+	}
+	r := NewRunner()
+	f, err := RFC(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MeanRFC >= f.MeanBOWWR {
+		t.Errorf("RFC (%.3f) beats BOW-WR (%.3f)", f.MeanRFC, f.MeanBOWWR)
+	}
+	if f.RFCBytes != 24*1024 {
+		t.Errorf("RFC storage = %d, want 24KB", f.RFCBytes)
+	}
+	if f.BOWWRBytes != 12*1024 {
+		t.Errorf("BOW-WR added storage = %d, want 12KB", f.BOWWRBytes)
+	}
+}
+
+// TestExtendAblation: the extension must never reduce bypass.
+func TestExtendAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite sweep")
+	}
+	r := NewRunner()
+	f, err := ExtendAblation(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range f.Benchmarks {
+		if f.With[b] < f.Without[b]-1e-9 {
+			t.Errorf("%s: extension reduced bypass (%.3f < %.3f)", b, f.With[b], f.Without[b])
+		}
+	}
+	if f.MeanWith <= f.MeanWout {
+		t.Error("extension should increase mean bypass")
+	}
+}
+
+// TestFig9Renders and occupancy bound: with IW 3 the deduplicated BOC
+// can hold at most a handful of distinct registers; nothing may exceed
+// the 12-entry budget.
+func TestFig9Bound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite sweep")
+	}
+	r := NewRunner()
+	f, err := Fig9(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range f.Benchmarks {
+		for k := range f.Histo[b] {
+			if k > 12 {
+				t.Errorf("%s: occupancy %d exceeds the 12-entry budget", b, k)
+			}
+		}
+		if f.FracAtMost6[b] < 0.90 {
+			t.Errorf("%s: only %.2f of cycles fit half the entries", b, f.FracAtMost6[b])
+		}
+	}
+}
+
+// TestHintDump produces an annotated listing.
+func TestHintDump(t *testing.T) {
+	prog := asm.MustParse(`
+  mov r1, 0x1
+  add r2, r1, r1
+  exit
+`)
+	out, err := HintDump(prog, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wb:") || !strings.Contains(out, "mov r1") {
+		t.Errorf("dump missing content:\n%s", out)
+	}
+}

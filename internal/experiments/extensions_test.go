@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBeyondWindowShape: capacity-bound bypassing must dominate the
+// fixed nominal window on every benchmark (same buffer, strictly more
+// retention), and the renders must be complete.
+func TestBeyondWindowShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite sweep")
+	}
+	r := NewRunner()
+	f, err := BeyondWindow(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range f.Benchmarks {
+		if f.Beyond[b] < f.Fixed[b]-1e-9 {
+			t.Errorf("%s: beyond-window bypass %.3f below fixed %.3f",
+				b, f.Beyond[b], f.Fixed[b])
+		}
+	}
+	if f.MeanBeyond <= f.MeanFixed {
+		t.Error("beyond-window should raise mean bypass")
+	}
+	if !strings.Contains(f.Render(), "MEAN") {
+		t.Error("render missing mean row")
+	}
+}
+
+// TestReorderShape: the scheduling pass must never lose functional
+// correctness (enforced inside the experiment) and should raise mean
+// bypass.
+func TestReorderShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite sweep")
+	}
+	r := NewRunner()
+	f, err := Reorder(r)
+	if err != nil {
+		t.Fatal(err) // includes "MISCOMPILED" failures from the checks
+	}
+	if f.MeanReorder <= f.MeanPlain {
+		t.Errorf("reordering lowered mean bypass: %.3f -> %.3f",
+			f.MeanPlain, f.MeanReorder)
+	}
+	if len(f.Benchmarks) != 15 {
+		t.Errorf("reorder study covered %d benchmarks", len(f.Benchmarks))
+	}
+	if !strings.Contains(f.Render(), "footnote 1") {
+		t.Error("render missing provenance note")
+	}
+}
+
+// TestFig11QuarterSize: the 3-entry point must show capacity pressure
+// exists (strictly fewer or equal gains than half-size) without
+// correctness loss (checks run inside the runner).
+func TestFig11QuarterSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite sweep")
+	}
+	r := NewRunner()
+	f, err := Fig11(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MeanQtr > f.Mean+0.01 {
+		t.Errorf("quarter-size (%.3f) beats half-size (%.3f)?", f.MeanQtr, f.Mean)
+	}
+	// Half-size must track full-size closely (paper: <=2% loss; our
+	// deduplicated entries make it essentially free).
+	if f.MeanFull-f.Mean > 0.02 {
+		t.Errorf("half-size loses %.3f vs full, paper bound is 0.02",
+			f.MeanFull-f.Mean)
+	}
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bow/internal/core"
+	"bow/internal/stats"
+)
+
+// Fig10Result is the IPC improvement of BOW (write-through) and BOW-WR
+// (compiler hints) over the baseline for IW 2/3/4 (paper Fig. 10).
+type Fig10Result struct {
+	Windows    []int
+	Benchmarks []string
+	BOW        map[string][]float64 // improvement fraction per window
+	BOWWR      map[string][]float64
+	MeanBOW    []float64
+	MeanBOWWR  []float64
+}
+
+// Fig10 sweeps IPC improvement across window sizes.
+func Fig10(r *Runner) (*Fig10Result, error) {
+	res := &Fig10Result{
+		Windows: []int{2, 3, 4},
+		BOW:     map[string][]float64{},
+		BOWWR:   map[string][]float64{},
+	}
+	res.MeanBOW = make([]float64, len(res.Windows))
+	res.MeanBOWWR = make([]float64, len(res.Windows))
+	n := float64(len(Suite()))
+	for _, b := range Suite() {
+		base, err := r.Baseline(b)
+		if err != nil {
+			return nil, err
+		}
+		res.Benchmarks = append(res.Benchmarks, b.Name)
+		for wi, iw := range res.Windows {
+			wt, err := r.Run(b, core.Config{IW: iw, Policy: core.PolicyWriteThrough})
+			if err != nil {
+				return nil, err
+			}
+			wr, err := r.Run(b, core.Config{IW: iw, Policy: core.PolicyCompilerHints})
+			if err != nil {
+				return nil, err
+			}
+			iWT := wt.Stats.IPC()/base.Stats.IPC() - 1
+			iWR := wr.Stats.IPC()/base.Stats.IPC() - 1
+			res.BOW[b.Name] = append(res.BOW[b.Name], iWT)
+			res.BOWWR[b.Name] = append(res.BOWWR[b.Name], iWR)
+			res.MeanBOW[wi] += iWT / n
+			res.MeanBOWWR[wi] += iWR / n
+		}
+	}
+	return res, nil
+}
+
+// Render formats the two panels of Fig. 10.
+func (f *Fig10Result) Render() string {
+	var sb strings.Builder
+	for _, panel := range []struct {
+		title string
+		data  map[string][]float64
+		mean  []float64
+	}{
+		{"(a) BOW IPC improvement", f.BOW, f.MeanBOW},
+		{"(b) BOW-WR IPC improvement", f.BOWWR, f.MeanBOWWR},
+	} {
+		sb.WriteString(panel.title + "\n")
+		hdr := []string{"benchmark"}
+		for _, iw := range f.Windows {
+			hdr = append(hdr, fmt.Sprintf("IW%d", iw))
+		}
+		t := stats.NewTable(hdr...)
+		for _, b := range f.Benchmarks {
+			row := []string{b}
+			for i := range f.Windows {
+				row = append(row, stats.Pct(panel.data[b][i]))
+			}
+			t.AddRow(row...)
+		}
+		mrow := []string{"MEAN"}
+		for i := range f.Windows {
+			mrow = append(mrow, stats.Pct(panel.mean[i]))
+		}
+		t.AddRow(mrow...)
+		sb.WriteString(t.String() + "\n")
+	}
+	return sb.String()
+}
+
+// Fig11Result is the IPC improvement with down-sized BOCs (paper
+// Fig. 11): half-size (6 entries) vs full-size (12), plus a
+// quarter-size (3 entries) stress point that forces capacity evictions
+// — our deduplicated BOC rarely exceeds 6 live registers, so the paper's
+// half-size configuration loses essentially nothing here.
+type Fig11Result struct {
+	Benchmarks []string
+	Improve    map[string]float64 // half-size vs baseline
+	FullImp    map[string]float64 // full-size vs baseline
+	QuarterImp map[string]float64 // 3-entry vs baseline
+	Mean       float64
+	MeanFull   float64
+	MeanQtr    float64
+}
+
+// Fig11 runs BOW-WR at IW 3 with 12-, 6-, and 3-entry BOCs.
+func Fig11(r *Runner) (*Fig11Result, error) {
+	res := &Fig11Result{
+		Improve: map[string]float64{}, FullImp: map[string]float64{},
+		QuarterImp: map[string]float64{},
+	}
+	n := float64(len(Suite()))
+	for _, b := range Suite() {
+		base, err := r.Baseline(b)
+		if err != nil {
+			return nil, err
+		}
+		run := func(capacity int) (float64, error) {
+			out, err := r.Run(b, core.Config{IW: 3, Capacity: capacity, Policy: core.PolicyCompilerHints})
+			if err != nil {
+				return 0, err
+			}
+			return out.Stats.IPC()/base.Stats.IPC() - 1, nil
+		}
+		ih, err := run(6)
+		if err != nil {
+			return nil, err
+		}
+		ifull, err := run(12)
+		if err != nil {
+			return nil, err
+		}
+		iq, err := run(3)
+		if err != nil {
+			return nil, err
+		}
+		res.Benchmarks = append(res.Benchmarks, b.Name)
+		res.Improve[b.Name] = ih
+		res.FullImp[b.Name] = ifull
+		res.QuarterImp[b.Name] = iq
+		res.Mean += ih / n
+		res.MeanFull += ifull / n
+		res.MeanQtr += iq / n
+	}
+	return res, nil
+}
+
+// Render formats Fig. 11.
+func (f *Fig11Result) Render() string {
+	t := stats.NewTable("benchmark", "full (12)", "half (6)", "quarter (3)")
+	for _, b := range f.Benchmarks {
+		t.AddRow(b, stats.Pct(f.FullImp[b]), stats.Pct(f.Improve[b]), stats.Pct(f.QuarterImp[b]))
+	}
+	t.AddRow("MEAN", stats.Pct(f.MeanFull), stats.Pct(f.Mean), stats.Pct(f.MeanQtr))
+	return "IPC improvement vs BOC entry budget (BOW-WR, IW 3)\n" + t.String()
+}
+
+// ExtendAblationResult compares the sliding window with and without the
+// paper's extension rule (a read refreshing the value's residence) — a
+// design-choice ablation DESIGN.md calls out.
+type ExtendAblationResult struct {
+	Benchmarks []string
+	With       map[string]float64 // read bypass fraction, extension on
+	Without    map[string]float64
+	MeanWith   float64
+	MeanWout   float64
+}
+
+// ExtendAblation measures read-bypass with/without window extension.
+func ExtendAblation(r *Runner) (*ExtendAblationResult, error) {
+	res := &ExtendAblationResult{With: map[string]float64{}, Without: map[string]float64{}}
+	n := float64(len(Suite()))
+	for _, b := range Suite() {
+		on, err := r.Run(b, core.Config{IW: 3, Policy: core.PolicyWriteBack})
+		if err != nil {
+			return nil, err
+		}
+		off, err := r.Run(b, core.Config{IW: 3, Policy: core.PolicyWriteBack, NoExtend: true})
+		if err != nil {
+			return nil, err
+		}
+		fw, fo := on.Engine.ReadBypassFrac(), off.Engine.ReadBypassFrac()
+		res.Benchmarks = append(res.Benchmarks, b.Name)
+		res.With[b.Name] = fw
+		res.Without[b.Name] = fo
+		res.MeanWith += fw / n
+		res.MeanWout += fo / n
+	}
+	return res, nil
+}
+
+// Render formats the extension ablation.
+func (f *ExtendAblationResult) Render() string {
+	t := stats.NewTable("benchmark", "sliding+extend", "fixed residence", "delta")
+	for _, b := range f.Benchmarks {
+		t.AddRow(b, stats.Pct(f.With[b]), stats.Pct(f.Without[b]),
+			stats.Pct(f.With[b]-f.Without[b]))
+	}
+	t.AddRow("MEAN", stats.Pct(f.MeanWith), stats.Pct(f.MeanWout),
+		stats.Pct(f.MeanWith-f.MeanWout))
+	return "Ablation: extended instruction window (read bypass, IW 3)\n" + t.String()
+}
+
+// Fig12Result is the operand-collection residency normalized to the
+// baseline for IW 2/3/4 (paper Fig. 12).
+type Fig12Result struct {
+	Windows    []int
+	Benchmarks []string
+	Normalized map[string][]float64
+	Mean       []float64
+}
+
+// Fig12 measures cycles spent in the OC stage relative to baseline.
+func Fig12(r *Runner) (*Fig12Result, error) {
+	res := &Fig12Result{
+		Windows:    []int{2, 3, 4},
+		Normalized: map[string][]float64{},
+	}
+	res.Mean = make([]float64, len(res.Windows))
+	n := float64(len(Suite()))
+	for _, b := range Suite() {
+		base, err := r.Baseline(b)
+		if err != nil {
+			return nil, err
+		}
+		res.Benchmarks = append(res.Benchmarks, b.Name)
+		for wi, iw := range res.Windows {
+			out, err := r.Run(b, core.Config{IW: iw, Policy: core.PolicyCompilerHints})
+			if err != nil {
+				return nil, err
+			}
+			var norm float64
+			if base.Stats.OCStageCycles > 0 {
+				norm = float64(out.Stats.OCStageCycles) / float64(base.Stats.OCStageCycles)
+			}
+			res.Normalized[b.Name] = append(res.Normalized[b.Name], norm)
+			res.Mean[wi] += norm / n
+		}
+	}
+	return res, nil
+}
+
+// Render formats Fig. 12.
+func (f *Fig12Result) Render() string {
+	hdr := []string{"benchmark"}
+	for _, iw := range f.Windows {
+		hdr = append(hdr, fmt.Sprintf("IW%d", iw))
+	}
+	t := stats.NewTable(hdr...)
+	for _, b := range f.Benchmarks {
+		row := []string{b}
+		for i := range f.Windows {
+			row = append(row, fmt.Sprintf("%.2f", f.Normalized[b][i]))
+		}
+		t.AddRow(row...)
+	}
+	mrow := []string{"MEAN"}
+	for i := range f.Windows {
+		mrow = append(mrow, fmt.Sprintf("%.2f", f.Mean[i]))
+	}
+	t.AddRow(mrow...)
+	return "Cycles in OC stage normalized to baseline (1.00 = baseline)\n" + t.String()
+}

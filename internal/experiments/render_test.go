@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Render methods must produce complete tables from fabricated results —
+// independent of the simulator, so formatting regressions surface even
+// in -short runs.
+
+func TestFig3Render(t *testing.T) {
+	f := &Fig3Result{
+		Windows:    []int{2, 3},
+		Benchmarks: []string{"A", "B"},
+		ReadFrac:   map[string][]float64{"A": {0.1, 0.2}, "B": {0.3, 0.4}},
+		WriteFrac:  map[string][]float64{"A": {0.05, 0.1}, "B": {0.15, 0.2}},
+		MeanRead:   []float64{0.2, 0.3},
+		MeanWrite:  []float64{0.1, 0.15},
+	}
+	out := f.Render()
+	for _, want := range []string{"READ", "WRITE", "IW2", "IW3", "MEAN", "20.0%", "15.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig3 render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig4Render(t *testing.T) {
+	f := &Fig4Result{
+		Benchmarks: []string{"A"},
+		NonMem:     map[string]float64{"A": 0.3},
+		Mem:        map[string]float64{"A": 0.05},
+		Overall:    map[string]float64{"A": 0.2},
+		MeanOvr:    0.2,
+	}
+	out := f.Render()
+	if !strings.Contains(out, "30.0%") || !strings.Contains(out, "MEAN") {
+		t.Errorf("fig4 render wrong:\n%s", out)
+	}
+}
+
+func TestFig7Render(t *testing.T) {
+	f := &Fig7Result{
+		Benchmarks: []string{"A"},
+		RFOnly:     map[string]float64{"A": 0.21},
+		Both:       map[string]float64{"A": 0.27},
+		BOCOnly:    map[string]float64{"A": 0.52},
+		MeanRF:     0.21, MeanBoth: 0.27, MeanBOC: 0.52,
+	}
+	out := f.Render()
+	if !strings.Contains(out, "52.0%") || !strings.Contains(out, "transient") {
+		t.Errorf("fig7 render wrong:\n%s", out)
+	}
+}
+
+func TestFig8Render(t *testing.T) {
+	f := &Fig8Result{
+		Benchmarks: []string{"A"},
+		Frac:       map[string][4]float64{"A": {0.2, 0.5, 0.28, 0.02}},
+		Mean:       [4]float64{0.2, 0.5, 0.28, 0.02},
+	}
+	out := f.Render()
+	if !strings.Contains(out, "3 srcs") || !strings.Contains(out, "2.0%") {
+		t.Errorf("fig8 render wrong:\n%s", out)
+	}
+}
+
+func TestFig9Render(t *testing.T) {
+	f := &Fig9Result{
+		Benchmarks:  []string{"A"},
+		FracAtMost6: map[string]float64{"A": 0.97},
+		MeanAtMost6: 0.97,
+		Histo:       map[string]map[int]float64{"A": {2: 0.5, 3: 0.4, 7: 0.1}},
+	}
+	out := f.Render()
+	if !strings.Contains(out, "97.0%") || !strings.Contains(out, ">=7") {
+		t.Errorf("fig9 render wrong:\n%s", out)
+	}
+}
+
+func TestFig10Render(t *testing.T) {
+	f := &Fig10Result{
+		Windows:    []int{2, 3, 4},
+		Benchmarks: []string{"A"},
+		BOW:        map[string][]float64{"A": {0.05, 0.11, 0.12}},
+		BOWWR:      map[string][]float64{"A": {0.06, 0.13, 0.14}},
+		MeanBOW:    []float64{0.05, 0.11, 0.12},
+		MeanBOWWR:  []float64{0.06, 0.13, 0.14},
+	}
+	out := f.Render()
+	if !strings.Contains(out, "(a) BOW") || !strings.Contains(out, "(b) BOW-WR") ||
+		!strings.Contains(out, "11.0%") {
+		t.Errorf("fig10 render wrong:\n%s", out)
+	}
+}
+
+func TestFig11Render(t *testing.T) {
+	f := &Fig11Result{
+		Benchmarks: []string{"A"},
+		Improve:    map[string]float64{"A": 0.11},
+		FullImp:    map[string]float64{"A": 0.12},
+		QuarterImp: map[string]float64{"A": 0.08},
+		Mean:       0.11, MeanFull: 0.12, MeanQtr: 0.08,
+	}
+	out := f.Render()
+	if !strings.Contains(out, "quarter") || !strings.Contains(out, "8.0%") {
+		t.Errorf("fig11 render wrong:\n%s", out)
+	}
+}
+
+func TestFig12Render(t *testing.T) {
+	f := &Fig12Result{
+		Windows:    []int{2, 3, 4},
+		Benchmarks: []string{"A"},
+		Normalized: map[string][]float64{"A": {0.7, 0.4, 0.38}},
+		Mean:       []float64{0.7, 0.4, 0.38},
+	}
+	out := f.Render()
+	if !strings.Contains(out, "0.40") {
+		t.Errorf("fig12 render wrong:\n%s", out)
+	}
+}
+
+func TestFig13Render(t *testing.T) {
+	f := &Fig13Result{
+		Benchmarks: []string{"A"},
+		BOWRF:      map[string]float64{"A": 0.61},
+		BOWOvh:     map[string]float64{"A": 0.03},
+		WRRF:       map[string]float64{"A": 0.43},
+		WROvh:      map[string]float64{"A": 0.02},
+		MeanBOW:    0.64, MeanBOWWR: 0.45,
+	}
+	out := f.Render()
+	if !strings.Contains(out, "energy saving: 36.0%") ||
+		!strings.Contains(out, "energy saving: 55.0%") {
+		t.Errorf("fig13 render wrong:\n%s", out)
+	}
+}
+
+func TestExtensionRenders(t *testing.T) {
+	bw := &BeyondWindowResult{
+		Benchmarks: []string{"A"},
+		Fixed:      map[string]float64{"A": 0.47},
+		Beyond:     map[string]float64{"A": 0.83},
+		FixedIPC:   map[string]float64{"A": 0.05},
+		BeyondIPC:  map[string]float64{"A": 0.1},
+		MeanFixed:  0.47, MeanBeyond: 0.83, MeanFixedI: 0.05, MeanBeyondI: 0.1,
+	}
+	if !strings.Contains(bw.Render(), "83.0%") {
+		t.Error("beyond render wrong")
+	}
+
+	ea := &ExtendAblationResult{
+		Benchmarks: []string{"A"},
+		With:       map[string]float64{"A": 0.5},
+		Without:    map[string]float64{"A": 0.45},
+		MeanWith:   0.5, MeanWout: 0.45,
+	}
+	if !strings.Contains(ea.Render(), "5.0%") {
+		t.Error("extend render wrong")
+	}
+
+	ro := &ReorderResult{
+		Benchmarks:   []string{"A"},
+		Plain:        map[string]float64{"A": 0.47},
+		Reordered:    map[string]float64{"A": 0.57},
+		WritePlain:   map[string]float64{"A": 0.47},
+		WriteReorder: map[string]float64{"A": 0.5},
+		MeanPlain:    0.47, MeanReorder: 0.57, MeanWPlain: 0.47, MeanWReorder: 0.5,
+	}
+	if !strings.Contains(ro.Render(), "57.0%") {
+		t.Error("reorder render wrong")
+	}
+
+	rd := &ReuseDistResult{
+		Windows:    []int{2, 3},
+		Benchmarks: []string{"A"},
+		Within:     map[string][]float64{"A": {0.3, 0.45}},
+		MeanDist:   map[string]float64{"A": 4.2},
+		Mean:       []float64{0.3, 0.45},
+	}
+	if !strings.Contains(rd.Render(), "4.2") || !strings.Contains(rd.Render(), "45.0%") {
+		t.Error("reusedist render wrong")
+	}
+
+	rfc := &RFCResult{
+		Benchmarks:   []string{"A"},
+		RFCImprove:   map[string]float64{"A": 0.02},
+		BOWWRImprove: map[string]float64{"A": 0.11},
+		MeanRFC:      0.02, MeanBOWWR: 0.11,
+		RFCBytes: 24 * 1024, BOWWRBytes: 12 * 1024,
+	}
+	if !strings.Contains(rfc.Render(), "24 KB") {
+		t.Error("rfc render wrong")
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bow/internal/core"
+	"bow/internal/gpu"
+	"bow/internal/mem"
+	"bow/internal/sm"
+	"bow/internal/stats"
+	"bow/internal/trace"
+)
+
+// ReuseDistResult is the register reuse-distance characterization of
+// §III: per benchmark, the fraction of register reuses that fall within
+// a window of size k — the upper bound a size-k bypass window chases.
+type ReuseDistResult struct {
+	Windows    []int
+	Benchmarks []string
+	Within     map[string][]float64 // benchmark -> per-window fraction
+	MeanDist   map[string]float64
+	Mean       []float64
+}
+
+// ReuseDist captures baseline traces for every benchmark and analyzes
+// them.
+func ReuseDist(r *Runner) (*ReuseDistResult, error) {
+	res := &ReuseDistResult{
+		Windows:  []int{2, 3, 4, 5, 6, 7},
+		Within:   map[string][]float64{},
+		MeanDist: map[string]float64{},
+	}
+	res.Mean = make([]float64, len(res.Windows))
+	n := float64(len(Suite()))
+	for _, b := range Suite() {
+		// Traces require a dedicated (uncached) run with capture enabled.
+		m := mem.NewMemory()
+		if b.Init != nil {
+			if err := b.Init(m); err != nil {
+				return nil, err
+			}
+		}
+		k := &sm.Kernel{
+			Program: b.Program(), GridDim: b.GridDim, BlockDim: b.BlockDim,
+			SharedLen: b.SharedLen, Params: b.Params,
+		}
+		d, err := gpu.New(r.GCfg, core.Config{Policy: core.PolicyBaseline}, k, m)
+		if err != nil {
+			return nil, err
+		}
+		d.CaptureTrace = true
+		out, err := d.Run(r.MaxCycles)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		agg := stats.NewHistogram()
+		for _, tr := range out.Traces {
+			agg.Merge(trace.ReuseDistances(tr))
+		}
+		res.Benchmarks = append(res.Benchmarks, b.Name)
+		res.MeanDist[b.Name] = agg.Mean()
+		for wi, iw := range res.Windows {
+			f := trace.WithinWindow(agg, iw)
+			res.Within[b.Name] = append(res.Within[b.Name], f)
+			res.Mean[wi] += f / n
+		}
+	}
+	return res, nil
+}
+
+// Render formats the reuse-distance study.
+func (f *ReuseDistResult) Render() string {
+	hdr := []string{"benchmark", "mean dist"}
+	for _, iw := range f.Windows {
+		hdr = append(hdr, fmt.Sprintf("<=IW%d", iw))
+	}
+	t := stats.NewTable(hdr...)
+	for _, b := range f.Benchmarks {
+		row := []string{b, fmt.Sprintf("%.1f", f.MeanDist[b])}
+		for i := range f.Windows {
+			row = append(row, stats.Pct(f.Within[b][i]))
+		}
+		t.AddRow(row...)
+	}
+	mrow := []string{"MEAN", ""}
+	for i := range f.Windows {
+		mrow = append(mrow, stats.Pct(f.Mean[i]))
+	}
+	t.AddRow(mrow...)
+	return "Register reuse distances from dynamic traces (the §III motivation):\n" +
+		"fraction of register reuses within k instructions of the previous access\n" + t.String()
+}

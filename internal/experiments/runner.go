@@ -1,0 +1,112 @@
+// Package experiments regenerates every table and figure of the BOW
+// paper's evaluation (see DESIGN.md's experiment index). Each experiment
+// is a function over a Runner, returning a structured result with a
+// Render method; cmd/bowbench prints them, bench_test.go wraps them in
+// testing.B benchmarks, and the test suite asserts their shapes.
+package experiments
+
+import (
+	"fmt"
+
+	"bow/internal/compiler"
+	"bow/internal/config"
+	"bow/internal/core"
+	"bow/internal/gpu"
+	"bow/internal/mem"
+	"bow/internal/sm"
+	"bow/internal/workloads"
+)
+
+// Runner executes benchmarks under bypass configurations, memoizing
+// results so the figure generators can share runs.
+type Runner struct {
+	GCfg      config.GPU
+	MaxCycles int64
+
+	cache map[runKey]*gpu.Result
+}
+
+type runKey struct {
+	bench string
+	cfg   core.Config
+	hints bool
+}
+
+// NewRunner builds a runner on the scaled-down simulation config.
+func NewRunner() *Runner {
+	g := config.SimDefault()
+	g.NumSMs = 1
+	return &Runner{GCfg: g}
+}
+
+// Run executes one benchmark under one bypass configuration. hints
+// selects whether the compiler pass annotates write-back hints (it is
+// implied by PolicyCompilerHints).
+func (r *Runner) Run(b *workloads.Benchmark, bcfg core.Config) (*gpu.Result, error) {
+	bcfg, err := bcfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	hints := bcfg.Policy == core.PolicyCompilerHints
+	key := runKey{bench: b.Name, cfg: bcfg, hints: hints}
+	if r.cache == nil {
+		r.cache = make(map[runKey]*gpu.Result)
+	}
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+
+	prog := b.Program()
+	if hints {
+		if _, err := compiler.Annotate(prog, bcfg.IW); err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+	}
+	m := mem.NewMemory()
+	if b.Init != nil {
+		if err := b.Init(m); err != nil {
+			return nil, fmt.Errorf("%s: init: %w", b.Name, err)
+		}
+	}
+	k := &sm.Kernel{
+		Program: prog, GridDim: b.GridDim, BlockDim: b.BlockDim,
+		SharedLen: b.SharedLen, Params: b.Params,
+	}
+	d, err := gpu.New(r.GCfg, bcfg, k, m)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	res, err := d.Run(r.MaxCycles)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	if b.Check != nil {
+		if err := b.Check(m); err != nil {
+			return nil, fmt.Errorf("%s (%v): functional check failed: %w", b.Name, bcfg.Policy, err)
+		}
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// Baseline runs the benchmark with bypassing disabled.
+func (r *Runner) Baseline(b *workloads.Benchmark) (*gpu.Result, error) {
+	return r.Run(b, core.Config{Policy: core.PolicyBaseline})
+}
+
+// Suite returns the benchmark list every experiment iterates.
+func Suite() []*workloads.Benchmark { return workloads.All() }
+
+// geomeanImprovement converts a slice of ratios (new/old) into a mean
+// improvement fraction; the paper reports arithmetic means of percent
+// improvements, which we follow.
+func meanImprovement(ratios []float64) float64 {
+	if len(ratios) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range ratios {
+		sum += x - 1
+	}
+	return sum / float64(len(ratios))
+}

@@ -1,0 +1,86 @@
+package gpu
+
+import (
+	"testing"
+
+	"bow/internal/asm"
+	"bow/internal/core"
+	"bow/internal/mem"
+	"bow/internal/sm"
+)
+
+// TestEarlyExitBarrier: one warp exits before its siblings reach
+// bar.sync (illegal in CUDA, but the simulator must not hang — the
+// barrier releases on the live-warp count).
+func TestEarlyExitBarrier(t *testing.T) {
+	src := `
+.kernel earlyexit
+  mov r0, %warpid
+  setp.eq p0, r0, 0x0
+  @p0 bra OUT            // warp 0 leaves before the barrier
+  bar.sync
+  mov r1, 0x1
+OUT:
+  exit
+`
+	prog := asm.MustParse(src)
+	k := &sm.Kernel{Program: prog, GridDim: 1, BlockDim: 128}
+	d, err := New(smallGPU(), core.Config{IW: 3, Policy: core.PolicyWriteBack}, k, mem.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(100_000)
+	if err != nil {
+		t.Fatalf("barrier deadlocked after an early warp exit: %v", err)
+	}
+	if res.Stats.CTAsRetired != 1 {
+		t.Errorf("CTA did not retire")
+	}
+}
+
+// TestBarrierOrdering: warps arriving at different times all wait; the
+// last arrival releases everyone in the same CTA but not other CTAs.
+func TestBarrierOrdering(t *testing.T) {
+	// Warp 0 burns time in a loop before the barrier; all warps then
+	// read a value warp 0 wrote to shared memory before bar.sync.
+	src := `
+.kernel stagger
+  mov r0, %warpid
+  mov r1, %tid.x
+  setp.ne p0, r0, 0x0
+  @p0 bra WAIT
+  // warp 0: slow path, then publish 0xCAFE
+  mov r2, 0x0
+SPIN:
+  add r2, r2, 0x1
+  setp.lt p1, r2, 0x40
+  @p1 bra SPIN
+  mov r3, 0xCAFE
+  st.shared [rz+0x0], r3
+WAIT:
+  bar.sync
+  ld.shared r4, [rz+0x0]
+  ld.param r5, [rz+0x0]
+  shl r6, r1, 0x2
+  add r6, r5, r6
+  st.global [r6+0x0], r4
+  exit
+`
+	prog := asm.MustParse(src)
+	m := mem.NewMemory()
+	k := &sm.Kernel{Program: prog, GridDim: 2, BlockDim: 128,
+		SharedLen: 16, Params: []uint32{0x8000}}
+	d, err := New(smallGPU(), core.Config{IW: 3, Policy: core.PolicyCompilerHints}, k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < 128; tid++ {
+		got, _ := m.Read32(0x8000 + uint32(4*tid))
+		if got != 0xCAFE {
+			t.Fatalf("tid %d read %#x before the publisher's store (barrier broken)", tid, got)
+		}
+	}
+}

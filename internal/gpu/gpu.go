@@ -1,0 +1,161 @@
+// Package gpu ties the simulator together at chip level: a set of SMs
+// sharing an L2 and global memory, a CTA dispatcher, and the Run loop
+// that carries a kernel launch to completion and collects the combined
+// statistics.
+package gpu
+
+import (
+	"fmt"
+
+	"bow/internal/config"
+	"bow/internal/core"
+	"bow/internal/energy"
+	"bow/internal/isa"
+	"bow/internal/mem"
+	"bow/internal/regfile"
+	"bow/internal/sm"
+)
+
+// Device is one simulated GPU.
+type Device struct {
+	cfg    config.GPU
+	bcfg   core.Config
+	Global *mem.Memory
+	l2     *mem.Cache
+	sms    []*sm.SM
+	kernel *sm.Kernel
+
+	// CaptureRegs propagates to the SMs: snapshot effective register
+	// state at warp exit for oracle comparison.
+	CaptureRegs bool
+	// CaptureTrace records each warp's dynamic instruction stream for
+	// internal/trace analyses.
+	CaptureTrace bool
+}
+
+// New builds a device for one kernel launch. The kernel is Prepared
+// here.
+func New(gcfg config.GPU, bcfg core.Config, kernel *sm.Kernel, global *mem.Memory) (*Device, error) {
+	if err := gcfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := kernel.Prepare(); err != nil {
+		return nil, err
+	}
+	if global == nil {
+		global = mem.NewMemory()
+	}
+	l2, err := mem.NewCache("L2", gcfg.L2SizeKB*1024, gcfg.L2LineBytes, gcfg.L2Assoc)
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{cfg: gcfg, bcfg: bcfg, Global: global, l2: l2, kernel: kernel}
+	for i := 0; i < gcfg.NumSMs; i++ {
+		s, err := sm.New(i, gcfg, bcfg, kernel, global, l2)
+		if err != nil {
+			return nil, err
+		}
+		d.sms = append(d.sms, s)
+	}
+	return d, nil
+}
+
+// Result is the outcome of one kernel run.
+type Result struct {
+	Cycles int64
+	Stats  sm.RunStats
+	RF     regfile.Stats
+	Engine core.Stats
+	Energy energy.Counts
+
+	// RegSnapshots maps (ctaID, warpInCTA) to the warp's effective
+	// register values at exit (when CaptureRegs was set).
+	RegSnapshots map[[2]int][]core.Value
+	// Traces maps (ctaID, warpInCTA) to the warp's dynamic instruction
+	// stream (when CaptureTrace was set).
+	Traces map[[2]int][]*isa.Instruction
+}
+
+// Run executes the kernel to completion. maxCycles bounds runaway
+// simulations (0 means a generous default). Functional faults inside the
+// pipeline (out-of-range parameter reads, misaligned accesses — i.e.
+// kernel bugs) surface as errors.
+func (d *Device) Run(maxCycles int64) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("gpu: kernel fault: %v", r)
+		}
+	}()
+	return d.run(maxCycles)
+}
+
+func (d *Device) run(maxCycles int64) (*Result, error) {
+	if maxCycles <= 0 {
+		maxCycles = 50_000_000
+	}
+	for _, s := range d.sms {
+		s.CaptureRegs = d.CaptureRegs
+		s.CaptureTrace = d.CaptureTrace
+	}
+
+	nextCTA := 0
+	total := d.kernel.GridDim
+	var cycles int64
+
+	for {
+		// Dispatch CTAs breadth-first across SMs.
+		progressing := false
+		for _, s := range d.sms {
+			for nextCTA < total && s.CanAcceptCTA() {
+				if err := s.AssignCTA(nextCTA); err != nil {
+					return nil, err
+				}
+				nextCTA++
+			}
+			if !s.Idle() {
+				progressing = true
+			}
+		}
+		if !progressing && nextCTA >= total {
+			break
+		}
+		for _, s := range d.sms {
+			if !s.Idle() {
+				s.Cycle()
+			}
+		}
+		cycles++
+		if cycles > maxCycles {
+			return nil, fmt.Errorf("gpu: kernel exceeded %d cycles (livelock or runaway loop?)", maxCycles)
+		}
+	}
+
+	res := &Result{
+		Cycles:       cycles,
+		RegSnapshots: make(map[[2]int][]core.Value),
+		Traces:       make(map[[2]int][]*isa.Instruction),
+	}
+	for _, s := range d.sms {
+		res.Stats.Merge(s.Stats())
+		rf := s.RegFileStats()
+		res.RF.Reads += rf.Reads
+		res.RF.Writes += rf.Writes
+		res.RF.BankConflicts += rf.BankConflicts
+		es := s.EngineStats()
+		res.Engine.Merge(&es)
+		for k, v := range s.RegSnapshots {
+			res.RegSnapshots[k] = v
+		}
+		for k, v := range s.Traces {
+			res.Traces[k] = v
+		}
+	}
+	res.Stats.Cycles = cycles
+	res.Energy = energy.Counts{
+		RFReads:   res.Engine.RFReads,
+		RFWrites:  res.Engine.RFWrites,
+		BOCReads:  res.Engine.BOCReads,
+		BOCWrites: res.Engine.BOCWrites,
+	}
+	return res, nil
+}

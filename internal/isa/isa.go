@@ -1,0 +1,497 @@
+// Package isa defines the SASS-like instruction set architecture used by
+// the BOW GPU simulator: opcodes, register and operand kinds, and the
+// Instruction representation shared by the assembler, the compiler, and
+// the timing pipeline.
+//
+// The dialect is modeled on the NVIDIA SASS fragments shown in the BOW
+// paper (Fig. 6): instructions carry at most three source operands and
+// one destination register, may be guarded by a predicate, and memory
+// instructions address global, shared, or local space.
+package isa
+
+import "fmt"
+
+// WarpSize is the number of threads (lanes) in a warp. All vector
+// register values in the simulator are WarpSize-wide.
+const WarpSize = 32
+
+// MaxSrcOperands is the architectural maximum number of register source
+// operands per instruction (SASS allows up to three).
+const MaxSrcOperands = 3
+
+// RegZero is the hardwired zero register (reads as 0, writes discarded),
+// analogous to SASS RZ.
+const RegZero = 255
+
+// NumArchRegs is the number of addressable general-purpose registers per
+// thread (R0..R254; R255 is RZ).
+const NumArchRegs = 255
+
+// NumPredRegs is the number of predicate registers per thread (P0..P6;
+// P7 is PT, the hardwired true predicate).
+const NumPredRegs = 8
+
+// PredTrue is the hardwired always-true predicate register (SASS PT).
+const PredTrue = 7
+
+// Opcode enumerates the operations of the dialect.
+type Opcode uint8
+
+// Opcodes. The groups mirror the functional-unit classes used by the
+// timing model: integer ALU, floating point, SFU (transcendentals),
+// predicate/set, memory, control, and miscellaneous.
+const (
+	OpNop Opcode = iota
+
+	// Integer ALU.
+	OpMov // mov  d, a         : d = a
+	OpAdd // add  d, a, b      : d = a + b
+	OpSub // sub  d, a, b      : d = a - b
+	OpMul // mul  d, a, b      : d = a * b (low 32)
+	OpMad // mad  d, a, b, c   : d = a*b + c
+	OpShl // shl  d, a, b      : d = a << b
+	OpShr // shr  d, a, b      : d = a >> b (logical)
+	OpAnd // and  d, a, b
+	OpOr  // or   d, a, b
+	OpXor // xor  d, a, b
+	OpMin // min  d, a, b      (signed)
+	OpMax // max  d, a, b      (signed)
+	OpAbs // abs  d, a         (signed)
+
+	// Floating point (IEEE-754 binary32 carried in uint32 lanes).
+	OpFAdd // fadd d, a, b
+	OpFSub // fsub d, a, b
+	OpFMul // fmul d, a, b
+	OpFFma // ffma d, a, b, c   : d = a*b + c
+	OpFMin // fmin d, a, b
+	OpFMax // fmax d, a, b
+	OpI2F  // i2f  d, a         : signed int -> float
+	OpF2I  // f2i  d, a         : float -> signed int (trunc)
+
+	// Special function unit.
+	OpRcp  // rcp  d, a         : 1/a (float)
+	OpSqrt // sqrt d, a         (float)
+	OpEx2  // ex2  d, a         : 2^a (float)
+	OpLg2  // lg2  d, a         : log2(a) (float)
+	OpSin  // sin  d, a         (float)
+	OpCos  // cos  d, a         (float)
+
+	// Predicate set: setp.<cmp> p, a, b  writes predicate register p.
+	OpSetp // comparison selected by CmpOp field
+
+	// Select: sel d, a, b, p : d = p ? a : b  (p given as third operand).
+	OpSel
+
+	// Memory.
+	OpLd  // ld.<space>  d, [a + imm]
+	OpSt  // st.<space>  [a + imm], b
+	OpAtm // atom.add.<space> d, [a + imm], b (returns old value)
+
+	// Control.
+	OpBra  // bra L         (possibly predicated => divergence)
+	OpSSY  // ssy L         : push reconvergence point
+	OpSync // sync          : pop reconvergence point
+	OpBar  // bar.sync      : CTA-wide barrier
+	OpExit // exit
+
+	// Misc.
+	OpRet // ret (alias of exit for kernels)
+
+	numOpcodes // sentinel
+)
+
+// CmpOp is the comparison performed by OpSetp.
+type CmpOp uint8
+
+// Comparison kinds for setp.
+const (
+	CmpEQ CmpOp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+// MemSpace is the address space of a memory instruction.
+type MemSpace uint8
+
+// Address spaces.
+const (
+	SpaceNone MemSpace = iota
+	SpaceGlobal
+	SpaceShared
+	SpaceLocal
+	SpaceParam // kernel parameter space (read-only)
+)
+
+// OperandKind discriminates Operand.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	OpdNone    OperandKind = iota
+	OpdReg                 // general-purpose register
+	OpdImm                 // 32-bit immediate
+	OpdSpecial             // special register (%tid.x etc.)
+	OpdPred                // predicate register (only as setp dst / sel src)
+)
+
+// Special enumerates special (read-only) registers.
+type Special uint8
+
+// Special registers.
+const (
+	SpecNone    Special = iota
+	SpecTidX            // %tid.x: thread index within CTA
+	SpecCtaidX          // %ctaid.x: CTA index within grid
+	SpecNtidX           // %ntid.x: CTA size
+	SpecNctaidX         // %nctaid.x: grid size in CTAs
+	SpecLaneID          // %laneid
+	SpecWarpID          // %warpid within CTA
+)
+
+// Operand is one instruction operand.
+type Operand struct {
+	Kind OperandKind
+	Reg  uint8  // register number for OpdReg / OpdPred
+	Imm  uint32 // immediate value for OpdImm
+	Spec Special
+}
+
+// Reg returns a register operand.
+func Reg(r uint8) Operand { return Operand{Kind: OpdReg, Reg: r} }
+
+// Imm returns an immediate operand.
+func Imm(v uint32) Operand { return Operand{Kind: OpdImm, Imm: v} }
+
+// Spec returns a special-register operand.
+func Spec(s Special) Operand { return Operand{Kind: OpdSpecial, Spec: s} }
+
+// Pred returns a predicate-register operand.
+func Pred(p uint8) Operand { return Operand{Kind: OpdPred, Reg: p} }
+
+// IsReg reports whether the operand is a general-purpose register other
+// than RZ.
+func (o Operand) IsReg() bool { return o.Kind == OpdReg && o.Reg != RegZero }
+
+// WritebackHint is the 2-bit compiler hint attached to instructions with
+// a destination register (BOW-WR, paper §IV-B). The zero value WBBoth is
+// the default behaviour without compiler analysis.
+type WritebackHint uint8
+
+// Writeback hints.
+const (
+	// WBBoth writes the result to the BOC and, on window exit, to the RF.
+	WBBoth WritebackHint = iota
+	// WBRegfileOnly bypasses the BOC: the value has no reuse inside the
+	// instruction window, so it is written straight to the RF.
+	WBRegfileOnly
+	// WBCollectorOnly marks a transient value: all reuse happens within
+	// the window, so it is never written back to the RF and needs no RF
+	// register allocation.
+	WBCollectorOnly
+)
+
+func (h WritebackHint) String() string {
+	switch h {
+	case WBBoth:
+		return "both"
+	case WBRegfileOnly:
+		return "rf-only"
+	case WBCollectorOnly:
+		return "boc-only"
+	}
+	return fmt.Sprintf("WritebackHint(%d)", uint8(h))
+}
+
+// Instruction is one decoded instruction. Instructions are immutable
+// after assembly; the compiler annotates WBHint in place before the
+// program is handed to the pipeline.
+type Instruction struct {
+	PC     int    // index within the program
+	Op     Opcode // operation
+	Cmp    CmpOp  // for OpSetp
+	Space  MemSpace
+	HasDst bool
+	Dst    uint8 // destination GPR (OpSetp uses DstPred instead)
+
+	DstPred    uint8 // destination predicate register for OpSetp
+	HasDstPred bool
+
+	Srcs [MaxSrcOperands]Operand
+	NSrc int // number of populated Srcs
+
+	// Guard predicate: execute lanes where (PredReg xor PredNeg) is true.
+	PredReg uint8 // PredTrue means unguarded
+	PredNeg bool
+
+	Target int    // branch/ssy target PC
+	Label  string // original label text (for printing)
+
+	ImmOff uint32 // address offset for ld/st
+
+	// WBHint is the compiler-assigned write-back destination (BOW-WR).
+	WBHint WritebackHint
+}
+
+// SrcRegs appends to dst the general-purpose source register numbers of
+// the instruction (excluding RZ, immediates, specials, predicates) and
+// returns the extended slice. Address registers of ld/st and the value
+// register of st are included.
+func (in *Instruction) SrcRegs(dst []uint8) []uint8 {
+	for i := 0; i < in.NSrc; i++ {
+		if in.Srcs[i].IsReg() {
+			dst = append(dst, in.Srcs[i].Reg)
+		}
+	}
+	return dst
+}
+
+// UniqueSrcRegs returns the distinct source register numbers in first-use
+// order. The result array is sized for the architectural maximum.
+func (in *Instruction) UniqueSrcRegs() ([MaxSrcOperands]uint8, int) {
+	var out [MaxSrcOperands]uint8
+	n := 0
+	for i := 0; i < in.NSrc; i++ {
+		if !in.Srcs[i].IsReg() {
+			continue
+		}
+		r := in.Srcs[i].Reg
+		dup := false
+		for j := 0; j < n; j++ {
+			if out[j] == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out[n] = r
+			n++
+		}
+	}
+	return out, n
+}
+
+// DstReg returns the destination GPR and true, or 0,false when the
+// instruction has no GPR destination (or writes RZ).
+func (in *Instruction) DstReg() (uint8, bool) {
+	if in.HasDst && in.Dst != RegZero {
+		return in.Dst, true
+	}
+	return 0, false
+}
+
+// IsMem reports whether the instruction accesses memory.
+func (in *Instruction) IsMem() bool {
+	return in.Op == OpLd || in.Op == OpSt || in.Op == OpAtm
+}
+
+// IsControl reports whether the instruction affects control flow.
+func (in *Instruction) IsControl() bool {
+	switch in.Op {
+	case OpBra, OpSSY, OpSync, OpExit, OpRet, OpBar:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the instruction is a (possibly conditional)
+// branch.
+func (in *Instruction) IsBranch() bool { return in.Op == OpBra }
+
+// FUClass is the functional-unit class an opcode dispatches to.
+type FUClass uint8
+
+// Functional-unit classes.
+const (
+	FUAlu FUClass = iota
+	FUFpu
+	FUSfu
+	FUMem
+	FUCtrl
+)
+
+// Class returns the functional-unit class of the instruction.
+func (in *Instruction) Class() FUClass {
+	switch in.Op {
+	case OpFAdd, OpFSub, OpFMul, OpFFma, OpFMin, OpFMax, OpI2F, OpF2I:
+		return FUFpu
+	case OpRcp, OpSqrt, OpEx2, OpLg2, OpSin, OpCos:
+		return FUSfu
+	case OpLd, OpSt, OpAtm:
+		return FUMem
+	case OpBra, OpSSY, OpSync, OpBar, OpExit, OpRet:
+		return FUCtrl
+	default:
+		return FUAlu
+	}
+}
+
+var opNames = [numOpcodes]string{
+	OpNop: "nop", OpMov: "mov", OpAdd: "add", OpSub: "sub", OpMul: "mul",
+	OpMad: "mad", OpShl: "shl", OpShr: "shr", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpMin: "min", OpMax: "max", OpAbs: "abs",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFFma: "ffma",
+	OpFMin: "fmin", OpFMax: "fmax", OpI2F: "i2f", OpF2I: "f2i",
+	OpRcp: "rcp", OpSqrt: "sqrt", OpEx2: "ex2", OpLg2: "lg2",
+	OpSin: "sin", OpCos: "cos", OpSetp: "setp", OpSel: "sel",
+	OpLd: "ld", OpSt: "st", OpAtm: "atom",
+	OpBra: "bra", OpSSY: "ssy", OpSync: "sync", OpBar: "bar",
+	OpExit: "exit", OpRet: "ret",
+}
+
+func (op Opcode) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Opcode(%d)", uint8(op))
+}
+
+var cmpNames = [...]string{
+	CmpEQ: "eq", CmpNE: "ne", CmpLT: "lt", CmpLE: "le", CmpGT: "gt", CmpGE: "ge",
+}
+
+func (c CmpOp) String() string {
+	if int(c) < len(cmpNames) {
+		return cmpNames[c]
+	}
+	return fmt.Sprintf("CmpOp(%d)", uint8(c))
+}
+
+var spaceNames = [...]string{
+	SpaceNone: "", SpaceGlobal: "global", SpaceShared: "shared",
+	SpaceLocal: "local", SpaceParam: "param",
+}
+
+func (s MemSpace) String() string {
+	if int(s) < len(spaceNames) {
+		return spaceNames[s]
+	}
+	return fmt.Sprintf("MemSpace(%d)", uint8(s))
+}
+
+var specNames = [...]string{
+	SpecNone: "%none", SpecTidX: "%tid.x", SpecCtaidX: "%ctaid.x",
+	SpecNtidX: "%ntid.x", SpecNctaidX: "%nctaid.x",
+	SpecLaneID: "%laneid", SpecWarpID: "%warpid",
+}
+
+func (s Special) String() string {
+	if int(s) < len(specNames) {
+		return specNames[s]
+	}
+	return fmt.Sprintf("Special(%d)", uint8(s))
+}
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case OpdReg:
+		if o.Reg == RegZero {
+			return "rz"
+		}
+		return fmt.Sprintf("r%d", o.Reg)
+	case OpdImm:
+		return fmt.Sprintf("0x%08x", o.Imm)
+	case OpdSpecial:
+		return o.Spec.String()
+	case OpdPred:
+		if o.Reg == PredTrue {
+			return "pt"
+		}
+		return fmt.Sprintf("p%d", o.Reg)
+	}
+	return "<none>"
+}
+
+// String renders the instruction in assembler syntax.
+func (in *Instruction) String() string {
+	s := ""
+	if in.PredReg != PredTrue {
+		neg := ""
+		if in.PredNeg {
+			neg = "!"
+		}
+		s = fmt.Sprintf("@%sp%d ", neg, in.PredReg)
+	}
+	s += in.Op.String()
+	if in.Op == OpSetp {
+		s += "." + in.Cmp.String()
+	}
+	if in.Space != SpaceNone {
+		s += "." + in.Space.String()
+	}
+	args := make([]string, 0, 5)
+	if in.HasDstPred {
+		args = append(args, Pred(in.DstPred).String())
+	}
+	if in.HasDst {
+		args = append(args, Reg(in.Dst).String())
+	}
+	switch in.Op {
+	case OpLd:
+		args = append(args, fmt.Sprintf("[%s+0x%x]", in.Srcs[0], in.ImmOff))
+	case OpSt:
+		args = append(args, fmt.Sprintf("[%s+0x%x]", in.Srcs[0], in.ImmOff), in.Srcs[1].String())
+	case OpAtm:
+		args = append(args, fmt.Sprintf("[%s+0x%x]", in.Srcs[0], in.ImmOff), in.Srcs[1].String())
+	case OpBra, OpSSY:
+		args = append(args, in.Label)
+	default:
+		for i := 0; i < in.NSrc; i++ {
+			args = append(args, in.Srcs[i].String())
+		}
+	}
+	for i, a := range args {
+		if i == 0 {
+			s += " " + a
+		} else {
+			s += ", " + a
+		}
+	}
+	return s
+}
+
+// Validate checks structural invariants of the instruction and returns a
+// descriptive error for malformed encodings.
+func (in *Instruction) Validate() error {
+	if in.Op >= numOpcodes {
+		return fmt.Errorf("isa: invalid opcode %d", in.Op)
+	}
+	if in.NSrc < 0 || in.NSrc > MaxSrcOperands {
+		return fmt.Errorf("isa: %s: NSrc %d out of range", in.Op, in.NSrc)
+	}
+	if in.PredReg >= NumPredRegs {
+		return fmt.Errorf("isa: %s: guard predicate p%d out of range", in.Op, in.PredReg)
+	}
+	if in.HasDst && in.Dst != RegZero && in.Dst >= NumArchRegs {
+		return fmt.Errorf("isa: %s: destination r%d out of range", in.Op, in.Dst)
+	}
+	if in.HasDstPred && in.DstPred >= NumPredRegs {
+		return fmt.Errorf("isa: %s: destination predicate p%d out of range", in.Op, in.DstPred)
+	}
+	for i := 0; i < in.NSrc; i++ {
+		o := in.Srcs[i]
+		if o.Kind == OpdReg && o.Reg != RegZero && o.Reg >= NumArchRegs {
+			return fmt.Errorf("isa: %s: source r%d out of range", in.Op, o.Reg)
+		}
+		if o.Kind == OpdPred && o.Reg >= NumPredRegs {
+			return fmt.Errorf("isa: %s: source predicate p%d out of range", in.Op, o.Reg)
+		}
+	}
+	switch in.Op {
+	case OpBra, OpSSY:
+		if in.Target < 0 {
+			return fmt.Errorf("isa: %s: unresolved target", in.Op)
+		}
+	case OpSetp:
+		if !in.HasDstPred {
+			return fmt.Errorf("isa: setp: missing destination predicate")
+		}
+	case OpLd, OpSt, OpAtm:
+		if in.Space == SpaceNone {
+			return fmt.Errorf("isa: %s: missing address space", in.Op)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOperandConstructors(t *testing.T) {
+	if o := Reg(5); o.Kind != OpdReg || o.Reg != 5 || !o.IsReg() {
+		t.Errorf("Reg(5) = %+v", o)
+	}
+	if o := Reg(RegZero); o.IsReg() {
+		t.Error("RZ should not count as a readable register")
+	}
+	if o := Imm(42); o.Kind != OpdImm || o.Imm != 42 {
+		t.Errorf("Imm(42) = %+v", o)
+	}
+	if o := Spec(SpecTidX); o.Kind != OpdSpecial || o.Spec != SpecTidX {
+		t.Errorf("Spec = %+v", o)
+	}
+	if o := Pred(3); o.Kind != OpdPred || o.Reg != 3 {
+		t.Errorf("Pred(3) = %+v", o)
+	}
+}
+
+func TestSrcRegsAndUnique(t *testing.T) {
+	in := Instruction{
+		Op: OpMad, HasDst: true, Dst: 1, PredReg: PredTrue,
+		Srcs: [MaxSrcOperands]Operand{Reg(2), Reg(2), Reg(3)}, NSrc: 3,
+	}
+	regs := in.SrcRegs(nil)
+	if len(regs) != 3 {
+		t.Fatalf("SrcRegs = %v, want 3 entries (duplicates kept)", regs)
+	}
+	u, n := in.UniqueSrcRegs()
+	if n != 2 || u[0] != 2 || u[1] != 3 {
+		t.Fatalf("UniqueSrcRegs = %v[%d], want [2 3]", u, n)
+	}
+
+	// Immediates and RZ don't count.
+	in2 := Instruction{
+		Op: OpAdd, HasDst: true, Dst: 1, PredReg: PredTrue,
+		Srcs: [MaxSrcOperands]Operand{Reg(RegZero), Imm(7)}, NSrc: 2,
+	}
+	if _, n := in2.UniqueSrcRegs(); n != 0 {
+		t.Errorf("RZ/imm counted as register sources")
+	}
+}
+
+func TestDstReg(t *testing.T) {
+	in := Instruction{Op: OpMov, HasDst: true, Dst: 9, PredReg: PredTrue}
+	if d, ok := in.DstReg(); !ok || d != 9 {
+		t.Errorf("DstReg = %d,%v", d, ok)
+	}
+	in.Dst = RegZero
+	if _, ok := in.DstReg(); ok {
+		t.Error("writing RZ should report no destination")
+	}
+	in.HasDst = false
+	if _, ok := in.DstReg(); ok {
+		t.Error("HasDst=false should report no destination")
+	}
+}
+
+func TestClassification(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		want FUClass
+	}{
+		{OpAdd, FUAlu}, {OpMov, FUAlu}, {OpSetp, FUAlu}, {OpSel, FUAlu},
+		{OpFAdd, FUFpu}, {OpFFma, FUFpu}, {OpI2F, FUFpu},
+		{OpRcp, FUSfu}, {OpSin, FUSfu}, {OpSqrt, FUSfu},
+		{OpLd, FUMem}, {OpSt, FUMem}, {OpAtm, FUMem},
+		{OpBra, FUCtrl}, {OpExit, FUCtrl}, {OpBar, FUCtrl},
+	}
+	for _, c := range cases {
+		in := Instruction{Op: c.op}
+		if got := in.Class(); got != c.want {
+			t.Errorf("%v.Class() = %v, want %v", c.op, got, c.want)
+		}
+	}
+	if !(&Instruction{Op: OpLd}).IsMem() || (&Instruction{Op: OpAdd}).IsMem() {
+		t.Error("IsMem misclassifies")
+	}
+	if !(&Instruction{Op: OpBra}).IsBranch() || !(&Instruction{Op: OpExit}).IsControl() {
+		t.Error("IsBranch/IsControl misclassify")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	in := Instruction{
+		Op: OpSetp, Cmp: CmpNE, HasDstPred: true, DstPred: 0, PredReg: PredTrue,
+		Srcs: [MaxSrcOperands]Operand{Reg(3), Reg(1)}, NSrc: 2,
+	}
+	s := in.String()
+	if !strings.Contains(s, "setp.ne") || !strings.Contains(s, "p0") {
+		t.Errorf("setp render: %q", s)
+	}
+	in2 := Instruction{
+		Op: OpLd, Space: SpaceGlobal, HasDst: true, Dst: 2, PredReg: 1, PredNeg: true,
+		Srcs: [MaxSrcOperands]Operand{Reg(8)}, NSrc: 1, ImmOff: 16,
+	}
+	s2 := in2.String()
+	if !strings.Contains(s2, "@!p1") || !strings.Contains(s2, "ld.global") ||
+		!strings.Contains(s2, "[r8+0x10]") {
+		t.Errorf("ld render: %q", s2)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Instruction{Op: OpAdd, HasDst: true, Dst: 1, PredReg: PredTrue,
+		Srcs: [MaxSrcOperands]Operand{Reg(2), Reg(3)}, NSrc: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid instruction rejected: %v", err)
+	}
+	bad := []Instruction{
+		{Op: numOpcodes, PredReg: PredTrue},
+		{Op: OpAdd, NSrc: 5, PredReg: PredTrue},
+		{Op: OpAdd, PredReg: 99},
+		{Op: OpBra, Target: -1, PredReg: PredTrue},
+		{Op: OpSetp, PredReg: PredTrue}, // missing dst pred
+		{Op: OpLd, PredReg: PredTrue},   // missing space
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("bad[%d] accepted: %+v", i, in)
+		}
+	}
+}
+
+// Property: UniqueSrcRegs never returns duplicates and is a subset of
+// SrcRegs, for arbitrary operand combinations.
+func TestUniqueSrcRegsProperty(t *testing.T) {
+	f := func(r1, r2, r3 uint8, k1, k2, k3 bool) bool {
+		mk := func(r uint8, isReg bool) Operand {
+			if isReg {
+				return Reg(r % NumArchRegs)
+			}
+			return Imm(uint32(r))
+		}
+		in := Instruction{
+			Op: OpMad, PredReg: PredTrue, NSrc: 3,
+			Srcs: [MaxSrcOperands]Operand{mk(r1, k1), mk(r2, k2), mk(r3, k3)},
+		}
+		u, n := in.UniqueSrcRegs()
+		seen := map[uint8]bool{}
+		for i := 0; i < n; i++ {
+			if seen[u[i]] {
+				return false // duplicate
+			}
+			seen[u[i]] = true
+		}
+		// Every unique reg must appear among the raw sources.
+		raw := in.SrcRegs(nil)
+		for i := 0; i < n; i++ {
+			found := false
+			for _, r := range raw {
+				if r == u[i] {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if OpMad.String() != "mad" || OpSetp.String() != "setp" {
+		t.Error("opcode names wrong")
+	}
+	if CmpLE.String() != "le" || SpaceShared.String() != "shared" {
+		t.Error("modifier names wrong")
+	}
+	if SpecCtaidX.String() != "%ctaid.x" {
+		t.Error("special names wrong")
+	}
+	if WBCollectorOnly.String() != "boc-only" || WBRegfileOnly.String() != "rf-only" {
+		t.Error("hint names wrong")
+	}
+	if Opcode(200).String() == "" || Special(99).String() == "" {
+		t.Error("out-of-range enums should still render")
+	}
+}

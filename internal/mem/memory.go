@@ -1,0 +1,141 @@
+// Package mem implements the memory substrate: the functional global
+// memory store, per-CTA shared memory, the L1/L2 cache timing model with
+// LRU set-associative tag arrays, and the per-warp access coalescer.
+//
+// Data always lives in the functional stores; the caches model timing
+// (hit/miss latency) only. This split keeps the functional oracle exact
+// while letting the timing model stay simple.
+package mem
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Memory is the chip-level functional global memory: a sparse
+// word-addressable store. Addresses are byte addresses; accesses are
+// 32-bit and must be 4-byte aligned.
+type Memory struct {
+	mu    sync.Mutex
+	words map[uint32]uint32
+}
+
+// NewMemory creates an empty global memory.
+func NewMemory() *Memory {
+	return &Memory{words: make(map[uint32]uint32)}
+}
+
+// Read32 loads the word at byte address addr.
+func (m *Memory) Read32(addr uint32) (uint32, error) {
+	if addr&3 != 0 {
+		return 0, fmt.Errorf("mem: misaligned 32-bit read at 0x%x", addr)
+	}
+	m.mu.Lock()
+	v := m.words[addr>>2]
+	m.mu.Unlock()
+	return v, nil
+}
+
+// Write32 stores v at byte address addr.
+func (m *Memory) Write32(addr, v uint32) error {
+	if addr&3 != 0 {
+		return fmt.Errorf("mem: misaligned 32-bit write at 0x%x", addr)
+	}
+	m.mu.Lock()
+	m.words[addr>>2] = v
+	m.mu.Unlock()
+	return nil
+}
+
+// AtomicAdd adds v to the word at addr and returns the previous value.
+func (m *Memory) AtomicAdd(addr, v uint32) (uint32, error) {
+	if addr&3 != 0 {
+		return 0, fmt.Errorf("mem: misaligned atomic at 0x%x", addr)
+	}
+	m.mu.Lock()
+	old := m.words[addr>>2]
+	m.words[addr>>2] = old + v
+	m.mu.Unlock()
+	return old, nil
+}
+
+// WriteWords bulk-initializes memory starting at byte address base.
+func (m *Memory) WriteWords(base uint32, vals []uint32) error {
+	for i, v := range vals {
+		if err := m.Write32(base+uint32(4*i), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadWords bulk-reads n words starting at byte address base.
+func (m *Memory) ReadWords(base uint32, n int) ([]uint32, error) {
+	out := make([]uint32, n)
+	for i := range out {
+		v, err := m.Read32(base + uint32(4*i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Snapshot returns a copy of all nonzero words (for the functional
+// oracle's end-state comparison).
+func (m *Memory) Snapshot() map[uint32]uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[uint32]uint32, len(m.words))
+	for k, v := range m.words {
+		if v != 0 {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// SharedMemory is one CTA's scratchpad: a dense word array.
+type SharedMemory struct {
+	words []uint32
+}
+
+// NewShared creates a scratchpad of the given byte size.
+func NewShared(bytes int) *SharedMemory {
+	return &SharedMemory{words: make([]uint32, (bytes+3)/4)}
+}
+
+// Read32 loads a word; out-of-range or misaligned accesses error.
+func (s *SharedMemory) Read32(addr uint32) (uint32, error) {
+	if addr&3 != 0 {
+		return 0, fmt.Errorf("mem: misaligned shared read at 0x%x", addr)
+	}
+	i := addr >> 2
+	if int(i) >= len(s.words) {
+		return 0, fmt.Errorf("mem: shared read out of range at 0x%x", addr)
+	}
+	return s.words[i], nil
+}
+
+// Write32 stores a word.
+func (s *SharedMemory) Write32(addr, v uint32) error {
+	if addr&3 != 0 {
+		return fmt.Errorf("mem: misaligned shared write at 0x%x", addr)
+	}
+	i := addr >> 2
+	if int(i) >= len(s.words) {
+		return fmt.Errorf("mem: shared write out of range at 0x%x", addr)
+	}
+	s.words[i] = v
+	return nil
+}
+
+// AtomicAdd adds v at addr, returning the old value.
+func (s *SharedMemory) AtomicAdd(addr, v uint32) (uint32, error) {
+	old, err := s.Read32(addr)
+	if err != nil {
+		return 0, err
+	}
+	return old, s.Write32(addr, old+v)
+}

@@ -1,0 +1,204 @@
+// Package regfile models the banked GPU register file of Fig. 2: 32
+// single-ported banks per SM, each holding 64 warp-registers of 128
+// bytes (32 lanes × 32 bits). Requests to the same bank in the same
+// cycle serialize (bank conflict); writes have priority over reads, as
+// in GPGPU-Sim's operand-collector model.
+//
+// The register file is both the functional value store (warp-register
+// values live here) and the timing model (per-bank request queues
+// drained one per cycle).
+package regfile
+
+import (
+	"fmt"
+
+	"bow/internal/core"
+)
+
+// Config sizes the register file.
+type Config struct {
+	NumBanks     int // banks per SM (Pascal: 32)
+	WarpRegsPerB int // warp-register entries per bank (Pascal: 64)
+	MaxWarps     int // hardware warp contexts per SM (Pascal: 32)
+	// AccessLatency is the depth of the read pipeline between the bank
+	// port and the collector: request arbitration, bank access, and the
+	// crossbar each take a stage. A read delivers its value this many
+	// cycles after winning its bank's port. Forwarded (bypassed)
+	// operands skip the whole pipeline — that asymmetry is where BOW's
+	// performance comes from.
+	AccessLatency int
+}
+
+// DefaultConfig is the TITAN X Pascal register file: 256 KB per SM with
+// a 3-stage read pipeline (arbitrate, access, crossbar).
+func DefaultConfig() Config {
+	return Config{NumBanks: 32, WarpRegsPerB: 64, MaxWarps: 32, AccessLatency: 3}
+}
+
+// SizeBytes is the total storage of the configured register file.
+func (c Config) SizeBytes() int {
+	return c.NumBanks * c.WarpRegsPerB * 128
+}
+
+// ReadCallback is invoked when a queued read completes, with the value
+// read.
+type ReadCallback func(val core.Value)
+
+type request struct {
+	isWrite bool
+	warp    int
+	reg     uint8
+	val     core.Value // for writes
+	cb      ReadCallback
+	queued  int64 // cycle the request was enqueued (conflict accounting)
+}
+
+// Stats counts register file traffic.
+type Stats struct {
+	Reads         int64 // bank read accesses served
+	Writes        int64 // bank write accesses served
+	BankConflicts int64 // cycles requests spent waiting behind a busy bank
+}
+
+// Accesses is total served bank accesses.
+func (s *Stats) Accesses() int64 { return s.Reads + s.Writes }
+
+// File is one SM's register file.
+type File struct {
+	cfg    Config
+	vals   [][]core.Value // [warp][reg]
+	queues [][]request    // per bank FIFO
+	cycle  int64
+	stats  Stats
+
+	// delayLine holds served reads traversing the crossbar pipeline.
+	delayLine []servedRead
+}
+
+type servedRead struct {
+	readyAt int64
+	val     core.Value
+	cb      ReadCallback
+}
+
+// New creates a register file with zeroed contents.
+func New(cfg Config) (*File, error) {
+	if cfg.NumBanks <= 0 || cfg.WarpRegsPerB <= 0 || cfg.MaxWarps <= 0 {
+		return nil, fmt.Errorf("regfile: invalid config %+v", cfg)
+	}
+	f := &File{cfg: cfg}
+	f.vals = make([][]core.Value, cfg.MaxWarps)
+	for w := range f.vals {
+		f.vals[w] = make([]core.Value, 256)
+	}
+	f.queues = make([][]request, cfg.NumBanks)
+	return f, nil
+}
+
+// Config returns the file's configuration.
+func (f *File) Config() Config { return f.cfg }
+
+// Stats returns a snapshot of the counters.
+func (f *File) Stats() Stats { return f.stats }
+
+// Bank returns the bank a warp-register maps to. Registers are striped
+// across banks with a per-warp interleave so different warps' same-
+// numbered registers land in different banks (standard GPGPU-Sim
+// layout).
+func (f *File) Bank(warp int, reg uint8) int {
+	return (int(reg) + warp) % f.cfg.NumBanks
+}
+
+// EnqueueRead queues a read of (warp, reg). cb runs when the bank port
+// serves the request.
+func (f *File) EnqueueRead(warp int, reg uint8, cb ReadCallback) {
+	b := f.Bank(warp, reg)
+	f.queues[b] = append(f.queues[b], request{
+		warp: warp, reg: reg, cb: cb, queued: f.cycle,
+	})
+}
+
+// EnqueueWrite queues a write of val to (warp, reg).
+func (f *File) EnqueueWrite(warp int, reg uint8, val core.Value) {
+	b := f.Bank(warp, reg)
+	f.queues[b] = append(f.queues[b], request{
+		isWrite: true, warp: warp, reg: reg, val: val, queued: f.cycle,
+	})
+}
+
+// Pending reports the number of outstanding requests across all banks.
+func (f *File) Pending() int {
+	n := 0
+	for _, q := range f.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// Cycle advances the register file one clock: each bank serves at most
+// one request, writes first (matching the write-priority arbitration of
+// the baseline architecture); served reads deliver their value after
+// the AccessLatency pipeline.
+func (f *File) Cycle() {
+	f.cycle++
+
+	// Drain matured reads from the crossbar pipeline.
+	kept := f.delayLine[:0]
+	for _, sr := range f.delayLine {
+		if sr.readyAt <= f.cycle {
+			if sr.cb != nil {
+				sr.cb(sr.val)
+			}
+		} else {
+			kept = append(kept, sr)
+		}
+	}
+	f.delayLine = kept
+
+	for b := range f.queues {
+		q := f.queues[b]
+		if len(q) == 0 {
+			continue
+		}
+		// Pick the first write if any, else the head read.
+		pick := 0
+		for i := range q {
+			if q[i].isWrite {
+				pick = i
+				break
+			}
+		}
+		req := q[pick]
+		copy(q[pick:], q[pick+1:])
+		f.queues[b] = q[:len(q)-1]
+
+		// Every remaining queued request waits a cycle behind this one.
+		f.stats.BankConflicts += int64(len(f.queues[b]))
+
+		if req.isWrite {
+			f.vals[req.warp][req.reg] = req.val
+			f.stats.Writes++
+		} else {
+			f.stats.Reads++
+			if f.cfg.AccessLatency <= 0 {
+				if req.cb != nil {
+					req.cb(f.vals[req.warp][req.reg])
+				}
+			} else {
+				f.delayLine = append(f.delayLine, servedRead{
+					readyAt: f.cycle + int64(f.cfg.AccessLatency),
+					val:     f.vals[req.warp][req.reg],
+					cb:      req.cb,
+				})
+			}
+		}
+	}
+}
+
+// Peek returns the stored value without timing effects (functional/oracle
+// access).
+func (f *File) Peek(warp int, reg uint8) core.Value { return f.vals[warp][reg] }
+
+// Poke stores a value without timing effects (initialization, direct
+// functional writes).
+func (f *File) Poke(warp int, reg uint8, val core.Value) { f.vals[warp][reg] = val }

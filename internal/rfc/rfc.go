@@ -1,0 +1,48 @@
+// Package rfc configures the Register File Cache comparator of the
+// paper's related-work evaluation (Gebhart et al., ISCA 2011 [13]): a
+// small per-warp cache in front of the register banks that all computed
+// results write into, with write-back of dirty victims on eviction.
+//
+// Two properties distinguish RFC from BOW (paper §V-A):
+//
+//  1. RFC is organized like the original RF — reads that hit still pass
+//     through the collector's single port one per cycle, so bank energy
+//     improves but port serialization (and thus performance) barely
+//     moves.
+//  2. Every result is written into the cache regardless of future reuse
+//     (no compiler hints), so redundant cache writes remain.
+//
+// Both are expressed through the core.Config this package builds: an
+// effectively unbounded instruction window (pure capacity-managed cache)
+// with ForwardThroughPort set.
+package rfc
+
+import "bow/internal/core"
+
+// DefaultEntriesPerWarp matches the paper's comparison configuration: 6
+// cached registers per thread, i.e. 6 warp-register entries per warp.
+const DefaultEntriesPerWarp = 6
+
+// noWindow is an instruction-window size far beyond any kernel length:
+// entries leave the cache only by capacity eviction, as in a real RFC.
+const noWindow = 1 << 30
+
+// Config returns the core configuration modeling an RFC with the given
+// number of warp-register entries per warp.
+func Config(entriesPerWarp int) core.Config {
+	if entriesPerWarp <= 0 {
+		entriesPerWarp = DefaultEntriesPerWarp
+	}
+	return core.Config{
+		IW:                 noWindow,
+		Capacity:           entriesPerWarp,
+		Policy:             core.PolicyWriteBack,
+		ForwardThroughPort: true,
+	}
+}
+
+// StorageBytes is the added storage of the RFC across an SM's warps:
+// entries × 128 B per warp.
+func StorageBytes(entriesPerWarp, warps int) int {
+	return entriesPerWarp * 128 * warps
+}

@@ -1,0 +1,62 @@
+package rfc
+
+import (
+	"testing"
+
+	"bow/internal/core"
+	"bow/internal/isa"
+)
+
+func TestConfig(t *testing.T) {
+	c := Config(6)
+	if c.Policy != core.PolicyWriteBack || !c.ForwardThroughPort {
+		t.Errorf("config = %+v", c)
+	}
+	if c.Capacity != 6 {
+		t.Errorf("capacity = %d", c.Capacity)
+	}
+	n, err := c.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Capacity != 6 || n.IW != noWindow {
+		t.Errorf("normalized = %+v", n)
+	}
+	if d := Config(0); d.Capacity != DefaultEntriesPerWarp {
+		t.Errorf("default entries = %d", d.Capacity)
+	}
+}
+
+func TestStorageBytes(t *testing.T) {
+	// 6 entries x 128B x 32 warps = 24 KB (the paper's RFC comparison
+	// point).
+	if got := StorageBytes(6, 32); got != 24*1024 {
+		t.Errorf("storage = %d, want 24KB", got)
+	}
+}
+
+// An RFC (no window) must never window-evict: values leave only by
+// capacity pressure.
+func TestRFCNeverWindowEvicts(t *testing.T) {
+	eng, err := core.NewEngine(Config(4), func(uint8, core.Value, core.WriteCause) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch 4 distinct registers, then 1000 unrelated instructions.
+	for r := uint8(1); r <= 4; r++ {
+		in := &isa.Instruction{Op: isa.OpMov, HasDst: true, Dst: r, PredReg: isa.PredTrue}
+		plan := eng.Advance(in)
+		eng.Writeback(r, core.Value{}, isa.WBBoth, plan.Seq)
+	}
+	nop := &isa.Instruction{Op: isa.OpNop, PredReg: isa.PredTrue}
+	for i := 0; i < 1000; i++ {
+		eng.Advance(nop)
+	}
+	if eng.Occupancy() != 4 {
+		t.Errorf("occupancy = %d, want 4 (no window eviction)", eng.Occupancy())
+	}
+	st := eng.Stats()
+	if st.RFWrites != 0 {
+		t.Errorf("RF writes = %d, want 0", st.RFWrites)
+	}
+}

@@ -1,0 +1,99 @@
+// Package scheduler implements the warp schedulers of one SM: GTO
+// (greedy-then-oldest, the paper's Table II policy) and LRR
+// (loose round-robin). Each scheduler owns a static partition of the
+// SM's warp contexts and, per cycle, ranks its ready warps for issue.
+package scheduler
+
+import "fmt"
+
+// Kind selects the scheduling policy.
+type Kind uint8
+
+// Scheduler kinds.
+const (
+	GTO Kind = iota
+	LRR
+)
+
+// ParseKind maps the config string to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "gto":
+		return GTO, nil
+	case "lrr":
+		return LRR, nil
+	}
+	return 0, fmt.Errorf("scheduler: unknown kind %q", s)
+}
+
+// Scheduler ranks the warps of one issue partition.
+type Scheduler struct {
+	kind  Kind
+	warps []int // warp IDs owned by this scheduler, in age order
+	// greedy is the warp GTO sticks with until it stalls.
+	greedy int
+	// rrNext is LRR's rotation cursor (index into warps).
+	rrNext int
+}
+
+// New creates a scheduler owning the given warp IDs (ordered oldest
+// first).
+func New(kind Kind, warps []int) *Scheduler {
+	return &Scheduler{kind: kind, warps: append([]int(nil), warps...), greedy: -1}
+}
+
+// Order returns the warp IDs in the priority order they should be
+// considered for issue this cycle. ready reports per warp whether it can
+// issue at all (the scheduler uses it to advance its greedy/rotation
+// state but still returns the full ranking; the issue stage re-checks
+// readiness per instruction).
+func (s *Scheduler) Order(ready func(warp int) bool) []int {
+	switch s.kind {
+	case GTO:
+		return s.orderGTO(ready)
+	default:
+		return s.orderLRR()
+	}
+}
+
+func (s *Scheduler) orderGTO(ready func(int) bool) []int {
+	out := make([]int, 0, len(s.warps))
+	// Greedy warp first while it remains ready; then oldest-first.
+	if s.greedy >= 0 && ready(s.greedy) {
+		out = append(out, s.greedy)
+	} else {
+		s.greedy = -1
+	}
+	for _, w := range s.warps {
+		if w == s.greedy {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func (s *Scheduler) orderLRR() []int {
+	out := make([]int, 0, len(s.warps))
+	n := len(s.warps)
+	for i := 0; i < n; i++ {
+		out = append(out, s.warps[(s.rrNext+i)%n])
+	}
+	return out
+}
+
+// Issued informs the scheduler that warp w issued this cycle, updating
+// greedy/rotation state.
+func (s *Scheduler) Issued(w int) {
+	switch s.kind {
+	case GTO:
+		s.greedy = w
+	default:
+		for i, x := range s.warps {
+			if x == w {
+				s.rrNext = (i + 1) % len(s.warps)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package scheduler
+
+import (
+	"testing"
+)
+
+func TestParseKind(t *testing.T) {
+	if k, err := ParseKind("gto"); err != nil || k != GTO {
+		t.Errorf("gto -> %v, %v", k, err)
+	}
+	if k, err := ParseKind("lrr"); err != nil || k != LRR {
+		t.Errorf("lrr -> %v, %v", k, err)
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("bogus kind accepted")
+	}
+}
+
+func TestGTOGreedy(t *testing.T) {
+	s := New(GTO, []int{0, 4, 8, 12})
+	allReady := func(int) bool { return true }
+
+	// Initially oldest-first.
+	order := s.Order(allReady)
+	if order[0] != 0 {
+		t.Errorf("initial order starts with %d, want 0", order[0])
+	}
+	// Warp 8 issues; GTO sticks with it while it stays ready.
+	s.Issued(8)
+	order = s.Order(allReady)
+	if order[0] != 8 {
+		t.Errorf("greedy warp not first: %v", order)
+	}
+	// When the greedy warp stalls, fall back to oldest-first.
+	order = s.Order(func(w int) bool { return w != 8 })
+	if order[0] != 0 {
+		t.Errorf("stalled greedy warp should yield oldest: %v", order)
+	}
+}
+
+func TestGTOOrderIsComplete(t *testing.T) {
+	s := New(GTO, []int{1, 3, 5})
+	s.Issued(3)
+	order := s.Order(func(int) bool { return true })
+	seen := map[int]bool{}
+	for _, w := range order {
+		seen[w] = true
+	}
+	if len(order) != 3 || !seen[1] || !seen[3] || !seen[5] {
+		t.Errorf("ranking incomplete: %v", order)
+	}
+}
+
+func TestLRRRotation(t *testing.T) {
+	s := New(LRR, []int{0, 1, 2, 3})
+	ready := func(int) bool { return true }
+	if got := s.Order(ready)[0]; got != 0 {
+		t.Errorf("first = %d, want 0", got)
+	}
+	s.Issued(0)
+	if got := s.Order(ready)[0]; got != 1 {
+		t.Errorf("after issuing 0, first = %d, want 1", got)
+	}
+	s.Issued(3)
+	if got := s.Order(ready)[0]; got != 0 {
+		t.Errorf("rotation wraps to %d, want 0", got)
+	}
+}

@@ -1,0 +1,130 @@
+// Package scoreboard tracks in-flight register hazards per warp: RAW
+// and WAW on general-purpose registers and predicates, plus WAR against
+// operands still being collected (a later write must not land before an
+// earlier instruction captured its sources).
+package scoreboard
+
+import (
+	"bow/internal/isa"
+)
+
+// Board is the hazard state of one SM (all warps).
+type Board struct {
+	pendingWrite []regBits  // per warp: GPRs with an in-flight writer
+	pendingPred  []uint8    // per warp: predicate regs with in-flight writer (bitmask)
+	pendingRead  [][256]int // per warp per reg: outstanding uncollected reads
+}
+
+type regBits [4]uint64
+
+func (b *regBits) has(r uint8) bool { return b[r>>6]&(1<<(r&63)) != 0 }
+func (b *regBits) set(r uint8)      { b[r>>6] |= 1 << (r & 63) }
+func (b *regBits) clear(r uint8)    { b[r>>6] &^= 1 << (r & 63) }
+
+// New creates a scoreboard for maxWarps warp contexts.
+func New(maxWarps int) *Board {
+	return &Board{
+		pendingWrite: make([]regBits, maxWarps),
+		pendingPred:  make([]uint8, maxWarps),
+		pendingRead:  make([][256]int, maxWarps),
+	}
+}
+
+// CanIssue reports whether the instruction is free of RAW, WAW and WAR
+// hazards for the given warp.
+func (s *Board) CanIssue(warp int, in *isa.Instruction) bool {
+	pw := &s.pendingWrite[warp]
+
+	// RAW: no source may have an in-flight writer.
+	var buf [isa.MaxSrcOperands]uint8
+	for _, r := range in.SrcRegs(buf[:0]) {
+		if pw.has(r) {
+			return false
+		}
+	}
+	// Predicate RAW: guard and predicate sources.
+	if in.PredReg != isa.PredTrue && s.pendingPred[warp]&(1<<in.PredReg) != 0 {
+		return false
+	}
+	for i := 0; i < in.NSrc; i++ {
+		o := in.Srcs[i]
+		if o.Kind == isa.OpdPred && o.Reg != isa.PredTrue &&
+			s.pendingPred[warp]&(1<<o.Reg) != 0 {
+			return false
+		}
+	}
+
+	if d, ok := in.DstReg(); ok {
+		// WAW.
+		if pw.has(d) {
+			return false
+		}
+		// WAR: an earlier instruction still collecting d must capture it
+		// before we overwrite.
+		if s.pendingRead[warp][d] > 0 {
+			return false
+		}
+		// A predicated write also reads the old value (merge).
+		if in.PredReg != isa.PredTrue && pw.has(d) {
+			return false
+		}
+	}
+	if in.HasDstPred && in.DstPred != isa.PredTrue {
+		if s.pendingPred[warp]&(1<<in.DstPred) != 0 {
+			return false // predicate WAW
+		}
+	}
+	return true
+}
+
+// Reserve records the instruction as issued: its destination becomes
+// pending and its register sources are counted as outstanding reads
+// until ReleaseReads.
+func (s *Board) Reserve(warp int, in *isa.Instruction) {
+	if d, ok := in.DstReg(); ok {
+		s.pendingWrite[warp].set(d)
+	}
+	if in.HasDstPred && in.DstPred != isa.PredTrue {
+		s.pendingPred[warp] |= 1 << in.DstPred
+	}
+	var buf [isa.MaxSrcOperands]uint8
+	for _, r := range in.SrcRegs(buf[:0]) {
+		s.pendingRead[warp][r]++
+	}
+}
+
+// ReleaseReads marks the instruction's source operands as captured.
+func (s *Board) ReleaseReads(warp int, in *isa.Instruction) {
+	var buf [isa.MaxSrcOperands]uint8
+	for _, r := range in.SrcRegs(buf[:0]) {
+		if s.pendingRead[warp][r] > 0 {
+			s.pendingRead[warp][r]--
+		}
+	}
+}
+
+// ReleaseWrite marks the instruction's destination as architecturally
+// visible (result produced).
+func (s *Board) ReleaseWrite(warp int, in *isa.Instruction) {
+	if d, ok := in.DstReg(); ok {
+		s.pendingWrite[warp].clear(d)
+	}
+	if in.HasDstPred && in.DstPred != isa.PredTrue {
+		s.pendingPred[warp] &^= 1 << in.DstPred
+	}
+}
+
+// Busy reports whether the warp has any in-flight state (used to drain
+// pipelines at barriers and exits).
+func (s *Board) Busy(warp int) bool {
+	pw := s.pendingWrite[warp]
+	if pw[0]|pw[1]|pw[2]|pw[3] != 0 || s.pendingPred[warp] != 0 {
+		return true
+	}
+	for _, c := range s.pendingRead[warp] {
+		if c > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+package scoreboard
+
+import (
+	"testing"
+
+	"bow/internal/isa"
+)
+
+func alu(dst uint8, srcs ...uint8) *isa.Instruction {
+	in := &isa.Instruction{Op: isa.OpAdd, HasDst: true, Dst: dst, PredReg: isa.PredTrue}
+	for _, s := range srcs {
+		in.Srcs[in.NSrc] = isa.Reg(s)
+		in.NSrc++
+	}
+	return in
+}
+
+func TestRAW(t *testing.T) {
+	b := New(4)
+	producer := alu(1, 2)
+	b.Reserve(0, producer)
+
+	consumer := alu(3, 1)
+	if b.CanIssue(0, consumer) {
+		t.Error("RAW hazard not detected")
+	}
+	b.ReleaseWrite(0, producer)
+	if !b.CanIssue(0, consumer) {
+		t.Error("hazard persists after release")
+	}
+}
+
+func TestWAW(t *testing.T) {
+	b := New(4)
+	first := alu(1, 2)
+	b.Reserve(0, first)
+	second := alu(1, 3)
+	if b.CanIssue(0, second) {
+		t.Error("WAW hazard not detected")
+	}
+	b.ReleaseWrite(0, first)
+	if !b.CanIssue(0, second) {
+		t.Error("WAW persists after release")
+	}
+}
+
+func TestWAR(t *testing.T) {
+	b := New(4)
+	reader := alu(3, 1) // reads r1
+	b.Reserve(0, reader)
+	writer := alu(1, 4) // writes r1
+	if b.CanIssue(0, writer) {
+		t.Error("WAR hazard not detected (reader still collecting)")
+	}
+	b.ReleaseReads(0, reader)
+	if !b.CanIssue(0, writer) {
+		t.Error("WAR persists after reads captured")
+	}
+}
+
+func TestPredicateHazards(t *testing.T) {
+	b := New(4)
+	setp := &isa.Instruction{Op: isa.OpSetp, HasDstPred: true, DstPred: 0,
+		PredReg: isa.PredTrue, Cmp: isa.CmpLT,
+		Srcs: [3]isa.Operand{isa.Reg(1), isa.Reg(2)}, NSrc: 2}
+	b.Reserve(0, setp)
+
+	guarded := alu(3, 4)
+	guarded.PredReg = 0
+	if b.CanIssue(0, guarded) {
+		t.Error("guard predicate RAW not detected")
+	}
+	setp2 := &isa.Instruction{Op: isa.OpSetp, HasDstPred: true, DstPred: 0,
+		PredReg: isa.PredTrue}
+	if b.CanIssue(0, setp2) {
+		t.Error("predicate WAW not detected")
+	}
+	sel := &isa.Instruction{Op: isa.OpSel, HasDst: true, Dst: 5, PredReg: isa.PredTrue,
+		Srcs: [3]isa.Operand{isa.Reg(1), isa.Reg(2), isa.Pred(0)}, NSrc: 3}
+	if b.CanIssue(0, sel) {
+		t.Error("predicate source RAW not detected")
+	}
+
+	b.ReleaseWrite(0, setp)
+	if !b.CanIssue(0, guarded) || !b.CanIssue(0, sel) {
+		t.Error("predicate hazards persist after release")
+	}
+}
+
+func TestWarpIsolation(t *testing.T) {
+	b := New(4)
+	b.Reserve(0, alu(1, 2))
+	if !b.CanIssue(1, alu(3, 1)) {
+		t.Error("hazard leaked across warps")
+	}
+}
+
+func TestBusy(t *testing.T) {
+	b := New(4)
+	if b.Busy(0) {
+		t.Error("fresh board busy")
+	}
+	in := alu(1, 2)
+	b.Reserve(0, in)
+	if !b.Busy(0) {
+		t.Error("board not busy after reserve")
+	}
+	b.ReleaseReads(0, in)
+	if !b.Busy(0) {
+		t.Error("pending write should keep board busy")
+	}
+	b.ReleaseWrite(0, in)
+	if b.Busy(0) {
+		t.Error("board busy after full release")
+	}
+}
+
+func TestRZNotTracked(t *testing.T) {
+	b := New(4)
+	in := &isa.Instruction{Op: isa.OpMov, HasDst: true, Dst: isa.RegZero,
+		PredReg: isa.PredTrue, Srcs: [3]isa.Operand{isa.Imm(1)}, NSrc: 1}
+	b.Reserve(0, in)
+	if b.Busy(0) {
+		t.Error("RZ write tracked as hazard")
+	}
+}

@@ -1,0 +1,375 @@
+package sm
+
+import (
+	"fmt"
+	"sort"
+
+	"bow/internal/core"
+	"bow/internal/exec"
+	"bow/internal/isa"
+	"bow/internal/mem"
+)
+
+// coreValue aliases the warp-wide value type for brevity.
+type coreValue = core.Value
+
+// dispatch sends collected instructions to the functional units,
+// oldest-issued first so no collector starves when many warps become
+// ready in the same cycle.
+func (s *SM) dispatch() {
+	ready := s.readyScratch[:0]
+	for _, w := range s.warps {
+		for _, f := range w.collectors {
+			if !f.ready {
+				if !f.collected() {
+					continue
+				}
+				f.ready = true
+				f.collectCycle = s.cycle
+				s.sb.ReleaseReads(w.slot, f.in)
+			}
+			ready = append(ready, f)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool {
+		if ready[i].issueCycle != ready[j].issueCycle {
+			return ready[i].issueCycle < ready[j].issueCycle
+		}
+		return ready[i].warp.slot < ready[j].warp.slot
+	})
+	for _, f := range ready {
+		if !s.pipes.TryIssue(f.in.Class()) {
+			s.st.FUStalls++
+			continue
+		}
+		f.dispatchCycle = s.cycle
+		removeCollector(f.warp, f)
+		s.busyCollectors--
+		if err := s.execute(f); err != nil {
+			// Functional faults abort the simulation loudly: they mean a
+			// kernel or pipeline bug, never a recoverable condition.
+			panic(fmt.Sprintf("sm %d cycle %d: %v (inst %s)", s.id, s.cycle, err, f.in))
+		}
+	}
+	s.readyScratch = ready[:0]
+}
+
+// removeCollector frees the operand-collector slot of a dispatched
+// instruction, preserving issue order of the rest.
+func removeCollector(w *warpCtx, f *inflight) {
+	for i, x := range w.collectors {
+		if x == f {
+			w.collectors = append(w.collectors[:i], w.collectors[i+1:]...)
+			return
+		}
+	}
+}
+
+// execute performs the functional operation and schedules completion.
+func (s *SM) execute(f *inflight) error {
+	in := f.in
+	w := f.warp
+
+	// Apply the guard predicate.
+	mask := f.execMask
+	if in.PredReg != isa.PredTrue {
+		mask &= w.predBits(in.PredReg, in.PredNeg)
+	}
+
+	switch in.Op {
+	case isa.OpLd, isa.OpSt, isa.OpAtm:
+		return s.executeMem(f, mask)
+	case isa.OpBra:
+		s.executeBranch(f, mask)
+		return nil
+	case isa.OpExit, isa.OpRet:
+		lat := s.pipes.Latency(isa.FUCtrl)
+		s.after(lat, func() {
+			w.exitLanes(mask)
+			w.stalled = false
+			s.completeNoDest(f)
+			if w.top() == nil {
+				s.warpExited(w)
+			}
+		})
+		return nil
+	case isa.OpBar:
+		lat := s.pipes.Latency(isa.FUCtrl)
+		s.after(lat, func() {
+			s.completeNoDest(f)
+			s.barrierArrive(w)
+		})
+		return nil
+	case isa.OpSSY, isa.OpSync, isa.OpNop:
+		lat := s.pipes.Latency(isa.FUCtrl)
+		s.after(lat, func() { s.completeNoDest(f) })
+		return nil
+	}
+
+	// ALU / FPU / SFU.
+	result, predOut, err := exec.Eval(in, f.srcVals, f.predSrc, mask)
+	if err != nil {
+		return err
+	}
+	lat := s.pipes.Latency(in.Class())
+	s.after(lat, func() {
+		if in.HasDstPred {
+			old := w.preds[in.DstPred]
+			w.preds[in.DstPred] = (old &^ mask) | (predOut & mask)
+		}
+		s.writeback(f, result, mask)
+	})
+	return nil
+}
+
+// executeBranch resolves control flow at execute time and unstalls the
+// warp.
+func (s *SM) executeBranch(f *inflight, mask uint32) {
+	in := f.in
+	w := f.warp
+	lat := s.pipes.Latency(isa.FUCtrl)
+	s.after(lat, func() {
+		t := w.top()
+		if t != nil {
+			taken := mask
+			notTaken := f.execMask &^ taken
+			switch {
+			case taken == 0:
+				// Fall through: pc already advanced.
+			case notTaken == 0:
+				t.pc = in.Target
+			default:
+				// Divergence: continue on the taken path; the not-taken
+				// path and the reconvergence continuation are stacked.
+				rpc, ok := s.kernel.Reconv[in.PC]
+				if !ok {
+					rpc = len(s.kernel.Program.Code)
+				}
+				fall := t.pc // already advanced past the branch
+				t.pc = rpc
+				w.stack = append(w.stack,
+					simtEntry{pc: fall, rpc: rpc, mask: notTaken},
+					simtEntry{pc: in.Target, rpc: rpc, mask: taken},
+				)
+				s.st.Divergences++
+			}
+		}
+		w.stalled = false
+		s.completeNoDest(f)
+	})
+}
+
+// executeMem performs address generation, coalescing, functional memory
+// access, and schedules the (possibly long-latency) completion.
+func (s *SM) executeMem(f *inflight, mask uint32) error {
+	in := f.in
+	w := f.warp
+
+	if mask == 0 {
+		s.after(1, func() {
+			if _, ok := in.DstReg(); ok {
+				// Predicated-off load: destination unchanged; still must
+				// release the scoreboard.
+				s.writeback(f, f.oldDst, 0)
+				return
+			}
+			s.completeNoDest(f)
+		})
+		return nil
+	}
+
+	// Per-lane byte addresses.
+	var addrs [isa.WarpSize]uint32
+	for l := 0; l < isa.WarpSize; l++ {
+		if mask&(1<<uint(l)) != 0 {
+			addrs[l] = f.srcVals[0][l] + in.ImmOff
+		}
+	}
+
+	latency := 0
+	countTxn := func(n int) {
+		s.st.MemTransactions += int64(n)
+	}
+
+	var result coreValue
+	var ferr error
+	switch in.Space {
+	case isa.SpaceGlobal:
+		segs := mem.Coalesce(addrs[:], mask, s.gcfg.L1LineBytes)
+		countTxn(len(segs))
+		for i, seg := range segs {
+			var l int
+			if in.Op == isa.OpSt {
+				l = s.hier.StoreLatency(seg)
+			} else {
+				l = s.hier.LoadLatency(seg)
+			}
+			if l+i > latency { // serialization: one transaction per cycle
+				latency = l + i
+			}
+		}
+		ferr = s.accessGlobal(f, mask, addrs[:], &result)
+	case isa.SpaceShared:
+		cta := s.ctas[w.ctaID]
+		latency = s.gcfg.L1HitCycles // scratchpad ~ L1 latency
+		countTxn(1)
+		ferr = s.accessShared(cta.shared, f, mask, addrs[:], &result)
+	case isa.SpaceLocal:
+		// Local memory: per-thread backing in global space.
+		base := func(l int) uint32 {
+			gtid := uint32(w.ctaID)*uint32(s.kernel.BlockDim) + uint32(w.warpInCTA*isa.WarpSize+l)
+			return 0x8000_0000 + gtid*0x1_0000
+		}
+		var laddrs [isa.WarpSize]uint32
+		for l := range laddrs {
+			if mask&(1<<uint(l)) != 0 {
+				laddrs[l] = base(l) + addrs[l]
+			}
+		}
+		segs := mem.Coalesce(laddrs[:], mask, s.gcfg.L1LineBytes)
+		countTxn(len(segs))
+		for i, seg := range segs {
+			l := s.hier.LoadLatency(seg)
+			if l+i > latency {
+				latency = l + i
+			}
+		}
+		ferr = s.accessGlobal(f, mask, laddrs[:], &result)
+	case isa.SpaceParam:
+		latency = 8 // constant cache
+		countTxn(1)
+		for l := 0; l < isa.WarpSize; l++ {
+			if mask&(1<<uint(l)) == 0 {
+				continue
+			}
+			idx := int(addrs[l] / 4)
+			if idx < 0 || idx >= len(s.kernel.Params) {
+				return fmt.Errorf("param read out of range: offset 0x%x", addrs[l])
+			}
+			result[l] = s.kernel.Params[idx]
+		}
+	default:
+		return fmt.Errorf("unsupported memory space %v", in.Space)
+	}
+	if ferr != nil {
+		return ferr
+	}
+
+	isLoad := in.Op == isa.OpLd || in.Op == isa.OpAtm
+	s.after(latency, func() {
+		if isLoad {
+			s.writeback(f, result, mask)
+		} else {
+			s.completeNoDest(f)
+		}
+	})
+	return nil
+}
+
+// accessGlobal performs the functional global-memory operation.
+func (s *SM) accessGlobal(f *inflight, mask uint32, addrs []uint32, result *coreValue) error {
+	in := f.in
+	for l := 0; l < isa.WarpSize; l++ {
+		if mask&(1<<uint(l)) == 0 {
+			continue
+		}
+		switch in.Op {
+		case isa.OpLd:
+			v, err := s.global.Read32(addrs[l])
+			if err != nil {
+				return err
+			}
+			result[l] = v
+		case isa.OpSt:
+			if err := s.global.Write32(addrs[l], f.srcVals[1][l]); err != nil {
+				return err
+			}
+		case isa.OpAtm:
+			old, err := s.global.AtomicAdd(addrs[l], f.srcVals[1][l])
+			if err != nil {
+				return err
+			}
+			result[l] = old
+		}
+	}
+	return nil
+}
+
+// accessShared performs the functional scratchpad operation.
+func (s *SM) accessShared(sh *mem.SharedMemory, f *inflight, mask uint32, addrs []uint32, result *coreValue) error {
+	in := f.in
+	for l := 0; l < isa.WarpSize; l++ {
+		if mask&(1<<uint(l)) == 0 {
+			continue
+		}
+		switch in.Op {
+		case isa.OpLd:
+			v, err := sh.Read32(addrs[l])
+			if err != nil {
+				return err
+			}
+			result[l] = v
+		case isa.OpSt:
+			if err := sh.Write32(addrs[l], f.srcVals[1][l]); err != nil {
+				return err
+			}
+		case isa.OpAtm:
+			old, err := sh.AtomicAdd(addrs[l], f.srcVals[1][l])
+			if err != nil {
+				return err
+			}
+			result[l] = old
+		}
+	}
+	return nil
+}
+
+// writeback delivers a destination-register result: the architectural
+// value is merged lane-wise, handed to the window engine (which decides
+// BOC/RF placement per policy and hint), and the scoreboard releases the
+// dependents.
+func (s *SM) writeback(f *inflight, result coreValue, mask uint32) {
+	in := f.in
+	w := f.warp
+
+	if d, ok := in.DstReg(); ok {
+		merged := exec.Merge(f.oldDst, result, mask)
+		s.engines[w.slot].Writeback(d, merged, in.WBHint, f.seq)
+		s.st.WritebacksByHint[in.WBHint]++
+	}
+	s.sb.ReleaseWrite(w.slot, in)
+	s.complete(f)
+}
+
+// completeNoDest finishes an instruction without a register result.
+func (s *SM) completeNoDest(f *inflight) {
+	s.sb.ReleaseWrite(f.warp.slot, f.in) // releases dst-pred if any
+	s.complete(f)
+}
+
+// complete records end-of-life statistics for the instruction. The
+// operand-collection residency is issue-to-collected (the paper's OC
+// stage: waiting on bank reads through the single collector port);
+// waiting for a free functional unit afterwards is not collection time.
+func (s *SM) complete(f *inflight) {
+	s.st.Executed++
+	total := s.cycle - f.issueCycle
+	oc := f.collectCycle - f.issueCycle
+	if total < 1 {
+		total = 1
+	}
+	if oc < 0 {
+		oc = 0
+	}
+	s.st.TotalInstCycles += total
+	s.st.OCStageCycles += oc
+	if f.in.IsMem() {
+		s.st.MemInsts++
+		s.st.MemTotalCycles += total
+		s.st.MemOCCycles += oc
+	} else {
+		s.st.NonMemInsts++
+		s.st.NonMemTotalCycles += total
+		s.st.NonMemOCCycles += oc
+	}
+}

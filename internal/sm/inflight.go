@@ -1,0 +1,84 @@
+package sm
+
+import (
+	"bow/internal/core"
+	"bow/internal/isa"
+)
+
+// inflight is one warp instruction traversing the pipeline from issue to
+// completion.
+type inflight struct {
+	in   *isa.Instruction
+	warp *warpCtx
+	seq  int64 // window sequence number (engine Advance)
+
+	execMask uint32 // SIMT frame mask at issue (guard applied at dispatch)
+
+	issueCycle    int64
+	collectCycle  int64 // all operands captured
+	dispatchCycle int64
+
+	// Operand values in operand-slot order.
+	srcVals [isa.MaxSrcOperands]core.Value
+	// oldDst is the destination's value at issue time, the merge base
+	// for predicated/divergent partial writes. It is final by issue
+	// time: the scoreboard's WAW check admits no other in-flight writer.
+	oldDst core.Value
+	// predSrc holds the per-lane bits of a predicate source (sel).
+	predSrc uint32
+
+	// outstanding counts register source operands not yet captured.
+	outstanding int
+	// deliveries buffers RF reads that arrived but haven't passed through
+	// the collector's single port yet (one consumed per cycle).
+	deliveries []delivery
+
+	ready bool // operands complete, awaiting a functional-unit slot
+}
+
+type delivery struct {
+	slots []int // operand slots this register feeds
+	val   core.Value
+}
+
+// consumeDelivery moves one buffered RF delivery into the operand slots
+// (the collector is single-ported: one operand per cycle).
+func (f *inflight) consumeDelivery() {
+	if len(f.deliveries) == 0 {
+		return
+	}
+	d := f.deliveries[0]
+	f.deliveries = f.deliveries[1:]
+	for _, s := range d.slots {
+		f.srcVals[s] = d.val
+	}
+	f.outstanding--
+}
+
+// fillReg records a forwarded (bypassed) register value directly into
+// its operand slots — forwarding bypasses the collector port.
+func (f *inflight) fillReg(reg uint8, val core.Value) {
+	for i := 0; i < f.in.NSrc; i++ {
+		o := f.in.Srcs[i]
+		if o.Kind == isa.OpdReg && o.Reg == reg {
+			f.srcVals[i] = val
+		}
+	}
+}
+
+// slotsOf returns the operand slots reading register reg.
+func (f *inflight) slotsOf(reg uint8) []int {
+	var out []int
+	for i := 0; i < f.in.NSrc; i++ {
+		o := f.in.Srcs[i]
+		if o.Kind == isa.OpdReg && o.Reg == reg {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// collected reports whether every operand has been captured.
+func (f *inflight) collected() bool {
+	return f.outstanding == 0 && len(f.deliveries) == 0
+}

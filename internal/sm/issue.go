@@ -1,0 +1,171 @@
+package sm
+
+import (
+	"bow/internal/exec"
+	"bow/internal/isa"
+)
+
+// canIssueWarp reports whether the warp can accept a new instruction
+// this cycle (structural conditions; per-instruction hazards are checked
+// against the scoreboard after fetching).
+func (s *SM) canIssueWarp(w *warpCtx) bool {
+	if w.ctaID < 0 || w.done || w.stalled || len(w.collectors) >= collectorsPerWarp {
+		return false
+	}
+	if s.busyCollectors >= s.gcfg.NumOCUs {
+		return false // operand-collector pool exhausted
+	}
+	return w.top() != nil
+}
+
+// collectorsPerWarp is how many in-flight instructions of one warp may
+// occupy operand collectors simultaneously (dual issue).
+const collectorsPerWarp = 2
+
+// issue runs every warp scheduler for one cycle.
+func (s *SM) issue() {
+	for _, sched := range s.scheds {
+		issued := 0
+		for _, wid := range sched.Order(func(wid int) bool { return s.canIssueWarp(s.warps[wid]) }) {
+			if issued >= s.gcfg.IssuePerSched {
+				break
+			}
+			w := s.warps[wid]
+			if !s.canIssueWarp(w) {
+				continue
+			}
+			t := w.top()
+			if t == nil {
+				s.warpExited(w)
+				continue
+			}
+			if t.pc >= len(s.kernel.Program.Code) {
+				// Fell off the end: treat as exit.
+				w.exitLanes(t.mask)
+				if w.top() == nil {
+					s.warpExited(w)
+				}
+				continue
+			}
+			in := &s.kernel.Program.Code[t.pc]
+			if !s.sb.CanIssue(wid, in) {
+				s.st.ScoreboardStalls++
+				continue
+			}
+			s.issueInstruction(w, t, in)
+			sched.Issued(wid)
+			issued++
+		}
+	}
+}
+
+// issueInstruction moves one instruction into the operand-collection
+// stage: the window engine slides (possibly evicting values to the RF),
+// forwarded operands are captured immediately, and RF reads are enqueued
+// to the banks.
+func (s *SM) issueInstruction(w *warpCtx, t *simtEntry, in *isa.Instruction) {
+	s.sb.Reserve(w.slot, in)
+	w.issued++
+
+	f := &inflight{
+		in:         in,
+		warp:       w,
+		execMask:   t.mask,
+		issueCycle: s.cycle,
+	}
+
+	// Control flow: stall the warp until resolution.
+	if in.Op == isa.OpBra || in.Op == isa.OpExit || in.Op == isa.OpRet || in.Op == isa.OpBar {
+		w.stalled = true
+	}
+	// Advance the PC now; branches overwrite it at resolution.
+	t.pc++
+
+	// Fig. 8: number of distinct register source operands.
+	_, nsrc := in.UniqueSrcRegs()
+	s.st.SrcOperands.Observe(nsrc)
+
+	// Capture the destination's current value before the window slides:
+	// it is the merge base for partial (predicated/divergent) writes and
+	// must be read while a superseded window entry still holds it.
+	if d, ok := in.DstReg(); ok {
+		f.oldDst = s.effectiveValue(w.slot, d)
+	}
+
+	// Slide the window. Evictions enqueue RF writes through the engine
+	// sink; forwarded operands fill instantly (multi-operand forwarding).
+	eng := s.engines[w.slot]
+	plan := eng.Advance(in)
+	f.seq = plan.Seq
+
+	if s.bcfg.ForwardThroughPort {
+		// RFC comparator mode: the cache is organized like the RF, so a
+		// hit avoids the bank port but still traverses the same
+		// arbitration/crossbar pipeline and the collector's single port
+		// — only bank conflicts are saved (paper §V-A).
+		f.outstanding = plan.NNeedRF + plan.NBypassed
+		for i := 0; i < plan.NBypassed; i++ {
+			reg := plan.BypassedRegs[i]
+			slots := f.slotsOf(reg)
+			val := plan.Bypassed[i]
+			s.after(s.gcfg.RFAccessLat, func() {
+				f.deliveries = append(f.deliveries, delivery{slots: slots, val: val})
+			})
+		}
+	} else {
+		for i := 0; i < plan.NBypassed; i++ {
+			f.fillReg(plan.BypassedRegs[i], plan.Bypassed[i])
+		}
+		f.outstanding = plan.NNeedRF
+	}
+	for i := 0; i < plan.NNeedRF; i++ {
+		reg := plan.NeedRF[i]
+		slots := f.slotsOf(reg)
+		seq := plan.Seq
+		wslot := w.slot
+		s.rf.EnqueueRead(wslot, reg, func(val coreValue) {
+			f.deliveries = append(f.deliveries, delivery{slots: slots, val: val})
+			s.engines[wslot].FillFromRF(reg, val, seq)
+			// Serve every later instruction merged into this fill.
+			for _, wf := range w.fillWaiters[reg] {
+				wf.deliveries = append(wf.deliveries, delivery{slots: wf.slotsOf(reg), val: val})
+			}
+			delete(w.fillWaiters, reg)
+		})
+	}
+
+	// Operands merged into an earlier in-flight fill (request merging in
+	// the BOC): no new bank read; the value arrives with that fill
+	// through this collector's own port.
+	for i := 0; i < plan.NPendingRegs; i++ {
+		reg := plan.PendingRegs[i]
+		w.fillWaiters[reg] = append(w.fillWaiters[reg], f)
+		f.outstanding++
+	}
+
+	// Non-register operands resolve immediately.
+	for i := 0; i < in.NSrc; i++ {
+		o := in.Srcs[i]
+		switch o.Kind {
+		case isa.OpdImm:
+			f.srcVals[i] = exec.Broadcast(o.Imm)
+		case isa.OpdSpecial:
+			f.srcVals[i] = s.specialValue(w, o.Spec)
+		case isa.OpdPred:
+			f.predSrc = w.preds[o.Reg]
+		case isa.OpdReg:
+			if o.Reg == isa.RegZero {
+				f.srcVals[i] = coreValue{}
+			}
+		}
+	}
+
+	w.collectors = append(w.collectors, f)
+	s.busyCollectors++
+	s.st.Issued++
+
+	if s.CaptureTrace {
+		key := [2]int{w.ctaID, w.warpInCTA}
+		s.Traces[key] = append(s.Traces[key], in)
+	}
+}

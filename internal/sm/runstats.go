@@ -1,0 +1,124 @@
+package sm
+
+import (
+	"bow/internal/stats"
+)
+
+// RunStats aggregates the per-SM measurements the experiments consume.
+type RunStats struct {
+	Cycles   int64
+	Issued   int64
+	Executed int64
+
+	CTAsRetired int64
+
+	ScoreboardStalls int64
+	FUStalls         int64
+	Divergences      int64
+
+	MemTransactions int64
+
+	// Operand-collection residency (Figs. 4 and 12).
+	TotalInstCycles   int64
+	OCStageCycles     int64
+	MemInsts          int64
+	MemTotalCycles    int64
+	MemOCCycles       int64
+	NonMemInsts       int64
+	NonMemTotalCycles int64
+	NonMemOCCycles    int64
+
+	// WritebacksByHint counts dynamic destination writes by compiler
+	// class (Fig. 7). Indexed by isa.WritebackHint.
+	WritebacksByHint [3]int64
+
+	// OccupancyBOC samples live BOC entries per active warp-cycle
+	// (Fig. 9). OccupancyOCU is reserved for baseline collector
+	// occupancy. SrcOperands histograms distinct register source operands
+	// per instruction (Fig. 8).
+	OccupancyBOC *stats.Histogram
+	OccupancyOCU *stats.Histogram
+	SrcOperands  *stats.Histogram
+}
+
+// IPC returns executed warp instructions per cycle.
+func (r *RunStats) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Executed) / float64(r.Cycles)
+}
+
+// OCShare returns the fraction of instruction lifetime spent in the
+// operand-collection stage.
+func (r *RunStats) OCShare() float64 {
+	if r.TotalInstCycles == 0 {
+		return 0
+	}
+	return float64(r.OCStageCycles) / float64(r.TotalInstCycles)
+}
+
+// MemOCShare and NonMemOCShare split OCShare by instruction kind
+// (Fig. 4).
+func (r *RunStats) MemOCShare() float64 {
+	if r.MemTotalCycles == 0 {
+		return 0
+	}
+	return float64(r.MemOCCycles) / float64(r.MemTotalCycles)
+}
+
+// NonMemOCShare is the OC-stage share for non-memory instructions.
+func (r *RunStats) NonMemOCShare() float64 {
+	if r.NonMemTotalCycles == 0 {
+		return 0
+	}
+	return float64(r.NonMemOCCycles) / float64(r.NonMemTotalCycles)
+}
+
+// Merge accumulates o into r (multi-SM aggregation).
+func (r *RunStats) Merge(o *RunStats) {
+	r.Cycles = maxI64(r.Cycles, o.Cycles)
+	r.Issued += o.Issued
+	r.Executed += o.Executed
+	r.CTAsRetired += o.CTAsRetired
+	r.ScoreboardStalls += o.ScoreboardStalls
+	r.FUStalls += o.FUStalls
+	r.Divergences += o.Divergences
+	r.MemTransactions += o.MemTransactions
+	r.TotalInstCycles += o.TotalInstCycles
+	r.OCStageCycles += o.OCStageCycles
+	r.MemInsts += o.MemInsts
+	r.MemTotalCycles += o.MemTotalCycles
+	r.MemOCCycles += o.MemOCCycles
+	r.NonMemInsts += o.NonMemInsts
+	r.NonMemTotalCycles += o.NonMemTotalCycles
+	r.NonMemOCCycles += o.NonMemOCCycles
+	for i := range r.WritebacksByHint {
+		r.WritebacksByHint[i] += o.WritebacksByHint[i]
+	}
+	if r.OccupancyBOC == nil {
+		r.OccupancyBOC = stats.NewHistogram()
+	}
+	if o.OccupancyBOC != nil {
+		r.OccupancyBOC.Merge(o.OccupancyBOC)
+	}
+	if r.OccupancyOCU == nil {
+		r.OccupancyOCU = stats.NewHistogram()
+	}
+	if o.OccupancyOCU != nil {
+		r.OccupancyOCU.Merge(o.OccupancyOCU)
+	}
+	if r.SrcOperands == nil {
+		r.SrcOperands = stats.NewHistogram()
+	}
+	if o.SrcOperands != nil {
+		r.SrcOperands.Merge(o.SrcOperands)
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

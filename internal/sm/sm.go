@@ -1,0 +1,311 @@
+// Package sm implements the streaming-multiprocessor timing pipeline:
+// warp scheduling and issue, operand collection (baseline OCUs or BOW's
+// bypassing operand collectors), functional execution, the memory
+// pipeline, and write-back — a cycle-driven model of the architecture in
+// the paper's Figs. 2 and 5.
+//
+// The pipeline is simultaneously functional and timed: operand values
+// flow through the same structures the timing model charges for, so a
+// bookkeeping bug in the bypass logic shows up as a wrong architectural
+// result, not just a wrong cycle count.
+package sm
+
+import (
+	"fmt"
+
+	"bow/internal/asm"
+	"bow/internal/config"
+	"bow/internal/core"
+	"bow/internal/exec"
+	"bow/internal/isa"
+	"bow/internal/mem"
+	"bow/internal/regfile"
+	"bow/internal/scheduler"
+	"bow/internal/scoreboard"
+	"bow/internal/stats"
+)
+
+// Kernel is a launched grid.
+type Kernel struct {
+	Program   *asm.Program
+	GridDim   int // CTAs in the grid
+	BlockDim  int // threads per CTA (multiple of 32 recommended)
+	SharedLen int // shared memory bytes per CTA
+	// Params are the kernel parameters, readable with ld.param at byte
+	// offsets 0,4,8...
+	Params []uint32
+	// Reconv maps branch PCs to reconvergence PCs (filled by Prepare).
+	Reconv map[int]int
+}
+
+// WarpsPerCTA returns the warp count of one CTA.
+func (k *Kernel) WarpsPerCTA() int {
+	return (k.BlockDim + isa.WarpSize - 1) / isa.WarpSize
+}
+
+// Prepare computes the reconvergence table. It must be called once
+// before launching.
+func (k *Kernel) Prepare() error {
+	cfg, err := buildCFG(k.Program)
+	if err != nil {
+		return err
+	}
+	k.Reconv = cfg.ReconvergencePCs()
+	return nil
+}
+
+// ctaWork is one thread block assigned to the SM.
+type ctaWork struct {
+	ctaID    int // global CTA index within the grid
+	shared   *mem.SharedMemory
+	warps    []int // SM warp slots used
+	arrived  int   // barrier arrivals
+	liveWarp int   // warps not yet exited
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	id   int
+	gcfg config.GPU
+	bcfg core.Config // BOW window configuration (policy baseline disables)
+
+	kernel *Kernel
+	global *mem.Memory
+	hier   *mem.Hierarchy
+
+	rf     *regfile.File
+	sb     *scoreboard.Board
+	pipes  *exec.Pipes
+	scheds []*scheduler.Scheduler
+
+	warps   []*warpCtx
+	engines []*core.Engine // one BOC window engine per warp slot
+	ctas    map[int]*ctaWork
+
+	cycle  int64
+	events map[int64][]func()
+
+	// Pending CTA-issue bookkeeping.
+	freeWarpSlots int
+	freeTBSlots   int
+
+	st RunStats
+
+	// readyScratch is reused by dispatch to avoid per-cycle allocation.
+	readyScratch []*inflight
+
+	// busyCollectors counts operand collectors in use across the SM; the
+	// pool (gcfg.NumOCUs) gates issue.
+	busyCollectors int
+
+	// RegSnapshots, when enabled, captures each warp's effective
+	// register values at exit, keyed by (ctaID, warpInCTA).
+	CaptureRegs  bool
+	RegSnapshots map[[2]int][]core.Value
+
+	// CaptureTrace, when enabled, records each warp's issue-ordered
+	// dynamic instruction stream (internal/trace consumes these).
+	CaptureTrace bool
+	Traces       map[[2]int][]*isa.Instruction
+}
+
+// New creates an SM.
+func New(id int, gcfg config.GPU, bcfg core.Config, kernel *Kernel,
+	global *mem.Memory, l2 *mem.Cache) (*SM, error) {
+	bcfg, err := bcfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if kernel.Reconv == nil {
+		return nil, fmt.Errorf("sm: kernel not Prepared")
+	}
+	rfCfg := regfile.Config{
+		NumBanks:      gcfg.NumRFBanks,
+		WarpRegsPerB:  gcfg.RegFileKBPerSM * 1024 / (gcfg.NumRFBanks * 128),
+		MaxWarps:      gcfg.MaxWarpsPerSM,
+		AccessLatency: gcfg.RFAccessLat,
+	}
+	rf, err := regfile.New(rfCfg)
+	if err != nil {
+		return nil, err
+	}
+	l1, err := mem.NewCache(fmt.Sprintf("L1[%d]", id), gcfg.L1SizeKB*1024, gcfg.L1LineBytes, gcfg.L1Assoc)
+	if err != nil {
+		return nil, err
+	}
+	skind, err := scheduler.ParseKind(gcfg.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &SM{
+		id:     id,
+		gcfg:   gcfg,
+		bcfg:   bcfg,
+		kernel: kernel,
+		global: global,
+		hier: &mem.Hierarchy{
+			L1: l1, L2: l2,
+			L1HitCycles: gcfg.L1HitCycles,
+			L2HitCycles: gcfg.L2HitCycles,
+			DRAMCycles:  gcfg.DRAMCycles,
+		},
+		rf: rf,
+		sb: scoreboard.New(gcfg.MaxWarpsPerSM),
+		pipes: exec.NewPipes(exec.PipeConfig{
+			ALULatency: gcfg.ALULatency, FPULatency: gcfg.FPULatency,
+			SFULatency: gcfg.SFULatency,
+			NumALU:     gcfg.NumALU, NumFPU: gcfg.NumFPU, NumSFU: gcfg.NumSFU,
+			NumLSU: gcfg.MaxL1PerCyc, NumCtrl: gcfg.NumSched,
+		}),
+		warps:         make([]*warpCtx, gcfg.MaxWarpsPerSM),
+		engines:       make([]*core.Engine, gcfg.MaxWarpsPerSM),
+		ctas:          make(map[int]*ctaWork),
+		events:        make(map[int64][]func()),
+		freeWarpSlots: gcfg.MaxWarpsPerSM,
+		freeTBSlots:   gcfg.MaxTBsPerSM,
+		RegSnapshots:  make(map[[2]int][]core.Value),
+		Traces:        make(map[[2]int][]*isa.Instruction),
+	}
+	s.st.OccupancyBOC = stats.NewHistogram()
+	s.st.OccupancyOCU = stats.NewHistogram()
+	s.st.SrcOperands = stats.NewHistogram()
+
+	for w := 0; w < gcfg.MaxWarpsPerSM; w++ {
+		s.warps[w] = &warpCtx{slot: w, ctaID: -1}
+		wslot := w
+		eng, err := core.NewEngine(bcfg, func(reg uint8, val core.Value, cause core.WriteCause) {
+			// Functional value propagates instantly so Peek-based merge
+			// bases and oracle snapshots are always architecturally
+			// current; the queued write models the bank-port timing.
+			s.rf.Poke(wslot, reg, val)
+			s.rf.EnqueueWrite(wslot, reg, val)
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.engines[w] = eng
+	}
+	for sc := 0; sc < gcfg.NumSched; sc++ {
+		ids := make([]int, 0, gcfg.MaxWarpsPerSM/gcfg.NumSched)
+		for w := sc; w < gcfg.MaxWarpsPerSM; w += gcfg.NumSched {
+			ids = append(ids, w)
+		}
+		s.scheds = append(s.scheds, scheduler.New(skind, ids))
+	}
+	return s, nil
+}
+
+// CanAcceptCTA reports whether a new thread block fits.
+func (s *SM) CanAcceptCTA() bool {
+	return s.freeTBSlots > 0 && s.freeWarpSlots >= s.kernel.WarpsPerCTA()
+}
+
+// AssignCTA places CTA ctaID on this SM.
+func (s *SM) AssignCTA(ctaID int) error {
+	if !s.CanAcceptCTA() {
+		return fmt.Errorf("sm %d: no room for CTA %d", s.id, ctaID)
+	}
+	nw := s.kernel.WarpsPerCTA()
+	work := &ctaWork{
+		ctaID:    ctaID,
+		shared:   mem.NewShared(maxInt(s.kernel.SharedLen, 4)),
+		liveWarp: nw,
+	}
+	assigned := 0
+	for w := 0; w < len(s.warps) && assigned < nw; w++ {
+		if s.warps[w].ctaID == -1 {
+			s.initWarp(s.warps[w], ctaID, assigned)
+			work.warps = append(work.warps, w)
+			assigned++
+		}
+	}
+	s.freeWarpSlots -= nw
+	s.freeTBSlots--
+	s.ctas[ctaID] = work
+	return nil
+}
+
+// BusyCTAs returns how many thread blocks are resident.
+func (s *SM) BusyCTAs() int { return len(s.ctas) }
+
+// Idle reports whether the SM has no resident work.
+func (s *SM) Idle() bool { return len(s.ctas) == 0 }
+
+// Cycle advances the SM one clock.
+func (s *SM) Cycle() {
+	s.cycle++
+	s.st.Cycles++
+	s.pipes.NewCycle(s.cycle)
+
+	// 1. Register file banks serve one request each; read callbacks
+	// queue operand deliveries into the collectors.
+	s.rf.Cycle()
+
+	// 2. Scheduled events: writebacks, memory completions, branch
+	// resolution.
+	if evs, ok := s.events[s.cycle]; ok {
+		delete(s.events, s.cycle)
+		for _, f := range evs {
+			f()
+		}
+	}
+
+	// 3. Collectors consume one delivered operand each (single-ported
+	// OCU/BOC).
+	for _, w := range s.warps {
+		for _, f := range w.collectors {
+			f.consumeDelivery()
+		}
+	}
+
+	// 4. Dispatch ready instructions to functional units.
+	s.dispatch()
+
+	// 5. Issue new instructions.
+	s.issue()
+
+	// 6. Occupancy sampling (Fig. 9): one sample per active warp-cycle.
+	for _, w := range s.warps {
+		if w.ctaID >= 0 && !w.done {
+			if s.bcfg.Policy.Bypassing() {
+				s.st.OccupancyBOC.Observe(s.engines[w.slot].Occupancy())
+			}
+		}
+	}
+}
+
+// after schedules f to run at cycle now+delay (min 1).
+func (s *SM) after(delay int, f func()) {
+	if delay < 1 {
+		delay = 1
+	}
+	t := s.cycle + int64(delay)
+	s.events[t] = append(s.events[t], f)
+}
+
+// Stats returns the accumulated run statistics.
+func (s *SM) Stats() *RunStats { return &s.st }
+
+// RegFileStats exposes the register file counters.
+func (s *SM) RegFileStats() regfile.Stats { return s.rf.Stats() }
+
+// EngineStats sums the per-warp window engine counters.
+func (s *SM) EngineStats() core.Stats {
+	var total core.Stats
+	for _, e := range s.engines {
+		st := e.Stats()
+		total.Merge(&st)
+	}
+	return total
+}
+
+// L1 returns the L1 cache (stats access).
+func (s *SM) L1() *mem.Cache { return s.hier.L1 }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,230 @@
+package sm
+
+import (
+	"bow/internal/asm"
+	"bow/internal/compiler"
+	"bow/internal/core"
+	"bow/internal/isa"
+)
+
+// buildCFG adapts the compiler package's CFG builder (kept behind a
+// helper so the Kernel type doesn't leak compiler types).
+func buildCFG(p *asm.Program) (*compiler.CFG, error) { return compiler.BuildCFG(p) }
+
+// simtEntry is one frame of the SIMT reconvergence stack (PDOM scheme).
+type simtEntry struct {
+	pc   int
+	rpc  int // reconvergence PC; -1 for the base frame
+	mask uint32
+}
+
+// warpCtx is one hardware warp slot.
+type warpCtx struct {
+	slot      int // SM-local warp ID
+	ctaID     int // resident CTA (-1 = free)
+	warpInCTA int
+	stack     []simtEntry
+	done      bool
+
+	// stalled blocks further issue until an in-flight control
+	// instruction (branch/exit/barrier) resolves.
+	stalled bool
+	// atBarrier marks the warp as having arrived at a bar.sync.
+	atBarrier bool
+
+	preds [isa.NumPredRegs]uint32 // per-lane predicate bits
+
+	// collectors are the operand-collector units currently assigned to
+	// this warp's in-flight instructions (Pascal dual-issue: up to two).
+	collectors []*inflight
+
+	// fillWaiters maps a register with an in-flight RF read to the
+	// later instructions whose operand merges into that fill (request
+	// merging in the BOC).
+	fillWaiters map[uint8][]*inflight
+
+	issued int64 // dynamic instructions issued (sequence numbering)
+}
+
+// fullMask returns the active-thread mask of a fresh warp (all lanes of
+// BlockDim that fall into this warp).
+func fullMask(blockDim, warpInCTA int) uint32 {
+	base := warpInCTA * isa.WarpSize
+	var m uint32
+	for l := 0; l < isa.WarpSize; l++ {
+		if base+l < blockDim {
+			m |= 1 << uint(l)
+		}
+	}
+	return m
+}
+
+// initWarp resets a warp slot for a new CTA.
+func (s *SM) initWarp(w *warpCtx, ctaID, warpInCTA int) {
+	w.ctaID = ctaID
+	w.warpInCTA = warpInCTA
+	w.done = false
+	w.stalled = false
+	w.atBarrier = false
+	w.collectors = w.collectors[:0]
+	w.fillWaiters = make(map[uint8][]*inflight)
+	w.issued = 0
+	w.preds = [isa.NumPredRegs]uint32{}
+	w.preds[isa.PredTrue] = 0xFFFFFFFF
+	w.stack = w.stack[:0]
+	w.stack = append(w.stack, simtEntry{
+		pc: 0, rpc: -1, mask: fullMask(s.kernel.BlockDim, warpInCTA),
+	})
+}
+
+// top returns the active SIMT frame after popping exhausted frames
+// (reconverged or fully-exited paths). Returns nil when the warp has no
+// work left.
+func (w *warpCtx) top() *simtEntry {
+	for len(w.stack) > 0 {
+		t := &w.stack[len(w.stack)-1]
+		if t.mask == 0 {
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		if t.rpc >= 0 && t.pc == t.rpc {
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		return t
+	}
+	return nil
+}
+
+// exitLanes terminates the given lanes across every stack frame.
+func (w *warpCtx) exitLanes(mask uint32) {
+	for i := range w.stack {
+		w.stack[i].mask &^= mask
+	}
+}
+
+// predBits resolves a guard predicate to per-lane bits.
+func (w *warpCtx) predBits(reg uint8, neg bool) uint32 {
+	b := w.preds[reg]
+	if neg {
+		b = ^b
+	}
+	return b
+}
+
+// effectiveValue returns the architecturally current value of (warp,
+// reg): the window copy when buffered, else the RF copy.
+func (s *SM) effectiveValue(w int, reg uint8) core.Value {
+	if reg == isa.RegZero {
+		return core.Value{}
+	}
+	if v, ok := s.engines[w].Lookup(reg); ok {
+		return v
+	}
+	return s.rf.Peek(w, reg)
+}
+
+// specialValue materializes a special register for the warp.
+func (s *SM) specialValue(w *warpCtx, sp isa.Special) core.Value {
+	var out core.Value
+	switch sp {
+	case isa.SpecTidX:
+		base := w.warpInCTA * isa.WarpSize
+		for l := range out {
+			out[l] = uint32(base + l)
+		}
+	case isa.SpecCtaidX:
+		for l := range out {
+			out[l] = uint32(w.ctaID)
+		}
+	case isa.SpecNtidX:
+		for l := range out {
+			out[l] = uint32(s.kernel.BlockDim)
+		}
+	case isa.SpecNctaidX:
+		for l := range out {
+			out[l] = uint32(s.kernel.GridDim)
+		}
+	case isa.SpecLaneID:
+		for l := range out {
+			out[l] = uint32(l)
+		}
+	case isa.SpecWarpID:
+		for l := range out {
+			out[l] = uint32(w.warpInCTA)
+		}
+	}
+	return out
+}
+
+// warpExited handles a warp finishing all lanes. In-flight instructions
+// (e.g. a long-latency load issued before the exit) must drain first so
+// the register snapshot is architecturally final.
+func (s *SM) warpExited(w *warpCtx) {
+	if w.done {
+		return
+	}
+	if s.sb.Busy(w.slot) || len(w.collectors) > 0 {
+		s.after(1, func() { s.warpExited(w) })
+		return
+	}
+	w.done = true
+	cta := s.ctas[w.ctaID]
+
+	if s.CaptureRegs {
+		n := s.kernel.Program.NumRegs()
+		snap := make([]core.Value, n)
+		for r := 0; r < n; r++ {
+			snap[r] = s.effectiveValue(w.slot, uint8(r))
+		}
+		s.RegSnapshots[[2]int{w.ctaID, w.warpInCTA}] = snap
+	}
+	// The register context dies with the warp: discard the window.
+	s.engines[w.slot].Flush()
+
+	cta.liveWarp--
+	if cta.liveWarp == 0 {
+		s.retireCTA(cta)
+		return
+	}
+	// A warp exiting while siblings wait at a barrier can complete the
+	// arrival count (CUDA forbids divergent barriers, but a defensive
+	// release beats a silent hang).
+	s.releaseBarrierIfComplete(cta)
+}
+
+// retireCTA frees the CTA's resources.
+func (s *SM) retireCTA(cta *ctaWork) {
+	for _, slot := range cta.warps {
+		s.warps[slot].ctaID = -1
+	}
+	s.freeWarpSlots += len(cta.warps)
+	s.freeTBSlots++
+	delete(s.ctas, cta.ctaID)
+	s.st.CTAsRetired++
+}
+
+// barrierArrive handles a warp reaching bar.sync; when the whole CTA has
+// arrived, everyone is released.
+func (s *SM) barrierArrive(w *warpCtx) {
+	cta := s.ctas[w.ctaID]
+	w.atBarrier = true
+	cta.arrived++
+	s.releaseBarrierIfComplete(cta)
+}
+
+// releaseBarrierIfComplete opens the CTA's barrier when every live warp
+// has arrived.
+func (s *SM) releaseBarrierIfComplete(cta *ctaWork) {
+	if cta.arrived == 0 || cta.arrived < cta.liveWarp {
+		return
+	}
+	cta.arrived = 0
+	for _, slot := range cta.warps {
+		ww := s.warps[slot]
+		if ww.atBarrier {
+			ww.atBarrier = false
+			ww.stalled = false
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package stats provides the small statistics toolkit used across the
+// simulator: integer histograms, running means, and fixed-width table
+// rendering for the experiment reports.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram counts occurrences of integer-valued samples.
+type Histogram struct {
+	counts map[int]int64
+	total  int64
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int64)}
+}
+
+// Add records n occurrences of value v.
+func (h *Histogram) Add(v int, n int64) {
+	h.counts[v] += n
+	h.total += n
+}
+
+// Observe records one occurrence.
+func (h *Histogram) Observe(v int) { h.Add(v, 1) }
+
+// Total is the number of samples.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Count returns the tally for value v.
+func (h *Histogram) Count(v int) int64 { return h.counts[v] }
+
+// Frac returns the fraction of samples equal to v.
+func (h *Histogram) Frac(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[v]) / float64(h.total)
+}
+
+// FracAtLeast returns the fraction of samples >= v.
+func (h *Histogram) FracAtLeast(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var n int64
+	for k, c := range h.counts {
+		if k >= v {
+			n += c
+		}
+	}
+	return float64(n) / float64(h.total)
+}
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for k, c := range h.counts {
+		sum += float64(k) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() int {
+	max := 0
+	first := true
+	for k := range h.counts {
+		if first || k > max {
+			max = k
+			first = false
+		}
+	}
+	return max
+}
+
+// Keys returns observed values in ascending order.
+func (h *Histogram) Keys() []int {
+	ks := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// Merge adds all samples of o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for k, c := range o.counts {
+		h.Add(k, c)
+	}
+}
+
+// Mean is an online arithmetic mean.
+type Mean struct {
+	sum float64
+	n   int64
+}
+
+// Add records one sample.
+func (m *Mean) Add(v float64) { m.sum += v; m.n++ }
+
+// Value returns the mean (0 when empty).
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// N returns the sample count.
+func (m *Mean) N() int64 { return m.n }
+
+// Table renders rows of columns with aligned widths, for the experiment
+// reports printed by cmd/bowbench.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped and
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered
+// with %v unless it is a float64, which renders with 2 decimals.
+func (t *Table) AddRowf(cells ...any) {
+	out := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			out = append(out, fmt.Sprintf("%.2f", v))
+		default:
+			out = append(out, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(out...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Total() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram not zeroed")
+	}
+	h.Observe(2)
+	h.Observe(2)
+	h.Add(5, 2)
+	if h.Total() != 4 || h.Count(2) != 2 || h.Count(5) != 2 {
+		t.Errorf("counts wrong: total=%d", h.Total())
+	}
+	if h.Frac(2) != 0.5 {
+		t.Errorf("Frac(2) = %v", h.Frac(2))
+	}
+	if h.FracAtLeast(5) != 0.5 || h.FracAtLeast(0) != 1 || h.FracAtLeast(6) != 0 {
+		t.Error("FracAtLeast wrong")
+	}
+	if h.Mean() != 3.5 {
+		t.Errorf("Mean = %v, want 3.5", h.Mean())
+	}
+	if h.Max() != 5 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	if ks := h.Keys(); len(ks) != 2 || ks[0] != 2 || ks[1] != 5 {
+		t.Errorf("Keys = %v", ks)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Add(1, 3)
+	b.Add(1, 1)
+	b.Add(9, 2)
+	a.Merge(b)
+	if a.Total() != 6 || a.Count(1) != 4 || a.Count(9) != 2 {
+		t.Error("merge wrong")
+	}
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 || m.N() != 0 {
+		t.Error("empty mean not zero")
+	}
+	m.Add(2)
+	m.Add(4)
+	if m.Value() != 3 || m.N() != 2 {
+		t.Errorf("mean = %v over %d", m.Value(), m.N())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	tb.AddRow("toolongcellisfine", "3", "dropped-extra")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header, separator, 3 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[3], "2.50") {
+		t.Errorf("render wrong:\n%s", out)
+	}
+	if strings.Contains(out, "dropped-extra") {
+		t.Error("extra cells must be dropped")
+	}
+	// Columns must align: every line has the same rune width prefix for
+	// column 1.
+	idx := strings.Index(lines[0], "value")
+	for _, l := range lines[1:] {
+		if len(l) < idx {
+			t.Errorf("misaligned line %q", l)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.125) != "12.5%" {
+		t.Errorf("Pct = %q", Pct(0.125))
+	}
+}
+
+// Property: Total always equals the sum of all counts and Frac sums to 1
+// for nonempty histograms.
+func TestHistogramProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Observe(int(v))
+		}
+		var sum int64
+		var fsum float64
+		for _, k := range h.Keys() {
+			sum += h.Count(k)
+			fsum += h.Frac(k)
+		}
+		if sum != h.Total() {
+			return false
+		}
+		if len(vals) > 0 && (fsum < 0.999 || fsum > 1.001) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+// Package trace analyzes dynamic per-warp instruction traces: register
+// reuse distances (the temporal-locality characterization motivating
+// the paper's §III) and window-hit summaries derived from them.
+//
+// A trace is the issue-ordered instruction stream of one warp, as
+// captured by the pipeline (sm.CaptureTrace) or synthesized by tests.
+package trace
+
+import (
+	"bow/internal/isa"
+	"bow/internal/stats"
+)
+
+// MaxTrackedDistance caps the reuse-distance histogram; anything
+// farther is binned at MaxTrackedDistance (effectively "no temporal
+// locality a window could exploit").
+const MaxTrackedDistance = 64
+
+// ReuseDistances histograms, over one warp's dynamic stream, the
+// distance (in instructions) between consecutive accesses to the same
+// register. Both reads and writes count as accesses — exactly the
+// notion the bypass window exploits, where any access keeps the value
+// resident. First-ever accesses are not counted (there is nothing to
+// reuse).
+func ReuseDistances(stream []*isa.Instruction) *stats.Histogram {
+	h := stats.NewHistogram()
+	last := map[uint8]int{}
+	for pos, in := range stream {
+		var buf [isa.MaxSrcOperands]uint8
+		touch := in.SrcRegs(buf[:0])
+		if d, ok := in.DstReg(); ok {
+			touch = append(touch, d)
+		}
+		seen := map[uint8]bool{}
+		for _, r := range touch {
+			if seen[r] {
+				continue // one access per instruction per register
+			}
+			seen[r] = true
+			if l, ok := last[r]; ok {
+				d := pos - l
+				if d > MaxTrackedDistance {
+					d = MaxTrackedDistance
+				}
+				h.Observe(d)
+			}
+			last[r] = pos
+		}
+	}
+	return h
+}
+
+// WithinWindow returns the fraction of reuses whose distance is below
+// the window size — reuses a BOW window of that size captures (with
+// extension, chained accesses each count individually, so this is the
+// exact per-access criterion).
+func WithinWindow(h *stats.Histogram, iw int) float64 {
+	if h.Total() == 0 {
+		return 0
+	}
+	var n int64
+	for _, k := range h.Keys() {
+		if k < iw {
+			n += h.Count(k)
+		}
+	}
+	return float64(n) / float64(h.Total())
+}
+
+// Summary condenses a reuse-distance histogram for reporting.
+type Summary struct {
+	Accesses int64   // reuses observed
+	Mean     float64 // mean distance (capped)
+	Within   map[int]float64
+}
+
+// Summarize computes the within-window fractions for IW 2..7.
+func Summarize(h *stats.Histogram) Summary {
+	s := Summary{Accesses: h.Total(), Mean: h.Mean(), Within: map[int]float64{}}
+	for iw := 2; iw <= 7; iw++ {
+		s.Within[iw] = WithinWindow(h, iw)
+	}
+	return s
+}

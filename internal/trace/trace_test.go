@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"testing"
+
+	"bow/internal/asm"
+	"bow/internal/isa"
+)
+
+func stream(src string) []*isa.Instruction {
+	p := asm.MustParse(src)
+	out := make([]*isa.Instruction, 0, len(p.Code))
+	for i := range p.Code {
+		out = append(out, &p.Code[i])
+	}
+	return out
+}
+
+func TestReuseDistancesBasic(t *testing.T) {
+	h := ReuseDistances(stream(`
+  mov r1, 0x1
+  add r2, r1, 0x1
+  add r3, r1, 0x2
+  exit
+`))
+	// r1: touched at 0, 1, 2 -> distances 1, 1. r2, r3: first touches.
+	if h.Total() != 2 {
+		t.Fatalf("reuses = %d, want 2", h.Total())
+	}
+	if h.Count(1) != 2 {
+		t.Errorf("distance-1 count = %d, want 2", h.Count(1))
+	}
+}
+
+func TestReuseDistancesSameInstruction(t *testing.T) {
+	// add r1, r1, r1: reads r1 twice and writes it — one access per
+	// instruction per register.
+	h := ReuseDistances(stream(`
+  mov r1, 0x1
+  add r1, r1, r1
+  exit
+`))
+	if h.Total() != 1 || h.Count(1) != 1 {
+		t.Errorf("same-instruction dedup broken: total=%d", h.Total())
+	}
+}
+
+func TestReuseDistanceCapping(t *testing.T) {
+	src := "  mov r1, 0x1\n"
+	for i := 0; i < MaxTrackedDistance+10; i++ {
+		src += "  mov r2, 0x2\n"
+	}
+	src += "  add r3, r1, 0x1\n  exit\n"
+	h := ReuseDistances(stream(src))
+	if h.Count(MaxTrackedDistance) == 0 {
+		t.Error("far reuse not capped into the last bin")
+	}
+}
+
+func TestWithinWindow(t *testing.T) {
+	h := ReuseDistances(stream(`
+  mov r1, 0x1
+  add r2, r1, 0x1
+  mov r3, 0x0
+  mov r4, 0x0
+  add r5, r1, 0x2
+  exit
+`))
+	// r1 distances: 1 (pc0->pc1) and 3 (pc1->pc4).
+	if got := WithinWindow(h, 2); got != 0.5 {
+		t.Errorf("within IW2 = %v, want 0.5", got)
+	}
+	if got := WithinWindow(h, 4); got != 1.0 {
+		t.Errorf("within IW4 = %v, want 1.0", got)
+	}
+	s := Summarize(h)
+	if s.Accesses != 2 || s.Within[4] != 1.0 {
+		t.Errorf("summary wrong: %+v", s)
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	h := ReuseDistances(nil)
+	if h.Total() != 0 || WithinWindow(h, 3) != 0 {
+		t.Error("empty stream should produce empty stats")
+	}
+}

@@ -1,0 +1,190 @@
+package workloads
+
+import (
+	"bow/internal/mem"
+)
+
+// ---------------------------------------------------------------------
+// CIFARNET — CifarNet convolution layer (Tango): 3x3 convolution with
+// the filter held in registers across the accumulation loop — deep
+// short-distance reuse of both the accumulator and the filter taps.
+// ---------------------------------------------------------------------
+
+const (
+	cnGrid, cnBlock = 8, 128
+	cnTaps          = 9 // 3x3 filter
+)
+
+var (
+	cnIn   = uint32(0x1B_0000)
+	cnOut  = uint32(0x1C_0000)
+	cnFilt = uint32(0x1D_0000)
+)
+
+func cnInVal(i int) float32   { return float32(i%23)*0.25 - 1.5 }
+func cnFiltVal(k int) float32 { return float32(k%5)*0.5 - 1.0 }
+
+func cnRef(g int) uint32 {
+	var acc float32
+	for k := 0; k < cnTaps; k++ {
+		acc = cnInVal(g+k)*cnFiltVal(k) + acc
+	}
+	// ReLU.
+	if acc < 0 {
+		acc = 0
+	}
+	return f32bits(acc)
+}
+
+// CIFARNET is the convolution kernel.
+var CIFARNET = register(&Benchmark{
+	Name:  "CIFARNET",
+	Suite: "Tango",
+	Description: "CifarNet 3x3 convolution + ReLU: ffma accumulation " +
+		"with filter taps resident in registers",
+	GridDim: cnGrid, BlockDim: cnBlock,
+	Params: []uint32{cnIn, cnFilt, cnOut},
+	Init: func(m *mem.Memory) error {
+		for i := 0; i < cnGrid*cnBlock+cnTaps; i++ {
+			if err := m.Write32(cnIn+uint32(4*i), f32bits(cnInVal(i))); err != nil {
+				return err
+			}
+		}
+		for k := 0; k < cnTaps; k++ {
+			if err := m.Write32(cnFilt+uint32(4*k), f32bits(cnFiltVal(k))); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	Source: `
+.kernel cifarnet
+  mov r0, %tid.x
+  mov r1, %ctaid.x
+  mov r2, %ntid.x
+  mad r3, r1, r2, r0
+  shl r4, r3, 0x2
+  ld.param r5, [rz+0x0]       // in
+  ld.param r6, [rz+0x4]       // filter
+  ld.param r7, [rz+0x8]       // out
+  add r8, r5, r4              // &in[g]
+  mov r9, r6                  // &filter[0]
+  mov r10, 0x0                // acc
+  mov r11, 0x0                // k
+  mov r12, 0x9
+CLOOP:
+  ld.global r13, [r8+0x0]
+  ld.global r14, [r9+0x0]
+  ffma r10, r13, r14, r10
+  add r8, r8, 0x4
+  add r9, r9, 0x4
+  add r11, r11, 0x1
+  setp.lt p0, r11, r12
+  @p0 bra CLOOP
+  fmax r10, r10, rz           // ReLU
+  add r15, r7, r4
+  st.global [r15+0x0], r10
+  exit
+`,
+	Check: func(m *mem.Memory) error {
+		n := cnGrid * cnBlock
+		want := make([]uint32, n)
+		for g := range want {
+			want[g] = cnRef(g)
+		}
+		return checkWords(m, cnOut, want, "CIFARNET.out")
+	},
+})
+
+// ---------------------------------------------------------------------
+// SQUEEZENET — SqueezeNet fire-module squeeze layer (Tango): 1x1
+// convolution over 8 input channels plus ReLU, with channel strides in
+// the address arithmetic.
+// ---------------------------------------------------------------------
+
+const (
+	sqGrid, sqBlock = 8, 128
+	sqChans         = 8
+)
+
+var (
+	sqIn  = uint32(0x1E_0000)
+	sqW   = uint32(0x1F_0000)
+	sqOut = uint32(0x20_0000)
+)
+
+func sqInVal(c, g int) float32 { return float32((c*131+g)%17)*0.125 - 0.5 }
+func sqWVal(c int) float32     { return float32(c%3)*0.75 - 0.5 }
+
+func sqRef(g int) uint32 {
+	var acc float32
+	for c := 0; c < sqChans; c++ {
+		acc = sqInVal(c, g)*sqWVal(c) + acc
+	}
+	if acc < 0 {
+		acc = 0
+	}
+	return f32bits(acc)
+}
+
+// SQUEEZENET is the 1x1 convolution kernel.
+var SQUEEZENET = register(&Benchmark{
+	Name:  "SQUEEZENET",
+	Suite: "Tango",
+	Description: "SqueezeNet 1x1 squeeze convolution + ReLU: strided " +
+		"channel walk with ffma accumulation",
+	GridDim: sqGrid, BlockDim: sqBlock,
+	Params: []uint32{sqIn, sqW, sqOut, uint32(sqGrid * sqBlock * 4)},
+	Init: func(m *mem.Memory) error {
+		n := sqGrid * sqBlock
+		for c := 0; c < sqChans; c++ {
+			for g := 0; g < n; g++ {
+				if err := m.Write32(sqIn+uint32(4*(c*n+g)), f32bits(sqInVal(c, g))); err != nil {
+					return err
+				}
+			}
+			if err := m.Write32(sqW+uint32(4*c), f32bits(sqWVal(c))); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	Source: `
+.kernel squeezenet
+  mov r0, %tid.x
+  mov r1, %ctaid.x
+  mov r2, %ntid.x
+  mad r3, r1, r2, r0
+  shl r4, r3, 0x2
+  ld.param r5, [rz+0x0]       // in (channel-major)
+  ld.param r6, [rz+0x4]       // weights
+  ld.param r7, [rz+0x8]       // out
+  ld.param r8, [rz+0xc]       // channel stride in bytes
+  add r9, r5, r4              // &in[0][g]
+  mov r10, r6                 // &w[0]
+  mov r11, 0x0                // acc
+  mov r12, 0x0                // c
+  mov r13, 0x8
+QLOOP:
+  ld.global r14, [r9+0x0]
+  ld.global r15, [r10+0x0]
+  ffma r11, r14, r15, r11
+  add r9, r9, r8              // next channel plane
+  add r10, r10, 0x4
+  add r12, r12, 0x1
+  setp.lt p0, r12, r13
+  @p0 bra QLOOP
+  fmax r11, r11, rz
+  add r16, r7, r4
+  st.global [r16+0x0], r11
+  exit
+`,
+	Check: func(m *mem.Memory) error {
+		n := sqGrid * sqBlock
+		want := make([]uint32, n)
+		for g := range want {
+			want[g] = sqRef(g)
+		}
+		return checkWords(m, sqOut, want, "SQUEEZENET.out")
+	},
+})

@@ -1,0 +1,270 @@
+package workloads
+
+import (
+	"bow/internal/mem"
+)
+
+// The extra suite: kernels beyond the paper's Table III that exercise
+// the substrate harder (CTA-wide barriers, shared-memory tiles, atomic
+// contention). They are registered separately and do not enter the
+// paper-figure experiments; the test suite runs them under every
+// policy.
+
+var extraRegistry []*Benchmark
+
+func registerExtra(b *Benchmark) *Benchmark {
+	extraRegistry = append(extraRegistry, b)
+	return b
+}
+
+// Extra returns the supplementary benchmarks.
+func Extra() []*Benchmark {
+	return append([]*Benchmark(nil), extraRegistry...)
+}
+
+// ---------------------------------------------------------------------
+// MATMUL — one tile row of C = A x B with the B column staged in shared
+// memory behind a barrier (integer, exact).
+// ---------------------------------------------------------------------
+
+const (
+	mmGrid, mmBlock = 2, 64
+	mmK             = 16 // inner dimension
+)
+
+var (
+	mmA   = uint32(0x30_0000)
+	mmB   = uint32(0x31_0000)
+	mmOut = uint32(0x32_0000)
+)
+
+func mmAVal(row, k int) uint32 { return uint32((row*mmK+k)%37 + 1) }
+func mmBVal(k int) uint32      { return uint32(k%11 + 2) }
+
+func mmRef(row int) uint32 {
+	var acc uint32
+	for k := 0; k < mmK; k++ {
+		acc += mmAVal(row, k) * mmBVal(k)
+	}
+	return acc
+}
+
+// MATMUL is the tiled matrix-multiply row kernel.
+var MATMUL = registerExtra(&Benchmark{
+	Name:  "MATMUL",
+	Suite: "Extra",
+	Description: "Tiled mat-vec row: B column staged in shared memory " +
+		"behind bar.sync, mad accumulation over K",
+	GridDim: mmGrid, BlockDim: mmBlock,
+	SharedLen: mmK * 4,
+	Params:    []uint32{mmA, mmB, mmOut},
+	Init: func(m *mem.Memory) error {
+		rows := mmGrid * mmBlock
+		for row := 0; row < rows; row++ {
+			for k := 0; k < mmK; k++ {
+				if err := m.Write32(mmA+uint32(4*(row*mmK+k)), mmAVal(row, k)); err != nil {
+					return err
+				}
+			}
+		}
+		for k := 0; k < mmK; k++ {
+			if err := m.Write32(mmB+uint32(4*k), mmBVal(k)); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	Source: `
+.kernel matmul
+  mov r0, %tid.x
+  mov r1, %ctaid.x
+  mov r2, %ntid.x
+  mad r3, r1, r2, r0          // global row
+  ld.param r5, [rz+0x0]       // A
+  ld.param r6, [rz+0x4]       // B
+  ld.param r7, [rz+0x8]       // out
+  // Threads 0..15 stage B into shared memory.
+  setp.lt p0, r0, 0x10
+  @!p0 bra STAGED
+  shl r8, r0, 0x2
+  add r9, r6, r8
+  ld.global r10, [r9+0x0]
+  st.shared [r8+0x0], r10
+STAGED:
+  bar.sync
+  shl r11, r3, 0x6            // row * 16 words * 4B
+  add r11, r5, r11            // &A[row][0]
+  mov r12, 0x0                // acc
+  mov r13, 0x0                // k
+  mov r14, 0x10
+MMLOOP:
+  ld.global r15, [r11+0x0]
+  shl r16, r13, 0x2
+  ld.shared r17, [r16+0x0]
+  mad r12, r15, r17, r12
+  add r11, r11, 0x4
+  add r13, r13, 0x1
+  setp.lt p1, r13, r14
+  @p1 bra MMLOOP
+  shl r18, r3, 0x2
+  add r18, r7, r18
+  st.global [r18+0x0], r12
+  exit
+`,
+	Check: func(m *mem.Memory) error {
+		rows := mmGrid * mmBlock
+		want := make([]uint32, rows)
+		for row := range want {
+			want[row] = mmRef(row)
+		}
+		return checkWords(m, mmOut, want, "MATMUL.out")
+	},
+})
+
+// ---------------------------------------------------------------------
+// REDUCTION — CTA-wide tree reduction in shared memory with a barrier
+// per level (the classic pattern; divergence shrinks by half each step).
+// ---------------------------------------------------------------------
+
+const rdGrid, rdBlock = 2, 64
+
+var (
+	rdIn  = uint32(0x33_0000)
+	rdOut = uint32(0x34_0000)
+)
+
+func rdVal(i int) uint32 { return uint32((i*13 + 7) % 101) }
+
+func rdRef(cta int) uint32 {
+	var s uint32
+	for t := 0; t < rdBlock; t++ {
+		s += rdVal(cta*rdBlock + t)
+	}
+	return s
+}
+
+// REDUCTION is the tree-reduction kernel.
+var REDUCTION = registerExtra(&Benchmark{
+	Name:  "REDUCTION",
+	Suite: "Extra",
+	Description: "Shared-memory tree reduction: log2(block) barrier " +
+		"rounds with halving active masks",
+	GridDim: rdGrid, BlockDim: rdBlock,
+	SharedLen: rdBlock * 4,
+	Params:    []uint32{rdIn, rdOut},
+	Init: func(m *mem.Memory) error {
+		for i := 0; i < rdGrid*rdBlock; i++ {
+			if err := m.Write32(rdIn+uint32(4*i), rdVal(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	Source: `
+.kernel reduction
+  mov r0, %tid.x
+  mov r1, %ctaid.x
+  mov r2, %ntid.x
+  mad r3, r1, r2, r0
+  shl r4, r3, 0x2
+  ld.param r5, [rz+0x0]
+  add r6, r5, r4
+  ld.global r7, [r6+0x0]
+  shl r8, r0, 0x2
+  st.shared [r8+0x0], r7
+  bar.sync
+  mov r9, 0x20                // stride = 32
+RLOOP:
+  setp.lt p0, r0, r9
+  @!p0 bra RSKIP
+  add r10, r0, r9             // partner = tid + stride
+  shl r11, r10, 0x2
+  ld.shared r12, [r11+0x0]
+  ld.shared r13, [r8+0x0]
+  add r13, r13, r12
+  st.shared [r8+0x0], r13
+RSKIP:
+  bar.sync
+  shr r9, r9, 0x1
+  setp.ge p1, r9, 0x1
+  @p1 bra RLOOP
+  // Thread 0 writes the CTA sum.
+  setp.ne p2, r0, 0x0
+  @p2 bra RDONE
+  ld.shared r14, [rz+0x0]
+  ld.param r15, [rz+0x4]
+  shl r16, r1, 0x2
+  add r16, r15, r16
+  st.global [r16+0x0], r14
+RDONE:
+  exit
+`,
+	Check: func(m *mem.Memory) error {
+		want := make([]uint32, rdGrid)
+		for cta := range want {
+			want[cta] = rdRef(cta)
+		}
+		return checkWords(m, rdOut, want, "REDUCTION.out")
+	},
+})
+
+// ---------------------------------------------------------------------
+// HISTOGRAM — atomic binning into a 16-bucket global histogram.
+// ---------------------------------------------------------------------
+
+const hgGrid, hgBlock, hgBins = 2, 64, 16
+
+var (
+	hgIn  = uint32(0x35_0000)
+	hgOut = uint32(0x36_0000)
+)
+
+func hgVal(i int) uint32 { return uint32((i*i + 3*i) % 251) }
+
+func hgRef() [hgBins]uint32 {
+	var bins [hgBins]uint32
+	for i := 0; i < hgGrid*hgBlock; i++ {
+		bins[hgVal(i)%hgBins]++
+	}
+	return bins
+}
+
+// HISTOGRAM is the atomic-binning kernel.
+var HISTOGRAM = registerExtra(&Benchmark{
+	Name:  "HISTOGRAM",
+	Suite: "Extra",
+	Description: "Global histogram: one atomic add per thread into 16 " +
+		"contended bins",
+	GridDim: hgGrid, BlockDim: hgBlock,
+	Params: []uint32{hgIn, hgOut},
+	Init: func(m *mem.Memory) error {
+		for i := 0; i < hgGrid*hgBlock; i++ {
+			if err := m.Write32(hgIn+uint32(4*i), hgVal(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	Source: `
+.kernel histogram
+  mov r0, %tid.x
+  mov r1, %ctaid.x
+  mov r2, %ntid.x
+  mad r3, r1, r2, r0
+  shl r4, r3, 0x2
+  ld.param r5, [rz+0x0]
+  add r6, r5, r4
+  ld.global r7, [r6+0x0]
+  and r8, r7, 0xF             // bin = v % 16
+  shl r8, r8, 0x2
+  ld.param r9, [rz+0x4]
+  add r9, r9, r8
+  mov r10, 0x1
+  atom.add.global r11, [r9+0x0], r10
+  exit
+`,
+	Check: func(m *mem.Memory) error {
+		ref := hgRef()
+		return checkWords(m, hgOut, ref[:], "HISTOGRAM.out")
+	},
+})

@@ -1,0 +1,46 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"bow/internal/core"
+	"bow/internal/workloads"
+)
+
+// TestExtraSuite runs the supplementary kernels (barriers, shared
+// memory tiles, atomic contention) under every policy, verifying their
+// Go references.
+func TestExtraSuite(t *testing.T) {
+	extra := workloads.Extra()
+	if len(extra) != 3 {
+		t.Fatalf("extra suite has %d kernels, want 3", len(extra))
+	}
+	policies := []core.Config{
+		{Policy: core.PolicyBaseline},
+		{IW: 3, Policy: core.PolicyWriteThrough},
+		{IW: 3, Policy: core.PolicyWriteBack},
+		{IW: 3, Policy: core.PolicyCompilerHints},
+		{IW: 3, Capacity: 4, Policy: core.PolicyCompilerHints},
+		{IW: 3, Capacity: 6, Policy: core.PolicyWriteBack, BeyondWindow: true},
+	}
+	for _, b := range extra {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			for _, bcfg := range policies {
+				runBenchmark(t, b, bcfg)
+			}
+		})
+	}
+}
+
+// TestExtraNotInPaperSuite: the paper-figure registry must stay at 15.
+func TestExtraNotInPaperSuite(t *testing.T) {
+	if len(workloads.All()) != 15 {
+		t.Fatalf("paper suite polluted: %d benchmarks", len(workloads.All()))
+	}
+	for _, b := range workloads.Extra() {
+		if _, err := workloads.ByName(b.Name); err == nil {
+			t.Errorf("extra kernel %s leaked into the paper registry", b.Name)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package workloads
+
+import (
+	"bow/internal/mem"
+)
+
+// ---------------------------------------------------------------------
+// LIB — LIBOR Monte Carlo (ISPASS). Long integer LCG chains per thread:
+// the accumulator and the LCG state are reused at distance 1-2, giving
+// very high read-bypass opportunity with almost no memory traffic.
+// ---------------------------------------------------------------------
+
+const libGrid, libBlock, libIters = 8, 128, 24
+
+var libOut = uint32(0x1_0000)
+
+func libRef(gtid int) uint32 {
+	x := uint32(gtid)*2654435761 + 12345
+	var acc uint32
+	for i := 0; i < libIters; i++ {
+		x = x*0x19660D + 0x3C6EF35F
+		acc += (x >> 16) & 0x7FFF
+	}
+	return acc
+}
+
+// LIB is the Monte Carlo path-simulation kernel.
+var LIB = register(&Benchmark{
+	Name:  "LIB",
+	Suite: "ISPASS",
+	Description: "LIBOR Monte Carlo: per-thread LCG random-walk " +
+		"accumulation, deep short-distance register reuse",
+	GridDim: libGrid, BlockDim: libBlock,
+	Params: []uint32{libOut},
+	Source: `
+.kernel lib
+  mov r0, %tid.x
+  mov r1, %ctaid.x
+  mov r2, %ntid.x
+  mad r3, r1, r2, r0          // gtid
+  mul r5, r3, 0x9E3779B1      // seed = gtid*2654435761 + 12345
+  add r5, r5, 0x3039
+  mov r6, 0x0                 // acc
+  mov r7, 0x0                 // i
+  mov r8, 0x18                // iters
+LLOOP:
+  mul r9, r5, 0x19660D
+  add r5, r9, 0x3C6EF35F
+  shr r10, r5, 0x10
+  and r10, r10, 0x7FFF
+  add r6, r6, r10
+  add r7, r7, 0x1
+  setp.lt p0, r7, r8
+  @p0 bra LLOOP
+  ld.param r11, [rz+0x0]
+  shl r12, r3, 0x2
+  add r12, r11, r12
+  st.global [r12+0x0], r6
+  exit
+`,
+	Check: func(m *mem.Memory) error {
+		n := libGrid * libBlock
+		want := make([]uint32, n)
+		for g := range want {
+			want[g] = libRef(g)
+		}
+		return checkWords(m, libOut, want, "LIB.out")
+	},
+})
+
+// ---------------------------------------------------------------------
+// LPS — 3D Laplace solver (ISPASS), expressed as a 1-D 5-point stencil
+// sweep: neighbor loads with good L1 locality, moderate register reuse
+// around the accumulation.
+// ---------------------------------------------------------------------
+
+const lpsGrid, lpsBlock = 8, 128
+
+var (
+	lpsIn  = uint32(0x2_0000)
+	lpsOut = uint32(0x3_0000)
+)
+
+func lpsInVal(i int) uint32 { return uint32(i*i%977 + i) }
+
+// LPS is the Laplace-stencil kernel.
+var LPS = register(&Benchmark{
+	Name:  "LPS",
+	Suite: "ISPASS",
+	Description: "Laplace solver: 5-point stencil sweep with neighbor " +
+		"loads and accumulate chains",
+	GridDim: lpsGrid, BlockDim: lpsBlock,
+	Params: []uint32{lpsIn, lpsOut},
+	Init: func(m *mem.Memory) error {
+		n := lpsGrid*lpsBlock + 4
+		for i := 0; i < n; i++ {
+			if err := m.Write32(lpsIn+uint32(4*i), lpsInVal(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	Source: `
+.kernel lps
+  mov r0, %tid.x
+  mov r1, %ctaid.x
+  mov r2, %ntid.x
+  mad r3, r1, r2, r0
+  shl r4, r3, 0x2
+  ld.param r5, [rz+0x0]       // in
+  ld.param r6, [rz+0x4]       // out
+  add r7, r5, r4              // &in[g]
+  ld.global r8, [r7+0x0]      // c0
+  ld.global r9, [r7+0x4]      // c1
+  ld.global r10, [r7+0x8]     // c2
+  ld.global r11, [r7+0xc]     // c3
+  ld.global r12, [r7+0x10]    // c4
+  shl r13, r8, 0x2            // 4*c0
+  add r14, r9, r10
+  add r14, r14, r11
+  add r14, r14, r12
+  sub r15, r14, r13           // neighbors - 4*center
+  add r16, r6, r4
+  st.global [r16+0x0], r15
+  exit
+`,
+	Check: func(m *mem.Memory) error {
+		n := lpsGrid * lpsBlock
+		want := make([]uint32, n)
+		for g := range want {
+			c0 := lpsInVal(g)
+			sum := lpsInVal(g+1) + lpsInVal(g+2) + lpsInVal(g+3) + lpsInVal(g+4)
+			want[g] = sum - 4*c0
+		}
+		return checkWords(m, lpsOut, want, "LPS.out")
+	},
+})
+
+// ---------------------------------------------------------------------
+// STO — StoreGPU (ISPASS): sliding-window hashing with heavy store
+// traffic. The paper singles STO out as spending up to 47% of its time
+// in the operand collector: long three-source ALU chains.
+// ---------------------------------------------------------------------
+
+const stoGrid, stoBlock, stoWords = 8, 128, 6
+
+var (
+	stoIn  = uint32(0x4_0000)
+	stoOut = uint32(0x5_0000)
+)
+
+func stoInVal(i int) uint32 { return uint32(i)*0x01000193 ^ 0x811C9DC5 }
+
+func stoRef(g int) [stoWords]uint32 {
+	var out [stoWords]uint32
+	h := uint32(0x811C9DC5)
+	for w := 0; w < stoWords; w++ {
+		v := stoInVal(g*stoWords + w)
+		h ^= v
+		h = h*0x01000193 + v
+		rot := (h << 13) | (h >> 19)
+		h = rot ^ (h >> 7) ^ v
+		out[w] = h
+	}
+	return out
+}
+
+// STO is the StoreGPU hashing kernel.
+var STO = register(&Benchmark{
+	Name:  "STO",
+	Suite: "ISPASS",
+	Description: "StoreGPU: FNV/rotate hashing rounds with one store per " +
+		"round; collector-stage heavy",
+	GridDim: stoGrid, BlockDim: stoBlock,
+	Params: []uint32{stoIn, stoOut},
+	Init: func(m *mem.Memory) error {
+		n := stoGrid * stoBlock * stoWords
+		for i := 0; i < n; i++ {
+			if err := m.Write32(stoIn+uint32(4*i), stoInVal(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	Source: `
+.kernel sto
+  mov r0, %tid.x
+  mov r1, %ctaid.x
+  mov r2, %ntid.x
+  mad r3, r1, r2, r0
+  mul r4, r3, 0x18            // g*24 bytes (6 words)
+  ld.param r5, [rz+0x0]
+  ld.param r6, [rz+0x4]
+  add r7, r5, r4              // &in[g*6]
+  add r8, r6, r4              // &out[g*6]
+  mov r9, 0x811C9DC5          // h
+  mov r10, 0x0                // w
+  mov r11, 0x6
+SLOOP:
+  ld.global r12, [r7+0x0]
+  xor r9, r9, r12
+  mul r13, r9, 0x01000193
+  add r9, r13, r12
+  shl r14, r9, 0xd
+  shr r15, r9, 0x13
+  or  r14, r14, r15           // rot13
+  shr r16, r9, 0x7
+  xor r14, r14, r16
+  xor r9, r14, r12
+  st.global [r8+0x0], r9
+  add r7, r7, 0x4
+  add r8, r8, 0x4
+  add r10, r10, 0x1
+  setp.lt p0, r10, r11
+  @p0 bra SLOOP
+  exit
+`,
+	Check: func(m *mem.Memory) error {
+		n := stoGrid * stoBlock
+		want := make([]uint32, 0, n*stoWords)
+		for g := 0; g < n; g++ {
+			ref := stoRef(g)
+			want = append(want, ref[:]...)
+		}
+		return checkWords(m, stoOut, want, "STO.out")
+	},
+})
+
+// ---------------------------------------------------------------------
+// WP — Weather Prediction (ISPASS): wide dataflow with little reuse —
+// many independent loads into distinct registers that are each consumed
+// once, far apart. The paper reports WP gains the least from bypassing.
+// ---------------------------------------------------------------------
+
+const wpGrid, wpBlock = 8, 128
+
+var (
+	wpIn  = uint32(0x6_0000)
+	wpOut = uint32(0x7_0000)
+)
+
+func wpInVal(i int) uint32 { return uint32(3*i + 7) }
+
+// WP is the weather-prediction kernel.
+var WP = register(&Benchmark{
+	Name:  "WP",
+	Suite: "ISPASS",
+	Description: "Weather prediction: wide independent dataflow, " +
+		"long reuse distances (worst case for windowed bypassing)",
+	GridDim: wpGrid, BlockDim: wpBlock,
+	Params: []uint32{wpIn, wpOut},
+	Init: func(m *mem.Memory) error {
+		n := wpGrid*wpBlock*8 + 8
+		for i := 0; i < n; i++ {
+			if err := m.Write32(wpIn+uint32(4*i), wpInVal(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	Source: `
+.kernel wp
+  mov r0, %tid.x
+  mov r1, %ctaid.x
+  mov r2, %ntid.x
+  mad r3, r1, r2, r0
+  shl r4, r3, 0x5             // 8 words per thread
+  ld.param r5, [rz+0x0]
+  ld.param r6, [rz+0x4]
+  add r7, r5, r4
+  // Eight independent field loads.
+  ld.global r10, [r7+0x0]
+  ld.global r11, [r7+0x4]
+  ld.global r12, [r7+0x8]
+  ld.global r13, [r7+0xc]
+  ld.global r14, [r7+0x10]
+  ld.global r15, [r7+0x14]
+  ld.global r16, [r7+0x18]
+  ld.global r17, [r7+0x1c]
+  // Wide combine: each value consumed exactly once, far from its def.
+  add r20, r10, r14
+  add r21, r11, r15
+  add r22, r12, r16
+  add r23, r13, r17
+  mul r24, r20, 0x3
+  mul r25, r21, 0x5
+  mul r26, r22, 0x7
+  mul r27, r23, 0xb
+  add r28, r24, r26
+  add r29, r25, r27
+  sub r30, r28, r29
+  shl r31, r3, 0x2
+  add r31, r6, r31
+  st.global [r31+0x0], r30
+  exit
+`,
+	Check: func(m *mem.Memory) error {
+		n := wpGrid * wpBlock
+		want := make([]uint32, n)
+		for g := range want {
+			f := func(k int) uint32 { return wpInVal(g*8 + k) }
+			a := (f(0) + f(4)) * 3
+			b := (f(1) + f(5)) * 5
+			c := (f(2) + f(6)) * 7
+			d := (f(3) + f(7)) * 11
+			want[g] = (a + c) - (b + d)
+		}
+		return checkWords(m, wpOut, want, "WP.out")
+	},
+})

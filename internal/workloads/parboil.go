@@ -1,0 +1,162 @@
+package workloads
+
+import (
+	"bow/internal/mem"
+)
+
+// ---------------------------------------------------------------------
+// SAD — sum of absolute differences (Parboil): per-thread 16-element
+// SAD window. High collector occupancy: the abs/add chains keep three
+// live operands per instruction and the paper calls SAD its most
+// register-sensitive benchmark.
+// ---------------------------------------------------------------------
+
+const sadGrid, sadBlock, sadWin = 8, 128, 16
+
+var (
+	sadA   = uint32(0x21_0000)
+	sadB   = uint32(0x22_0000)
+	sadOut = uint32(0x23_0000)
+)
+
+func sadAVal(i int) uint32 { return uint32((i*17 + 3) % 251) }
+func sadBVal(i int) uint32 { return uint32((i*29 + 11) % 241) }
+
+func sadRef(g int) uint32 {
+	var acc uint32
+	for i := 0; i < sadWin; i++ {
+		a := int32(sadAVal(g + i))
+		b := int32(sadBVal(g + i))
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		acc += uint32(d)
+	}
+	return acc
+}
+
+// SAD is the sum-of-absolute-differences kernel.
+var SAD = register(&Benchmark{
+	Name:  "SAD",
+	Suite: "Parboil",
+	Description: "Sum of absolute differences over a 16-element window: " +
+		"sub/abs/add chains, the paper's most register-sensitive kernel",
+	GridDim: sadGrid, BlockDim: sadBlock,
+	Params: []uint32{sadA, sadB, sadOut},
+	Init: func(m *mem.Memory) error {
+		n := sadGrid*sadBlock + sadWin
+		for i := 0; i < n; i++ {
+			if err := m.Write32(sadA+uint32(4*i), sadAVal(i)); err != nil {
+				return err
+			}
+			if err := m.Write32(sadB+uint32(4*i), sadBVal(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	Source: `
+.kernel sad
+  mov r0, %tid.x
+  mov r1, %ctaid.x
+  mov r2, %ntid.x
+  mad r3, r1, r2, r0
+  shl r4, r3, 0x2
+  ld.param r5, [rz+0x0]
+  ld.param r6, [rz+0x4]
+  ld.param r7, [rz+0x8]
+  add r8, r5, r4              // &A[g]
+  add r9, r6, r4              // &B[g]
+  mov r10, 0x0                // acc
+  mov r11, 0x0                // i
+  mov r12, 0x10
+SADLOOP:
+  ld.global r13, [r8+0x0]
+  ld.global r14, [r9+0x0]
+  sub r15, r13, r14
+  abs r15, r15
+  add r10, r10, r15
+  add r8, r8, 0x4
+  add r9, r9, 0x4
+  add r11, r11, 0x1
+  setp.lt p0, r11, r12
+  @p0 bra SADLOOP
+  add r16, r7, r4
+  st.global [r16+0x0], r10
+  exit
+`,
+	Check: func(m *mem.Memory) error {
+		n := sadGrid * sadBlock
+		want := make([]uint32, n)
+		for g := range want {
+			want[g] = sadRef(g)
+		}
+		return checkWords(m, sadOut, want, "SAD.out")
+	},
+})
+
+// ---------------------------------------------------------------------
+// VECTORADD — CUDA SDK vector addition: the canonical streaming kernel
+// with minimal reuse beyond address arithmetic.
+// ---------------------------------------------------------------------
+
+const vaGrid, vaBlock = 16, 128
+
+var (
+	vaA   = uint32(0x24_0000)
+	vaB   = uint32(0x25_0000)
+	vaOut = uint32(0x26_0000)
+)
+
+func vaAVal(i int) uint32 { return uint32(i * 3) }
+func vaBVal(i int) uint32 { return uint32(1000 + i) }
+
+// VECTORADD is the element-wise addition kernel.
+var VECTORADD = register(&Benchmark{
+	Name:  "VECTORADD",
+	Suite: "CUDA SDK",
+	Description: "Vector-vector addition: streaming loads/store with " +
+		"address-arithmetic-only register reuse",
+	GridDim: vaGrid, BlockDim: vaBlock,
+	Params: []uint32{vaA, vaB, vaOut},
+	Init: func(m *mem.Memory) error {
+		n := vaGrid * vaBlock
+		for i := 0; i < n; i++ {
+			if err := m.Write32(vaA+uint32(4*i), vaAVal(i)); err != nil {
+				return err
+			}
+			if err := m.Write32(vaB+uint32(4*i), vaBVal(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	Source: `
+.kernel vectoradd
+  mov r0, %tid.x
+  mov r1, %ctaid.x
+  mov r2, %ntid.x
+  mad r3, r1, r2, r0
+  shl r4, r3, 0x2
+  ld.param r5, [rz+0x0]
+  ld.param r6, [rz+0x4]
+  ld.param r7, [rz+0x8]
+  add r8, r5, r4
+  add r9, r6, r4
+  add r10, r7, r4
+  ld.global r11, [r8+0x0]
+  ld.global r12, [r9+0x0]
+  add r13, r11, r12
+  st.global [r10+0x0], r13
+  exit
+`,
+	Check: func(m *mem.Memory) error {
+		n := vaGrid * vaBlock
+		want := make([]uint32, n)
+		for i := range want {
+			want[i] = vaAVal(i) + vaBVal(i)
+		}
+		return checkWords(m, vaOut, want, "VECTORADD.out")
+	},
+})

@@ -1,0 +1,646 @@
+package workloads
+
+import (
+	"math"
+
+	"bow/internal/mem"
+)
+
+// ---------------------------------------------------------------------
+// BACKPROP — back-propagation layer (Rodinia): per-thread dot product
+// of 16 weights and activations with an ffma accumulation chain, then a
+// sigmoid-derivative-style adjustment. Float32 throughout.
+// ---------------------------------------------------------------------
+
+const bpGrid, bpBlock, bpInputs = 8, 128, 16
+
+var (
+	bpW   = uint32(0x8_0000)
+	bpAct = uint32(0x9_0000)
+	bpOut = uint32(0xA_0000)
+)
+
+func f32bits(f float32) uint32 { return math.Float32bits(f) }
+func bitsF32(b uint32) float32 { return math.Float32frombits(b) }
+func bpWVal(i int) float32     { return float32(i%13)*0.125 - 0.75 }
+func bpActVal(i int) float32   { return float32(i%7) * 0.25 }
+func bpRef(g int) uint32 {
+	var acc float32
+	for i := 0; i < bpInputs; i++ {
+		acc = bpWVal(g*bpInputs+i)*bpActVal(i) + acc
+	}
+	one := float32(1.0)
+	adj := acc * (one - acc)
+	return f32bits(adj)
+}
+
+// BACKPROP is the neural back-propagation kernel.
+var BACKPROP = register(&Benchmark{
+	Name:  "BACKPROP",
+	Suite: "Rodinia",
+	Description: "Back-propagation: ffma dot-product accumulation and " +
+		"derivative adjustment (float)",
+	GridDim: bpGrid, BlockDim: bpBlock,
+	Params: []uint32{bpW, bpAct, bpOut},
+	Init: func(m *mem.Memory) error {
+		for i := 0; i < bpGrid*bpBlock*bpInputs; i++ {
+			if err := m.Write32(bpW+uint32(4*i), f32bits(bpWVal(i))); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < bpInputs; i++ {
+			if err := m.Write32(bpAct+uint32(4*i), f32bits(bpActVal(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	Source: `
+.kernel backprop
+  mov r0, %tid.x
+  mov r1, %ctaid.x
+  mov r2, %ntid.x
+  mad r3, r1, r2, r0
+  shl r4, r3, 0x6             // 16 weights * 4B
+  ld.param r5, [rz+0x0]       // W
+  ld.param r6, [rz+0x4]       // act
+  ld.param r7, [rz+0x8]       // out
+  add r8, r5, r4              // &W[g*16]
+  mov r9, r6                  // &act[0]
+  mov r10, 0x0                // acc (0.0f)
+  mov r11, 0x0                // i
+  mov r12, 0x10
+BLOOP:
+  ld.global r13, [r8+0x0]
+  ld.global r14, [r9+0x0]
+  ffma r10, r13, r14, r10
+  add r8, r8, 0x4
+  add r9, r9, 0x4
+  add r11, r11, 0x1
+  setp.lt p0, r11, r12
+  @p0 bra BLOOP
+  mov r15, 0x3F800000         // 1.0f
+  fsub r16, r15, r10
+  fmul r17, r10, r16          // acc*(1-acc)
+  shl r18, r3, 0x2
+  add r18, r7, r18
+  st.global [r18+0x0], r17
+  exit
+`,
+	Check: func(m *mem.Memory) error {
+		n := bpGrid * bpBlock
+		want := make([]uint32, n)
+		for g := range want {
+			want[g] = bpRef(g)
+		}
+		return checkWords(m, bpOut, want, "BACKPROP.out")
+	},
+})
+
+// ---------------------------------------------------------------------
+// BFS — breadth-first search (Rodinia): per-node edge expansion with
+// data-dependent trip counts, hence warp divergence. Many instructions
+// with zero or one register source (the paper's Fig. 8 shows BFS never
+// needs three collector entries).
+// ---------------------------------------------------------------------
+
+const bfsGrid, bfsBlock = 8, 128
+
+var (
+	bfsOff  = uint32(0xB_0000) // node -> first edge index
+	bfsEdge = uint32(0xC_0000) // edge -> destination node
+	bfsOut  = uint32(0xD_0000)
+)
+
+func bfsDegree(n int) int { return n % 4 } // 0..3 edges per node
+
+func bfsBuild() (off []uint32, edges []uint32) {
+	n := bfsGrid * bfsBlock
+	off = make([]uint32, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + uint32(bfsDegree(v))
+	}
+	edges = make([]uint32, off[n])
+	e := 0
+	for v := 0; v < n; v++ {
+		for k := 0; k < bfsDegree(v); k++ {
+			edges[e] = uint32((v*7 + k*13) % n)
+			e++
+		}
+	}
+	return off, edges
+}
+
+func bfsRef(v int, off, edges []uint32) uint32 {
+	var sum uint32
+	for e := off[v]; e < off[v+1]; e++ {
+		sum += edges[e]
+	}
+	return sum
+}
+
+// BFS is the graph-expansion kernel.
+var BFS = register(&Benchmark{
+	Name:  "BFS",
+	Suite: "Rodinia",
+	Description: "Breadth-first search frontier expansion: divergent " +
+		"per-node edge loops, low operand counts",
+	GridDim: bfsGrid, BlockDim: bfsBlock,
+	Params: []uint32{bfsOff, bfsEdge, bfsOut},
+	Init: func(m *mem.Memory) error {
+		off, edges := bfsBuild()
+		if err := m.WriteWords(bfsOff, off); err != nil {
+			return err
+		}
+		return m.WriteWords(bfsEdge, edges)
+	},
+	Source: `
+.kernel bfs
+  mov r0, %tid.x
+  mov r1, %ctaid.x
+  mov r2, %ntid.x
+  mad r3, r1, r2, r0          // node v
+  shl r4, r3, 0x2
+  ld.param r5, [rz+0x0]       // off
+  ld.param r6, [rz+0x4]       // edges
+  ld.param r7, [rz+0x8]       // out
+  add r8, r5, r4
+  ld.global r9, [r8+0x0]      // start = off[v]
+  ld.global r10, [r8+0x4]     // end   = off[v+1]
+  mov r11, 0x0                // sum
+  setp.ge p0, r9, r10
+  @p0 bra BDONE               // divergence: zero-degree nodes skip
+BLOOP2:
+  shl r12, r9, 0x2
+  add r12, r6, r12
+  ld.global r13, [r12+0x0]
+  add r11, r11, r13
+  add r9, r9, 0x1
+  setp.lt p0, r9, r10
+  @p0 bra BLOOP2
+BDONE:
+  add r14, r7, r4
+  st.global [r14+0x0], r11
+  exit
+`,
+	Check: func(m *mem.Memory) error {
+		off, edges := bfsBuild()
+		n := bfsGrid * bfsBlock
+		want := make([]uint32, n)
+		for v := range want {
+			want[v] = bfsRef(v, off, edges)
+		}
+		return checkWords(m, bfsOut, want, "BFS.out")
+	},
+})
+
+// ---------------------------------------------------------------------
+// BTREE — braided B+ tree search (Rodinia): eight-level descent through
+// an implicit binary tree with compare/select at each level.
+// ---------------------------------------------------------------------
+
+const (
+	btGrid, btBlock = 8, 128
+	btLevels        = 8
+	btNodes         = 1<<(btLevels+1) - 1
+)
+
+var (
+	btTree = uint32(0xE_0000)
+	btOut  = uint32(0xF_0000)
+)
+
+func btKey(i int) uint32 { return uint32((i*2654435761 + 17) % 4096) }
+
+func btRef(g int) uint32 {
+	key := uint32((g * 37) % 4096)
+	idx := uint32(0)
+	for l := 0; l < btLevels; l++ {
+		node := btKey(int(idx))
+		if key < node {
+			idx = 2*idx + 1
+		} else {
+			idx = 2*idx + 2
+		}
+	}
+	return idx
+}
+
+// BTREE is the tree-descent kernel.
+var BTREE = register(&Benchmark{
+	Name:  "BTREE",
+	Suite: "Rodinia",
+	Description: "B+ tree search: eight-level compare/branch descent " +
+		"(the paper's Fig. 6 code comes from this kernel)",
+	GridDim: btGrid, BlockDim: btBlock,
+	Params: []uint32{btTree, btOut},
+	Init: func(m *mem.Memory) error {
+		for i := 0; i < btNodes; i++ {
+			if err := m.Write32(btTree+uint32(4*i), btKey(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	Source: `
+.kernel btree
+  mov r0, %tid.x
+  mov r1, %ctaid.x
+  mov r2, %ntid.x
+  mad r3, r1, r2, r0
+  mul r4, r3, 0x25            // key = (g*37) % 4096
+  and r4, r4, 0xFFF
+  ld.param r5, [rz+0x0]       // tree
+  ld.param r6, [rz+0x4]       // out
+  mov r7, 0x0                 // idx
+  mov r8, 0x0                 // level
+  mov r9, 0x8
+TLOOP:
+  shl r10, r7, 0x2
+  add r10, r5, r10
+  ld.global r11, [r10+0x0]    // node key
+  shl r12, r7, 0x1            // 2*idx
+  add r13, r12, 0x1           // left
+  add r14, r12, 0x2           // right
+  setp.lt p1, r4, r11
+  sel r7, r13, r14, p1
+  add r8, r8, 0x1
+  setp.lt p0, r8, r9
+  @p0 bra TLOOP
+  shl r15, r3, 0x2
+  add r15, r6, r15
+  st.global [r15+0x0], r7
+  exit
+`,
+	Check: func(m *mem.Memory) error {
+		n := btGrid * btBlock
+		want := make([]uint32, n)
+		for g := range want {
+			want[g] = btRef(g)
+		}
+		return checkWords(m, btOut, want, "BTREE.out")
+	},
+})
+
+// ---------------------------------------------------------------------
+// GAUSSIAN — Gaussian elimination row update (Rodinia): each thread
+// applies val -= factor*pivot over a row segment. Integer arithmetic to
+// stay exact.
+// ---------------------------------------------------------------------
+
+const gsGrid, gsBlock, gsCols = 8, 128, 8
+
+var (
+	gsPivot = uint32(0x10_0000)
+	gsRow   = uint32(0x11_0000)
+	gsFac   = uint32(0x12_0000)
+	gsOut   = uint32(0x13_0000)
+)
+
+func gsPivotVal(c int) uint32 { return uint32(c%19 + 1) }
+func gsRowVal(i int) uint32   { return uint32(i*5 + 3) }
+func gsFacVal(g int) uint32   { return uint32(g%7 + 1) }
+
+// GAUSSIAN is the elimination kernel.
+var GAUSSIAN = register(&Benchmark{
+	Name:  "GAUSSIAN",
+	Suite: "Rodinia",
+	Description: "Gaussian elimination row update: multiply-subtract " +
+		"sweep with a loop-carried address chain",
+	GridDim: gsGrid, BlockDim: gsBlock,
+	Params: []uint32{gsPivot, gsRow, gsFac, gsOut},
+	Init: func(m *mem.Memory) error {
+		for c := 0; c < gsCols; c++ {
+			if err := m.Write32(gsPivot+uint32(4*c), gsPivotVal(c)); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < gsGrid*gsBlock*gsCols; i++ {
+			if err := m.Write32(gsRow+uint32(4*i), gsRowVal(i)); err != nil {
+				return err
+			}
+		}
+		for g := 0; g < gsGrid*gsBlock; g++ {
+			if err := m.Write32(gsFac+uint32(4*g), gsFacVal(g)); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	Source: `
+.kernel gaussian
+  mov r0, %tid.x
+  mov r1, %ctaid.x
+  mov r2, %ntid.x
+  mad r3, r1, r2, r0
+  shl r4, r3, 0x2
+  ld.param r5, [rz+0x0]       // pivot row
+  ld.param r6, [rz+0x4]       // my row
+  ld.param r7, [rz+0x8]       // factors
+  ld.param r8, [rz+0xc]       // out
+  add r9, r7, r4
+  ld.global r10, [r9+0x0]     // factor
+  shl r11, r3, 0x5            // g*8 words
+  add r12, r6, r11            // &row[g*8]
+  add r13, r8, r11            // &out[g*8]
+  mov r14, r5                 // &pivot[0]
+  mov r15, 0x0                // c
+  mov r16, 0x8
+GLOOP:
+  ld.global r17, [r14+0x0]    // pivot[c]
+  ld.global r18, [r12+0x0]    // row[c]
+  mul r19, r10, r17
+  sub r18, r18, r19
+  st.global [r13+0x0], r18
+  add r14, r14, 0x4
+  add r12, r12, 0x4
+  add r13, r13, 0x4
+  add r15, r15, 0x1
+  setp.lt p0, r15, r16
+  @p0 bra GLOOP
+  exit
+`,
+	Check: func(m *mem.Memory) error {
+		n := gsGrid * gsBlock
+		want := make([]uint32, n*gsCols)
+		for g := 0; g < n; g++ {
+			f := gsFacVal(g)
+			for c := 0; c < gsCols; c++ {
+				want[g*gsCols+c] = gsRowVal(g*gsCols+c) - f*gsPivotVal(c)
+			}
+		}
+		return checkWords(m, gsOut, want, "GAUSSIAN.out")
+	},
+})
+
+// ---------------------------------------------------------------------
+// MUM — MUMmerGPU sequence matching (Rodinia): per-thread comparison of
+// a query string against a reference with early exit on mismatch —
+// divergent loop exits.
+// ---------------------------------------------------------------------
+
+const mumGrid, mumBlock, mumLen = 8, 128, 12
+
+var (
+	mumRefB = uint32(0x14_0000)
+	mumQry  = uint32(0x15_0000)
+	mumOut  = uint32(0x16_0000)
+)
+
+func mumRefVal(i int) uint32 { return uint32(i % 11) }
+func mumQryVal(g, i int) uint32 {
+	// Most threads diverge at different match lengths.
+	if i < g%mumLen {
+		return uint32(i % 11)
+	}
+	return uint32(i%11) + 1
+}
+
+func mumRef(g int) uint32 {
+	var n uint32
+	for i := 0; i < mumLen; i++ {
+		if mumQryVal(g, i) != mumRefVal(g*mumLen+i)%11 {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// MUM is the sequence-matching kernel.
+var MUM = register(&Benchmark{
+	Name:  "MUM",
+	Suite: "Rodinia",
+	Description: "MUMmerGPU match-length scan: compare loop with " +
+		"data-dependent early exit (divergence)",
+	GridDim: mumGrid, BlockDim: mumBlock,
+	Params: []uint32{mumRefB, mumQry, mumOut},
+	Init: func(m *mem.Memory) error {
+		for i := 0; i < mumGrid*mumBlock*mumLen; i++ {
+			if err := m.Write32(mumRefB+uint32(4*i), mumRefVal(i)%11); err != nil {
+				return err
+			}
+		}
+		for g := 0; g < mumGrid*mumBlock; g++ {
+			for i := 0; i < mumLen; i++ {
+				if err := m.Write32(mumQry+uint32(4*(g*mumLen+i)), mumQryVal(g, i)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	},
+	Source: `
+.kernel mum
+  mov r0, %tid.x
+  mov r1, %ctaid.x
+  mov r2, %ntid.x
+  mad r3, r1, r2, r0
+  mul r4, r3, 0x30            // g * 12 words * 4B
+  ld.param r5, [rz+0x0]       // ref
+  ld.param r6, [rz+0x4]       // qry
+  ld.param r7, [rz+0x8]       // out
+  add r8, r5, r4
+  add r9, r6, r4
+  mov r10, 0x0                // matched
+  mov r11, 0xc                // len
+MLOOP:
+  ld.global r12, [r8+0x0]
+  ld.global r13, [r9+0x0]
+  setp.ne p0, r12, r13
+  @p0 bra MDONE
+  add r10, r10, 0x1
+  add r8, r8, 0x4
+  add r9, r9, 0x4
+  setp.lt p1, r10, r11
+  @p1 bra MLOOP
+MDONE:
+  shl r14, r3, 0x2
+  add r14, r7, r14
+  st.global [r14+0x0], r10
+  exit
+`,
+	Check: func(m *mem.Memory) error {
+		n := mumGrid * mumBlock
+		want := make([]uint32, n)
+		for g := range want {
+			want[g] = mumRef(g)
+		}
+		return checkWords(m, mumOut, want, "MUM.out")
+	},
+})
+
+// ---------------------------------------------------------------------
+// NW — Needleman-Wunsch (Rodinia): anti-diagonal DP recurrence,
+// simplified to a per-thread running score chain with min/max selects
+// and shared-memory staging of the reference row.
+// ---------------------------------------------------------------------
+
+const nwGrid, nwBlock, nwSteps = 8, 128, 12
+
+var (
+	nwScore = uint32(0x17_0000)
+	nwOut   = uint32(0x18_0000)
+)
+
+func nwScoreVal(i int) uint32 { return uint32((i*31 + 5) % 64) }
+
+func nwRef(g int) uint32 {
+	acc := int32(0)
+	for s := 0; s < nwSteps; s++ {
+		v := int32(nwScoreVal(g*nwSteps + s))
+		up := acc + v
+		left := acc - 2
+		if left > up {
+			acc = left
+		} else {
+			acc = up
+		}
+		if acc > 100 {
+			acc = 100
+		}
+	}
+	return uint32(acc)
+}
+
+// NW is the dynamic-programming alignment kernel.
+var NW = register(&Benchmark{
+	Name:  "NW",
+	Suite: "Rodinia",
+	Description: "Needleman-Wunsch recurrence: max/clamp chains with " +
+		"shared-memory staging and loop-carried accumulator",
+	GridDim: nwGrid, BlockDim: nwBlock,
+	SharedLen: nwBlock * 4,
+	Params:    []uint32{nwScore, nwOut},
+	Init: func(m *mem.Memory) error {
+		for i := 0; i < nwGrid*nwBlock*nwSteps; i++ {
+			if err := m.Write32(nwScore+uint32(4*i), nwScoreVal(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	Source: `
+.kernel nw
+  mov r0, %tid.x
+  mov r1, %ctaid.x
+  mov r2, %ntid.x
+  mad r3, r1, r2, r0
+  mul r4, r3, 0x30            // g*12 words
+  ld.param r5, [rz+0x0]       // scores
+  ld.param r6, [rz+0x4]       // out
+  add r7, r5, r4
+  // Stage this thread's first score in shared memory, barrier, reload.
+  shl r8, r0, 0x2
+  ld.global r9, [r7+0x0]
+  st.shared [r8+0x0], r9
+  bar.sync
+  ld.shared r9, [r8+0x0]
+  mov r10, 0x0                // acc
+  mov r11, 0x0                // s
+  mov r12, 0xc
+NLOOP:
+  ld.global r13, [r7+0x0]
+  add r14, r10, r13           // up = acc + v
+  sub r15, r10, 0x2           // left = acc - 2
+  max r10, r14, r15
+  min r10, r10, 0x64          // clamp at 100
+  add r7, r7, 0x4
+  add r11, r11, 0x1
+  setp.lt p0, r11, r12
+  @p0 bra NLOOP
+  shl r16, r3, 0x2
+  add r16, r6, r16
+  st.global [r16+0x0], r10
+  exit
+`,
+	Check: func(m *mem.Memory) error {
+		n := nwGrid * nwBlock
+		want := make([]uint32, n)
+		for g := range want {
+			want[g] = nwRef(g)
+		}
+		return checkWords(m, nwOut, want, "NW.out")
+	},
+})
+
+// ---------------------------------------------------------------------
+// SRAD — speckle-reducing anisotropic diffusion (Rodinia): per-cell
+// coefficient computation with transcendentals (sqrt, exp2, log2) —
+// SFU-heavy with medium register reuse.
+// ---------------------------------------------------------------------
+
+const srGrid, srBlock = 8, 128
+
+var (
+	srIn  = uint32(0x19_0000)
+	srOut = uint32(0x1A_0000)
+)
+
+func srInVal(i int) float32 { return float32(i%29)*0.5 + 1.0 }
+
+func srRef(g int) uint32 {
+	// Mirrors the kernel's exact operation sequence (rcp+mul, not a
+	// fused divide) so the check is bit-exact.
+	v := srInVal(g)
+	s := float32(math.Sqrt(float64(v)))
+	l := float32(math.Log2(float64(s + 1)))
+	e := float32(math.Exp2(float64(l * 0.5)))
+	r := float32(1) / (e + 1)
+	c := e * r
+	return f32bits(c)
+}
+
+// SRAD is the diffusion-coefficient kernel.
+var SRAD = register(&Benchmark{
+	Name:  "SRAD",
+	Suite: "Rodinia",
+	Description: "SRAD diffusion coefficients: sqrt/log2/exp2 chains " +
+		"(SFU-heavy) with reciprocal normalization",
+	GridDim: srGrid, BlockDim: srBlock,
+	Params: []uint32{srIn, srOut},
+	Init: func(m *mem.Memory) error {
+		for i := 0; i < srGrid*srBlock; i++ {
+			if err := m.Write32(srIn+uint32(4*i), f32bits(srInVal(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+	Source: `
+.kernel srad
+  mov r0, %tid.x
+  mov r1, %ctaid.x
+  mov r2, %ntid.x
+  mad r3, r1, r2, r0
+  shl r4, r3, 0x2
+  ld.param r5, [rz+0x0]
+  ld.param r6, [rz+0x4]
+  add r7, r5, r4
+  ld.global r8, [r7+0x0]      // v
+  sqrt r9, r8                 // s = sqrt(v)
+  mov r10, 0x3F800000         // 1.0f
+  fadd r11, r9, r10
+  lg2 r12, r11                // l = log2(s+1)
+  mov r13, 0x3F000000         // 0.5f
+  fmul r14, r12, r13
+  ex2 r15, r14                // e = 2^(l*0.5)
+  fadd r16, r15, r10
+  rcp r17, r16
+  fmul r18, r15, r17          // c = e/(e+1)
+  add r19, r6, r4
+  st.global [r19+0x0], r18
+  exit
+`,
+	Check: func(m *mem.Memory) error {
+		n := srGrid * srBlock
+		want := make([]uint32, n)
+		for g := range want {
+			want[g] = srRef(g)
+		}
+		return checkWords(m, srOut, want, "SRAD.out")
+	},
+})
+
+// bitsF32 is used by float reference helpers in other files.
+var _ = bitsF32

@@ -1,0 +1,36 @@
+// Package workloads provides the benchmark kernels used throughout the
+// evaluation (the synthetic counterparts of the paper's Rodinia /
+// ISPASS / Parboil / Tango / CUDA-SDK benchmarks) plus the code
+// fixtures taken from the paper itself.
+package workloads
+
+import "bow/internal/asm"
+
+// BTreeSnippetSource is the BTREE code fragment of the paper's Fig. 6,
+// used by Table I to count register-file writes under the three write
+// policies. The fragment is transcribed into our dialect; the published
+// listing has a typo in its lines 12–13 (their destination must be a
+// fresh register — $r4 — for the printed Table I numbers to be
+// reproducible), which we adopt.
+const BTreeSnippetSource = `
+.kernel btree_snippet
+  ld.global r3, [r8+0x0]      // line 2: write r3, reuse far away (line 14)
+  mov       r2, 0x0ff4        // line 3
+  mul       r1, r0, r2        // line 4
+  mad       r1, r0, r2, r1    // line 5
+  shl       r1, r1, 0x10      // line 6
+  mad       r0, r0, r2, r1    // line 7
+  add       r0, r10, r0       // line 8 (s[0x18] operand modeled as r10)
+  add       r0, r9, r0        // line 9
+  add       r1, r0, 0x7f8     // line 10
+  ld.global r2, [r1+0x0]      // line 11
+  shl       r4, r2, 0x100     // line 12
+  add       r4, r2, 0x8f      // line 13
+  setp.ne   p0, r3, r1        // line 14
+  exit
+`
+
+// BTreeSnippet parses the Fig. 6 fragment.
+func BTreeSnippet() *asm.Program {
+	return asm.MustParse(BTreeSnippetSource)
+}

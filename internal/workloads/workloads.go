@@ -1,0 +1,86 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"bow/internal/asm"
+	"bow/internal/mem"
+)
+
+// Benchmark is one kernel of the evaluation suite: source, launch
+// geometry, input initialization, and a functional self-check that
+// validates the simulated result against a Go reference computation.
+//
+// The suite mirrors the paper's Table III. The CUDA originals are
+// re-expressed as synthetic kernels in the simulator's dialect with
+// matching register-reuse character (see DESIGN.md, substitution 1);
+// the bypassing machinery sees only instruction streams and register
+// IDs, so matching reuse profiles exercises the same code paths.
+type Benchmark struct {
+	Name        string
+	Suite       string
+	Description string
+	Source      string
+
+	GridDim   int
+	BlockDim  int
+	SharedLen int
+	Params    []uint32
+
+	// Init populates the input arrays.
+	Init func(m *mem.Memory) error
+	// Check validates outputs against a Go reference; nil means no
+	// functional check (should be rare).
+	Check func(m *mem.Memory) error
+}
+
+// Program parses the benchmark's kernel source.
+func (b *Benchmark) Program() *asm.Program { return asm.MustParse(b.Source) }
+
+var registry []*Benchmark
+
+func register(b *Benchmark) *Benchmark {
+	registry = append(registry, b)
+	return b
+}
+
+// All returns every benchmark sorted by name.
+func All() []*Benchmark {
+	out := append([]*Benchmark(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName looks a benchmark up.
+func ByName(name string) (*Benchmark, error) {
+	for _, b := range registry {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown benchmark %q", name)
+}
+
+// Names lists the registered benchmark names.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for _, b := range All() {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+// checkWords compares n output words starting at base against want.
+func checkWords(m *mem.Memory, base uint32, want []uint32, label string) error {
+	got, err := m.ReadWords(base, len(want))
+	if err != nil {
+		return err
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("%s[%d] = %#x, want %#x", label, i, got[i], want[i])
+		}
+	}
+	return nil
+}

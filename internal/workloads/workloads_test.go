@@ -1,0 +1,124 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"bow/internal/compiler"
+	"bow/internal/config"
+	"bow/internal/core"
+	"bow/internal/gpu"
+	"bow/internal/mem"
+	"bow/internal/sm"
+	"bow/internal/workloads"
+)
+
+func runBenchmark(t *testing.T, b *workloads.Benchmark, bcfg core.Config) *gpu.Result {
+	t.Helper()
+	prog := b.Program()
+	if bcfg.Policy == core.PolicyCompilerHints {
+		if _, err := compiler.Annotate(prog, bcfg.IW); err != nil {
+			t.Fatalf("%s: annotate: %v", b.Name, err)
+		}
+	}
+	m := mem.NewMemory()
+	if b.Init != nil {
+		if err := b.Init(m); err != nil {
+			t.Fatalf("%s: init: %v", b.Name, err)
+		}
+	}
+	gcfg := config.SimDefault()
+	gcfg.NumSMs = 1
+	k := &sm.Kernel{
+		Program: prog, GridDim: b.GridDim, BlockDim: b.BlockDim,
+		SharedLen: b.SharedLen, Params: b.Params,
+	}
+	d, err := gpu.New(gcfg, bcfg, k, m)
+	if err != nil {
+		t.Fatalf("%s: device: %v", b.Name, err)
+	}
+	res, err := d.Run(0)
+	if err != nil {
+		t.Fatalf("%s: run: %v", b.Name, err)
+	}
+	if b.Check != nil {
+		if err := b.Check(m); err != nil {
+			t.Fatalf("%s (%v): check: %v", b.Name, bcfg.Policy, err)
+		}
+	}
+	return res
+}
+
+// TestRegistry sanity-checks the suite inventory against Table III.
+func TestRegistry(t *testing.T) {
+	all := workloads.All()
+	if len(all) != 15 {
+		t.Fatalf("expected 15 benchmarks (Table III), got %d: %v", len(all), workloads.Names())
+	}
+	suites := map[string]int{}
+	for _, b := range all {
+		suites[b.Suite]++
+		if b.Check == nil {
+			t.Errorf("%s: missing functional check", b.Name)
+		}
+		if b.GridDim <= 0 || b.BlockDim <= 0 {
+			t.Errorf("%s: bad launch geometry %dx%d", b.Name, b.GridDim, b.BlockDim)
+		}
+		if _, err := workloads.ByName(b.Name); err != nil {
+			t.Errorf("ByName(%s): %v", b.Name, err)
+		}
+	}
+	want := map[string]int{"ISPASS": 4, "Rodinia": 7, "Tango": 2, "CUDA SDK": 1, "Parboil": 1}
+	for s, n := range want {
+		if suites[s] != n {
+			t.Errorf("suite %s has %d benchmarks, want %d", s, suites[s], n)
+		}
+	}
+	if _, err := workloads.ByName("NOPE"); err == nil {
+		t.Error("ByName(NOPE) should fail")
+	}
+}
+
+// TestAllBenchmarksAllPolicies is the functional oracle across the whole
+// suite: every benchmark must produce its reference output under every
+// bypassing configuration.
+func TestAllBenchmarksAllPolicies(t *testing.T) {
+	policies := []core.Config{
+		{Policy: core.PolicyBaseline},
+		{IW: 3, Policy: core.PolicyWriteThrough},
+		{IW: 3, Policy: core.PolicyWriteBack},
+		{IW: 3, Policy: core.PolicyCompilerHints},
+		{IW: 3, Capacity: 6, Policy: core.PolicyCompilerHints},
+		{IW: 2, Policy: core.PolicyWriteBack},
+		{IW: 4, Policy: core.PolicyCompilerHints},
+	}
+	for _, b := range workloads.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			for _, bcfg := range policies {
+				runBenchmark(t, b, bcfg)
+			}
+		})
+	}
+}
+
+// TestSuiteBypassShape checks the aggregate shape of the headline
+// result: with IW=3, mean read-bypass should be roughly the paper's 59%
+// (we accept a generous band) and the reuse-heavy benchmarks must beat
+// the streaming ones.
+func TestSuiteBypassShape(t *testing.T) {
+	frac := map[string]float64{}
+	var sum float64
+	for _, b := range workloads.All() {
+		res := runBenchmark(t, b, core.Config{IW: 3, Policy: core.PolicyWriteBack})
+		frac[b.Name] = res.Engine.ReadBypassFrac()
+		sum += frac[b.Name]
+	}
+	mean := sum / float64(len(frac))
+	if mean < 0.35 || mean > 0.80 {
+		t.Errorf("mean read-bypass fraction %.2f outside plausible band [0.35,0.80] (paper: 0.59)", mean)
+	}
+	if frac["LIB"] <= frac["WP"] {
+		t.Errorf("LIB (%.2f) should bypass more than WP (%.2f)", frac["LIB"], frac["WP"])
+	}
+	t.Logf("read bypass fractions: %v (mean %.2f)", frac, mean)
+}
