@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench repro examples cover clean
+.PHONY: all build vet test race bench repro examples cover clean
 
 all: build vet test
 
@@ -12,8 +12,15 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+# The default test gate includes vet and the race detector: the job
+# engine (internal/simjob) simulates concurrently, so every test run
+# also proves the pool's thread safety.
+test: vet
 	$(GO) test ./...
+	$(GO) test -race ./...
+
+race:
+	$(GO) test -race ./...
 
 # Full test log, as recorded in test_output.txt.
 test-log:

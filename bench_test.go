@@ -16,7 +16,9 @@
 package bow_test
 
 import (
+	"context"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"bow/internal/asm"
@@ -24,6 +26,7 @@ import (
 	"bow/internal/core"
 	"bow/internal/experiments"
 	"bow/internal/isa"
+	"bow/internal/simjob"
 	"bow/internal/workloads"
 )
 
@@ -278,6 +281,49 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(cycles)/float64(b.N), "sim_cycles/op")
 }
+
+// sweepBenchSpec is the workload for the engine scaling pair below:
+// 9 independent simulations (3 benchmarks x 3 policies), enough work
+// to amortize pool startup while staying in microbenchmark territory.
+func sweepBenchSpec() simjob.SweepSpec {
+	return simjob.SweepSpec{
+		Benches:  []string{"VECTORADD", "LIB", "SAD"},
+		Policies: []string{simjob.PolicyBaseline, simjob.PolicyBOWWB, simjob.PolicyBOWWR},
+		IWs:      []int{3},
+	}
+}
+
+func runSweepBench(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		// Fresh engine per iteration: cold cache, so every job simulates.
+		eng, err := simjob.New(simjob.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := eng.RunSweep(context.Background(), sweepBenchSpec())
+		if err != nil {
+			eng.Close()
+			b.Fatal(err)
+		}
+		for _, item := range res.Items {
+			if item.Error != "" {
+				eng.Close()
+				b.Fatalf("%s/%s: %s", item.Spec.Bench, item.Spec.Policy, item.Error)
+			}
+		}
+		eng.Close()
+	}
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkSweepSequential pins the job engine to one worker — the
+// baseline for the scaling comparison.
+func BenchmarkSweepSequential(b *testing.B) { runSweepBench(b, 1) }
+
+// BenchmarkSweepParallel runs the same sweep on a GOMAXPROCS-wide
+// pool. On a multicore host the ratio to BenchmarkSweepSequential
+// approaches the core count (the 9 jobs are independent).
+func BenchmarkSweepParallel(b *testing.B) { runSweepBench(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkRandomReplay measures the engine over randomized instruction
 // mixes (allocation behaviour under churn).

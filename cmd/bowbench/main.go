@@ -1,12 +1,18 @@
 // Command bowbench regenerates the BOW paper's evaluation artifacts:
 // every table and figure of the paper is reproduced from simulation and
-// printed as a text table.
+// printed as a text table. Simulations are submitted through the
+// concurrent job engine (internal/simjob): the full evaluation's point
+// set is prewarmed across a worker pool and deduplicated by content
+// hash, so the wall-clock cost scales down with the core count while
+// the rendered artifacts stay byte-identical to a sequential run.
 //
 // Usage:
 //
-//	bowbench                 # run everything
+//	bowbench                 # run everything, GOMAXPROCS workers
 //	bowbench -exp fig10      # one experiment
 //	bowbench -list           # list experiment IDs
+//	bowbench -seq            # inline sequential simulation (no engine)
+//	bowbench -cachedir DIR   # persist result summaries across runs
 //
 // Experiment IDs: fig1 fig3 fig4 table1 fig7 fig8 fig9 fig10 fig11
 // fig12 fig13 table2 table3 table4 rfc
@@ -16,8 +22,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"bow/internal/experiments"
+	"bow/internal/simjob"
 )
 
 type experiment struct {
@@ -147,6 +156,9 @@ func allExperiments() []experiment {
 func main() {
 	expID := flag.String("exp", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size")
+	seq := flag.Bool("seq", false, "simulate inline and sequentially (no job engine)")
+	cacheDir := flag.String("cachedir", "", "persist result summaries to this directory")
 	flag.Parse()
 
 	exps := allExperiments()
@@ -157,7 +169,23 @@ func main() {
 		return
 	}
 
+	start := time.Now()
 	r := experiments.NewRunner()
+	if !*seq {
+		engine, err := simjob.New(simjob.Options{Workers: *workers, CacheDir: *cacheDir})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bowbench:", err)
+			os.Exit(1)
+		}
+		defer engine.Close()
+		r = experiments.NewEngineRunner(engine)
+		if *expID == "" {
+			// Fan the whole evaluation out across the pool up front; the
+			// figure loops below then consume results as they land.
+			n := experiments.Prewarm(r)
+			fmt.Fprintf(os.Stderr, "bowbench: prewarming %d points on %d workers\n", n, *workers)
+		}
+	}
 	ran := 0
 	for _, e := range exps {
 		if *expID != "" && e.id != *expID {
@@ -175,4 +203,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bowbench: unknown experiment %q (try -list)\n", *expID)
 		os.Exit(1)
 	}
+	fmt.Fprintf(os.Stderr, "bowbench: %d experiments in %.2fs\n", ran, time.Since(start).Seconds())
 }

@@ -1,0 +1,89 @@
+// Command bowd serves the GPU simulator as a daemon: simulation jobs
+// and design-space sweeps are submitted over HTTP, executed on a
+// concurrent worker pool, and deduplicated through the two-tier result
+// cache (memory LRU + optional on-disk JSON store), so repeated points
+// — across requests and across restarts — are simulated once.
+//
+// Usage:
+//
+//	bowd                                   # :8080, GOMAXPROCS workers
+//	bowd -addr :9090 -workers 8 -cachedir /var/cache/bow
+//
+// Endpoints:
+//
+//	POST /simulate   one JobSpec            -> {cached, result}
+//	POST /sweep      SweepSpec cross-product -> SweepResult
+//	GET  /healthz    liveness
+//	GET  /metrics    jobs queued/running/done/failed, cache hit ratio,
+//	                 p50/p99 job latency
+//
+// Example session:
+//
+//	bowd -cachedir /tmp/bowcache &
+//	curl -s localhost:8080/simulate -d '{"bench":"SAD","policy":"bow-wr","iw":3}'
+//	curl -s localhost:8080/sweep -d '{"benches":["LIB","SAD"],"policies":["baseline","bow-wr"],"iws":[2,3,4]}'
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"bow/internal/simjob"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size")
+	retries := flag.Int("retries", 0, "extra attempts for a failed job")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-job simulation timeout (0 = none)")
+	cacheDir := flag.String("cachedir", "", "on-disk result cache directory (empty = memory only)")
+	cacheSize := flag.Int("cachesize", 4096, "in-memory result cache entries")
+	flag.Parse()
+
+	engine, err := simjob.New(simjob.Options{
+		Workers:   *workers,
+		Retries:   *retries,
+		Timeout:   *timeout,
+		CacheSize: *cacheSize,
+		CacheDir:  *cacheDir,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bowd:", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           simjob.NewServer(engine),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("bowd: serving on %s (%d workers, cachedir=%q)\n", *addr, *workers, *cacheDir)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "bowd:", err)
+			os.Exit(1)
+		}
+	case sig := <-sigc:
+		fmt.Printf("bowd: %v — draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		engine.Close()
+	}
+}

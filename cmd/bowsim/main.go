@@ -1,46 +1,29 @@
 // Command bowsim runs one benchmark kernel through the GPU simulator
 // under a chosen bypass configuration and prints the run report:
 // IPC, register-file traffic, bypass fractions, energy, and collector
-// occupancy.
+// occupancy. The run is expressed as a simjob.JobSpec, so -json emits
+// exactly the JobResult schema cmd/bowd serves and the result cache
+// stores.
 //
 // Usage:
 //
 //	bowsim -bench LIB -policy bow-wr -iw 3 -capacity 6
+//	bowsim -bench SAD -policy bow-wr -json
 //	bowsim -list
 //	bowsim -bench SAD -policy baseline -sms 2 -v
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
-	"bow/internal/compiler"
-	"bow/internal/config"
-	"bow/internal/core"
 	"bow/internal/energy"
-	"bow/internal/gpu"
-	"bow/internal/mem"
-	"bow/internal/rfc"
-	"bow/internal/sm"
+	"bow/internal/simjob"
 	"bow/internal/workloads"
 )
-
-func parsePolicy(s string) (core.Config, bool, error) {
-	switch s {
-	case "baseline":
-		return core.Config{Policy: core.PolicyBaseline}, false, nil
-	case "bow", "bow-wt", "write-through":
-		return core.Config{Policy: core.PolicyWriteThrough}, false, nil
-	case "bow-wb", "write-back":
-		return core.Config{Policy: core.PolicyWriteBack}, false, nil
-	case "bow-wr", "hints", "compiler":
-		return core.Config{Policy: core.PolicyCompilerHints}, true, nil
-	case "rfc":
-		return rfc.Config(rfc.DefaultEntriesPerWarp), false, nil
-	}
-	return core.Config{}, false, fmt.Errorf("unknown policy %q (baseline|bow|bow-wb|bow-wr|rfc)", s)
-}
 
 func main() {
 	benchName := flag.String("bench", "VECTORADD", "benchmark name (see -list)")
@@ -50,6 +33,7 @@ func main() {
 	sms := flag.Int("sms", 1, "number of SMs")
 	list := flag.Bool("list", false, "list benchmarks")
 	verbose := flag.Bool("v", false, "print detailed counters")
+	jsonOut := flag.Bool("json", false, "emit the JobResult JSON (the schema bowd serves)")
 	beyond := flag.Bool("beyond", false, "future-work mode: capacity-bound bypassing (no nominal window cutoff)")
 	noExtend := flag.Bool("noextend", false, "ablation: disable the extended instruction window")
 	reorder := flag.Bool("reorder", false, "extension: compiler reordering for reuse locality")
@@ -62,90 +46,66 @@ func main() {
 		return
 	}
 
-	b, err := workloads.ByName(*benchName)
+	spec := simjob.JobSpec{
+		Bench:        *benchName,
+		Policy:       *policy,
+		IW:           *iw,
+		Capacity:     *capacity,
+		SMs:          *sms,
+		BeyondWindow: *beyond,
+		NoExtend:     *noExtend,
+		Reorder:      *reorder,
+	}
+	out, err := simjob.Execute(context.Background(), spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bowsim:", err)
 		os.Exit(1)
-	}
-	bcfg, hints, err := parsePolicy(*policy)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bowsim:", err)
-		os.Exit(1)
-	}
-	if bcfg.Policy.Bypassing() && !bcfg.ForwardThroughPort {
-		bcfg.IW = *iw
-		bcfg.Capacity = *capacity
-		bcfg.BeyondWindow = *beyond
-		bcfg.NoExtend = *noExtend
 	}
 
-	prog := b.Program()
-	if *reorder {
-		if err := compiler.Reorder(prog, *iw); err != nil {
-			fmt.Fprintln(os.Stderr, "bowsim: reorder:", err)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out.Summary); err != nil {
+			fmt.Fprintln(os.Stderr, "bowsim:", err)
 			os.Exit(1)
 		}
+		return
+	}
+
+	b, err := workloads.ByName(out.Spec.Bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bowsim:", err)
+		os.Exit(1)
+	}
+	if out.Spec.Reorder {
 		fmt.Println("kernel reordered for reuse locality (footnote-1 extension)")
 	}
-	if hints {
-		hs, err := compiler.Annotate(prog, bcfg.IW)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "bowsim: annotate:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("compiler hints: %s\n", hs.String())
+	if out.Hints != "" {
+		fmt.Printf("compiler hints: %s\n", out.Hints)
 	}
-
-	m := mem.NewMemory()
-	if b.Init != nil {
-		if err := b.Init(m); err != nil {
-			fmt.Fprintln(os.Stderr, "bowsim: init:", err)
-			os.Exit(1)
-		}
-	}
-	gcfg := config.SimDefault()
-	gcfg.NumSMs = *sms
-	k := &sm.Kernel{
-		Program: prog, GridDim: b.GridDim, BlockDim: b.BlockDim,
-		SharedLen: b.SharedLen, Params: b.Params,
-	}
-	d, err := gpu.New(gcfg, bcfg, k, m)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bowsim:", err)
-		os.Exit(1)
-	}
-	res, err := d.Run(0)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bowsim:", err)
-		os.Exit(1)
-	}
+	res, sum := out.Full, out.Summary
 	checked := "skipped"
-	if b.Check != nil {
-		if err := b.Check(m); err != nil {
-			fmt.Fprintln(os.Stderr, "bowsim: FUNCTIONAL CHECK FAILED:", err)
-			os.Exit(1)
-		}
+	if sum.Checked {
 		checked = "ok"
 	}
-
 	rep := energy.Compute(res.Energy)
 	fmt.Printf("benchmark   %s (%s) — %s\n", b.Name, b.Suite, b.Description)
-	fmt.Printf("launch      grid %d x block %d, policy %v, IW %d\n",
-		b.GridDim, b.BlockDim, bcfg.Policy, bcfg.IW)
+	fmt.Printf("launch      grid %d x block %d, policy %s, IW %d\n",
+		b.GridDim, b.BlockDim, sum.Policy, sum.IW)
 	fmt.Printf("result      functional check %s\n", checked)
-	fmt.Printf("cycles      %d\n", res.Cycles)
-	fmt.Printf("warp-insts  %d (IPC %.3f)\n", res.Stats.Executed, res.Stats.IPC())
+	fmt.Printf("cycles      %d\n", sum.Cycles)
+	fmt.Printf("warp-insts  %d (IPC %.3f)\n", sum.Executed, sum.IPC)
 	fmt.Printf("rf reads    %d  (bypassed %d, %.1f%%)\n",
-		res.Engine.RFReads, res.Engine.BypassedRead, 100*res.Engine.ReadBypassFrac())
+		sum.RFReads, sum.BypassedReads, 100*sum.ReadBypassFrac)
 	fmt.Printf("rf writes   %d  (eliminated %.1f%%)\n",
-		res.Engine.RFWrites, 100*res.Engine.WriteBypassFrac())
+		sum.RFWrites, 100*sum.WriteBypassFrac)
 	fmt.Printf("energy      RF %.1f nJ + overhead %.1f nJ\n",
 		rep.RFDynamicPJ/1000, rep.OverheadPJ()/1000)
 	if *verbose {
 		fmt.Printf("oc share    %.1f%% (mem %.1f%%, non-mem %.1f%%)\n",
 			100*res.Stats.OCShare(), 100*res.Stats.MemOCShare(), 100*res.Stats.NonMemOCShare())
-		fmt.Printf("bank conf   %d\n", res.RF.BankConflicts)
-		fmt.Printf("mem txns    %d\n", res.Stats.MemTransactions)
+		fmt.Printf("bank conf   %d\n", sum.BankConflicts)
+		fmt.Printf("mem txns    %d\n", sum.MemTransactions)
 		fmt.Printf("divergences %d\n", res.Stats.Divergences)
 		fmt.Printf("writes by hint: rf-only %d, both %d, boc-only %d\n",
 			res.Stats.WritebacksByHint[1], res.Stats.WritebacksByHint[0], res.Stats.WritebacksByHint[2])

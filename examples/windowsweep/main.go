@@ -3,56 +3,24 @@
 // view behind the paper's Figs. 3 and 10, including where the
 // diminishing returns set in.
 //
+// The seven points (baseline + IW 2–7 under BOW-WR) are submitted to a
+// simjob engine up front and simulate concurrently across the worker
+// pool; the table below consumes the results in sweep order.
+//
 //	go run ./examples/windowsweep            # defaults to SAD
 //	go run ./examples/windowsweep LIB
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
-	"bow/internal/compiler"
-	"bow/internal/config"
-	"bow/internal/core"
-	"bow/internal/gpu"
-	"bow/internal/mem"
-	"bow/internal/sm"
+	"bow/internal/simjob"
 	"bow/internal/workloads"
 )
-
-func run(b *workloads.Benchmark, bcfg core.Config) *gpu.Result {
-	prog := b.Program()
-	if bcfg.Policy == core.PolicyCompilerHints {
-		if _, err := compiler.Annotate(prog, bcfg.IW); err != nil {
-			log.Fatal(err)
-		}
-	}
-	m := mem.NewMemory()
-	if b.Init != nil {
-		if err := b.Init(m); err != nil {
-			log.Fatal(err)
-		}
-	}
-	k := &sm.Kernel{
-		Program: prog, GridDim: b.GridDim, BlockDim: b.BlockDim,
-		SharedLen: b.SharedLen, Params: b.Params,
-	}
-	dev, err := gpu.New(config.SimDefault(), bcfg, k, m)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := dev.Run(0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if b.Check != nil {
-		if err := b.Check(m); err != nil {
-			log.Fatalf("functional check failed: %v", err)
-		}
-	}
-	return res
-}
 
 func bar(frac float64) string {
 	n := int(frac * 40)
@@ -74,17 +42,40 @@ func main() {
 	}
 	fmt.Printf("window sweep on %s — %s\n\n", b.Name, b.Description)
 
-	base := run(b, core.Config{Policy: core.PolicyBaseline})
-	fmt.Printf("baseline: %d cycles, IPC %.3f\n\n", base.Cycles, base.Stats.IPC())
+	eng, err := simjob.New(simjob.Options{Workers: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Queue every point before reading any result: the pool overlaps
+	// the simulations while we block on the first ticket.
+	ctx := context.Background()
+	baseTicket := eng.Submit(ctx, simjob.JobSpec{Bench: b.Name, Policy: simjob.PolicyBaseline})
+	const loIW, hiIW = 2, 7
+	sweep := make([]*simjob.Ticket, 0, hiIW-loIW+1)
+	for iw := loIW; iw <= hiIW; iw++ {
+		sweep = append(sweep, eng.Submit(ctx, simjob.JobSpec{
+			Bench: b.Name, Policy: simjob.PolicyBOWWR, IW: iw,
+		}))
+	}
+
+	base, err := baseTicket.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline: %d cycles, IPC %.3f\n\n", base.Summary.Cycles, base.Summary.IPC)
 
 	fmt.Printf("%3s  %12s  %12s  %10s  %s\n", "IW", "reads-elim", "writes-elim", "IPC-gain", "reads eliminated")
-	for iw := 2; iw <= 7; iw++ {
-		res := run(b, core.Config{IW: iw, Policy: core.PolicyCompilerHints})
-		rd := res.Engine.ReadBypassFrac()
-		wr := res.Engine.WriteBypassFrac()
-		gain := res.Stats.IPC()/base.Stats.IPC() - 1
+	for i, t := range sweep {
+		out, err := t.Wait()
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := out.Summary
+		gain := s.IPC/base.Summary.IPC - 1
 		fmt.Printf("%3d  %11.1f%%  %11.1f%%  %+9.1f%%  %s\n",
-			iw, 100*rd, 100*wr, 100*gain, bar(rd))
+			loIW+i, 100*s.ReadBypassFrac, 100*s.WriteBypassFrac, 100*gain, bar(s.ReadBypassFrac))
 	}
 	fmt.Println("\nnote the knee around IW 3 — the paper's chosen window size.")
 }

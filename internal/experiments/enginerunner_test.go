@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"testing"
+
+	"bow/internal/simjob"
+)
+
+// TestEngineRunnerEquivalence asserts the acceptance invariant of the
+// job-engine retrofit: figures rendered through the concurrent engine
+// are byte-identical to the inline sequential path.
+func TestEngineRunnerEquivalence(t *testing.T) {
+	seq := NewRunner()
+	eng, err := simjob.New(simjob.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	par := NewEngineRunner(eng)
+	if n := Prewarm(par); n == 0 {
+		t.Fatal("Prewarm submitted nothing through the engine")
+	}
+
+	// Fig 13 exercises baseline + both write policies; ReuseDist the
+	// traced path; Reorder the compiler-pass path.
+	f13s, err := Fig13(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f13p, err := Fig13(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f13s.Render() != f13p.Render() {
+		t.Errorf("Fig13 diverged between inline and engine runners:\n%s\n---\n%s",
+			f13s.Render(), f13p.Render())
+	}
+
+	rds, err := ReuseDist(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdp, err := ReuseDist(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rds.Render() != rdp.Render() {
+		t.Error("ReuseDist diverged between inline and engine runners")
+	}
+
+	ros, err := Reorder(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rop, err := Reorder(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ros.Render() != rop.Render() {
+		t.Error("Reorder diverged between inline and engine runners")
+	}
+
+	// Every engine-run point must actually have gone through the pool.
+	if m := eng.Metrics(); m.Done == 0 {
+		t.Errorf("engine simulated nothing: %+v", m)
+	}
+}

@@ -1,15 +1,8 @@
 package experiments
 
 import (
-	"fmt"
-
-	"bow/internal/compiler"
 	"bow/internal/core"
-	"bow/internal/gpu"
-	"bow/internal/mem"
-	"bow/internal/sm"
 	"bow/internal/stats"
-	"bow/internal/workloads"
 )
 
 // ReorderResult evaluates the optimization the paper's footnote 1
@@ -45,7 +38,7 @@ func Reorder(r *Runner) (*ReorderResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		re, err := runReordered(r, b, core.Config{IW: 3, Policy: core.PolicyWriteBack})
+		re, err := r.RunReordered(b, core.Config{IW: 3, Policy: core.PolicyWriteBack})
 		if err != nil {
 			return nil, err
 		}
@@ -53,7 +46,7 @@ func Reorder(r *Runner) (*ReorderResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		wre, err := runReordered(r, b, core.Config{IW: 3, Policy: core.PolicyCompilerHints})
+		wre, err := r.RunReordered(b, core.Config{IW: 3, Policy: core.PolicyCompilerHints})
 		if err != nil {
 			return nil, err
 		}
@@ -70,49 +63,6 @@ func Reorder(r *Runner) (*ReorderResult, error) {
 		res.MeanReorder += fr / n
 		res.MeanWPlain += wp / n
 		res.MeanWReorder += wr / n
-	}
-	return res, nil
-}
-
-// runReordered is Runner.Run with the scheduling pass applied first
-// (not memoized: the program differs from the registered benchmark).
-func runReordered(r *Runner, b *workloads.Benchmark, bcfg core.Config) (*gpu.Result, error) {
-	bcfg, err := bcfg.Normalize()
-	if err != nil {
-		return nil, err
-	}
-	prog := b.Program()
-	if err := compiler.Reorder(prog, bcfg.IW); err != nil {
-		return nil, fmt.Errorf("%s: reorder: %w", b.Name, err)
-	}
-	if bcfg.Policy == core.PolicyCompilerHints {
-		// Annotation runs on the final schedule, so the hints stay sound.
-		if _, err := compiler.Annotate(prog, bcfg.IW); err != nil {
-			return nil, fmt.Errorf("%s: annotate: %w", b.Name, err)
-		}
-	}
-	m := mem.NewMemory()
-	if b.Init != nil {
-		if err := b.Init(m); err != nil {
-			return nil, err
-		}
-	}
-	k := &sm.Kernel{
-		Program: prog, GridDim: b.GridDim, BlockDim: b.BlockDim,
-		SharedLen: b.SharedLen, Params: b.Params,
-	}
-	d, err := gpu.New(r.GCfg, bcfg, k, m)
-	if err != nil {
-		return nil, err
-	}
-	res, err := d.Run(r.MaxCycles)
-	if err != nil {
-		return nil, fmt.Errorf("%s (reordered): %w", b.Name, err)
-	}
-	if b.Check != nil {
-		if err := b.Check(m); err != nil {
-			return nil, fmt.Errorf("%s: reordered kernel MISCOMPILED: %w", b.Name, err)
-		}
 	}
 	return res, nil
 }

@@ -3,10 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"bow/internal/core"
-	"bow/internal/gpu"
-	"bow/internal/mem"
-	"bow/internal/sm"
 	"bow/internal/stats"
 	"bow/internal/trace"
 )
@@ -33,23 +29,10 @@ func ReuseDist(r *Runner) (*ReuseDistResult, error) {
 	res.Mean = make([]float64, len(res.Windows))
 	n := float64(len(Suite()))
 	for _, b := range Suite() {
-		// Traces require a dedicated (uncached) run with capture enabled.
-		m := mem.NewMemory()
-		if b.Init != nil {
-			if err := b.Init(m); err != nil {
-				return nil, err
-			}
-		}
-		k := &sm.Kernel{
-			Program: b.Program(), GridDim: b.GridDim, BlockDim: b.BlockDim,
-			SharedLen: b.SharedLen, Params: b.Params,
-		}
-		d, err := gpu.New(r.GCfg, core.Config{Policy: core.PolicyBaseline}, k, m)
-		if err != nil {
-			return nil, err
-		}
-		d.CaptureTrace = true
-		out, err := d.Run(r.MaxCycles)
+		// Traces need a capture-enabled baseline run; RunTraced memoizes
+		// it under a trace-distinguished key (and routes it through the
+		// job engine when one is attached).
+		out, err := r.RunTraced(b)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}

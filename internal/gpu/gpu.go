@@ -5,6 +5,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 
 	"bow/internal/config"
@@ -80,16 +81,23 @@ type Result struct {
 // simulations (0 means a generous default). Functional faults inside the
 // pipeline (out-of-range parameter reads, misaligned accesses — i.e.
 // kernel bugs) surface as errors.
-func (d *Device) Run(maxCycles int64) (res *Result, err error) {
+func (d *Device) Run(maxCycles int64) (*Result, error) {
+	return d.RunContext(context.Background(), maxCycles)
+}
+
+// RunContext is Run with cooperative cancellation: the simulation loop
+// polls ctx every 1024 cycles and aborts with ctx's error when it is
+// done. This is what lets the job engine enforce per-job timeouts.
+func (d *Device) RunContext(ctx context.Context, maxCycles int64) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("gpu: kernel fault: %v", r)
 		}
 	}()
-	return d.run(maxCycles)
+	return d.run(ctx, maxCycles)
 }
 
-func (d *Device) run(maxCycles int64) (*Result, error) {
+func (d *Device) run(ctx context.Context, maxCycles int64) (*Result, error) {
 	if maxCycles <= 0 {
 		maxCycles = 50_000_000
 	}
@@ -127,6 +135,11 @@ func (d *Device) run(maxCycles int64) (*Result, error) {
 		cycles++
 		if cycles > maxCycles {
 			return nil, fmt.Errorf("gpu: kernel exceeded %d cycles (livelock or runaway loop?)", maxCycles)
+		}
+		if cycles&1023 == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("gpu: run canceled after %d cycles: %w", cycles, cerr)
+			}
 		}
 	}
 

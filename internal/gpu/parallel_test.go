@@ -1,0 +1,98 @@
+package gpu_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"bow/internal/compiler"
+	"bow/internal/config"
+	"bow/internal/core"
+	"bow/internal/gpu"
+	"bow/internal/mem"
+	"bow/internal/sm"
+	"bow/internal/workloads"
+)
+
+// simulateOnce builds a fully independent simulation (fresh program,
+// memory, device) and runs it to completion.
+func simulateOnce(bench string, bcfg core.Config) (*gpu.Result, error) {
+	b, err := workloads.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	prog := b.Program()
+	if bcfg.Policy == core.PolicyCompilerHints {
+		if _, err := compiler.Annotate(prog, bcfg.IW); err != nil {
+			return nil, err
+		}
+	}
+	m := mem.NewMemory()
+	if b.Init != nil {
+		if err := b.Init(m); err != nil {
+			return nil, err
+		}
+	}
+	k := &sm.Kernel{
+		Program: prog, GridDim: b.GridDim, BlockDim: b.BlockDim,
+		SharedLen: b.SharedLen, Params: b.Params,
+	}
+	d, err := gpu.New(config.SimDefault(), bcfg, k, m)
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.Run(0)
+	if err != nil {
+		return nil, err
+	}
+	if b.Check != nil {
+		if err := b.Check(m); err != nil {
+			return nil, fmt.Errorf("functional check failed: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// TestParallelSimulationsIdentical is the thread-safety regression for
+// the job engine's worker pool: independent devices simulating the
+// same kernel concurrently must not share state (run it under -race)
+// and must produce reports identical to a sequential run. Any hidden
+// package-level mutable state in gpu/sm/core/mem would show up here as
+// either a race report or a diverging result.
+func TestParallelSimulationsIdentical(t *testing.T) {
+	cases := []struct {
+		bench string
+		bcfg  core.Config
+	}{
+		{"LIB", core.Config{IW: 3, Policy: core.PolicyWriteBack}},
+		{"SAD", core.Config{IW: 3, Policy: core.PolicyCompilerHints}},
+		{"VECTORADD", core.Config{Policy: core.PolicyBaseline}},
+	}
+	const goroutines = 4
+	for _, tc := range cases {
+		want, err := simulateOnce(tc.bench, tc.bcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]*gpu.Result, goroutines)
+		errs := make([]error, goroutines)
+		var wg sync.WaitGroup
+		for i := 0; i < goroutines; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got[i], errs[i] = simulateOnce(tc.bench, tc.bcfg)
+			}(i)
+		}
+		wg.Wait()
+		for i := range got {
+			if errs[i] != nil {
+				t.Fatalf("%s/%v: goroutine %d: %v", tc.bench, tc.bcfg.Policy, i, errs[i])
+			}
+			if !reflect.DeepEqual(want, got[i]) {
+				t.Errorf("%s/%v: goroutine %d produced a diverging report", tc.bench, tc.bcfg.Policy, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package simjob
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Cache is the two-tier result cache: an in-memory LRU holding full
+// outcomes (simulator result included), and an optional on-disk tier
+// storing the canonical JobResult JSON under <dir>/<spechash>.json.
+// Memory hits can serve figure generators that need the full result;
+// disk hits serve summary-level consumers (the daemon) across process
+// restarts.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	dir   string
+
+	hitsMem, hitsDisk, misses int64
+}
+
+type cacheEntry struct {
+	hash string
+	out  *Outcome
+}
+
+// NewCache builds a cache holding up to max outcomes in memory
+// (max <= 0 selects the default of 4096) and, when dir is non-empty,
+// persisting summaries beneath it (created on demand).
+func NewCache(max int, dir string) (*Cache, error) {
+	if max <= 0 {
+		max = 4096
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("simjob: cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+		dir:   dir,
+	}, nil
+}
+
+// Get looks a spec hash up. needFull demands the complete simulator
+// result: disk-tier entries (summary only) do not satisfy it. The
+// returned outcome is a shallow copy with Cached set to the serving
+// tier.
+func (c *Cache) Get(hash string, needFull bool) (*Outcome, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[hash]; ok {
+		out := el.Value.(*cacheEntry).out
+		if out.Full != nil || !needFull {
+			c.ll.MoveToFront(el)
+			c.hitsMem++
+			c.mu.Unlock()
+			cp := *out
+			cp.Cached = "memory"
+			return &cp, true
+		}
+	}
+	if c.dir == "" || needFull {
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.mu.Unlock()
+
+	raw, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	var sum JobResult
+	if err := json.Unmarshal(raw, &sum); err != nil || sum.SpecHash != hash {
+		// A corrupt or mismatched file is a miss; the fresh run will
+		// overwrite it.
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	out := &Outcome{
+		Spec: JobSpec{
+			Bench: sum.Bench, Policy: sum.Policy, IW: sum.IW,
+			Capacity: sum.Capacity, SMs: sum.SMs, Scheduler: sum.Scheduler,
+		},
+		Hash:    hash,
+		Summary: sum,
+		Cached:  "disk",
+	}
+	c.mu.Lock()
+	c.hitsDisk++
+	c.insertLocked(hash, out)
+	c.mu.Unlock()
+	cp := *out
+	return &cp, true
+}
+
+// Put stores a freshly simulated outcome in both tiers.
+func (c *Cache) Put(out *Outcome) error {
+	stored := *out
+	stored.Cached = ""
+	c.mu.Lock()
+	c.insertLocked(out.Hash, &stored)
+	dir := c.dir
+	c.mu.Unlock()
+	if dir == "" {
+		return nil
+	}
+	raw, err := out.Summary.CanonicalJSON()
+	if err != nil {
+		return err
+	}
+	// Write-then-rename so a crashed daemon never leaves a torn file.
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(out.Hash))
+}
+
+// insertLocked adds or refreshes the memory-tier entry and evicts the
+// LRU tail past capacity. Callers hold c.mu.
+func (c *Cache) insertLocked(hash string, out *Outcome) {
+	if el, ok := c.items[hash]; ok {
+		// Keep the richer value: never replace a full outcome with a
+		// summary-only one.
+		old := el.Value.(*cacheEntry)
+		if out.Full != nil || old.out.Full == nil {
+			old.out = out
+		}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[hash] = c.ll.PushFront(&cacheEntry{hash: hash, out: out})
+	for c.ll.Len() > c.max {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*cacheEntry).hash)
+	}
+}
+
+func (c *Cache) path(hash string) string {
+	return filepath.Join(c.dir, hash+".json")
+}
+
+// Len is the memory-tier entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Counters returns the (memory hits, disk hits, misses) tallies.
+func (c *Cache) Counters() (hitsMem, hitsDisk, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hitsMem, c.hitsDisk, c.misses
+}

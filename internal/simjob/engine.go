@@ -1,0 +1,279 @@
+package simjob
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"bow/internal/stats"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the pool size (<= 0 selects runtime.GOMAXPROCS(0)).
+	Workers int
+	// Retries is how many extra attempts a failed job gets before its
+	// error is reported (panics and simulator errors alike; context
+	// cancellation is never retried).
+	Retries int
+	// Timeout bounds each job's simulation (0 = no engine-imposed
+	// bound; the submitter's context still applies).
+	Timeout time.Duration
+	// CacheSize is the in-memory LRU capacity (<= 0 = 4096).
+	CacheSize int
+	// CacheDir enables the on-disk summary tier when non-empty.
+	CacheDir string
+}
+
+// Engine runs simulation jobs on a fixed worker pool, deduplicating
+// concurrent identical specs (single-flight) and memoizing finished
+// ones in the two-tier cache. A panicking job is isolated to an error
+// result — it never takes the pool down.
+type Engine struct {
+	opts  Options
+	cache *Cache
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*job
+	inflight map[string]*job
+	closed   bool
+	wg       sync.WaitGroup
+
+	// execute is the job body; tests may stub it to inject failures.
+	execute func(context.Context, JobSpec) (*Outcome, error)
+
+	// Counters (guarded by mu).
+	queued, running, done, failed, retries int64
+	latencyUS                              *stats.Histogram
+}
+
+// job is one queued unit of work, fanned out to every ticket waiting
+// on the same spec hash.
+type job struct {
+	spec    JobSpec
+	hash    string
+	ctx     context.Context
+	tickets []*Ticket
+}
+
+// Ticket is a handle on a submitted job.
+type Ticket struct {
+	done chan struct{}
+	out  *Outcome
+	err  error
+}
+
+// Wait blocks until the job finishes (or ctx is done, whichever the
+// worker observes) and returns its outcome.
+func (t *Ticket) Wait() (*Outcome, error) {
+	<-t.done
+	return t.out, t.err
+}
+
+func (t *Ticket) resolve(out *Outcome, err error) {
+	t.out, t.err = out, err
+	close(t.done)
+}
+
+// New builds an engine and starts its workers.
+func New(opts Options) (*Engine, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	cache, err := NewCache(opts.CacheSize, opts.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		opts:      opts,
+		cache:     cache,
+		inflight:  make(map[string]*job),
+		execute:   Execute,
+		latencyUS: stats.NewHistogram(),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go e.worker()
+	}
+	return e, nil
+}
+
+// Close stops the workers after the queue drains. Submitting after
+// Close fails.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Submit enqueues a spec and returns immediately; the ticket resolves
+// with a summary-level outcome (a disk cache hit may carry no full
+// simulator result).
+func (e *Engine) Submit(ctx context.Context, spec JobSpec) *Ticket {
+	return e.submit(ctx, spec, false)
+}
+
+// SubmitFull is Submit for consumers that need the complete simulator
+// result (Outcome.Full non-nil on success): only the memory tier can
+// short-circuit it.
+func (e *Engine) SubmitFull(ctx context.Context, spec JobSpec) *Ticket {
+	return e.submit(ctx, spec, true)
+}
+
+// Do submits and waits.
+func (e *Engine) Do(ctx context.Context, spec JobSpec) (*Outcome, error) {
+	return e.Submit(ctx, spec).Wait()
+}
+
+// DoFull submits with SubmitFull and waits.
+func (e *Engine) DoFull(ctx context.Context, spec JobSpec) (*Outcome, error) {
+	return e.SubmitFull(ctx, spec).Wait()
+}
+
+func (e *Engine) submit(ctx context.Context, spec JobSpec, needFull bool) *Ticket {
+	t := &Ticket{done: make(chan struct{})}
+	norm, err := spec.Normalize()
+	if err != nil {
+		t.resolve(nil, err)
+		return t
+	}
+	hash, err := norm.Hash()
+	if err != nil {
+		t.resolve(nil, err)
+		return t
+	}
+	if out, ok := e.cache.Get(hash, needFull); ok {
+		t.resolve(out, nil)
+		return t
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		t.resolve(nil, fmt.Errorf("simjob: engine closed"))
+		return t
+	}
+	if j, ok := e.inflight[hash]; ok {
+		// Single-flight: a running or queued twin will satisfy this
+		// ticket too (execution always produces the full result).
+		j.tickets = append(j.tickets, t)
+		e.mu.Unlock()
+		return t
+	}
+	j := &job{spec: norm, hash: hash, ctx: ctx, tickets: []*Ticket{t}}
+	e.inflight[hash] = j
+	e.queue = append(e.queue, j)
+	e.queued++
+	e.cond.Signal()
+	e.mu.Unlock()
+	return t
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.queue) == 0 && e.closed {
+			e.mu.Unlock()
+			return
+		}
+		j := e.queue[0]
+		e.queue = e.queue[1:]
+		e.queued--
+		e.running++
+		e.mu.Unlock()
+
+		start := time.Now()
+		out, attempts, err := e.runJob(j)
+		elapsed := time.Since(start)
+
+		if err == nil {
+			out.Attempts = attempts
+			// Cache before resolving so a waiter resubmitting
+			// immediately sees the hit.
+			if cerr := e.cache.Put(out); cerr != nil {
+				// A broken disk tier degrades to memory-only; the result
+				// itself is still good.
+				_ = cerr
+			}
+		}
+
+		e.mu.Lock()
+		e.running--
+		if err == nil {
+			e.done++
+		} else {
+			e.failed++
+		}
+		e.retries += int64(attempts - 1)
+		e.latencyUS.Observe(int(elapsed.Microseconds()))
+		delete(e.inflight, j.hash)
+		tickets := j.tickets
+		e.mu.Unlock()
+
+		for _, t := range tickets {
+			t.resolve(out, err)
+		}
+	}
+}
+
+// runJob executes one job with panic isolation, the engine timeout,
+// and bounded retry. It returns the attempt count alongside the
+// outcome.
+func (e *Engine) runJob(j *job) (*Outcome, int, error) {
+	ctx := j.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var lastErr error
+	for attempt := 1; attempt <= e.opts.Retries+1; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, attempt, fmt.Errorf("simjob: job canceled: %w", err)
+		}
+		out, err := e.safeExecute(ctx, j.spec)
+		if err == nil {
+			return out, attempt, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The failure was (or was caused by) cancellation; retrying
+			// cannot help.
+			return nil, attempt, lastErr
+		}
+	}
+	return nil, e.opts.Retries + 1, lastErr
+}
+
+// safeExecute runs the job body, converting panics into errors so one
+// bad job cannot kill the pool.
+func (e *Engine) safeExecute(ctx context.Context, spec JobSpec) (out *Outcome, err error) {
+	if e.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.opts.Timeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("simjob: job panicked: %v", r)
+		}
+	}()
+	return e.execute(ctx, spec)
+}
+
+// Cache exposes the engine's result cache (read-mostly: tests and the
+// daemon's metrics use it).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// Workers is the pool size.
+func (e *Engine) Workers() int { return e.opts.Workers }

@@ -1,0 +1,99 @@
+package simjob
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// SimulateResponse is the envelope POST /simulate answers with.
+type SimulateResponse struct {
+	Cached string    `json:"cached,omitempty"`
+	Result JobResult `json:"result"`
+}
+
+// NewServer builds the HTTP interface cmd/bowd serves: the engine's
+// four endpoints on a fresh mux.
+//
+//	POST /simulate  JobSpec JSON  -> SimulateResponse
+//	POST /sweep     SweepSpec JSON -> SweepResult
+//	GET  /healthz   liveness
+//	GET  /metrics   Metrics JSON
+func NewServer(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/simulate", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodPost) {
+			return
+		}
+		var spec JobSpec
+		if !decodeBody(w, r, &spec) {
+			return
+		}
+		out, err := e.Do(r.Context(), spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, SimulateResponse{Cached: out.Cached, Result: out.Summary})
+	})
+	mux.HandleFunc("/sweep", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodPost) {
+			return
+		}
+		var sw SweepSpec
+		if !decodeBody(w, r, &sw) {
+			return
+		}
+		res, err := e.RunSweep(r.Context(), sw)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, res)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodGet) {
+			return
+		}
+		writeJSON(w, map[string]any{"status": "ok", "workers": e.Workers()})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodGet) {
+			return
+		}
+		writeJSON(w, e.Metrics())
+	})
+	return mux
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		httpError(w, http.StatusMethodNotAllowed,
+			fmt.Errorf("use %s %s", method, r.URL.Path))
+		return false
+	}
+	return true
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,159 @@
+package simjob
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Engine) {
+	t.Helper()
+	e := newTestEngine(t, Options{Workers: 2})
+	srv := httptest.NewServer(NewServer(e))
+	t.Cleanup(srv.Close)
+	return srv, e
+}
+
+func TestHTTPSimulateAndCacheHit(t *testing.T) {
+	srv, _ := newTestServer(t)
+	body := `{"bench":"VECTORADD","policy":"bow-wr"}`
+
+	do := func() SimulateResponse {
+		resp, err := http.Post(srv.URL+"/simulate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var out SimulateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	first := do()
+	if first.Cached != "" {
+		t.Errorf("first request cached=%q, want fresh", first.Cached)
+	}
+	if first.Result.Bench != "VECTORADD" || first.Result.Cycles <= 0 {
+		t.Errorf("bad result: %+v", first.Result)
+	}
+	second := do()
+	if second.Cached != "memory" {
+		t.Errorf("repeated spec cached=%q, want memory", second.Cached)
+	}
+	a, _ := first.Result.CanonicalJSON()
+	b, _ := second.Result.CanonicalJSON()
+	if string(a) != string(b) {
+		t.Errorf("cache hit returned different result:\n%s\n%s", a, b)
+	}
+}
+
+func TestHTTPSweep(t *testing.T) {
+	srv, _ := newTestServer(t)
+	body := `{"benches":["SRAD"],"policies":["baseline","bow-wb"]}`
+	resp, err := http.Post(srv.URL+"/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out SweepResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Jobs != 2 || out.Failed != 0 || len(out.Items) != 2 {
+		t.Fatalf("sweep response: %+v", out)
+	}
+}
+
+func TestHTTPHealthzAndMetrics(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+
+	// Run one job, then check the counters moved.
+	if _, err := http.Post(srv.URL+"/simulate", "application/json",
+		strings.NewReader(`{"bench":"SRAD","policy":"baseline"}`)); err != nil {
+		t.Fatal(err)
+	}
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Done != 1 || m.Workers != 2 || m.CacheEntries != 1 {
+		t.Errorf("metrics after one job: %+v", m)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	// Wrong method.
+	resp, err := http.Get(srv.URL + "/simulate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /simulate status %d, want 405", resp.StatusCode)
+	}
+
+	// Malformed body.
+	resp, err = http.Post(srv.URL+"/simulate", "application/json", strings.NewReader(`{"bench":`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown benchmark.
+	resp, err = http.Post(srv.URL+"/simulate", "application/json",
+		strings.NewReader(`{"bench":"NOPE","policy":"bow-wr"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown bench status %d, want 400", resp.StatusCode)
+	}
+	var e map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e["error"] == "" {
+		t.Error("error response has no message")
+	}
+
+	// Unknown field rejected (schema discipline for clients).
+	resp, err = http.Post(srv.URL+"/simulate", "application/json",
+		strings.NewReader(`{"bench":"SRAD","policy":"bow-wr","turbo":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field status %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,49 @@
+package simjob
+
+// Metrics is a point-in-time snapshot of the engine's gauges and
+// counters — cmd/bowd serves it at /metrics.
+type Metrics struct {
+	Workers int   `json:"workers"`
+	Queued  int64 `json:"queued"`
+	Running int64 `json:"running"`
+	Done    int64 `json:"done"`
+	Failed  int64 `json:"failed"`
+	Retries int64 `json:"retries"`
+
+	CacheHitsMemory int64   `json:"cacheHitsMemory"`
+	CacheHitsDisk   int64   `json:"cacheHitsDisk"`
+	CacheMisses     int64   `json:"cacheMisses"`
+	CacheEntries    int     `json:"cacheEntries"`
+	CacheHitRatio   float64 `json:"cacheHitRatio"`
+
+	// Job latency quantiles in microseconds, over completed attempts
+	// (internal/stats histogram quantiles).
+	P50LatencyMicros int `json:"p50LatencyMicros"`
+	P99LatencyMicros int `json:"p99LatencyMicros"`
+}
+
+// Metrics snapshots the engine state.
+func (e *Engine) Metrics() Metrics {
+	hitsMem, hitsDisk, misses := e.cache.Counters()
+	e.mu.Lock()
+	m := Metrics{
+		Workers: e.opts.Workers,
+		Queued:  e.queued,
+		Running: e.running,
+		Done:    e.done,
+		Failed:  e.failed,
+		Retries: e.retries,
+
+		CacheHitsMemory:  hitsMem,
+		CacheHitsDisk:    hitsDisk,
+		CacheMisses:      misses,
+		P50LatencyMicros: e.latencyUS.Quantile(0.50),
+		P99LatencyMicros: e.latencyUS.Quantile(0.99),
+	}
+	e.mu.Unlock()
+	m.CacheEntries = e.cache.Len()
+	if lookups := hitsMem + hitsDisk + misses; lookups > 0 {
+		m.CacheHitRatio = float64(hitsMem+hitsDisk) / float64(lookups)
+	}
+	return m
+}

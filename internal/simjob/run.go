@@ -1,0 +1,94 @@
+package simjob
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"bow/internal/compiler"
+	"bow/internal/gpu"
+	"bow/internal/mem"
+	"bow/internal/sm"
+	"bow/internal/workloads"
+)
+
+// Execute runs one job to completion on the calling goroutine: parse
+// the kernel, apply the optional compiler passes, initialize memory,
+// simulate, and verify the functional self-check. It is the engine's
+// worker body, and also serves cmd/bowsim's single-shot path. The
+// context cancels the simulation loop cooperatively.
+func Execute(ctx context.Context, spec JobSpec) (*Outcome, error) {
+	spec, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return nil, err
+	}
+	b, err := workloads.ByName(spec.Bench)
+	if err != nil {
+		return nil, err
+	}
+	bcfg, err := spec.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+
+	prog := b.Program()
+	if spec.Reorder {
+		if err := compiler.Reorder(prog, bcfg.IW); err != nil {
+			return nil, fmt.Errorf("%s: reorder: %w", b.Name, err)
+		}
+	}
+	var hints string
+	if spec.Policy == PolicyBOWWR {
+		// Annotation runs on the final schedule, so the hints stay sound
+		// under Reorder.
+		hs, err := compiler.Annotate(prog, bcfg.IW)
+		if err != nil {
+			return nil, fmt.Errorf("%s: annotate: %w", b.Name, err)
+		}
+		hints = hs.String()
+	}
+
+	m := mem.NewMemory()
+	if b.Init != nil {
+		if err := b.Init(m); err != nil {
+			return nil, fmt.Errorf("%s: init: %w", b.Name, err)
+		}
+	}
+	k := &sm.Kernel{
+		Program: prog, GridDim: b.GridDim, BlockDim: b.BlockDim,
+		SharedLen: b.SharedLen, Params: b.Params,
+	}
+	d, err := gpu.New(spec.gpuConfig(), bcfg, k, m)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	d.CaptureTrace = spec.Trace
+
+	start := time.Now()
+	res, err := d.RunContext(ctx, spec.MaxCycles)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	wall := time.Since(start)
+
+	checked := false
+	if b.Check != nil {
+		if err := b.Check(m); err != nil {
+			return nil, fmt.Errorf("%s (%s): functional check failed: %w", b.Name, spec.Policy, err)
+		}
+		checked = true
+	}
+
+	return &Outcome{
+		Spec:     spec,
+		Hash:     hash,
+		Summary:  summarize(spec, hash, res, checked, wall.Nanoseconds()),
+		Full:     res,
+		Hints:    hints,
+		Attempts: 1,
+	}, nil
+}

@@ -1,0 +1,241 @@
+// Package simjob is the concurrent simulation job engine: every
+// evaluation artifact in the repo is a design-space sweep over
+// (kernel × policy × IW × capacity × SMs), and this package turns one
+// such point into a canonical, content-addressed JobSpec, runs
+// independent points concurrently on a worker pool with per-job
+// timeout/cancellation, panic isolation and bounded retry, and
+// deduplicates repeated points through a two-tier (memory LRU +
+// on-disk JSON) result cache. cmd/bowd serves the engine over HTTP;
+// internal/experiments, cmd/bowbench, cmd/bowsim and the examples
+// submit through it.
+package simjob
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"bow/internal/config"
+	"bow/internal/core"
+	"bow/internal/rfc"
+	"bow/internal/workloads"
+)
+
+// Policy names accepted by JobSpec.Policy (canonical forms; see
+// CanonicalPolicy for the aliases).
+const (
+	PolicyBaseline = "baseline"
+	PolicyBOWWT    = "bow-wt"
+	PolicyBOWWB    = "bow-wb"
+	PolicyBOWWR    = "bow-wr"
+	PolicyRFC      = "rfc"
+)
+
+// CanonicalPolicy maps the user-facing policy spellings (shared with
+// cmd/bowsim) onto the canonical names the spec hash uses.
+func CanonicalPolicy(s string) (string, error) {
+	switch s {
+	case "baseline":
+		return PolicyBaseline, nil
+	case "bow", "bow-wt", "write-through":
+		return PolicyBOWWT, nil
+	case "bow-wb", "write-back":
+		return PolicyBOWWB, nil
+	case "bow-wr", "hints", "compiler":
+		return PolicyBOWWR, nil
+	case "rfc":
+		return PolicyRFC, nil
+	}
+	return "", fmt.Errorf("simjob: unknown policy %q (baseline|bow|bow-wb|bow-wr|rfc)", s)
+}
+
+// JobSpec is one point of the design space: a kernel under one bypass
+// configuration on one chip configuration. Its normalized form has a
+// stable content hash, which keys the result cache and deduplicates
+// identical points across figures, sweeps, and daemon requests.
+type JobSpec struct {
+	// Bench names a registered benchmark kernel (workloads.Names).
+	Bench string `json:"bench"`
+	// Policy is one of baseline | bow-wt | bow-wb | bow-wr | rfc
+	// (aliases as in cmd/bowsim are accepted and canonicalized).
+	Policy string `json:"policy"`
+	// IW is the instruction-window size (bypassing policies only;
+	// 0 defaults to the paper's 3).
+	IW int `json:"iw,omitempty"`
+	// Capacity is the BOC entry count (0 = conservative 4*IW), or the
+	// per-warp entry count for the rfc policy (0 = 6).
+	Capacity int `json:"capacity,omitempty"`
+	// SMs overrides the simulated SM count (0 = 1).
+	SMs int `json:"sms,omitempty"`
+	// Scheduler overrides the warp scheduler ("gto" or "lrr";
+	// "" = config default).
+	Scheduler string `json:"scheduler,omitempty"`
+	// MaxCycles bounds the simulation (0 = the gpu package default).
+	MaxCycles int64 `json:"maxCycles,omitempty"`
+
+	// BeyondWindow and NoExtend are the paper's ablation knobs
+	// (core.Config fields of the same names).
+	BeyondWindow bool `json:"beyondWindow,omitempty"`
+	NoExtend     bool `json:"noExtend,omitempty"`
+	// Reorder applies the footnote-1 compiler scheduling pass before
+	// window analysis.
+	Reorder bool `json:"reorder,omitempty"`
+	// Trace captures per-warp dynamic instruction traces in the full
+	// (in-memory) result — used by the reuse-distance study.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// Normalize canonicalizes and validates the spec: policy aliases are
+// resolved, defaults are made explicit, and fields meaningless under
+// the policy are zeroed, so that equivalent specs hash identically.
+func (s JobSpec) Normalize() (JobSpec, error) {
+	if s.Bench == "" {
+		return s, fmt.Errorf("simjob: spec has no bench")
+	}
+	if _, err := workloads.ByName(s.Bench); err != nil {
+		return s, err
+	}
+	p, err := CanonicalPolicy(s.Policy)
+	if err != nil {
+		return s, err
+	}
+	s.Policy = p
+	switch p {
+	case PolicyBaseline:
+		s.IW, s.Capacity = 0, 0
+		if s.BeyondWindow || s.NoExtend {
+			return s, fmt.Errorf("simjob: BeyondWindow/NoExtend need a bypassing policy")
+		}
+	case PolicyRFC:
+		// The RFC comparator has no nominal window; only the per-warp
+		// entry count matters.
+		s.IW = 0
+		if s.Capacity == 0 {
+			s.Capacity = rfc.DefaultEntriesPerWarp
+		}
+		if s.BeyondWindow || s.NoExtend {
+			return s, fmt.Errorf("simjob: BeyondWindow/NoExtend do not apply to rfc")
+		}
+	default:
+		if s.IW == 0 {
+			s.IW = 3
+		}
+		if s.Capacity == 0 {
+			s.Capacity = 4 * s.IW
+		}
+	}
+	if s.SMs == 0 {
+		s.SMs = 1
+	}
+	if s.SMs < 0 {
+		return s, fmt.Errorf("simjob: SMs %d invalid", s.SMs)
+	}
+	if s.Scheduler == "" {
+		s.Scheduler = config.SimDefault().Scheduler
+	}
+	if s.Scheduler != "gto" && s.Scheduler != "lrr" {
+		return s, fmt.Errorf("simjob: unknown scheduler %q", s.Scheduler)
+	}
+	if s.MaxCycles < 0 {
+		return s, fmt.Errorf("simjob: MaxCycles %d invalid", s.MaxCycles)
+	}
+	// Validate the derived core config eagerly so bad points fail at
+	// submission, not inside a worker.
+	if _, err := s.coreConfig(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// Hash is the stable content hash of the normalized spec: sha256 over
+// its canonical JSON encoding (struct field order is fixed, so the
+// encoding is deterministic). It keys both cache tiers.
+func (s JobSpec) Hash() (string, error) {
+	n, err := s.Normalize()
+	if err != nil {
+		return "", err
+	}
+	raw, err := json.Marshal(n)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// coreConfig translates the normalized spec into the window engine's
+// configuration.
+func (s JobSpec) coreConfig() (core.Config, error) {
+	var bcfg core.Config
+	switch s.Policy {
+	case PolicyBaseline:
+		bcfg = core.Config{Policy: core.PolicyBaseline}
+	case PolicyBOWWT:
+		bcfg = core.Config{Policy: core.PolicyWriteThrough}
+	case PolicyBOWWB:
+		bcfg = core.Config{Policy: core.PolicyWriteBack}
+	case PolicyBOWWR:
+		bcfg = core.Config{Policy: core.PolicyCompilerHints}
+	case PolicyRFC:
+		return rfc.Config(s.Capacity).Normalize()
+	default:
+		return bcfg, fmt.Errorf("simjob: unknown policy %q", s.Policy)
+	}
+	if bcfg.Policy.Bypassing() {
+		bcfg.IW = s.IW
+		bcfg.Capacity = s.Capacity
+		bcfg.BeyondWindow = s.BeyondWindow
+		bcfg.NoExtend = s.NoExtend
+	}
+	return bcfg.Normalize()
+}
+
+// gpuConfig builds the chip configuration: SimDefault with the spec's
+// SM count and scheduler.
+func (s JobSpec) gpuConfig() config.GPU {
+	g := config.SimDefault()
+	g.NumSMs = s.SMs
+	if s.Scheduler != "" {
+		g.Scheduler = s.Scheduler
+	}
+	return g
+}
+
+// SpecFromConfig maps a (benchmark, core.Config) pair — the interface
+// internal/experiments speaks — onto a JobSpec. The second return is
+// false when the core config is not representable as a spec (e.g. a
+// hand-built ForwardThroughPort config that is not the rfc comparator),
+// in which case callers fall back to a direct simulation.
+func SpecFromConfig(bench string, bcfg core.Config, sms int, scheduler string, maxCycles int64) (JobSpec, bool) {
+	s := JobSpec{
+		Bench: bench, SMs: sms, Scheduler: scheduler, MaxCycles: maxCycles,
+	}
+	if bcfg.ForwardThroughPort {
+		ref, err := rfc.Config(bcfg.Capacity).Normalize()
+		if err != nil || ref != bcfg {
+			return JobSpec{}, false
+		}
+		s.Policy = PolicyRFC
+		s.Capacity = bcfg.Capacity
+		return s, true
+	}
+	switch bcfg.Policy {
+	case core.PolicyBaseline:
+		s.Policy = PolicyBaseline
+		return s, true
+	case core.PolicyWriteThrough:
+		s.Policy = PolicyBOWWT
+	case core.PolicyWriteBack:
+		s.Policy = PolicyBOWWB
+	case core.PolicyCompilerHints:
+		s.Policy = PolicyBOWWR
+	default:
+		return JobSpec{}, false
+	}
+	s.IW = bcfg.IW
+	s.Capacity = bcfg.Capacity
+	s.BeyondWindow = bcfg.BeyondWindow
+	s.NoExtend = bcfg.NoExtend
+	return s, true
+}

@@ -1,0 +1,122 @@
+package simjob
+
+import (
+	"testing"
+
+	"bow/internal/core"
+	"bow/internal/rfc"
+)
+
+func TestNormalizeDefaults(t *testing.T) {
+	s, err := JobSpec{Bench: "VECTORADD", Policy: "bow"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Policy != PolicyBOWWT || s.IW != 3 || s.Capacity != 12 ||
+		s.SMs != 1 || s.Scheduler != "gto" {
+		t.Errorf("unexpected normalized spec: %+v", s)
+	}
+
+	base, err := JobSpec{Bench: "VECTORADD", Policy: "baseline", IW: 5, Capacity: 9}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.IW != 0 || base.Capacity != 0 {
+		t.Errorf("baseline kept window fields: %+v", base)
+	}
+
+	r, err := JobSpec{Bench: "LIB", Policy: "rfc"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Capacity != rfc.DefaultEntriesPerWarp || r.IW != 0 {
+		t.Errorf("rfc normalization: %+v", r)
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	bad := []JobSpec{
+		{Policy: "bow-wr"},                                       // no bench
+		{Bench: "NOPE", Policy: "bow-wr"},                        // unknown bench
+		{Bench: "VECTORADD", Policy: "turbo"},                    // unknown policy
+		{Bench: "VECTORADD", Policy: "baseline", NoExtend: true}, // knob without window
+		{Bench: "VECTORADD", Policy: "rfc", BeyondWindow: true},  // knob on rfc
+		{Bench: "VECTORADD", Policy: "bow-wr", Scheduler: "fifo"},
+		{Bench: "VECTORADD", Policy: "bow-wr", IW: 1},              // below core minimum
+		{Bench: "VECTORADD", Policy: "bow-wr", BeyondWindow: true}, // unsound with hints
+		{Bench: "VECTORADD", Policy: "bow-wb", MaxCycles: -1},
+	}
+	for _, s := range bad {
+		if _, err := s.Normalize(); err == nil {
+			t.Errorf("Normalize(%+v) accepted an invalid spec", s)
+		}
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	// Equivalent spellings hash identically.
+	pairs := [][2]JobSpec{
+		{{Bench: "VECTORADD", Policy: "bow"}, {Bench: "VECTORADD", Policy: "bow-wt", IW: 3, Capacity: 12, SMs: 1, Scheduler: "gto"}},
+		{{Bench: "VECTORADD", Policy: "baseline", IW: 4}, {Bench: "VECTORADD", Policy: "baseline"}},
+		{{Bench: "LIB", Policy: "hints"}, {Bench: "LIB", Policy: "bow-wr"}},
+	}
+	for _, p := range pairs {
+		h0, err := p[0].Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h1, err := p[1].Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h0 != h1 {
+			t.Errorf("equivalent specs hash differently:\n%+v -> %s\n%+v -> %s", p[0], h0, p[1], h1)
+		}
+	}
+	// Distinct points hash differently.
+	h0, _ := JobSpec{Bench: "VECTORADD", Policy: "bow-wr"}.Hash()
+	h1, _ := JobSpec{Bench: "VECTORADD", Policy: "bow-wr", IW: 4}.Hash()
+	h2, _ := JobSpec{Bench: "VECTORADD", Policy: "bow-wr", Trace: true}.Hash()
+	if h0 == h1 || h0 == h2 {
+		t.Errorf("distinct specs collide: %s %s %s", h0, h1, h2)
+	}
+}
+
+func TestSpecFromConfigRoundTrip(t *testing.T) {
+	cases := []core.Config{
+		{Policy: core.PolicyBaseline},
+		{IW: 3, Policy: core.PolicyWriteThrough},
+		{IW: 4, Capacity: 8, Policy: core.PolicyWriteBack, NoExtend: true},
+		{IW: 3, Capacity: 6, Policy: core.PolicyWriteBack, BeyondWindow: true},
+		{IW: 3, Capacity: 6, Policy: core.PolicyCompilerHints},
+		rfc.Config(rfc.DefaultEntriesPerWarp),
+	}
+	for _, bcfg := range cases {
+		norm, err := bcfg.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, ok := SpecFromConfig("VECTORADD", norm, 1, "", 0)
+		if !ok {
+			t.Fatalf("SpecFromConfig rejected %+v", norm)
+		}
+		spec, err = spec.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := spec.coreConfig()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != norm {
+			t.Errorf("round trip drifted:\nin  %+v\nout %+v", norm, back)
+		}
+	}
+
+	// A hand-built forward-through-port config that is not the rfc
+	// comparator cannot be represented.
+	odd := core.Config{IW: 5, Capacity: 2, Policy: core.PolicyWriteBack, ForwardThroughPort: true}
+	if _, ok := SpecFromConfig("VECTORADD", odd, 1, "", 0); ok {
+		t.Error("SpecFromConfig accepted a non-rfc ForwardThroughPort config")
+	}
+}

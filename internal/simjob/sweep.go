@@ -1,0 +1,129 @@
+package simjob
+
+import (
+	"context"
+	"fmt"
+
+	"bow/internal/workloads"
+)
+
+// MaxSweepJobs bounds one sweep's server-side expansion — a guardrail
+// against accidental (or adversarial) combinatorial blow-ups through
+// cmd/bowd.
+const MaxSweepJobs = 4096
+
+// SweepSpec describes a cross-product sweep over the design space.
+// Empty dimensions take the evaluation defaults: all benchmarks,
+// bow-wr, IW 3, default capacity, 1 SM, default scheduler.
+type SweepSpec struct {
+	Benches    []string `json:"benches,omitempty"`
+	Policies   []string `json:"policies,omitempty"`
+	IWs        []int    `json:"iws,omitempty"`
+	Capacities []int    `json:"capacities,omitempty"`
+	SMs        []int    `json:"sms,omitempty"`
+	Schedulers []string `json:"schedulers,omitempty"`
+	MaxCycles  int64    `json:"maxCycles,omitempty"`
+}
+
+// Expand materializes the cross product as normalized JobSpecs.
+// Policies without a window (baseline, rfc) collapse their IW
+// dimension during normalization, so the expansion may contain
+// duplicate hashes — the engine's single-flight layer and cache make
+// re-running them free.
+func (s SweepSpec) Expand() ([]JobSpec, error) {
+	benches := s.Benches
+	if len(benches) == 0 {
+		benches = workloads.Names()
+	}
+	policies := orDefault(s.Policies, []string{PolicyBOWWR})
+	iws := orDefaultInts(s.IWs, []int{3})
+	caps := orDefaultInts(s.Capacities, []int{0})
+	sms := orDefaultInts(s.SMs, []int{1})
+	scheds := orDefault(s.Schedulers, []string{""})
+
+	n := len(benches) * len(policies) * len(iws) * len(caps) * len(sms) * len(scheds)
+	if n > MaxSweepJobs {
+		return nil, fmt.Errorf("simjob: sweep expands to %d jobs (max %d)", n, MaxSweepJobs)
+	}
+	out := make([]JobSpec, 0, n)
+	for _, b := range benches {
+		for _, p := range policies {
+			for _, iw := range iws {
+				for _, c := range caps {
+					for _, sm := range sms {
+						for _, sch := range scheds {
+							spec, err := JobSpec{
+								Bench: b, Policy: p, IW: iw, Capacity: c,
+								SMs: sm, Scheduler: sch, MaxCycles: s.MaxCycles,
+							}.Normalize()
+							if err != nil {
+								return nil, err
+							}
+							out = append(out, spec)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// SweepItem is one expanded point's outcome inside a SweepResult.
+type SweepItem struct {
+	Spec   JobSpec    `json:"spec"`
+	Cached string     `json:"cached,omitempty"`
+	Error  string     `json:"error,omitempty"`
+	Result *JobResult `json:"result,omitempty"`
+}
+
+// SweepResult aggregates a sweep run.
+type SweepResult struct {
+	Jobs   int         `json:"jobs"`
+	Failed int         `json:"failed"`
+	Items  []SweepItem `json:"items"`
+}
+
+// RunSweep expands the sweep, submits every point to the pool at once,
+// and collects the results in expansion order. Individual job failures
+// are reported inline; only expansion errors fail the sweep as a
+// whole.
+func (e *Engine) RunSweep(ctx context.Context, sw SweepSpec) (*SweepResult, error) {
+	specs, err := sw.Expand()
+	if err != nil {
+		return nil, err
+	}
+	tickets := make([]*Ticket, len(specs))
+	for i, spec := range specs {
+		tickets[i] = e.Submit(ctx, spec)
+	}
+	res := &SweepResult{Jobs: len(specs), Items: make([]SweepItem, len(specs))}
+	for i, t := range tickets {
+		item := SweepItem{Spec: specs[i]}
+		out, err := t.Wait()
+		if err != nil {
+			item.Error = err.Error()
+			res.Failed++
+		} else {
+			item.Cached = out.Cached
+			sum := out.Summary
+			item.Result = &sum
+		}
+		res.Items[i] = item
+	}
+	return res, nil
+}
+
+func orDefault(v, def []string) []string {
+	if len(v) == 0 {
+		return def
+	}
+	return v
+}
+
+func orDefaultInts(v, def []int) []int {
+	if len(v) == 0 {
+		return def
+	}
+	return v
+}

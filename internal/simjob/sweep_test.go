@@ -1,0 +1,96 @@
+package simjob
+
+import (
+	"context"
+	"testing"
+
+	"bow/internal/workloads"
+)
+
+func TestSweepExpandDefaults(t *testing.T) {
+	specs, err := SweepSpec{}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != len(workloads.Names()) {
+		t.Fatalf("default sweep expanded to %d jobs, want one per benchmark (%d)",
+			len(specs), len(workloads.Names()))
+	}
+	for _, s := range specs {
+		if s.Policy != PolicyBOWWR || s.IW != 3 {
+			t.Errorf("default point not bow-wr IW3: %+v", s)
+		}
+	}
+}
+
+func TestSweepExpandCrossProduct(t *testing.T) {
+	sw := SweepSpec{
+		Benches:  []string{"VECTORADD", "LIB"},
+		Policies: []string{"baseline", "bow-wb"},
+		IWs:      []int{2, 3},
+	}
+	specs, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 8 {
+		t.Fatalf("expanded to %d, want 8", len(specs))
+	}
+	// The baseline×IW axis collapses to duplicate hashes, which the
+	// engine's dedup layers absorb.
+	hashes := map[string]bool{}
+	for _, s := range specs {
+		h, err := s.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes[h] = true
+	}
+	if len(hashes) != 6 { // 2 benches × (1 baseline + 2 bow-wb points)
+		t.Errorf("unique hashes = %d, want 6", len(hashes))
+	}
+}
+
+func TestSweepExpandGuardrail(t *testing.T) {
+	sw := SweepSpec{
+		IWs:        []int{2, 3, 4, 5, 6, 7},
+		Capacities: []int{3, 6, 12, 24},
+		SMs:        []int{1, 2, 4},
+		Policies:   []string{"bow-wt", "bow-wb", "bow-wr"},
+		Schedulers: []string{"gto", "lrr"},
+	}
+	if _, err := sw.Expand(); err == nil {
+		t.Error("oversized sweep expansion not rejected")
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 4})
+	sw := SweepSpec{
+		Benches:  []string{"VECTORADD", "SRAD"},
+		Policies: []string{"baseline", "bow-wb"},
+	}
+	res, err := e.RunSweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 4 || res.Failed != 0 {
+		t.Fatalf("sweep jobs=%d failed=%d, want 4/0", res.Jobs, res.Failed)
+	}
+	for i, item := range res.Items {
+		if item.Result == nil {
+			t.Fatalf("item %d has no result: %+v", i, item)
+		}
+		if item.Result.Cycles <= 0 || item.Result.Executed <= 0 {
+			t.Errorf("item %d has empty counters: %+v", i, item.Result)
+		}
+	}
+	// Bypassing must beat baseline on RF reads for the same kernel.
+	base, bow := res.Items[0].Result, res.Items[1].Result
+	if base.Bench != bow.Bench {
+		t.Fatalf("unexpected item order: %s vs %s", base.Bench, bow.Bench)
+	}
+	if bow.RFReads >= base.RFReads {
+		t.Errorf("bow-wb RF reads %d not below baseline %d", bow.RFReads, base.RFReads)
+	}
+}

@@ -5,6 +5,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -67,6 +68,33 @@ func (h *Histogram) Mean() float64 {
 		sum += float64(k) * float64(c)
 	}
 	return sum / float64(h.total)
+}
+
+// Quantile returns the smallest observed value v such that at least a
+// fraction q of the samples are <= v (the empirical q-quantile). q is
+// clamped to [0, 1]; an empty histogram returns 0. The job engine uses
+// this for its p50/p99 latency gauges.
+func (h *Histogram) Quantile(q float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for _, k := range h.Keys() {
+		cum += h.counts[k]
+		if cum >= target {
+			return k
+		}
+	}
+	return h.Max()
 }
 
 // Max returns the largest observed value (0 when empty).

@@ -115,3 +115,36 @@ func TestHistogramProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %d, want 0", got)
+	}
+	for v := 1; v <= 100; v++ {
+		h.Observe(v)
+	}
+	cases := []struct {
+		q    float64
+		want int
+	}{
+		{0, 1}, {0.01, 1}, {0.5, 50}, {0.99, 99}, {1, 100},
+		{-1, 1}, {2, 100},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+
+	// Skewed mass: 99 samples at 1, one at 1000.
+	h2 := NewHistogram()
+	h2.Add(1, 99)
+	h2.Add(1000, 1)
+	if got := h2.Quantile(0.5); got != 1 {
+		t.Errorf("skewed Quantile(0.5) = %d, want 1", got)
+	}
+	if got := h2.Quantile(0.999); got != 1000 {
+		t.Errorf("skewed Quantile(0.999) = %d, want 1000", got)
+	}
+}
