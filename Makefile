@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench repro examples cover clean
+.PHONY: all build vet test race bench bench-all repro examples cover clean
 
 all: build vet test
 
@@ -30,8 +30,15 @@ test-log:
 repro:
 	$(GO) run ./cmd/bowbench
 
-# One testing.B per paper artifact + microbenchmarks.
+# Simulator-throughput benchmarks: the cycles/sec harness (compared
+# against the in-tree reference loop) plus the machine-readable report
+# at the repo root.
 bench:
+	$(GO) test -run xxx -bench SimRate -benchmem .
+	$(GO) run ./cmd/bowbench -simrate BENCH_simrate.json
+
+# One testing.B per paper artifact + microbenchmarks.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 bench-log:

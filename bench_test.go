@@ -345,3 +345,66 @@ func BenchmarkRandomReplay(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSimRate measures the simulator's own throughput — simulated
+// cycles and instructions retired per wall-clock second — over real
+// workloads under the three policy families the evaluation leans on.
+// One op is one complete job (parse, compile, simulate, self-check),
+// i.e. exactly what the engine's workers execute. Custom metrics:
+//
+//	cycles/sec    simulated cycles per host second (higher is better)
+//	insts/sec     simulated instructions per host second
+//	allocs/cycle  heap allocations per simulated cycle (want ~0)
+//
+// Run with -benchmem to see per-op allocation too. The sub-benchmark
+// names match the workload/policy axes of BENCH_simrate.json
+// (`make bench` regenerates it via cmd/bowbench -simrate).
+func BenchmarkSimRate(b *testing.B) {
+	for _, wl := range []string{"VECTORADD", "LIB", "SAD"} {
+		for _, pol := range []string{simjob.PolicyBaseline, simjob.PolicyBOWWT, simjob.PolicyBOWWR} {
+			b.Run(wl+"/"+pol, func(b *testing.B) {
+				spec := simjob.JobSpec{Bench: wl, Policy: pol}
+				b.ReportAllocs()
+				var ms0, ms1 runtime.MemStats
+				runtime.ReadMemStats(&ms0)
+				var cycles, insts int64
+				for i := 0; i < b.N; i++ {
+					out, err := simjob.Execute(context.Background(), spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles += out.Full.Cycles
+					insts += out.Full.Stats.Executed
+				}
+				runtime.ReadMemStats(&ms1)
+				if secs := b.Elapsed().Seconds(); secs > 0 && cycles > 0 {
+					b.ReportMetric(float64(cycles)/secs, "cycles/sec")
+					b.ReportMetric(float64(insts)/secs, "insts/sec")
+					b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(cycles), "allocs/cycle")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSimRateReference is BenchmarkSimRate pinned to the in-tree
+// reference cycle loop — the before side of the speedup the optimized
+// loop is measured against.
+func BenchmarkSimRateReference(b *testing.B) {
+	for _, wl := range []string{"VECTORADD", "LIB"} {
+		b.Run(wl, func(b *testing.B) {
+			spec := simjob.JobSpec{Bench: wl, Policy: simjob.PolicyBaseline, ReferenceLoop: true}
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				out, err := simjob.Execute(context.Background(), spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += out.Full.Cycles
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(cycles)/secs, "cycles/sec")
+			}
+		})
+	}
+}

@@ -13,6 +13,9 @@
 //	bowbench -list           # list experiment IDs
 //	bowbench -seq            # inline sequential simulation (no engine)
 //	bowbench -cachedir DIR   # persist result summaries across runs
+//	bowbench -simrate FILE   # measure simulator throughput, write JSON
+//	bowbench -cpuprofile F   # write a pprof CPU profile of the run
+//	bowbench -memprofile F   # write a pprof heap profile at exit
 //
 // Experiment IDs: fig1 fig3 fig4 table1 fig7 fig8 fig9 fig10 fig11
 // fig12 fig13 table2 table3 table4 rfc
@@ -23,11 +26,29 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"bow/internal/experiments"
 	"bow/internal/simjob"
 )
+
+// simRateWorkloads/simRatePolicies are the (workload, policy) grid the
+// -simrate report measures: the three benchmarks the cycle-loop
+// benchmark harness tracks, under the baseline and both BOW policies.
+var (
+	simRateWorkloads = []string{"VECTORADD", "LIB", "SAD"}
+	simRatePolicies  = []string{simjob.PolicyBaseline, simjob.PolicyBOWWT, simjob.PolicyBOWWR}
+)
+
+// writeSimRate measures simulator throughput (optimized vs reference
+// cycle loop) for the benchmark grid and writes BENCH_simrate.json.
+func writeSimRate(path string, minWall time.Duration) error {
+	fmt.Fprintf(os.Stderr, "bowbench: measuring simulation rate (%.0fs per point, x2 loops)\n", minWall.Seconds())
+	return simjob.WriteSimRateReport(path, simRateWorkloads, simRatePolicies, minWall,
+		"pre-PR seed rates (2s/pt, same host class): VECTORADD 229736 c/s, LIB 128996 c/s, SAD 161394 c/s baseline",
+		func(line string) { fmt.Fprintln(os.Stderr, "  "+line) })
+}
 
 type experiment struct {
 	id    string
@@ -159,7 +180,48 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size")
 	seq := flag.Bool("seq", false, "simulate inline and sequentially (no job engine)")
 	cacheDir := flag.String("cachedir", "", "persist result summaries to this directory")
+	simRate := flag.String("simrate", "", "measure simulation rate and write the JSON report to this file")
+	simRateWall := flag.Duration("simrate-wall", 2*time.Second, "minimum wall time per -simrate measurement point")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bowbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bowbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bowbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bowbench:", err)
+			}
+		}()
+	}
+
+	if *simRate != "" {
+		if err := writeSimRate(*simRate, *simRateWall); err != nil {
+			fmt.Fprintln(os.Stderr, "bowbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bowbench: wrote %s\n", *simRate)
+		return
+	}
 
 	exps := allExperiments()
 	if *list {

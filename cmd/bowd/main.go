@@ -16,6 +16,9 @@
 //	GET  /healthz    liveness
 //	GET  /metrics    jobs queued/running/done/failed, cache hit ratio,
 //	                 p50/p99 job latency
+//	GET  /debug/pprof/...  live profiling (-pprof=false disables): CPU,
+//	                 heap, goroutine, block and mutex profiles of the
+//	                 serving daemon
 //
 // Example session:
 //
@@ -31,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -47,6 +51,7 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-job simulation timeout (0 = none)")
 	cacheDir := flag.String("cachedir", "", "on-disk result cache directory (empty = memory only)")
 	cacheSize := flag.Int("cachesize", 4096, "in-memory result cache entries")
+	pprofOn := flag.Bool("pprof", true, "expose /debug/pprof/ profiling endpoints")
 	flag.Parse()
 
 	engine, err := simjob.New(simjob.Options{
@@ -61,9 +66,23 @@ func main() {
 		os.Exit(1)
 	}
 
+	handler := http.Handler(simjob.NewServer(engine))
+	if *pprofOn {
+		// Live profiling of the daemon: `go tool pprof
+		// http://host:port/debug/pprof/profile` while a sweep runs.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           simjob.NewServer(engine),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

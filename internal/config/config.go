@@ -50,6 +50,12 @@ type GPU struct {
 	NumSFU     int
 
 	Scheduler string // "gto" or "lrr"
+
+	// ReferenceLoop selects the reference cycle loop inside the SM: the
+	// original map-calendar, scan-every-slot implementation kept as the
+	// oracle for the differential suite. Reports are bit-identical to
+	// the default (timing-wheel, active-set) loop; only speed differs.
+	ReferenceLoop bool
 }
 
 // TitanXPascal is the paper's Table II configuration.

@@ -12,15 +12,18 @@ import (
 )
 
 // Eval computes the warp-wide result of a non-memory, non-control
-// instruction. srcs holds the resolved source operand values in operand
-// order (immediates and specials already broadcast/expanded by the
-// caller); predSrc holds the per-lane bits of a predicate source operand
-// (OpSel). Only lanes set in active are meaningful in the result.
+// instruction, writing it into *out (whose inactive lanes are left as
+// given — callers pass a zeroed destination). srcs holds the resolved
+// source operand values in operand order (immediates and specials
+// already broadcast/expanded by the caller); predSrc holds the per-lane
+// bits of a predicate source operand (OpSel). Only lanes set in active
+// are meaningful in the result. Sources and destination are passed by
+// pointer: a warp-wide Value is 128 bytes, and this is the hottest
+// call in the simulator.
 //
-// For OpSetp the result is returned as per-lane predicate bits; the
-// Value return is unused.
-func Eval(in *isa.Instruction, srcs [isa.MaxSrcOperands]core.Value, predSrc uint32, active uint32) (core.Value, uint32, error) {
-	var out core.Value
+// For OpSetp the result is returned as per-lane predicate bits; *out
+// is not written.
+func Eval(in *isa.Instruction, srcs *[isa.MaxSrcOperands]core.Value, predSrc uint32, active uint32, out *core.Value) (uint32, error) {
 	var predOut uint32
 
 	f32 := math.Float32frombits
@@ -128,10 +131,10 @@ func Eval(in *isa.Instruction, srcs [isa.MaxSrcOperands]core.Value, predSrc uint
 				out[lane] = b
 			}
 		default:
-			return out, 0, fmt.Errorf("exec: Eval cannot execute %s", in.Op)
+			return 0, fmt.Errorf("exec: Eval cannot execute %s", in.Op)
 		}
 	}
-	return out, predOut, nil
+	return predOut, nil
 }
 
 // Broadcast expands a scalar to a warp-wide value.

@@ -15,11 +15,19 @@ func evalOne(t *testing.T, op isa.Opcode, a, b, c uint32) uint32 {
 	t.Helper()
 	in := &isa.Instruction{Op: op, HasDst: true, Dst: 1, PredReg: isa.PredTrue, NSrc: 3}
 	srcs := [isa.MaxSrcOperands]core.Value{Broadcast(a), Broadcast(b), Broadcast(c)}
-	out, _, err := Eval(in, srcs, 0, allLanes)
+	out, _, err := evalV(in, srcs, 0, allLanes)
 	if err != nil {
 		t.Fatalf("%v: %v", op, err)
 	}
 	return out[0]
+}
+
+// evalV adapts the in-place Eval to the value-returning shape the
+// table-driven tests were written against.
+func evalV(in *isa.Instruction, srcs [isa.MaxSrcOperands]core.Value, predSrc, active uint32) (core.Value, uint32, error) {
+	var out core.Value
+	pred, err := Eval(in, &srcs, predSrc, active, &out)
+	return out, pred, err
 }
 
 func TestIntegerOps(t *testing.T) {
@@ -85,7 +93,7 @@ func TestSetpAndSel(t *testing.T) {
 		a[l] = uint32(l)
 		b[l] = 16
 	}
-	_, pred, err := Eval(in, [isa.MaxSrcOperands]core.Value{a, b}, 0, allLanes)
+	_, pred, err := evalV(in, [isa.MaxSrcOperands]core.Value{a, b}, 0, allLanes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +102,7 @@ func TestSetpAndSel(t *testing.T) {
 	}
 
 	sel := &isa.Instruction{Op: isa.OpSel, HasDst: true, Dst: 1, PredReg: isa.PredTrue, NSrc: 3}
-	out, _, err := Eval(sel, [isa.MaxSrcOperands]core.Value{Broadcast(10), Broadcast(20)}, pred, allLanes)
+	out, _, err := evalV(sel, [isa.MaxSrcOperands]core.Value{Broadcast(10), Broadcast(20)}, pred, allLanes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +115,7 @@ func TestSetpAllComparisons(t *testing.T) {
 	mk := func(cmp isa.CmpOp, a, b uint32) bool {
 		in := &isa.Instruction{Op: isa.OpSetp, Cmp: cmp, HasDstPred: true,
 			PredReg: isa.PredTrue, NSrc: 2}
-		_, pred, err := Eval(in, [isa.MaxSrcOperands]core.Value{Broadcast(a), Broadcast(b)}, 0, 1)
+		_, pred, err := evalV(in, [isa.MaxSrcOperands]core.Value{Broadcast(a), Broadcast(b)}, 0, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -133,7 +141,7 @@ func TestSetpAllComparisons(t *testing.T) {
 
 func TestInactiveLanesUntouched(t *testing.T) {
 	in := &isa.Instruction{Op: isa.OpMov, HasDst: true, Dst: 1, PredReg: isa.PredTrue, NSrc: 1}
-	out, _, err := Eval(in, [isa.MaxSrcOperands]core.Value{Broadcast(9)}, 0, 0x1)
+	out, _, err := evalV(in, [isa.MaxSrcOperands]core.Value{Broadcast(9)}, 0, 0x1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +152,7 @@ func TestInactiveLanesUntouched(t *testing.T) {
 
 func TestEvalRejectsNonALU(t *testing.T) {
 	in := &isa.Instruction{Op: isa.OpLd, PredReg: isa.PredTrue}
-	if _, _, err := Eval(in, [isa.MaxSrcOperands]core.Value{}, 0, allLanes); err == nil {
+	if _, _, err := evalV(in, [isa.MaxSrcOperands]core.Value{}, 0, allLanes); err == nil {
 		t.Error("memory op accepted by Eval")
 	}
 }
@@ -184,7 +192,7 @@ func TestMergeProperty(t *testing.T) {
 func TestMadProperty(t *testing.T) {
 	f := func(a, b, c uint32) bool {
 		in := &isa.Instruction{Op: isa.OpMad, HasDst: true, Dst: 1, PredReg: isa.PredTrue, NSrc: 3}
-		out, _, err := Eval(in, [isa.MaxSrcOperands]core.Value{Broadcast(a), Broadcast(b), Broadcast(c)}, 0, 1)
+		out, _, err := evalV(in, [isa.MaxSrcOperands]core.Value{Broadcast(a), Broadcast(b), Broadcast(c)}, 0, 1)
 		return err == nil && out[0] == a*b+c
 	}
 	if err := quick.Check(f, nil); err != nil {

@@ -233,6 +233,56 @@ type Instruction struct {
 
 	// WBHint is the compiler-assigned write-back destination (BOW-WR).
 	WBHint WritebackHint
+
+	// Haz caches the hazard-check masks (FinalizeHazards); the
+	// scoreboard consults it on every issue-candidate scan. Valid only
+	// when HazValid is set — a hand-built Instruction without the cache
+	// still works through HazardMasks' recompute path.
+	Haz      HazMasks
+	HazValid bool
+}
+
+// HazMasks are the register sets a scoreboard hazard check tests, in
+// bitmask form: Src covers GPR source operands (excluding RZ), Pred
+// covers the guard predicate and predicate source operands (excluding
+// PT).
+type HazMasks struct {
+	Src  [4]uint64
+	Pred uint8
+}
+
+// HazardMasks returns the instruction's hazard masks, using the cache
+// when FinalizeHazards has run.
+func (in *Instruction) HazardMasks() HazMasks {
+	if in.HazValid {
+		return in.Haz
+	}
+	return in.computeHazMasks()
+}
+
+func (in *Instruction) computeHazMasks() HazMasks {
+	var m HazMasks
+	for i := 0; i < in.NSrc; i++ {
+		o := in.Srcs[i]
+		switch {
+		case o.IsReg():
+			m.Src[o.Reg>>6] |= 1 << (o.Reg & 63)
+		case o.Kind == OpdPred && o.Reg != PredTrue:
+			m.Pred |= 1 << o.Reg
+		}
+	}
+	if in.PredReg != PredTrue {
+		m.Pred |= 1 << in.PredReg
+	}
+	return m
+}
+
+// FinalizeHazards fills the hazard-mask cache. Called once per
+// instruction while the program is still owned by a single goroutine
+// (kernel preparation); instructions are immutable afterwards.
+func (in *Instruction) FinalizeHazards() {
+	in.Haz = in.computeHazMasks()
+	in.HazValid = true
 }
 
 // SrcRegs appends to dst the general-purpose source register numbers of

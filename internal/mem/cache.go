@@ -31,9 +31,14 @@ func NewCache(name string, sizeBytes, lineBytes, assoc int) (*Cache, error) {
 	c := &Cache{name: name, lineBytes: lineBytes, sets: sets, assoc: assoc}
 	c.tags = make([][]uint32, sets)
 	c.lru = make([][]int64, sets)
+	// Two slabs instead of two allocations per set: SM construction is
+	// on the job engine's critical path, and a chip-sized L2 has
+	// thousands of sets.
+	tagSlab := make([]uint32, lines)
+	lruSlab := make([]int64, lines)
 	for i := range c.tags {
-		c.tags[i] = make([]uint32, assoc)
-		c.lru[i] = make([]int64, assoc)
+		c.tags[i] = tagSlab[i*assoc : (i+1)*assoc : (i+1)*assoc]
+		c.lru[i] = lruSlab[i*assoc : (i+1)*assoc : (i+1)*assoc]
 	}
 	return c, nil
 }
@@ -123,17 +128,31 @@ func (h *Hierarchy) StoreLatency(addr uint32) int {
 // memory segments they touch (GPU coalescing). Lanes where active is
 // false are skipped. Returns the unique segment base addresses.
 func Coalesce(addrs []uint32, active uint32, segBytes int) []uint32 {
-	seen := make(map[uint32]struct{}, 4)
-	var out []uint32
+	return CoalesceInto(nil, addrs, active, segBytes)
+}
+
+// CoalesceInto is Coalesce appending into dst (pass dst[:0] to reuse a
+// scratch buffer and avoid the per-warp allocation). Segments appear in
+// first-touch lane order. Dedup is a linear scan: a warp has at most
+// WarpSize lanes and typically touches a handful of segments, so this
+// beats a map at every realistic size.
+func CoalesceInto(dst []uint32, addrs []uint32, active uint32, segBytes int) []uint32 {
+	base := len(dst)
 	for lane, a := range addrs {
 		if active&(1<<uint(lane)) == 0 {
 			continue
 		}
 		seg := a / uint32(segBytes) * uint32(segBytes)
-		if _, ok := seen[seg]; !ok {
-			seen[seg] = struct{}{}
-			out = append(out, seg)
+		dup := false
+		for _, s := range dst[base:] {
+			if s == seg {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, seg)
 		}
 	}
-	return out
+	return dst
 }

@@ -7,22 +7,49 @@
 // while letting the timing model stay simple.
 package mem
 
-import (
-	"fmt"
-	"sync"
-)
+import "fmt"
+
+// pageWords is the granularity of the sparse global store (4 KiB pages).
+const pageWords = 1024
 
 // Memory is the chip-level functional global memory: a sparse
-// word-addressable store. Addresses are byte addresses; accesses are
+// word-addressable store organized as pages with a one-entry page
+// cache, so a warp's per-lane accesses (which land on one or two pages)
+// skip the map lookup. Addresses are byte addresses; accesses are
 // 32-bit and must be 4-byte aligned.
+//
+// A Memory belongs to a single simulation: the device loop runs on one
+// goroutine and every job allocates its own store, so accesses are not
+// synchronized. It is not safe for concurrent use.
 type Memory struct {
-	mu    sync.Mutex
-	words map[uint32]uint32
+	pages    map[uint32]*[pageWords]uint32
+	last     *[pageWords]uint32 // most recently touched page
+	lastPage uint32             // its page number; ^0 when none
 }
 
 // NewMemory creates an empty global memory.
 func NewMemory() *Memory {
-	return &Memory{words: make(map[uint32]uint32)}
+	return &Memory{pages: make(map[uint32]*[pageWords]uint32), lastPage: ^uint32(0)}
+}
+
+// page returns the page holding word index idx, allocating it when
+// alloc is set. Without alloc it returns nil for untouched pages: reads
+// of unwritten memory are zero and must not populate the store.
+func (m *Memory) page(idx uint32, alloc bool) *[pageWords]uint32 {
+	pn := idx / pageWords
+	if pn == m.lastPage {
+		return m.last
+	}
+	p := m.pages[pn]
+	if p == nil {
+		if !alloc {
+			return nil
+		}
+		p = new([pageWords]uint32)
+		m.pages[pn] = p
+	}
+	m.last, m.lastPage = p, pn
+	return p
 }
 
 // Read32 loads the word at byte address addr.
@@ -30,10 +57,12 @@ func (m *Memory) Read32(addr uint32) (uint32, error) {
 	if addr&3 != 0 {
 		return 0, fmt.Errorf("mem: misaligned 32-bit read at 0x%x", addr)
 	}
-	m.mu.Lock()
-	v := m.words[addr>>2]
-	m.mu.Unlock()
-	return v, nil
+	idx := addr >> 2
+	p := m.page(idx, false)
+	if p == nil {
+		return 0, nil
+	}
+	return p[idx%pageWords], nil
 }
 
 // Write32 stores v at byte address addr.
@@ -41,9 +70,8 @@ func (m *Memory) Write32(addr, v uint32) error {
 	if addr&3 != 0 {
 		return fmt.Errorf("mem: misaligned 32-bit write at 0x%x", addr)
 	}
-	m.mu.Lock()
-	m.words[addr>>2] = v
-	m.mu.Unlock()
+	idx := addr >> 2
+	m.page(idx, true)[idx%pageWords] = v
 	return nil
 }
 
@@ -52,10 +80,10 @@ func (m *Memory) AtomicAdd(addr, v uint32) (uint32, error) {
 	if addr&3 != 0 {
 		return 0, fmt.Errorf("mem: misaligned atomic at 0x%x", addr)
 	}
-	m.mu.Lock()
-	old := m.words[addr>>2]
-	m.words[addr>>2] = old + v
-	m.mu.Unlock()
+	idx := addr >> 2
+	p := m.page(idx, true)
+	old := p[idx%pageWords]
+	p[idx%pageWords] = old + v
 	return old, nil
 }
 
@@ -82,15 +110,15 @@ func (m *Memory) ReadWords(base uint32, n int) ([]uint32, error) {
 	return out, nil
 }
 
-// Snapshot returns a copy of all nonzero words (for the functional
-// oracle's end-state comparison).
+// Snapshot returns a copy of all nonzero words, keyed by word index
+// (for the functional oracle's end-state comparison).
 func (m *Memory) Snapshot() map[uint32]uint32 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[uint32]uint32, len(m.words))
-	for k, v := range m.words {
-		if v != 0 {
-			out[k] = v
+	out := make(map[uint32]uint32)
+	for pn, p := range m.pages {
+		for i, v := range p {
+			if v != 0 {
+				out[pn*pageWords+uint32(i)] = v
+			}
 		}
 	}
 	return out

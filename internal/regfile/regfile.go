@@ -6,11 +6,20 @@
 //
 // The register file is both the functional value store (warp-register
 // values live here) and the timing model (per-bank request queues
-// drained one per cycle).
+// drained one per cycle). The hot path is allocation-free and
+// copy-light in steady state: per-bank queues are ring buffers that
+// reuse their backing storage, read requests carry no value payload
+// (only writes do, and those are written into the ring slot in place),
+// reads deliver through a typed sink (no closure per request), and
+// idle banks cost nothing — a bank bitmap tracks which queues are
+// nonempty. Write priority is O(1): reads and writes queue separately
+// per bank, so "first write, else head read" is two head probes instead
+// of a scan.
 package regfile
 
 import (
 	"fmt"
+	"math/bits"
 
 	"bow/internal/core"
 )
@@ -40,18 +49,114 @@ func (c Config) SizeBytes() int {
 	return c.NumBanks * c.WarpRegsPerB * 128
 }
 
-// ReadCallback is invoked when a queued read completes, with the value
-// read.
-type ReadCallback func(val core.Value)
+// ReadCallback is invoked when a queued read completes. The pointed-to
+// value is owned by the register file and only valid for the duration
+// of the call — copy it out to retain it.
+type ReadCallback func(val *core.Value)
 
-type request struct {
-	isWrite bool
-	warp    int
-	reg     uint8
-	val     core.Value // for writes
-	cb      ReadCallback
-	queued  int64 // cycle the request was enqueued (conflict accounting)
+// ReadSink receives completed reads without a per-request closure: the
+// SM's operand collectors implement it, so the hot simulation loop
+// allocates nothing per register read. The value pointer has the same
+// borrow semantics as ReadCallback's.
+type ReadSink interface {
+	DeliverRead(reg uint8, val *core.Value)
 }
+
+// readReq is a queued bank read. It carries no value payload — the
+// value is read from storage at serve time — so ring operations move
+// ~40 bytes, not a warp-wide register.
+type readReq struct {
+	warp   int32
+	reg    uint8
+	queued int64 // cycle the request was enqueued (conflict accounting)
+	cb     ReadCallback
+	sink   ReadSink
+}
+
+// writeReq is a queued bank write; the value travels in the ring slot
+// and is written into storage in place at serve time.
+type writeReq struct {
+	warp   int32
+	reg    uint8
+	queued int64
+	val    core.Value
+}
+
+// readRing is a FIFO of readReq over a reusable ring buffer.
+type readRing struct {
+	buf  []readReq
+	head int
+	n    int
+}
+
+func (r *readRing) push(req readReq) {
+	if r.n == len(r.buf) {
+		grown := make([]readReq, maxInt(8, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = req
+	r.n++
+}
+
+func (r *readRing) pop() readReq {
+	req := r.buf[r.head]
+	r.buf[r.head] = readReq{} // drop cb/sink references
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return req
+}
+
+// writeRing is a FIFO of writeReq. pushSlot exposes the tail slot so
+// the caller fills the value in place (one copy, not three); front and
+// drop serve the head without copying it out. Slots are not zeroed on
+// drop: writeReq holds no pointers, so stale values are invisible to
+// the collector and harmless.
+type writeRing struct {
+	buf  []writeReq
+	head int
+	n    int
+}
+
+func (r *writeRing) pushSlot() *writeReq {
+	if r.n == len(r.buf) {
+		grown := make([]writeReq, maxInt(8, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	sl := &r.buf[(r.head+r.n)%len(r.buf)]
+	r.n++
+	return sl
+}
+
+func (r *writeRing) front() *writeReq { return &r.buf[r.head] }
+
+func (r *writeRing) drop() {
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// bank holds one bank's pending requests. Reads and writes queue
+// separately so the write-priority pick ("first write in request order,
+// else the head read") is O(1); relative order within each class is the
+// enqueue order, exactly as in the single-queue model.
+type bank struct {
+	reads  readRing
+	writes writeRing
+}
+
+func (b *bank) pending() int { return b.reads.n + b.writes.n }
 
 // Stats counts register file traffic.
 type Stats struct {
@@ -65,20 +170,57 @@ func (s *Stats) Accesses() int64 { return s.Reads + s.Writes }
 
 // File is one SM's register file.
 type File struct {
-	cfg    Config
-	vals   [][]core.Value // [warp][reg]
-	queues [][]request    // per bank FIFO
-	cycle  int64
-	stats  Stats
+	cfg   Config
+	vals  [][]core.Value // [warp][reg]
+	banks []bank
+	// nonempty is a bitmap of banks with pending requests, so Cycle
+	// visits only busy banks (ascending index, matching the full scan).
+	nonempty []uint64
+	cycle    int64
+	stats    Stats
 
-	// delayLine holds served reads traversing the crossbar pipeline.
-	delayLine []servedRead
+	// delay holds served reads traversing the crossbar pipeline. Ready
+	// times are monotone (cycle + AccessLatency), so it is a FIFO ring.
+	delay servedRing
 }
 
 type servedRead struct {
 	readyAt int64
+	reg     uint8
 	val     core.Value
 	cb      ReadCallback
+	sink    ReadSink
+}
+
+// servedRing is the crossbar delay line. Like writeRing it exposes
+// slots so values are copied exactly once in (from bank storage) and
+// delivered by pointer out.
+type servedRing struct {
+	buf  []servedRead
+	head int
+	n    int
+}
+
+func (r *servedRing) pushSlot() *servedRead {
+	if r.n == len(r.buf) {
+		grown := make([]servedRead, maxInt(8, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	sl := &r.buf[(r.head+r.n)%len(r.buf)]
+	r.n++
+	return sl
+}
+
+func (r *servedRing) front() *servedRead { return &r.buf[r.head] }
+
+func (r *servedRing) drop() {
+	sl := &r.buf[r.head]
+	sl.cb, sl.sink = nil, nil // the value may go stale; pointers may not
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
 }
 
 // New creates a register file with zeroed contents.
@@ -91,7 +233,8 @@ func New(cfg Config) (*File, error) {
 	for w := range f.vals {
 		f.vals[w] = make([]core.Value, 256)
 	}
-	f.queues = make([][]request, cfg.NumBanks)
+	f.banks = make([]bank, cfg.NumBanks)
+	f.nonempty = make([]uint64, (cfg.NumBanks+63)/64)
 	return f, nil
 }
 
@@ -109,90 +252,121 @@ func (f *File) Bank(warp int, reg uint8) int {
 	return (int(reg) + warp) % f.cfg.NumBanks
 }
 
+func (f *File) markBusy(b int) { f.nonempty[b>>6] |= 1 << uint(b&63) }
+
 // EnqueueRead queues a read of (warp, reg). cb runs when the bank port
-// serves the request.
+// serves the request. Prefer EnqueueReadSink on hot paths: this variant
+// costs a closure per request.
 func (f *File) EnqueueRead(warp int, reg uint8, cb ReadCallback) {
 	b := f.Bank(warp, reg)
-	f.queues[b] = append(f.queues[b], request{
-		warp: warp, reg: reg, cb: cb, queued: f.cycle,
-	})
+	f.banks[b].reads.push(readReq{warp: int32(warp), reg: reg, cb: cb, queued: f.cycle})
+	f.markBusy(b)
+}
+
+// EnqueueReadSink queues a read of (warp, reg) delivering to sink —
+// the allocation-free form of EnqueueRead.
+func (f *File) EnqueueReadSink(warp int, reg uint8, sink ReadSink) {
+	b := f.Bank(warp, reg)
+	f.banks[b].reads.push(readReq{warp: int32(warp), reg: reg, sink: sink, queued: f.cycle})
+	f.markBusy(b)
 }
 
 // EnqueueWrite queues a write of val to (warp, reg).
 func (f *File) EnqueueWrite(warp int, reg uint8, val core.Value) {
 	b := f.Bank(warp, reg)
-	f.queues[b] = append(f.queues[b], request{
-		isWrite: true, warp: warp, reg: reg, val: val, queued: f.cycle,
-	})
+	sl := f.banks[b].writes.pushSlot()
+	sl.warp, sl.reg, sl.queued = int32(warp), reg, f.cycle
+	sl.val = val
+	f.markBusy(b)
 }
 
 // Pending reports the number of outstanding requests across all banks.
 func (f *File) Pending() int {
 	n := 0
-	for _, q := range f.queues {
-		n += len(q)
+	for i := range f.banks {
+		n += f.banks[i].pending()
 	}
 	return n
 }
 
-// Cycle advances the register file one clock: each bank serves at most
-// one request, writes first (matching the write-priority arbitration of
-// the baseline architecture); served reads deliver their value after
-// the AccessLatency pipeline.
+// deliver hands a completed read to its receiver.
+func deliver(reg uint8, val *core.Value, cb ReadCallback, sink ReadSink) {
+	if sink != nil {
+		sink.DeliverRead(reg, val)
+	} else if cb != nil {
+		cb(val)
+	}
+}
+
+// Cycle advances the register file one clock: each busy bank serves at
+// most one request, writes first (matching the write-priority
+// arbitration of the baseline architecture); served reads deliver their
+// value after the AccessLatency pipeline.
 func (f *File) Cycle() {
 	f.cycle++
 
-	// Drain matured reads from the crossbar pipeline.
-	kept := f.delayLine[:0]
-	for _, sr := range f.delayLine {
-		if sr.readyAt <= f.cycle {
-			if sr.cb != nil {
-				sr.cb(sr.val)
-			}
-		} else {
-			kept = append(kept, sr)
-		}
+	// Drain matured reads from the crossbar pipeline (FIFO: ready times
+	// are monotone in enqueue order). Delivery happens from the ring
+	// slot by pointer; receivers must not retain it. Receivers only
+	// enqueue bank requests (never delay-line entries), so the slot
+	// stays valid across the call.
+	for f.delay.n > 0 && f.delay.front().readyAt <= f.cycle {
+		sr := f.delay.front()
+		deliver(sr.reg, &sr.val, sr.cb, sr.sink)
+		f.delay.drop()
 	}
-	f.delayLine = kept
 
-	for b := range f.queues {
-		q := f.queues[b]
-		if len(q) == 0 {
-			continue
-		}
-		// Pick the first write if any, else the head read.
-		pick := 0
-		for i := range q {
-			if q[i].isWrite {
-				pick = i
+	// Serve busy banks in ascending index order. The bitmap is re-read
+	// per step (masked to not revisit passed positions) so a zero-latency
+	// delivery that enqueues onto a later bank mid-scan is still served
+	// this cycle, exactly as the full scan would.
+	for w := range f.nonempty {
+		var passed uint64
+		for {
+			word := f.nonempty[w] &^ passed
+			if word == 0 {
 				break
 			}
-		}
-		req := q[pick]
-		copy(q[pick:], q[pick+1:])
-		f.queues[b] = q[:len(q)-1]
-
-		// Every remaining queued request waits a cycle behind this one.
-		f.stats.BankConflicts += int64(len(f.queues[b]))
-
-		if req.isWrite {
-			f.vals[req.warp][req.reg] = req.val
-			f.stats.Writes++
-		} else {
-			f.stats.Reads++
-			if f.cfg.AccessLatency <= 0 {
-				if req.cb != nil {
-					req.cb(f.vals[req.warp][req.reg])
-				}
-			} else {
-				f.delayLine = append(f.delayLine, servedRead{
-					readyAt: f.cycle + int64(f.cfg.AccessLatency),
-					val:     f.vals[req.warp][req.reg],
-					cb:      req.cb,
-				})
+			bit := bits.TrailingZeros64(word)
+			passed |= ((1 << uint(bit)) << 1) - 1 // bits [0, bit]
+			b := w<<6 + bit
+			f.cycleBank(b)
+			if f.banks[b].pending() == 0 {
+				f.nonempty[w] &^= 1 << uint(bit)
 			}
 		}
 	}
+}
+
+// cycleBank serves one request on bank b: the oldest write if any is
+// pending, else the oldest read.
+func (f *File) cycleBank(b int) {
+	bk := &f.banks[b]
+	if bk.writes.n > 0 {
+		req := bk.writes.front()
+		f.vals[req.warp][req.reg] = req.val
+		bk.writes.drop()
+		f.stats.BankConflicts += int64(bk.pending())
+		f.stats.Writes++
+		return
+	}
+
+	req := bk.reads.pop()
+	f.stats.BankConflicts += int64(bk.pending())
+	f.stats.Reads++
+	if f.cfg.AccessLatency <= 0 {
+		// Zero-latency delivery straight from storage. Receivers may
+		// enqueue writes to this same register mid-call only via queued
+		// bank requests, which cannot mutate storage until a later
+		// cycleBank — the pointed-to value is stable for the call.
+		deliver(req.reg, &f.vals[req.warp][req.reg], req.cb, req.sink)
+		return
+	}
+	sl := f.delay.pushSlot()
+	sl.readyAt = f.cycle + int64(f.cfg.AccessLatency)
+	sl.reg = req.reg
+	sl.val = f.vals[req.warp][req.reg]
+	sl.cb, sl.sink = req.cb, req.sink
 }
 
 // Peek returns the stored value without timing effects (functional/oracle

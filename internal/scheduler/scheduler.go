@@ -34,19 +34,27 @@ type Scheduler struct {
 	greedy int
 	// rrNext is LRR's rotation cursor (index into warps).
 	rrNext int
+	// out is the ranking buffer Order returns, reused across cycles;
+	// callers consume it before the next Order call.
+	out []int
+	// outFor is the greedy warp the cached GTO ranking in out encodes
+	// (-1 = no valid cache). The ranking is a pure function of the
+	// greedy warp, so it is rebuilt only when greedy changes.
+	outFor int
 }
 
 // New creates a scheduler owning the given warp IDs (ordered oldest
 // first).
 func New(kind Kind, warps []int) *Scheduler {
-	return &Scheduler{kind: kind, warps: append([]int(nil), warps...), greedy: -1}
+	return &Scheduler{kind: kind, warps: append([]int(nil), warps...), greedy: -1, outFor: -1}
 }
 
 // Order returns the warp IDs in the priority order they should be
 // considered for issue this cycle. ready reports per warp whether it can
 // issue at all (the scheduler uses it to advance its greedy/rotation
 // state but still returns the full ranking; the issue stage re-checks
-// readiness per instruction).
+// readiness per instruction). The returned slice is owned by the
+// scheduler and overwritten by the next Order call.
 func (s *Scheduler) Order(ready func(warp int) bool) []int {
 	switch s.kind {
 	case GTO:
@@ -57,28 +65,40 @@ func (s *Scheduler) Order(ready func(warp int) bool) []int {
 }
 
 func (s *Scheduler) orderGTO(ready func(int) bool) []int {
-	out := make([]int, 0, len(s.warps))
-	// Greedy warp first while it remains ready; then oldest-first.
-	if s.greedy >= 0 && ready(s.greedy) {
-		out = append(out, s.greedy)
-	} else {
+	// Greedy warp first while it remains ready; then oldest-first. With
+	// no ready greedy warp the ranking is just the age order.
+	if s.greedy < 0 || !ready(s.greedy) {
 		s.greedy = -1
+		return s.warps
 	}
+	if s.outFor == s.greedy {
+		return s.out
+	}
+	if s.out == nil {
+		s.out = make([]int, 0, len(s.warps))
+	}
+	out := s.out[:0]
+	out = append(out, s.greedy)
 	for _, w := range s.warps {
-		if w == s.greedy {
-			continue
+		if w != s.greedy {
+			out = append(out, w)
 		}
-		out = append(out, w)
 	}
+	s.out = out
+	s.outFor = s.greedy
 	return out
 }
 
 func (s *Scheduler) orderLRR() []int {
-	out := make([]int, 0, len(s.warps))
+	if s.out == nil {
+		s.out = make([]int, 0, len(s.warps))
+	}
+	out := s.out[:0]
 	n := len(s.warps)
 	for i := 0; i < n; i++ {
 		out = append(out, s.warps[(s.rrNext+i)%n])
 	}
+	s.out = out
 	return out
 }
 

@@ -31,41 +31,27 @@ func New(maxWarps int) *Board {
 }
 
 // CanIssue reports whether the instruction is free of RAW, WAW and WAR
-// hazards for the given warp.
+// hazards for the given warp. It runs once per issue candidate per
+// cycle, so the register-set tests use the instruction's precomputed
+// hazard masks.
 func (s *Board) CanIssue(warp int, in *isa.Instruction) bool {
+	m := in.HazardMasks()
 	pw := &s.pendingWrite[warp]
 
-	// RAW: no source may have an in-flight writer.
-	var buf [isa.MaxSrcOperands]uint8
-	for _, r := range in.SrcRegs(buf[:0]) {
-		if pw.has(r) {
-			return false
-		}
-	}
-	// Predicate RAW: guard and predicate sources.
-	if in.PredReg != isa.PredTrue && s.pendingPred[warp]&(1<<in.PredReg) != 0 {
+	// RAW: no GPR source may have an in-flight writer.
+	if pw[0]&m.Src[0]|pw[1]&m.Src[1]|pw[2]&m.Src[2]|pw[3]&m.Src[3] != 0 {
 		return false
 	}
-	for i := 0; i < in.NSrc; i++ {
-		o := in.Srcs[i]
-		if o.Kind == isa.OpdPred && o.Reg != isa.PredTrue &&
-			s.pendingPred[warp]&(1<<o.Reg) != 0 {
-			return false
-		}
+	// Predicate RAW: guard and predicate sources.
+	if s.pendingPred[warp]&m.Pred != 0 {
+		return false
 	}
 
 	if d, ok := in.DstReg(); ok {
-		// WAW.
-		if pw.has(d) {
-			return false
-		}
-		// WAR: an earlier instruction still collecting d must capture it
-		// before we overwrite.
-		if s.pendingRead[warp][d] > 0 {
-			return false
-		}
-		// A predicated write also reads the old value (merge).
-		if in.PredReg != isa.PredTrue && pw.has(d) {
+		// WAW (an in-flight writer; covers the predicated-write merge
+		// read too) and WAR (an earlier instruction still collecting d
+		// must capture it before we overwrite).
+		if pw.has(d) || s.pendingRead[warp][d] > 0 {
 			return false
 		}
 	}

@@ -1,0 +1,73 @@
+package simjob
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// loopDiffPolicies is every policy family the cycle loop serves; the
+// optimized loop must be bit-identical under all of them.
+var loopDiffPolicies = []string{PolicyBaseline, PolicyBOWWT, PolicyBOWWB, PolicyBOWWR}
+
+// TestLoopDifferential runs real workloads under the optimized cycle
+// loop and the in-tree reference loop (the seed's map calendar and
+// scan-everything dispatch) and demands a bit-identical gpu.Result:
+// cycle count, every pipeline/RF/engine/energy counter, and every
+// histogram bucket. This is the contract the timing-wheel + active-set
+// rewrite is held to — same reports, only faster.
+func TestLoopDifferential(t *testing.T) {
+	benches := []string{"VECTORADD", "LIB", "SAD"}
+	if testing.Short() {
+		benches = benches[:1]
+	}
+	for _, bench := range benches {
+		for _, policy := range loopDiffPolicies {
+			t.Run(bench+"/"+policy, func(t *testing.T) {
+				t.Parallel()
+				spec := JobSpec{Bench: bench, Policy: policy}
+
+				refSpec := spec
+				refSpec.ReferenceLoop = true
+				ref, err := Execute(context.Background(), refSpec)
+				if err != nil {
+					t.Fatalf("reference loop: %v", err)
+				}
+				got, err := Execute(context.Background(), spec)
+				if err != nil {
+					t.Fatalf("optimized loop: %v", err)
+				}
+
+				if got.Full.Cycles != ref.Full.Cycles {
+					t.Errorf("cycles: optimized %d, reference %d",
+						got.Full.Cycles, ref.Full.Cycles)
+				}
+				if !reflect.DeepEqual(got.Full.Stats, ref.Full.Stats) {
+					t.Errorf("RunStats diverge:\noptimized %+v\nreference %+v",
+						got.Full.Stats, ref.Full.Stats)
+				}
+				if got.Full.RF != ref.Full.RF {
+					t.Errorf("RF stats: optimized %+v, reference %+v",
+						got.Full.RF, ref.Full.RF)
+				}
+				if got.Full.Engine != ref.Full.Engine {
+					t.Errorf("engine stats: optimized %+v, reference %+v",
+						got.Full.Engine, ref.Full.Engine)
+				}
+				if got.Full.Energy != ref.Full.Energy {
+					t.Errorf("energy counts: optimized %+v, reference %+v",
+						got.Full.Energy, ref.Full.Energy)
+				}
+
+				// The serialized summaries must match too, except the spec
+				// hash (ReferenceLoop is part of the spec) and wall time.
+				gs, rs := got.Summary, ref.Summary
+				gs.SpecHash, rs.SpecHash = "", ""
+				gs.WallNanos, rs.WallNanos = 0, 0
+				if gs != rs {
+					t.Errorf("summaries diverge:\noptimized %+v\nreference %+v", gs, rs)
+				}
+			})
+		}
+	}
+}

@@ -84,6 +84,12 @@ type JobSpec struct {
 	// Trace captures per-warp dynamic instruction traces in the full
 	// (in-memory) result — used by the reuse-distance study.
 	Trace bool `json:"trace,omitempty"`
+	// ReferenceLoop runs the SM's reference cycle loop instead of the
+	// optimized one (config.GPU.ReferenceLoop). Results are
+	// bit-identical; the differential suite and the simulation-rate
+	// benchmark use it as the oracle. omitempty keeps cache hashes of
+	// ordinary jobs unchanged.
+	ReferenceLoop bool `json:"referenceLoop,omitempty"`
 }
 
 // Normalize canonicalizes and validates the spec: policy aliases are
@@ -199,6 +205,7 @@ func (s JobSpec) gpuConfig() config.GPU {
 	if s.Scheduler != "" {
 		g.Scheduler = s.Scheduler
 	}
+	g.ReferenceLoop = s.ReferenceLoop
 	return g
 }
 

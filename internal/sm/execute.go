@@ -15,9 +15,38 @@ type coreValue = core.Value
 
 // dispatch sends collected instructions to the functional units,
 // oldest-issued first so no collector starves when many warps become
-// ready in the same cycle.
+// ready in the same cycle. The ready list is kept in dispatch order
+// (issueCycle, slot, seq) by markReady, so this is a single walk — no
+// per-cycle scan over every warp slot and no sort.
 func (s *SM) dispatch() {
-	ready := s.readyScratch[:0]
+	for f := s.readyHead; f != nil; {
+		next := f.rnext
+		if !s.pipes.TryIssue(f.in.Class()) {
+			s.st.FUStalls++
+			f = next
+			continue
+		}
+		f.dispatchCycle = s.cycle
+		s.readyRemove(f)
+		removeCollector(f.warp, f)
+		s.busyCollectors--
+		if err := s.execute(f); err != nil {
+			// Functional faults abort the simulation loudly: they mean a
+			// kernel or pipeline bug, never a recoverable condition.
+			panic(fmt.Sprintf("sm %d cycle %d: %v (inst %s)", s.id, s.cycle, err, f.in))
+		}
+		f = next
+	}
+}
+
+// dispatchRef is the reference-loop dispatch: scan every collector of
+// every warp slot, mark the newly collected ready, and sort the ready
+// set. sort.SliceStable on (issueCycle, slot) over the scan order
+// yields exactly the (issueCycle, slot, seq) order the ready list
+// maintains incrementally — same-key instructions are same-warp and
+// appear in issue order.
+func (s *SM) dispatchRef() {
+	ready := s.refScratch[:0]
 	for _, w := range s.warps {
 		for _, f := range w.collectors {
 			if !f.ready {
@@ -31,7 +60,7 @@ func (s *SM) dispatch() {
 			ready = append(ready, f)
 		}
 	}
-	sort.Slice(ready, func(i, j int) bool {
+	sort.SliceStable(ready, func(i, j int) bool {
 		if ready[i].issueCycle != ready[j].issueCycle {
 			return ready[i].issueCycle < ready[j].issueCycle
 		}
@@ -46,20 +75,27 @@ func (s *SM) dispatch() {
 		removeCollector(f.warp, f)
 		s.busyCollectors--
 		if err := s.execute(f); err != nil {
-			// Functional faults abort the simulation loudly: they mean a
-			// kernel or pipeline bug, never a recoverable condition.
 			panic(fmt.Sprintf("sm %d cycle %d: %v (inst %s)", s.id, s.cycle, err, f.in))
 		}
 	}
-	s.readyScratch = ready[:0]
+	for i := range ready {
+		ready[i] = nil
+	}
+	s.refScratch = ready[:0]
 }
 
 // removeCollector frees the operand-collector slot of a dispatched
-// instruction, preserving issue order of the rest.
+// instruction, preserving issue order of the rest. The vacated tail
+// slot is nilled so the record is freelist-eligible the moment it
+// completes — a stale tail pointer would keep it (and its operand
+// values) live.
 func removeCollector(w *warpCtx, f *inflight) {
 	for i, x := range w.collectors {
 		if x == f {
-			w.collectors = append(w.collectors[:i], w.collectors[i+1:]...)
+			last := len(w.collectors) - 1
+			copy(w.collectors[i:], w.collectors[i+1:])
+			w.collectors[last] = nil
+			w.collectors = w.collectors[:last]
 			return
 		}
 	}
@@ -80,83 +116,71 @@ func (s *SM) execute(f *inflight) error {
 	case isa.OpLd, isa.OpSt, isa.OpAtm:
 		return s.executeMem(f, mask)
 	case isa.OpBra:
-		s.executeBranch(f, mask)
+		ev := s.instEvent(evBranch, f)
+		ev.mask = mask
+		s.schedule(s.pipes.Latency(isa.FUCtrl), ev)
 		return nil
 	case isa.OpExit, isa.OpRet:
-		lat := s.pipes.Latency(isa.FUCtrl)
-		s.after(lat, func() {
-			w.exitLanes(mask)
-			w.stalled = false
-			s.completeNoDest(f)
-			if w.top() == nil {
-				s.warpExited(w)
-			}
-		})
+		ev := s.instEvent(evExitRet, f)
+		ev.mask = mask
+		s.schedule(s.pipes.Latency(isa.FUCtrl), ev)
 		return nil
 	case isa.OpBar:
-		lat := s.pipes.Latency(isa.FUCtrl)
-		s.after(lat, func() {
-			s.completeNoDest(f)
-			s.barrierArrive(w)
-		})
+		s.schedule(s.pipes.Latency(isa.FUCtrl), s.instEvent(evBar, f))
 		return nil
 	case isa.OpSSY, isa.OpSync, isa.OpNop:
-		lat := s.pipes.Latency(isa.FUCtrl)
-		s.after(lat, func() { s.completeNoDest(f) })
+		s.schedule(s.pipes.Latency(isa.FUCtrl), s.instEvent(evNoDest, f))
 		return nil
 	}
 
-	// ALU / FPU / SFU.
-	result, predOut, err := exec.Eval(in, f.srcVals, f.predSrc, mask)
+	// ALU / FPU / SFU. The result is evaluated straight into the
+	// completion record. Eval writes only the active lanes; any stale
+	// lanes from a recycled record are dropped by the mask-gated merge
+	// in writeback.
+	ev := s.instEvent(evALU, f)
+	predOut, err := exec.Eval(in, &f.srcVals, f.predSrc, mask, &ev.result)
 	if err != nil {
+		s.wheel.release(ev)
 		return err
 	}
-	lat := s.pipes.Latency(in.Class())
-	s.after(lat, func() {
-		if in.HasDstPred {
-			old := w.preds[in.DstPred]
-			w.preds[in.DstPred] = (old &^ mask) | (predOut & mask)
-		}
-		s.writeback(f, result, mask)
-	})
+	ev.mask = mask
+	ev.predOut = predOut
+	s.schedule(s.pipes.Latency(in.Class()), ev)
 	return nil
 }
 
-// executeBranch resolves control flow at execute time and unstalls the
-// warp.
-func (s *SM) executeBranch(f *inflight, mask uint32) {
+// resolveBranch applies a branch at completion time: control flow is
+// resolved at execute latency and the warp unstalls.
+func (s *SM) resolveBranch(f *inflight, mask uint32) {
 	in := f.in
 	w := f.warp
-	lat := s.pipes.Latency(isa.FUCtrl)
-	s.after(lat, func() {
-		t := w.top()
-		if t != nil {
-			taken := mask
-			notTaken := f.execMask &^ taken
-			switch {
-			case taken == 0:
-				// Fall through: pc already advanced.
-			case notTaken == 0:
-				t.pc = in.Target
-			default:
-				// Divergence: continue on the taken path; the not-taken
-				// path and the reconvergence continuation are stacked.
-				rpc, ok := s.kernel.Reconv[in.PC]
-				if !ok {
-					rpc = len(s.kernel.Program.Code)
-				}
-				fall := t.pc // already advanced past the branch
-				t.pc = rpc
-				w.stack = append(w.stack,
-					simtEntry{pc: fall, rpc: rpc, mask: notTaken},
-					simtEntry{pc: in.Target, rpc: rpc, mask: taken},
-				)
-				s.st.Divergences++
+	t := w.top()
+	if t != nil {
+		taken := mask
+		notTaken := f.execMask &^ taken
+		switch {
+		case taken == 0:
+			// Fall through: pc already advanced.
+		case notTaken == 0:
+			t.pc = in.Target
+		default:
+			// Divergence: continue on the taken path; the not-taken
+			// path and the reconvergence continuation are stacked.
+			rpc, ok := s.kernel.Reconv[in.PC]
+			if !ok {
+				rpc = len(s.kernel.Program.Code)
 			}
+			fall := t.pc // already advanced past the branch
+			t.pc = rpc
+			w.stack = append(w.stack,
+				simtEntry{pc: fall, rpc: rpc, mask: notTaken},
+				simtEntry{pc: in.Target, rpc: rpc, mask: taken},
+			)
+			s.st.Divergences++
 		}
-		w.stalled = false
-		s.completeNoDest(f)
-	})
+	}
+	w.stalled = false
+	s.completeNoDest(f)
 }
 
 // executeMem performs address generation, coalescing, functional memory
@@ -166,15 +190,15 @@ func (s *SM) executeMem(f *inflight, mask uint32) error {
 	w := f.warp
 
 	if mask == 0 {
-		s.after(1, func() {
-			if _, ok := in.DstReg(); ok {
-				// Predicated-off load: destination unchanged; still must
-				// release the scoreboard.
-				s.writeback(f, f.oldDst, 0)
-				return
-			}
-			s.completeNoDest(f)
-		})
+		ev := s.instEvent(evMem, f)
+		if _, ok := in.DstReg(); ok {
+			// Predicated-off load: destination unchanged; still must
+			// release the scoreboard.
+			ev.isLoad = true
+			ev.result = f.oldDst
+			ev.mask = 0
+		}
+		s.schedule(1, ev)
 		return nil
 	}
 
@@ -195,7 +219,8 @@ func (s *SM) executeMem(f *inflight, mask uint32) error {
 	var ferr error
 	switch in.Space {
 	case isa.SpaceGlobal:
-		segs := mem.Coalesce(addrs[:], mask, s.gcfg.L1LineBytes)
+		segs := mem.CoalesceInto(s.segScratch[:0], addrs[:], mask, s.gcfg.L1LineBytes)
+		s.segScratch = segs
 		countTxn(len(segs))
 		for i, seg := range segs {
 			var l int
@@ -226,7 +251,8 @@ func (s *SM) executeMem(f *inflight, mask uint32) error {
 				laddrs[l] = base(l) + addrs[l]
 			}
 		}
-		segs := mem.Coalesce(laddrs[:], mask, s.gcfg.L1LineBytes)
+		segs := mem.CoalesceInto(s.segScratch[:0], laddrs[:], mask, s.gcfg.L1LineBytes)
+		s.segScratch = segs
 		countTxn(len(segs))
 		for i, seg := range segs {
 			l := s.hier.LoadLatency(seg)
@@ -255,14 +281,11 @@ func (s *SM) executeMem(f *inflight, mask uint32) error {
 		return ferr
 	}
 
-	isLoad := in.Op == isa.OpLd || in.Op == isa.OpAtm
-	s.after(latency, func() {
-		if isLoad {
-			s.writeback(f, result, mask)
-		} else {
-			s.completeNoDest(f)
-		}
-	})
+	ev := s.instEvent(evMem, f)
+	ev.isLoad = in.Op == isa.OpLd || in.Op == isa.OpAtm
+	ev.result = result
+	ev.mask = mask
+	s.schedule(latency, ev)
 	return nil
 }
 
@@ -347,10 +370,11 @@ func (s *SM) completeNoDest(f *inflight) {
 	s.complete(f)
 }
 
-// complete records end-of-life statistics for the instruction. The
-// operand-collection residency is issue-to-collected (the paper's OC
-// stage: waiting on bank reads through the single collector port);
-// waiting for a free functional unit afterwards is not collection time.
+// complete records end-of-life statistics for the instruction and
+// recycles its record. The operand-collection residency is
+// issue-to-collected (the paper's OC stage: waiting on bank reads
+// through the single collector port); waiting for a free functional
+// unit afterwards is not collection time.
 func (s *SM) complete(f *inflight) {
 	s.st.Executed++
 	total := s.cycle - f.issueCycle
@@ -372,4 +396,5 @@ func (s *SM) complete(f *inflight) {
 		s.st.NonMemTotalCycles += total
 		s.st.NonMemOCCycles += oc
 	}
+	s.releaseInflight(f)
 }

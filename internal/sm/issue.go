@@ -67,12 +67,11 @@ func (s *SM) issueInstruction(w *warpCtx, t *simtEntry, in *isa.Instruction) {
 	s.sb.Reserve(w.slot, in)
 	w.issued++
 
-	f := &inflight{
-		in:         in,
-		warp:       w,
-		execMask:   t.mask,
-		issueCycle: s.cycle,
-	}
+	f := s.allocInflight()
+	f.in = in
+	f.warp = w
+	f.execMask = t.mask
+	f.issueCycle = s.cycle
 
 	// Control flow: stall the warp until resolution.
 	if in.Op == isa.OpBra || in.Op == isa.OpExit || in.Op == isa.OpRet || in.Op == isa.OpBar {
@@ -105,12 +104,10 @@ func (s *SM) issueInstruction(w *warpCtx, t *simtEntry, in *isa.Instruction) {
 		// — only bank conflicts are saved (paper §V-A).
 		f.outstanding = plan.NNeedRF + plan.NBypassed
 		for i := 0; i < plan.NBypassed; i++ {
-			reg := plan.BypassedRegs[i]
-			slots := f.slotsOf(reg)
-			val := plan.Bypassed[i]
-			s.after(s.gcfg.RFAccessLat, func() {
-				f.deliveries = append(f.deliveries, delivery{slots: slots, val: val})
-			})
+			ev := s.instEvent(evDelivery, f)
+			ev.reg = plan.BypassedRegs[i]
+			ev.result = plan.Bypassed[i]
+			s.schedule(s.gcfg.RFAccessLat, ev)
 		}
 	} else {
 		for i := 0; i < plan.NBypassed; i++ {
@@ -118,28 +115,18 @@ func (s *SM) issueInstruction(w *warpCtx, t *simtEntry, in *isa.Instruction) {
 		}
 		f.outstanding = plan.NNeedRF
 	}
+	// Bank reads deliver through f.DeliverRead (regfile.ReadSink): the
+	// value enters this collector, fills the window engine, and serves
+	// every merged waiter — the seed's per-read closure, devirtualized.
 	for i := 0; i < plan.NNeedRF; i++ {
-		reg := plan.NeedRF[i]
-		slots := f.slotsOf(reg)
-		seq := plan.Seq
-		wslot := w.slot
-		s.rf.EnqueueRead(wslot, reg, func(val coreValue) {
-			f.deliveries = append(f.deliveries, delivery{slots: slots, val: val})
-			s.engines[wslot].FillFromRF(reg, val, seq)
-			// Serve every later instruction merged into this fill.
-			for _, wf := range w.fillWaiters[reg] {
-				wf.deliveries = append(wf.deliveries, delivery{slots: wf.slotsOf(reg), val: val})
-			}
-			delete(w.fillWaiters, reg)
-		})
+		s.rf.EnqueueReadSink(w.slot, plan.NeedRF[i], f)
 	}
 
 	// Operands merged into an earlier in-flight fill (request merging in
 	// the BOC): no new bank read; the value arrives with that fill
 	// through this collector's own port.
 	for i := 0; i < plan.NPendingRegs; i++ {
-		reg := plan.PendingRegs[i]
-		w.fillWaiters[reg] = append(w.fillWaiters[reg], f)
+		w.fillWaiters = append(w.fillWaiters, fillWaiter{reg: plan.PendingRegs[i], f: f})
 		f.outstanding++
 	}
 

@@ -51,6 +51,12 @@ func (k *Kernel) Prepare() error {
 		return err
 	}
 	k.Reconv = cfg.ReconvergencePCs()
+	// The program is still single-owner here (each job parses its own
+	// copy); cache the scoreboard's hazard masks before the pipeline
+	// starts hammering CanIssue.
+	for i := range k.Program.Code {
+		k.Program.Code[i].FinalizeHazards()
+	}
 	return nil
 }
 
@@ -82,17 +88,41 @@ type SM struct {
 	engines []*core.Engine // one BOC window engine per warp slot
 	ctas    map[int]*ctaWork
 
-	cycle  int64
-	events map[int64][]func()
+	cycle int64
+
+	// wheel is the timing-wheel event calendar (typed completion
+	// records, free-listed — no map hashing or closure allocation in
+	// the cycle loop). It also owns the event free list in reference
+	// mode.
+	wheel *eventWheel
+
+	// ref selects the reference cycle loop (config.GPU.ReferenceLoop):
+	// the seed's map calendar and scan-everything dispatch, kept
+	// in-tree as the oracle for the differential suite.
+	ref        bool
+	refEvents  map[int64][]*event
+	refScratch []*inflight // reference dispatch scratch
+
+	// active lists resident, not-yet-done warps so the cycle loop
+	// skips empty warp slots entirely.
+	active []*warpCtx
+
+	// readyHead/readyTail is the dispatch-ordered ready list: operand-
+	// complete instructions linked intrusively in (issueCycle, slot,
+	// seq) order, replacing the per-cycle scan + sort.
+	readyHead, readyTail *inflight
+
+	// freeInflights recycles completed instruction records.
+	freeInflights []*inflight
+
+	// segScratch is the reusable coalescing buffer (executeMem).
+	segScratch []uint32
 
 	// Pending CTA-issue bookkeeping.
 	freeWarpSlots int
 	freeTBSlots   int
 
 	st RunStats
-
-	// readyScratch is reused by dispatch to avoid per-cycle allocation.
-	readyScratch []*inflight
 
 	// busyCollectors counts operand collectors in use across the SM; the
 	// pool (gcfg.NumOCUs) gates issue.
@@ -161,18 +191,33 @@ func New(id int, gcfg config.GPU, bcfg core.Config, kernel *Kernel,
 		warps:         make([]*warpCtx, gcfg.MaxWarpsPerSM),
 		engines:       make([]*core.Engine, gcfg.MaxWarpsPerSM),
 		ctas:          make(map[int]*ctaWork),
-		events:        make(map[int64][]func()),
 		freeWarpSlots: gcfg.MaxWarpsPerSM,
 		freeTBSlots:   gcfg.MaxTBsPerSM,
 		RegSnapshots:  make(map[[2]int][]core.Value),
 		Traces:        make(map[[2]int][]*isa.Instruction),
 	}
+	s.wheel = newEventWheel(wheelSpan(gcfg.ALULatency, gcfg.FPULatency,
+		gcfg.SFULatency, gcfg.L1HitCycles, gcfg.L2HitCycles,
+		gcfg.DRAMCycles, gcfg.RFAccessLat))
+	s.ref = gcfg.ReferenceLoop
+	if s.ref {
+		s.refEvents = make(map[int64][]*event)
+	}
 	s.st.OccupancyBOC = stats.NewHistogram()
 	s.st.OccupancyOCU = stats.NewHistogram()
 	s.st.SrcOperands = stats.NewHistogram()
 
+	// One slab each for the per-warp collector and fill-waiter lists:
+	// their capacities are architectural constants, and slab slicing
+	// keeps SM construction (on the job engine's critical path) cheap.
+	collectorSlab := make([]*inflight, gcfg.MaxWarpsPerSM*collectorsPerWarp)
+	waiterSlab := make([]fillWaiter, gcfg.MaxWarpsPerSM*collectorsPerWarp*isa.MaxSrcOperands)
 	for w := 0; w < gcfg.MaxWarpsPerSM; w++ {
-		s.warps[w] = &warpCtx{slot: w, ctaID: -1}
+		s.warps[w] = &warpCtx{
+			sm: s, slot: w, ctaID: -1, activeIdx: -1,
+			collectors:  collectorSlab[w*collectorsPerWarp : w*collectorsPerWarp : (w+1)*collectorsPerWarp],
+			fillWaiters: waiterSlab[w*collectorsPerWarp*isa.MaxSrcOperands : w*collectorsPerWarp*isa.MaxSrcOperands : (w+1)*collectorsPerWarp*isa.MaxSrcOperands],
+		}
 		wslot := w
 		eng, err := core.NewEngine(bcfg, func(reg uint8, val core.Value, cause core.WriteCause) {
 			// Functional value propagates instantly so Peek-based merge
@@ -238,24 +283,29 @@ func (s *SM) Cycle() {
 	s.st.Cycles++
 	s.pipes.NewCycle(s.cycle)
 
-	// 1. Register file banks serve one request each; read callbacks
+	// 1. Register file banks serve one request each; completed reads
 	// queue operand deliveries into the collectors.
 	s.rf.Cycle()
 
 	// 2. Scheduled events: writebacks, memory completions, branch
 	// resolution.
-	if evs, ok := s.events[s.cycle]; ok {
-		delete(s.events, s.cycle)
-		for _, f := range evs {
-			f()
-		}
+	s.runEvents()
+
+	if s.ref {
+		s.cycleRefTail()
+		return
 	}
 
 	// 3. Collectors consume one delivered operand each (single-ported
-	// OCU/BOC).
-	for _, w := range s.warps {
+	// OCU/BOC); an instruction whose last operand lands becomes ready
+	// and enters the dispatch-ordered list. Only active warps can hold
+	// collectors, so idle slots cost nothing.
+	for _, w := range s.active {
 		for _, f := range w.collectors {
 			f.consumeDelivery()
+			if !f.ready && f.collected() {
+				s.markReady(w, f)
+			}
 		}
 	}
 
@@ -266,6 +316,23 @@ func (s *SM) Cycle() {
 	s.issue()
 
 	// 6. Occupancy sampling (Fig. 9): one sample per active warp-cycle.
+	if s.bcfg.Policy.Bypassing() {
+		for _, w := range s.active {
+			s.st.OccupancyBOC.Observe(s.engines[w.slot].Occupancy())
+		}
+	}
+}
+
+// cycleRefTail is steps 3-6 of the reference loop: full warp scans and
+// the sort-based dispatch, as in the seed implementation.
+func (s *SM) cycleRefTail() {
+	for _, w := range s.warps {
+		for _, f := range w.collectors {
+			f.consumeDelivery()
+		}
+	}
+	s.dispatchRef()
+	s.issue()
 	for _, w := range s.warps {
 		if w.ctaID >= 0 && !w.done {
 			if s.bcfg.Policy.Bypassing() {
@@ -275,13 +342,17 @@ func (s *SM) Cycle() {
 	}
 }
 
-// after schedules f to run at cycle now+delay (min 1).
-func (s *SM) after(delay int, f func()) {
-	if delay < 1 {
-		delay = 1
-	}
-	t := s.cycle + int64(delay)
-	s.events[t] = append(s.events[t], f)
+// markReady transitions an instruction to the ready (operands
+// complete) state: reads release their scoreboard reservations and the
+// instruction enters the dispatch order. The reference loop performs
+// the same transition inside its dispatch scan; both run after the
+// collector-port stage and before dispatch, so the cycle accounting is
+// identical.
+func (s *SM) markReady(w *warpCtx, f *inflight) {
+	f.ready = true
+	f.collectCycle = s.cycle
+	s.sb.ReleaseReads(w.slot, f.in)
+	s.readyInsert(f)
 }
 
 // Stats returns the accumulated run statistics.

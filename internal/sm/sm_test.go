@@ -190,10 +190,10 @@ func TestInflightDeliveries(t *testing.T) {
 
 	var v1 coreValue
 	v1[0] = 11
-	f.deliveries = append(f.deliveries, delivery{slots: f.slotsOf(1), val: v1})
+	f.pushDelivery(f.slotMask(1), v1)
 	var v2 coreValue
 	v2[0] = 22
-	f.deliveries = append(f.deliveries, delivery{slots: f.slotsOf(2), val: v2})
+	f.pushDelivery(f.slotMask(2), v2)
 
 	if f.collected() {
 		t.Fatal("collected before consuming deliveries")

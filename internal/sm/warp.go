@@ -18,8 +18,19 @@ type simtEntry struct {
 	mask uint32
 }
 
+// fillWaiter records that a later instruction's operand merges into an
+// in-flight RF read of reg (request merging in the BOC). A warp has at
+// most collectorsPerWarp in-flight instructions of at most
+// isa.MaxSrcOperands operands, so the list stays tiny and its backing
+// array is reused across the warp's lifetime.
+type fillWaiter struct {
+	reg uint8
+	f   *inflight
+}
+
 // warpCtx is one hardware warp slot.
 type warpCtx struct {
+	sm        *SM
 	slot      int // SM-local warp ID
 	ctaID     int // resident CTA (-1 = free)
 	warpInCTA int
@@ -38,10 +49,13 @@ type warpCtx struct {
 	// this warp's in-flight instructions (Pascal dual-issue: up to two).
 	collectors []*inflight
 
-	// fillWaiters maps a register with an in-flight RF read to the
-	// later instructions whose operand merges into that fill (request
-	// merging in the BOC).
-	fillWaiters map[uint8][]*inflight
+	// fillWaiters lists the (register, instruction) pairs waiting on an
+	// in-flight RF read of that register.
+	fillWaiters []fillWaiter
+
+	// activeIdx is this warp's position in the SM's active list
+	// (-1 when not resident or already done).
+	activeIdx int
 
 	issued int64 // dynamic instructions issued (sequence numbering)
 }
@@ -67,7 +81,7 @@ func (s *SM) initWarp(w *warpCtx, ctaID, warpInCTA int) {
 	w.stalled = false
 	w.atBarrier = false
 	w.collectors = w.collectors[:0]
-	w.fillWaiters = make(map[uint8][]*inflight)
+	w.fillWaiters = w.fillWaiters[:0]
 	w.issued = 0
 	w.preds = [isa.NumPredRegs]uint32{}
 	w.preds[isa.PredTrue] = 0xFFFFFFFF
@@ -75,6 +89,32 @@ func (s *SM) initWarp(w *warpCtx, ctaID, warpInCTA int) {
 	w.stack = append(w.stack, simtEntry{
 		pc: 0, rpc: -1, mask: fullMask(s.kernel.BlockDim, warpInCTA),
 	})
+	s.activeAdd(w)
+}
+
+// activeAdd registers w on the SM's active-warp list (resident, not
+// done). List order is immaterial: every per-warp action in the cycle
+// loop touches disjoint state.
+func (s *SM) activeAdd(w *warpCtx) {
+	if w.activeIdx >= 0 {
+		return
+	}
+	w.activeIdx = len(s.active)
+	s.active = append(s.active, w)
+}
+
+// activeRemove drops w from the active list (swap-remove).
+func (s *SM) activeRemove(w *warpCtx) {
+	i := w.activeIdx
+	if i < 0 {
+		return
+	}
+	last := len(s.active) - 1
+	s.active[i] = s.active[last]
+	s.active[i].activeIdx = i
+	s.active[last] = nil
+	s.active = s.active[:last]
+	w.activeIdx = -1
 }
 
 // top returns the active SIMT frame after popping exhausted frames
@@ -165,10 +205,14 @@ func (s *SM) warpExited(w *warpCtx) {
 		return
 	}
 	if s.sb.Busy(w.slot) || len(w.collectors) > 0 {
-		s.after(1, func() { s.warpExited(w) })
+		ev := s.wheel.alloc()
+		ev.kind = evWarpExit
+		ev.w = w
+		s.schedule(1, ev)
 		return
 	}
 	w.done = true
+	s.activeRemove(w)
 	cta := s.ctas[w.ctaID]
 
 	if s.CaptureRegs {

@@ -10,38 +10,81 @@ import (
 	"strings"
 )
 
+// denseSlots is the value range served by the histogram's array fast
+// path. Hot-loop samples (BOC occupancy, operand counts) are small
+// non-negative integers, so Observe on them is a bounded-slot increment
+// with no map hashing or interface cost; anything outside [0,
+// denseSlots) falls back to a lazily allocated map.
+const denseSlots = 64
+
 // Histogram counts occurrences of integer-valued samples.
 type Histogram struct {
-	counts map[int]int64
+	dense  [denseSlots]int64
+	counts map[int]int64 // overflow values only; nil until needed
 	total  int64
 }
 
 // NewHistogram creates an empty histogram.
 func NewHistogram() *Histogram {
-	return &Histogram{counts: make(map[int]int64)}
+	return &Histogram{}
 }
 
 // Add records n occurrences of value v.
 func (h *Histogram) Add(v int, n int64) {
-	h.counts[v] += n
+	if uint(v) < denseSlots {
+		h.dense[v] += n
+	} else {
+		if h.counts == nil {
+			h.counts = make(map[int]int64)
+		}
+		h.counts[v] += n
+	}
 	h.total += n
 }
 
-// Observe records one occurrence.
-func (h *Histogram) Observe(v int) { h.Add(v, 1) }
+// Observe records one occurrence. The dense path is allocation-free:
+// the simulator calls this once per active warp-cycle.
+func (h *Histogram) Observe(v int) {
+	if uint(v) < denseSlots {
+		h.dense[v]++
+		h.total++
+		return
+	}
+	h.Add(v, 1)
+}
 
 // Total is the number of samples.
 func (h *Histogram) Total() int64 { return h.total }
 
 // Count returns the tally for value v.
-func (h *Histogram) Count(v int) int64 { return h.counts[v] }
+func (h *Histogram) Count(v int) int64 {
+	if uint(v) < denseSlots {
+		return h.dense[v]
+	}
+	return h.counts[v]
+}
 
 // Frac returns the fraction of samples equal to v.
 func (h *Histogram) Frac(v int) float64 {
 	if h.total == 0 {
 		return 0
 	}
-	return float64(h.counts[v]) / float64(h.total)
+	return float64(h.Count(v)) / float64(h.total)
+}
+
+// each iterates all (value, count) pairs with nonzero counts, dense
+// slots first in ascending order, then overflow values in map order.
+func (h *Histogram) each(fn func(v int, c int64)) {
+	for v, c := range h.dense {
+		if c != 0 {
+			fn(v, c)
+		}
+	}
+	for v, c := range h.counts {
+		if c != 0 {
+			fn(v, c)
+		}
+	}
 }
 
 // FracAtLeast returns the fraction of samples >= v.
@@ -50,11 +93,11 @@ func (h *Histogram) FracAtLeast(v int) float64 {
 		return 0
 	}
 	var n int64
-	for k, c := range h.counts {
+	h.each(func(k int, c int64) {
 		if k >= v {
 			n += c
 		}
-	}
+	})
 	return float64(n) / float64(h.total)
 }
 
@@ -64,9 +107,9 @@ func (h *Histogram) Mean() float64 {
 		return 0
 	}
 	var sum float64
-	for k, c := range h.counts {
+	h.each(func(k int, c int64) {
 		sum += float64(k) * float64(c)
-	}
+	})
 	return sum / float64(h.total)
 }
 
@@ -89,7 +132,7 @@ func (h *Histogram) Quantile(q float64) int {
 	}
 	var cum int64
 	for _, k := range h.Keys() {
-		cum += h.counts[k]
+		cum += h.Count(k)
 		if cum >= target {
 			return k
 		}
@@ -101,30 +144,26 @@ func (h *Histogram) Quantile(q float64) int {
 func (h *Histogram) Max() int {
 	max := 0
 	first := true
-	for k := range h.counts {
+	h.each(func(k int, _ int64) {
 		if first || k > max {
 			max = k
 			first = false
 		}
-	}
+	})
 	return max
 }
 
 // Keys returns observed values in ascending order.
 func (h *Histogram) Keys() []int {
-	ks := make([]int, 0, len(h.counts))
-	for k := range h.counts {
-		ks = append(ks, k)
-	}
+	ks := make([]int, 0, len(h.counts)+8)
+	h.each(func(k int, _ int64) { ks = append(ks, k) })
 	sort.Ints(ks)
 	return ks
 }
 
 // Merge adds all samples of o into h.
 func (h *Histogram) Merge(o *Histogram) {
-	for k, c := range o.counts {
-		h.Add(k, c)
-	}
+	o.each(func(k int, c int64) { h.Add(k, c) })
 }
 
 // Mean is an online arithmetic mean.

@@ -148,3 +148,48 @@ func TestHistogramQuantile(t *testing.T) {
 		t.Errorf("skewed Quantile(0.999) = %d, want 1000", got)
 	}
 }
+
+// TestHistogramObserveNoAlloc pins the cycle-loop contract: Observe on
+// a dense-range value (the occupancy and operand-count histograms only
+// ever see small non-negative values) must not allocate — no map
+// insertion, no interface boxing.
+func TestHistogramObserveNoAlloc(t *testing.T) {
+	h := NewHistogram()
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(7)
+		h.Observe(0)
+		h.Observe(denseSlots - 1)
+	})
+	if allocs != 0 {
+		t.Errorf("Observe allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestHistogramDenseOverflowAgree checks the dense fast path and the
+// map overflow path report through the same accessors.
+func TestHistogramDenseOverflowAgree(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(denseSlots - 1) // dense
+	h.Observe(denseSlots)     // overflow map
+	h.Observe(denseSlots)
+	if h.Total() != 3 || h.Count(denseSlots-1) != 1 || h.Count(denseSlots) != 2 {
+		t.Fatalf("mixed-range counts wrong: total=%d", h.Total())
+	}
+	if h.Max() != denseSlots {
+		t.Errorf("Max = %d, want %d", h.Max(), denseSlots)
+	}
+	if ks := h.Keys(); len(ks) != 2 || ks[0] != denseSlots-1 || ks[1] != denseSlots {
+		t.Errorf("Keys = %v", ks)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(i & 31)
+	}
+	if h.Total() != int64(b.N) {
+		b.Fatal("total mismatch")
+	}
+}
