@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-all repro examples cover clean
+.PHONY: all build vet test race cluster-smoke bench bench-all repro examples cover clean
 
 all: build vet test
 
@@ -15,12 +15,18 @@ vet:
 # The default test gate includes vet and the race detector: the job
 # engine (internal/simjob) simulates concurrently, so every test run
 # also proves the pool's thread safety.
-test: vet
+test: vet cluster-smoke
 	$(GO) test ./...
 	$(GO) test -race ./...
 
 race:
 	$(GO) test -race ./...
+
+# End-to-end cluster run: a sweep submitted over HTTP to a coordinator
+# in front of 3 in-process workers, one of which is crashed mid-job.
+# The streamed results must be byte-identical to a single-node run.
+cluster-smoke:
+	$(GO) test -run TestClusterSmoke -count=1 -v ./internal/cluster
 
 # Full test log, as recorded in test_output.txt.
 test-log:

@@ -1,0 +1,287 @@
+// Command bowctl is the cluster CLI: it scatter/gathers design-space
+// sweeps through a bowd coordinator and renders cluster state.
+//
+// Usage:
+//
+//	bowctl [-coord http://localhost:8080] status
+//	bowctl [-coord URL] sweep [-benches SAD,LIB] [-policies baseline,bow-wr]
+//	       [-iws 2,3,4] [-capacities ...] [-sms ...] [-schedulers gto,lrr]
+//	       [-maxcycles N] [-json] [-quiet]
+//
+// sweep streams partial results as the cluster completes them (one
+// line per unique design point, via the coordinator's NDJSON stream),
+// then prints the gathered table. status renders every worker's
+// routing state — readiness, breaker, in-flight, load, cache hit
+// ratio, per-endpoint request counts — plus the cluster counters.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bow/internal/cluster"
+	"bow/internal/simjob"
+	"bow/internal/stats"
+)
+
+func main() {
+	coord := flag.String("coord", "http://localhost:8080", "coordinator base URL")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	base := *coord
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+
+	var err error
+	switch args[0] {
+	case "status":
+		err = runStatus(base)
+	case "sweep":
+		err = runSweep(base, args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "bowctl: unknown command %q\n", args[0])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bowctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  bowctl [-coord URL] status
+  bowctl [-coord URL] sweep [-benches a,b] [-policies p,q] [-iws 2,3]
+         [-capacities n,m] [-sms 1,2] [-schedulers gto,lrr]
+         [-maxcycles N] [-json] [-quiet]
+`)
+}
+
+func runStatus(base string) error {
+	resp, err := http.Get(base + "/status")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("coordinator answered %d", resp.StatusCode)
+	}
+	var st cluster.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+
+	tbl := stats.NewTable("worker", "ready", "breaker", "inflight", "load",
+		"done", "failed", "cache", "http-inflight", "simulate", "sweep")
+	for _, w := range st.Workers {
+		ready := "yes"
+		switch {
+		case w.Draining:
+			ready = "draining"
+		case !w.Ready:
+			ready = "DOWN"
+		}
+		tbl.AddRowf(w.Addr, ready, w.Breaker, w.Inflight, w.ReportedLoad,
+			w.Metrics.Done, w.Metrics.Failed, stats.Pct(w.Metrics.CacheHitRatio),
+			w.Metrics.HTTPInflight, w.Metrics.Requests["/simulate"],
+			w.Metrics.Requests["/sweep"])
+	}
+	fmt.Print(tbl.String())
+	c := st.Counters
+	fmt.Printf("\ncluster: jobs=%d done=%d failed=%d localCacheHits=%d retries=%d\n",
+		c.Jobs, c.Done, c.Failed, c.LocalCacheHits, c.Retries)
+	fmt.Printf("hedging: fired=%d won=%d discarded=%d delay=%dus (p50=%dus p95=%dus)\n",
+		c.Hedges, c.HedgeWins, c.HedgeDiscarded, st.HedgeDelayMicros,
+		st.P50LatencyMicros, st.P95LatencyMicros)
+	return nil
+}
+
+func runSweep(base string, args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	benches := fs.String("benches", "", "comma-separated benchmark names (empty = all)")
+	policies := fs.String("policies", "", "comma-separated policies (empty = bow-wr)")
+	iws := fs.String("iws", "", "comma-separated instruction-window sizes")
+	capacities := fs.String("capacities", "", "comma-separated BOC capacities")
+	sms := fs.String("sms", "", "comma-separated SM counts")
+	schedulers := fs.String("schedulers", "", "comma-separated schedulers (gto,lrr)")
+	maxCycles := fs.Int64("maxcycles", 0, "per-job cycle bound (0 = default)")
+	jsonOut := fs.Bool("json", false, "print the aggregate SweepResult JSON instead of tables")
+	quiet := fs.Bool("quiet", false, "suppress per-point progress lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sw := simjob.SweepSpec{
+		Benches:    splitCSV(*benches),
+		Policies:   splitCSV(*policies),
+		Schedulers: splitCSV(*schedulers),
+		MaxCycles:  *maxCycles,
+	}
+	var err error
+	if sw.IWs, err = splitInts(*iws); err != nil {
+		return fmt.Errorf("-iws: %w", err)
+	}
+	if sw.Capacities, err = splitInts(*capacities); err != nil {
+		return fmt.Errorf("-capacities: %w", err)
+	}
+	if sw.SMs, err = splitInts(*sms); err != nil {
+		return fmt.Errorf("-sms: %w", err)
+	}
+	body, err := json.Marshal(sw)
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		resp, err := http.Post(base+"/sweep", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("coordinator answered %d", resp.StatusCode)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		var res simjob.SweepResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			return err
+		}
+		return enc.Encode(res)
+	}
+
+	resp, err := http.Post(base+"/sweep?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("coordinator answered %d", resp.StatusCode)
+	}
+
+	var items []simjob.SweepItem
+	var summary *simjob.SweepResult
+	failed := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev cluster.StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("bad stream line: %w", err)
+		}
+		if ev.Summary != nil {
+			summary = ev.Summary
+			continue
+		}
+		if ev.Item == nil {
+			continue
+		}
+		items = append(items, *ev.Item)
+		if !*quiet {
+			printProgress(ev)
+		}
+		if ev.Item.Error != "" {
+			failed++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	sort.Slice(items, func(i, j int) bool {
+		a, b := items[i].Spec, items[j].Spec
+		if a.Bench != b.Bench {
+			return a.Bench < b.Bench
+		}
+		if a.Policy != b.Policy {
+			return a.Policy < b.Policy
+		}
+		if a.IW != b.IW {
+			return a.IW < b.IW
+		}
+		return a.Capacity < b.Capacity
+	})
+	tbl := stats.NewTable("bench", "policy", "iw", "cap", "cycles", "ipc",
+		"rd-bypass", "wr-bypass", "cached")
+	for _, it := range items {
+		if it.Error != "" {
+			tbl.AddRowf(it.Spec.Bench, it.Spec.Policy, it.Spec.IW, it.Spec.Capacity,
+				"ERROR", it.Error, "", "", "")
+			continue
+		}
+		r := it.Result
+		cached := it.Cached
+		if cached == "" {
+			cached = "fresh"
+		}
+		tbl.AddRowf(r.Bench, r.Policy, r.IW, r.Capacity, r.Cycles, r.IPC,
+			stats.Pct(r.ReadBypassFrac), stats.Pct(r.WriteBypassFrac), cached)
+	}
+	fmt.Print(tbl.String())
+	if summary != nil {
+		fmt.Printf("\n%d jobs (%d unique), %d failed\n", summary.Jobs, len(items), summary.Failed)
+	} else if failed > 0 {
+		fmt.Printf("\n%d of %d points failed\n", failed, len(items))
+	}
+	if failed > 0 || (summary != nil && summary.Failed > 0) {
+		return fmt.Errorf("sweep finished with failures")
+	}
+	return nil
+}
+
+func printProgress(ev cluster.StreamEvent) {
+	it := ev.Item
+	if it.Error != "" {
+		fmt.Printf("[%d/%d] %s %s iw=%d FAILED: %s\n",
+			ev.Done, ev.Total, it.Spec.Bench, it.Spec.Policy, it.Spec.IW, it.Error)
+		return
+	}
+	src := it.Cached
+	if src == "" {
+		src = "fresh"
+	}
+	fmt.Printf("[%d/%d] %s %s iw=%d cap=%d cycles=%d ipc=%.2f (%s)\n",
+		ev.Done, ev.Total, it.Spec.Bench, it.Spec.Policy, it.Spec.IW,
+		it.Spec.Capacity, it.Result.Cycles, it.Result.IPC, src)
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitCSV(s) {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("%q is not an integer", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

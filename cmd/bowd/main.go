@@ -1,35 +1,52 @@
-// Command bowd serves the GPU simulator as a daemon: simulation jobs
-// and design-space sweeps are submitted over HTTP, executed on a
-// concurrent worker pool, and deduplicated through the two-tier result
-// cache (memory LRU + optional on-disk JSON store), so repeated points
-// — across requests and across restarts — are simulated once.
+// Command bowd serves the GPU simulator as a daemon. In its default
+// (worker) mode, simulation jobs and design-space sweeps are submitted
+// over HTTP, executed on a concurrent worker pool, and deduplicated
+// through the two-tier result cache (memory LRU + optional on-disk
+// JSON store), so repeated points — across requests and across
+// restarts — are simulated once. In -coordinator mode it runs no
+// simulations itself: it shards the same API across a fleet of worker
+// bowds with cache-affinity routing, hedging, retries, and circuit
+// breaking (internal/cluster).
 //
 // Usage:
 //
-//	bowd                                   # :8080, GOMAXPROCS workers
+//	bowd                                   # worker on :8080, GOMAXPROCS pool
 //	bowd -addr :9090 -workers 8 -cachedir /var/cache/bow
+//	bowd -coordinator -workers=host1:8080,host2:8080
+//	bowd -addr :8081 -register http://coord:8080   # worker that joins a coordinator
 //
-// Endpoints:
+// Worker endpoints:
 //
 //	POST /simulate   one JobSpec            -> {cached, result}
 //	POST /sweep      SweepSpec cross-product -> SweepResult
 //	GET  /healthz    liveness
+//	GET  /readyz     readiness — 503 once SIGTERM starts the drain,
+//	                 so a coordinator stops routing here before the
+//	                 listener closes
 //	GET  /metrics    jobs queued/running/done/failed, cache hit ratio,
-//	                 p50/p99 job latency
-//	GET  /debug/pprof/...  live profiling (-pprof=false disables): CPU,
-//	                 heap, goroutine, block and mutex profiles of the
-//	                 serving daemon
+//	                 p50/p99 job latency, per-endpoint request counts,
+//	                 HTTP in-flight gauge
+//	GET  /debug/pprof/...  live profiling (-pprof=false disables)
+//
+// Coordinator endpoints (same /simulate and /sweep schema, plus):
+//
+//	POST /sweep?stream=1  NDJSON stream of per-point results
+//	POST /join            {"addr":"host:8080"} dynamic worker join
+//	GET  /status          per-worker routing state + cluster counters
 //
 // Example session:
 //
-//	bowd -cachedir /tmp/bowcache &
+//	bowd -addr :8081 -cachedir /tmp/bow1 &
+//	bowd -addr :8082 -cachedir /tmp/bow2 &
+//	bowd -coordinator -workers=localhost:8081,localhost:8082 &
 //	curl -s localhost:8080/simulate -d '{"bench":"SAD","policy":"bow-wr","iw":3}'
-//	curl -s localhost:8080/sweep -d '{"benches":["LIB","SAD"],"policies":["baseline","bow-wr"],"iws":[2,3,4]}'
-//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/status
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,35 +55,99 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"bow/internal/cluster"
 	"bow/internal/simjob"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size")
-	retries := flag.Int("retries", 0, "extra attempts for a failed job")
-	timeout := flag.Duration("timeout", 2*time.Minute, "per-job simulation timeout (0 = none)")
-	cacheDir := flag.String("cachedir", "", "on-disk result cache directory (empty = memory only)")
+	coordinator := flag.Bool("coordinator", false, "run as cluster coordinator instead of simulation worker")
+	workers := flag.String("workers", "", "worker mode: pool size (default GOMAXPROCS); coordinator mode: comma-separated worker addresses")
+	retries := flag.Int("retries", 0, "worker mode: extra attempts for a failed job")
+	timeout := flag.Duration("timeout", 2*time.Minute, "worker mode: per-job simulation timeout (0 = none)")
+	cacheDir := flag.String("cachedir", "", "worker mode: on-disk result cache directory (empty = memory only)")
 	cacheSize := flag.Int("cachesize", 4096, "in-memory result cache entries")
+	inflight := flag.Int("inflight", 0, "coordinator mode: max in-flight jobs per worker (0 = default 4)")
+	register := flag.String("register", "", "worker mode: coordinator URL to join on startup (POST /join)")
+	advertise := flag.String("advertise", "", "address announced to the coordinator when registering (default 127.0.0.1<addr>)")
+	drainGrace := flag.Duration("draingrace", 3*time.Second, "pause between flipping /readyz to 503 and closing the listener on SIGTERM")
 	pprofOn := flag.Bool("pprof", true, "expose /debug/pprof/ profiling endpoints")
 	flag.Parse()
 
-	engine, err := simjob.New(simjob.Options{
-		Workers:   *workers,
-		Retries:   *retries,
-		Timeout:   *timeout,
-		CacheSize: *cacheSize,
-		CacheDir:  *cacheDir,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bowd:", err)
-		os.Exit(1)
+	var handler http.Handler
+	var drain func(context.Context, *http.Server)
+
+	if *coordinator {
+		var addrs []string
+		if *workers != "" {
+			for _, a := range strings.Split(*workers, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					addrs = append(addrs, a)
+				}
+			}
+		}
+		coord, err := cluster.New(cluster.Options{
+			MaxInflightPerWorker: *inflight,
+			CacheSize:            *cacheSize,
+		}, addrs...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bowd:", err)
+			os.Exit(1)
+		}
+		srv := cluster.NewServer(coord)
+		handler = srv
+		drain = func(ctx context.Context, hs *http.Server) {
+			srv.StartDraining()
+			time.Sleep(*drainGrace)
+			_ = hs.Shutdown(ctx)
+			coord.Close()
+		}
+		fmt.Printf("bowd: coordinating %d workers on %s\n", len(addrs), *addr)
+	} else {
+		pool := runtime.GOMAXPROCS(0)
+		if *workers != "" {
+			n, err := strconv.Atoi(*workers)
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "bowd: -workers=%q is not a pool size (worker mode takes an integer)\n", *workers)
+				os.Exit(1)
+			}
+			pool = n
+		}
+		engine, err := simjob.New(simjob.Options{
+			Workers:   pool,
+			Retries:   *retries,
+			Timeout:   *timeout,
+			CacheSize: *cacheSize,
+			CacheDir:  *cacheDir,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bowd:", err)
+			os.Exit(1)
+		}
+		srv := simjob.NewServer(engine)
+		handler = srv
+		drain = func(ctx context.Context, hs *http.Server) {
+			// Readiness goes dark first so the coordinator reroutes new
+			// jobs; the grace period lets its heartbeat observe that
+			// before in-flight requests are waited out.
+			srv.StartDraining()
+			time.Sleep(*drainGrace)
+			_ = hs.Shutdown(ctx)
+			engine.Close()
+		}
+		fmt.Printf("bowd: serving on %s (%d workers, cachedir=%q)\n", *addr, pool, *cacheDir)
+		if *register != "" {
+			if err := joinCoordinator(*register, *advertise, *addr); err != nil {
+				fmt.Fprintln(os.Stderr, "bowd: register:", err)
+			}
+		}
 	}
 
-	handler := http.Handler(simjob.NewServer(engine))
 	if *pprofOn {
 		// Live profiling of the daemon: `go tool pprof
 		// http://host:port/debug/pprof/profile` while a sweep runs.
@@ -80,15 +161,14 @@ func main() {
 		handler = mux
 	}
 
-	srv := &http.Server{
+	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("bowd: serving on %s (%d workers, cachedir=%q)\n", *addr, *workers, *cacheDir)
+	go func() { errc <- hs.ListenAndServe() }()
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -102,7 +182,37 @@ func main() {
 		fmt.Printf("bowd: %v — draining\n", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		_ = srv.Shutdown(ctx)
-		engine.Close()
+		drain(ctx, hs)
 	}
+}
+
+// joinCoordinator announces this worker to a coordinator's /join
+// endpoint. The advertised address defaults to 127.0.0.1 plus the
+// listen port — fine for single-host clusters; multi-host setups pass
+// -advertise explicitly.
+func joinCoordinator(coord, advertise, listen string) error {
+	if advertise == "" {
+		if strings.HasPrefix(listen, ":") {
+			advertise = "127.0.0.1" + listen
+		} else {
+			advertise = listen
+		}
+	}
+	if !strings.Contains(coord, "://") {
+		coord = "http://" + coord
+	}
+	raw, err := json.Marshal(cluster.JoinRequest{Addr: advertise})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(strings.TrimRight(coord, "/")+"/join", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("coordinator answered %d", resp.StatusCode)
+	}
+	fmt.Printf("bowd: registered %s with %s\n", advertise, coord)
+	return nil
 }

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"bow/internal/simjob"
+)
+
+// TestCacheAffinityRouting is the satellite acceptance test: the same
+// sweep resubmitted against the same 3-worker set — through a fresh
+// coordinator, so the coordinator's own cache cannot answer — must be
+// served almost entirely from the workers' caches, because rendezvous
+// routing sends each point back to the worker that simulated it.
+func TestCacheAffinityRouting(t *testing.T) {
+	addrs := []string{
+		startWorker(t, nil).URL,
+		startWorker(t, nil).URL,
+		startWorker(t, nil).URL,
+	}
+	opts := fastOpts()
+	opts.MaxInflightPerWorker = 8 // generous: spill-over would break affinity
+
+	sw := simjob.SweepSpec{
+		Benches:  []string{"VECTORADD", "SRAD"},
+		Policies: []string{"baseline", "bow-wr", "bow-wb"},
+		IWs:      []int{2, 3, 4},
+	}
+	unique, _, err := sw.ExpandHashed()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c1 := newCoordinator(t, opts, addrs...)
+	first, err := c1.Sweep(context.Background(), sw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Failed != 0 {
+		t.Fatalf("first sweep failed %d items", first.Failed)
+	}
+	c1.Close()
+
+	// A fresh coordinator simulates a coordinator restart: same worker
+	// addresses, so the rendezvous ranking — and therefore the owner of
+	// every point — is unchanged, but its local cache is empty.
+	c2 := newCoordinator(t, opts, addrs...)
+	second, err := c2.Sweep(context.Background(), sw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Failed != 0 {
+		t.Fatalf("second sweep failed %d items", second.Failed)
+	}
+
+	// Count worker-cache hits over unique points via the items' cache
+	// provenance...
+	seen := make(map[string]bool)
+	hits := 0
+	for _, it := range second.Items {
+		if it.Result == nil || seen[it.Result.SpecHash] {
+			continue
+		}
+		seen[it.Result.SpecHash] = true
+		if it.Cached == "memory" || it.Cached == "disk" {
+			hits++
+		}
+	}
+	want := (len(unique)*9 + 9) / 10 // ceil(90%)
+	if hits < want {
+		t.Errorf("worker cache served %d/%d unique points, want >= %d", hits, len(unique), want)
+	}
+
+	// ...and directly from the workers' own /metrics counters.
+	var memHits, diskHits int64
+	ctx := context.Background()
+	for _, addr := range addrs {
+		m, err := simjob.NewClient(addr, nil).Metrics(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		memHits += m.CacheHitsMemory
+		diskHits += m.CacheHitsDisk
+	}
+	if int(memHits+diskHits) < want {
+		t.Errorf("workers report %d cache hits, want >= %d", memHits+diskHits, want)
+	}
+}

@@ -1,0 +1,89 @@
+package cluster
+
+import "time"
+
+// breakerState is the classic three-state circuit breaker machine.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "?"
+}
+
+// breaker shields the cluster from a flapping worker: threshold
+// consecutive job failures open it, the cooldown lets the worker
+// recover, and a single half-open probe decides whether to close.
+// All methods are called with the registry's mutex held.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	state    breakerState
+	fails    int // consecutive job failures
+	openedAt time.Time
+	probing  bool // the one allowed half-open probe is in flight
+}
+
+// canRoute reports, without side effects, whether a job could be
+// routed through the breaker at time now.
+func (b *breaker) canRoute(now time.Time) bool {
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		return now.Sub(b.openedAt) >= b.cooldown
+	default: // half-open
+		return !b.probing
+	}
+}
+
+// commit consumes the routing decision canRoute allowed: an expired
+// open breaker transitions to half-open and the chosen job becomes its
+// probe. Callers only invoke commit after canRoute returned true.
+func (b *breaker) commit() {
+	switch b.state {
+	case breakerOpen:
+		b.state = breakerHalfOpen
+		b.probing = true
+	case breakerHalfOpen:
+		b.probing = true
+	}
+}
+
+// onSuccess closes the breaker.
+func (b *breaker) onSuccess() {
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// onFailure records a consecutive failure: a failed half-open probe or
+// the threshold-th consecutive failure (re)opens the breaker.
+func (b *breaker) onFailure(now time.Time) {
+	b.fails++
+	if b.state == breakerHalfOpen || b.fails >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = now
+		b.probing = false
+	}
+}
+
+// onNeutral unwinds a routing decision that neither succeeded nor
+// failed (the coordinator cancelled a hedged duplicate): a half-open
+// probe slot is handed back so the next job can probe.
+func (b *breaker) onNeutral() {
+	b.probing = false
+}

@@ -1,0 +1,140 @@
+// Package cluster is the distributed sweep coordinator: it shards
+// simjob work across many bowd worker processes. Workers are plain
+// bowd instances — the coordinator speaks their existing HTTP API
+// (POST /simulate, GET /readyz, GET /metrics) through simjob.Client,
+// so every worker keeps its own two-tier result cache.
+//
+// The coordinator's job, per submitted spec:
+//
+//   - dedup against its local result cache (a sweep resubmitted to the
+//     same coordinator never leaves the process),
+//   - route by rendezvous hashing on the spec's content hash, so a
+//     repeated point lands on the worker that already cached it
+//     (cache affinity survives workers joining or leaving: only the
+//     points owned by the changed worker move),
+//   - bound per-worker in-flight, spilling over to the least-loaded
+//     remaining worker (coordinator-issued in-flight plus the queue
+//     depth the worker last reported on /metrics) when the affinity
+//     choice is saturated,
+//   - retry failures on a different worker with exponential backoff
+//     and jitter (4xx spec errors are permanent and never retried),
+//   - hedge stragglers: once a job has been in flight longer than a
+//     high quantile of recent latencies, dispatch a duplicate to the
+//     next-best worker; the first result wins and the loser is
+//     cancelled and discarded,
+//   - circuit-break flapping workers: after BreakerThreshold
+//     consecutive job failures a worker stops receiving work for
+//     BreakerCooldown, then a single half-open probe decides whether
+//     it closes again.
+//
+// A registry goroutine heartbeats every worker's /readyz and /metrics:
+// workers answering 503 (draining after SIGTERM) or missing DownAfter
+// consecutive probes stop receiving new work. Workers can be listed at
+// start (bowd -coordinator -workers=...) or join dynamically through
+// the coordinator's POST /join endpoint.
+package cluster
+
+import (
+	"net/http"
+	"time"
+)
+
+// Options tunes the coordinator. The zero value selects the defaults
+// noted per field.
+type Options struct {
+	// MaxInflightPerWorker bounds coordinator-issued concurrent jobs
+	// per worker (default 4).
+	MaxInflightPerWorker int
+	// HeartbeatInterval is the registry probe period (default 1s).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout bounds one probe (default HeartbeatInterval).
+	HeartbeatTimeout time.Duration
+	// DownAfter is the consecutive failed heartbeats before a worker
+	// is considered down (default 3). A draining worker (/readyz 503)
+	// is taken out of rotation immediately.
+	DownAfter int
+	// BreakerThreshold is the consecutive job failures that open a
+	// worker's circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects work before
+	// allowing a half-open probe (default 5s).
+	BreakerCooldown time.Duration
+	// MaxAttempts bounds job attempts across distinct workers,
+	// the first try included (default 3).
+	MaxAttempts int
+	// BackoffBase/BackoffMax shape the exponential backoff between
+	// attempts; the sleep is jittered uniformly over [d/2, d]
+	// (defaults 50ms / 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// HedgeQuantile picks the recent-latency quantile after which a
+	// still-running job is hedged (default 0.9; <= 0 keeps the default
+	// — use HedgeOff to disable hedging).
+	HedgeQuantile float64
+	// HedgeMinSamples is how many recent latencies must exist before
+	// hedging activates (default 8; negative = hedge from the first
+	// job, with HedgeMin as the delay until the window fills).
+	HedgeMinSamples int
+	// HedgeMin floors the hedge delay so a noisy fast quantile cannot
+	// double every request (default 5ms).
+	HedgeMin time.Duration
+	// HedgeOff disables hedging entirely.
+	HedgeOff bool
+	// LatencyWindow is how many recent job latencies feed the hedge
+	// quantile (default 256).
+	LatencyWindow int
+	// CacheSize is the coordinator-local result cache capacity
+	// (default 4096 entries).
+	CacheSize int
+	// HTTPClient is shared by all worker clients (nil = a dedicated
+	// client reusing connections).
+	HTTPClient *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInflightPerWorker <= 0 {
+		o.MaxInflightPerWorker = 4
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = time.Second
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = o.HeartbeatInterval
+	}
+	if o.DownAfter <= 0 {
+		o.DownAfter = 3
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.HedgeQuantile <= 0 {
+		o.HedgeQuantile = 0.9
+	}
+	if o.HedgeMinSamples < 0 {
+		o.HedgeMinSamples = 0
+	} else if o.HedgeMinSamples == 0 {
+		o.HedgeMinSamples = 8
+	}
+	if o.HedgeMin <= 0 {
+		o.HedgeMin = 5 * time.Millisecond
+	}
+	if o.LatencyWindow <= 0 {
+		o.LatencyWindow = 256
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{Transport: http.DefaultTransport}
+	}
+	return o
+}

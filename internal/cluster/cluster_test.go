@@ -1,0 +1,497 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"bow/internal/simjob"
+)
+
+func decodeJSONBody(t *testing.T, r io.Reader, v any) {
+	t.Helper()
+	if err := json.NewDecoder(r).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newWorkerEngine is a small real simulation engine for one test
+// worker.
+func newWorkerEngine(t *testing.T) *simjob.Engine {
+	t.Helper()
+	e, err := simjob.New(simjob.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+// startWorker serves a real bowd worker over httptest, optionally
+// wrapped in middleware (fault injection, delays).
+func startWorker(t *testing.T, wrap func(http.Handler) http.Handler) *httptest.Server {
+	t.Helper()
+	var h http.Handler = simjob.NewServer(newWorkerEngine(t))
+	if wrap != nil {
+		h = wrap(h)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// startKillableWorker is startWorker on a manual listener whose kill
+// func behaves like the process dying: in-flight connections break and
+// later dials are refused.
+func startKillableWorker(t *testing.T, wrap func(http.Handler) http.Handler) (addr string, kill func()) {
+	t.Helper()
+	var h http.Handler = simjob.NewServer(newWorkerEngine(t))
+	if wrap != nil {
+		h = wrap(h)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: h}
+	var once sync.Once
+	kill = func() { once.Do(func() { hs.Close() }) }
+	t.Cleanup(kill)
+	go func() { _ = hs.Serve(ln) }()
+	return "http://" + ln.Addr().String(), kill
+}
+
+// fastOpts are coordinator options tuned for test turnaround: tight
+// heartbeats, quick backoff, hedging off unless a test opts in.
+func fastOpts() Options {
+	return Options{
+		HeartbeatInterval: 20 * time.Millisecond,
+		// Generous probe timeout: under -race a worker can take tens of
+		// milliseconds to answer, which must not count as down.
+		HeartbeatTimeout: time.Second,
+		DownAfter:        2,
+		BreakerThreshold:  3,
+		BreakerCooldown:   150 * time.Millisecond,
+		MaxAttempts:       4,
+		BackoffBase:       5 * time.Millisecond,
+		BackoffMax:        20 * time.Millisecond,
+		HedgeOff:          true,
+	}
+}
+
+func newCoordinator(t *testing.T, opts Options, workers ...string) *Coordinator {
+	t.Helper()
+	c, err := New(opts, workers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	b := breaker{threshold: 3, cooldown: 50 * time.Millisecond}
+	now := time.Now()
+
+	b.onFailure(now)
+	b.onFailure(now)
+	if b.state != breakerClosed || !b.canRoute(now) {
+		t.Fatalf("below threshold: state=%v", b.state)
+	}
+	b.onFailure(now) // threshold-th consecutive failure opens it
+	if b.state != breakerOpen {
+		t.Fatalf("after %d failures state=%v, want open", b.threshold, b.state)
+	}
+	if b.canRoute(now.Add(10 * time.Millisecond)) {
+		t.Error("open breaker inside cooldown must not route")
+	}
+
+	after := now.Add(60 * time.Millisecond) // cooldown elapsed
+	if !b.canRoute(after) {
+		t.Fatal("expired cooldown must allow a probe")
+	}
+	b.commit()
+	if b.state != breakerHalfOpen || !b.probing {
+		t.Fatalf("committed probe: state=%v probing=%v", b.state, b.probing)
+	}
+	if b.canRoute(after) {
+		t.Error("half-open allows exactly one probe at a time")
+	}
+	b.onFailure(after) // failed probe reopens
+	if b.state != breakerOpen || b.openedAt != after {
+		t.Fatalf("failed probe: state=%v", b.state)
+	}
+
+	later := after.Add(60 * time.Millisecond)
+	if !b.canRoute(later) {
+		t.Fatal("second cooldown must allow another probe")
+	}
+	b.commit()
+	b.onSuccess()
+	if b.state != breakerClosed || b.fails != 0 || b.probing {
+		t.Fatalf("successful probe must close: %+v", b)
+	}
+
+	// A cancelled probe hands the slot back without closing.
+	b.onFailure(later)
+	b.onFailure(later)
+	b.onFailure(later)
+	exp := later.Add(60 * time.Millisecond)
+	b.canRoute(exp)
+	b.commit()
+	b.onNeutral()
+	if b.state != breakerHalfOpen || b.probing {
+		t.Fatalf("neutral probe: state=%v probing=%v", b.state, b.probing)
+	}
+}
+
+// flakyHandler injects HTTP 500s on /simulate while failing is set.
+type flakyHandler struct {
+	inner http.Handler
+	mu    sync.Mutex
+	fail  bool
+	calls int
+}
+
+func (f *flakyHandler) set(fail bool) {
+	f.mu.Lock()
+	f.fail = fail
+	f.mu.Unlock()
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/simulate" {
+		f.mu.Lock()
+		f.calls++
+		fail := f.fail
+		f.mu.Unlock()
+		if fail {
+			http.Error(w, `{"error":"injected failure"}`, http.StatusInternalServerError)
+			return
+		}
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+// TestCircuitBreakerOpensAndRecovers drives the breaker through a real
+// coordinator: N consecutive job failures open it, an open breaker
+// rejects routing, and after the cooldown a half-open probe against a
+// healed worker closes it again.
+func TestCircuitBreakerOpensAndRecovers(t *testing.T) {
+	var fh *flakyHandler
+	srv := startWorker(t, func(h http.Handler) http.Handler {
+		fh = &flakyHandler{inner: h, fail: true}
+		return fh
+	})
+	opts := fastOpts()
+	opts.MaxAttempts = 1 // one worker: each Do is one attempt
+	c := newCoordinator(t, opts, srv.URL)
+
+	spec := simjob.JobSpec{Bench: "VECTORADD", Policy: "baseline"}
+	for i := 0; i < opts.BreakerThreshold; i++ {
+		if _, _, err := c.Do(context.Background(), simjob.JobSpec{
+			Bench: "VECTORADD", Policy: "bow-wr", IW: 2 + i,
+		}); err == nil {
+			t.Fatalf("job %d should fail while worker is flaky", i)
+		}
+	}
+	st := c.Status()
+	if len(st.Workers) != 1 || st.Workers[0].Breaker != "open" {
+		t.Fatalf("after %d failures breaker=%q, want open", opts.BreakerThreshold, st.Workers[0].Breaker)
+	}
+	if st.Counters.Failed != int64(opts.BreakerThreshold) {
+		t.Errorf("failed counter = %d, want %d", st.Counters.Failed, opts.BreakerThreshold)
+	}
+
+	// While open (and inside the cooldown) nothing routes: a job with a
+	// short deadline times out waiting instead of reaching the worker.
+	fh.mu.Lock()
+	callsBefore := fh.calls
+	fh.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	if _, _, err := c.Do(ctx, spec); err == nil {
+		t.Fatal("open breaker should block the job until its deadline")
+	}
+	cancel()
+	fh.mu.Lock()
+	if fh.calls != callsBefore {
+		t.Errorf("open breaker leaked %d calls to the worker", fh.calls-callsBefore)
+	}
+	fh.mu.Unlock()
+
+	// Heal the worker; after the cooldown the half-open probe closes
+	// the breaker and work flows again.
+	fh.set(false)
+	time.Sleep(opts.BreakerCooldown)
+	if _, cached, err := c.Do(context.Background(), spec); err != nil {
+		t.Fatalf("post-cooldown probe failed: %v (cached=%q)", err, cached)
+	}
+	st = c.Status()
+	if st.Workers[0].Breaker != "closed" {
+		t.Errorf("after successful probe breaker=%q, want closed", st.Workers[0].Breaker)
+	}
+}
+
+// doomKit wires the "first worker to receive a /simulate dies mid-job"
+// fault: whichever worker sees the first simulate request trips its
+// own kill switch while the request is still in flight.
+type doomKit struct {
+	mu     sync.Mutex
+	doomed string
+	kills  map[string]func()
+}
+
+func newDoomKit() *doomKit {
+	return &doomKit{kills: make(map[string]func())}
+}
+
+func (d *doomKit) wrap(name string) func(http.Handler) http.Handler {
+	return func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/simulate" {
+				d.mu.Lock()
+				if d.doomed == "" {
+					d.doomed = name
+				}
+				isDoomed := d.doomed == name
+				kill := d.kills[name]
+				d.mu.Unlock()
+				if isDoomed {
+					// Kill the server while this request is in flight,
+					// then hold the handler so the client observes the
+					// broken connection, not a response.
+					go kill()
+					time.Sleep(80 * time.Millisecond)
+				}
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
+}
+
+func (d *doomKit) victim() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.doomed
+}
+
+// TestWorkerKilledMidJobReroutes is the acceptance-path failure test: a
+// 3-worker sweep where the first worker to receive a job dies with the
+// job in flight must still complete, byte-identical to the same sweep
+// run on a single local engine.
+func TestWorkerKilledMidJobReroutes(t *testing.T) {
+	kit := newDoomKit()
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		name := string(rune('A' + i))
+		addr, kill := startKillableWorker(t, kit.wrap(name))
+		kit.mu.Lock()
+		kit.kills[name] = kill
+		kit.mu.Unlock()
+		addrs = append(addrs, addr)
+	}
+	c := newCoordinator(t, fastOpts(), addrs...)
+
+	sw := simjob.SweepSpec{
+		Benches:  []string{"VECTORADD", "SRAD"},
+		Policies: []string{"baseline", "bow-wr"},
+		IWs:      []int{2, 3},
+	}
+	got, err := c.Sweep(context.Background(), sw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kit.victim() == "" {
+		t.Fatal("no worker was ever doomed — the fault never fired")
+	}
+	if got.Failed != 0 {
+		for _, it := range got.Items {
+			if it.Error != "" {
+				t.Errorf("item %s/%s failed: %s", it.Spec.Bench, it.Spec.Policy, it.Error)
+			}
+		}
+		t.Fatalf("sweep failed %d/%d items despite rerouting", got.Failed, got.Jobs)
+	}
+
+	// Single-node oracle: the same sweep on a local engine.
+	ref, err := newWorkerEngine(t).RunSweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Items) != len(got.Items) {
+		t.Fatalf("item count %d vs %d", len(got.Items), len(ref.Items))
+	}
+	for i := range ref.Items {
+		if ref.Items[i].Result == nil || got.Items[i].Result == nil {
+			t.Fatalf("item %d missing result", i)
+		}
+		want, _ := ref.Items[i].Result.CanonicalJSON()
+		have, _ := got.Items[i].Result.CanonicalJSON()
+		if !bytes.Equal(want, have) {
+			t.Errorf("item %d diverged from single-node run:\n%s\n%s", i, want, have)
+		}
+	}
+
+	st := c.Status()
+	if st.Counters.Retries == 0 {
+		t.Error("killing a worker mid-job should have forced at least one reroute")
+	}
+}
+
+// delayHandler slows /simulate only — heartbeats stay fast.
+func delayHandler(d time.Duration) func(http.Handler) http.Handler {
+	return func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/simulate" {
+				time.Sleep(d)
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
+}
+
+// TestHedgingStragglersDeduplicated pairs a slow worker with a fast
+// one: jobs whose affinity lands on the slow worker are hedged to the
+// fast one, the first result wins, and the slow duplicate is
+// discarded — every point still appears exactly once in the sweep.
+func TestHedgingStragglersDeduplicated(t *testing.T) {
+	slow := startWorker(t, delayHandler(400*time.Millisecond))
+	fast := startWorker(t, nil)
+
+	opts := fastOpts()
+	opts.HedgeOff = false
+	opts.HedgeMinSamples = -1 // hedge from the first job
+	opts.HedgeMin = 30 * time.Millisecond
+	opts.MaxInflightPerWorker = 8
+	c := newCoordinator(t, opts, slow.URL, fast.URL)
+
+	sw := simjob.SweepSpec{
+		Benches:  []string{"VECTORADD", "SRAD"},
+		Policies: []string{"bow-wr", "bow-wb"},
+		IWs:      []int{2, 3, 4, 5},
+	}
+	unique, index, err := sw.ExpandHashed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Sweep(context.Background(), sw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("sweep failed %d items", res.Failed)
+	}
+	if len(res.Items) != len(index) {
+		t.Fatalf("items %d, want %d", len(res.Items), len(index))
+	}
+	// Dedup invariant: one result per unique point, every expansion
+	// slot filled with its own point's result.
+	seen := make(map[string]bool)
+	for i, it := range res.Items {
+		if it.Result == nil {
+			t.Fatalf("item %d has no result", i)
+		}
+		if it.Result.SpecHash != unique[index[i]].Hash {
+			t.Errorf("item %d carries hash %s, want %s", i, it.Result.SpecHash, unique[index[i]].Hash)
+		}
+		seen[it.Result.SpecHash] = true
+	}
+	if len(seen) != len(unique) {
+		t.Errorf("unique results %d, want %d", len(seen), len(unique))
+	}
+
+	st := c.Status()
+	// 16 unique points over 2 workers: the odds every affinity pick
+	// lands on the fast worker are 2^-16, so hedges must have fired,
+	// and with a 400ms straggler vs a millisecond worker the hedge
+	// must have won at least once.
+	if st.Counters.Hedges == 0 {
+		t.Fatal("no hedge fired against a 400ms straggler")
+	}
+	if st.Counters.HedgeWins == 0 {
+		t.Error("hedge never won against a 400ms straggler")
+	}
+	if st.Counters.Done != int64(len(unique)) {
+		t.Errorf("done = %d, want %d (duplicates must not double-count)", st.Counters.Done, len(unique))
+	}
+}
+
+// TestJoinAndServerEndpoints covers the coordinator's HTTP surface:
+// dynamic /join, /status, routed /simulate, and /metrics.
+func TestJoinAndServerEndpoints(t *testing.T) {
+	w1 := startWorker(t, nil)
+	w2 := startWorker(t, nil)
+	c := newCoordinator(t, fastOpts(), w1.URL)
+	srv := httptest.NewServer(NewServer(c))
+	t.Cleanup(srv.Close)
+
+	get := func(path string, out any) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			decodeJSONBody(t, resp.Body, out)
+		}
+		return resp.StatusCode
+	}
+
+	var st Status
+	if code := get("/status", &st); code != http.StatusOK || len(st.Workers) != 1 {
+		t.Fatalf("status: code=%d workers=%d", code, len(st.Workers))
+	}
+
+	resp, err := http.Post(srv.URL+"/join", "application/json",
+		bytes.NewReader([]byte(`{"addr":"`+w2.URL+`"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joined map[string]bool
+	decodeJSONBody(t, resp.Body, &joined)
+	resp.Body.Close()
+	if !joined["joined"] {
+		t.Fatal("join of a new worker reported joined=false")
+	}
+	if code := get("/status", &st); code != http.StatusOK || len(st.Workers) != 2 {
+		t.Fatalf("status after join: code=%d workers=%d", code, len(st.Workers))
+	}
+
+	resp, err = http.Post(srv.URL+"/simulate", "application/json",
+		bytes.NewReader([]byte(`{"bench":"VECTORADD","policy":"bow-wr"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sim simjob.SimulateResponse
+	decodeJSONBody(t, resp.Body, &sim)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || sim.Result.Cycles <= 0 {
+		t.Fatalf("simulate via coordinator: code=%d result=%+v", resp.StatusCode, sim.Result)
+	}
+
+	// A bad spec is the client's fault (400), not the cluster's.
+	resp, err = http.Post(srv.URL+"/simulate", "application/json",
+		bytes.NewReader([]byte(`{"bench":"NOPE","policy":"bow-wr"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad spec status = %d, want 400", resp.StatusCode)
+	}
+
+	if code := get("/healthz", nil); code != http.StatusOK {
+		t.Errorf("healthz = %d", code)
+	}
+	if code := get("/metrics", nil); code != http.StatusOK {
+		t.Errorf("metrics = %d", code)
+	}
+}

@@ -1,0 +1,349 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"bow/internal/simjob"
+)
+
+// ErrNoWorkers is returned when a job has no worker left that could
+// take it: every worker is down, draining, or already failed this job.
+var ErrNoWorkers = errors.New("cluster: no eligible workers")
+
+// verdict is the outcome release reports back to the routing state.
+type verdict int
+
+const (
+	verdictSuccess verdict = iota
+	verdictFailure
+	// verdictNeutral is a dispatch the coordinator cancelled itself (a
+	// hedge that lost the race): the worker is not to blame.
+	verdictNeutral
+)
+
+// worker is one bowd instance as the registry sees it. Everything
+// below client is guarded by the registry mutex.
+type worker struct {
+	addr   string // normalized base URL (client.Base())
+	client *simjob.Client
+
+	ready    bool
+	draining bool
+	hbFails  int
+	lastSeen time.Time
+	lastErr  string
+	inflight int            // coordinator-issued jobs on this worker now
+	load     int64          // queued+running the worker last reported
+	metrics  simjob.Metrics // last /metrics snapshot
+	br       breaker
+}
+
+// registry tracks the worker set, heartbeats it, and hands workers out
+// to jobs under the per-worker in-flight bound.
+type registry struct {
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers map[string]*worker
+	closed  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newRegistry(opts Options) *registry {
+	r := &registry{
+		opts:    opts,
+		workers: make(map[string]*worker),
+		stop:    make(chan struct{}),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// join adds a worker (idempotently) and reports whether it was new.
+// A fresh worker starts optimistically ready; the first heartbeat
+// corrects that within one interval.
+func (r *registry) join(addr string) bool {
+	c := simjob.NewClient(addr, r.opts.HTTPClient)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.workers[c.Base()]; ok {
+		return false
+	}
+	r.workers[c.Base()] = &worker{
+		addr:   c.Base(),
+		client: c,
+		ready:  true,
+		br: breaker{
+			threshold: r.opts.BreakerThreshold,
+			cooldown:  r.opts.BreakerCooldown,
+		},
+	}
+	r.cond.Broadcast()
+	return true
+}
+
+// start launches the heartbeat loop.
+func (r *registry) start() {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		t := time.NewTicker(r.opts.HeartbeatInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				r.heartbeatOnce()
+			}
+		}
+	}()
+}
+
+func (r *registry) close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	close(r.stop)
+	r.wg.Wait()
+}
+
+// heartbeatOnce probes every worker's /readyz and /metrics in
+// parallel and folds the answers into the routing state. It always
+// finishes with a broadcast: waiters blocked on capacity or an open
+// breaker re-evaluate at least once per interval, which also bounds
+// how stale a breaker's cooldown expiry can go unnoticed.
+func (r *registry) heartbeatOnce() {
+	r.mu.Lock()
+	ws := make([]*worker, 0, len(r.workers))
+	for _, w := range r.workers {
+		ws = append(ws, w)
+	}
+	r.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, w := range ws {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), r.opts.HeartbeatTimeout)
+			defer cancel()
+			err := w.client.Ready(ctx)
+			var m simjob.Metrics
+			var merr error
+			if err == nil {
+				m, merr = w.client.Metrics(ctx)
+			}
+			now := time.Now()
+			r.mu.Lock()
+			switch {
+			case err == nil:
+				w.ready, w.draining = true, false
+				w.hbFails, w.lastErr = 0, ""
+				w.lastSeen = now
+				if merr == nil {
+					w.metrics = m
+					w.load = m.Queued + m.Running
+				}
+			case errors.Is(err, simjob.ErrDraining):
+				// Alive but shutting down: out of rotation right away.
+				w.ready, w.draining = false, true
+				w.hbFails, w.lastErr = 0, "draining"
+				w.lastSeen = now
+			default:
+				w.hbFails++
+				w.lastErr = err.Error()
+				if w.hbFails >= r.opts.DownAfter {
+					w.ready = false
+				}
+			}
+			r.mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	r.mu.Lock()
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// rendezvousScore ranks worker addr for a spec hash: the highest score
+// across the worker set owns the point (highest-random-weight
+// hashing), so adding or removing one worker only moves the points
+// that worker owns.
+func rendezvousScore(addr, hash string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(addr))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(hash))
+	return h.Sum64()
+}
+
+// rankedLocked returns the candidate workers for hash — ready, not
+// excluded, breaker routable at now — in descending rendezvous order.
+func (r *registry) rankedLocked(hash string, exclude map[string]bool, now time.Time) []*worker {
+	out := make([]*worker, 0, len(r.workers))
+	for _, w := range r.workers {
+		if !w.ready || exclude[w.addr] || !w.br.canRoute(now) {
+			continue
+		}
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := rendezvousScore(out[i].addr, hash), rendezvousScore(out[j].addr, hash)
+		if si != sj {
+			return si > sj
+		}
+		return out[i].addr < out[j].addr
+	})
+	return out
+}
+
+// pickLocked chooses a worker for hash or returns nil when every
+// candidate is saturated: the affinity (top-ranked) worker when it has
+// capacity, otherwise — spill-over — the least-loaded remaining
+// candidate, counting both coordinator-issued in-flight and the queue
+// depth the worker last reported.
+func (r *registry) pickLocked(hash string, exclude map[string]bool, now time.Time) *worker {
+	ranked := r.rankedLocked(hash, exclude, now)
+	if len(ranked) == 0 {
+		return nil
+	}
+	if ranked[0].inflight < r.opts.MaxInflightPerWorker {
+		return ranked[0]
+	}
+	var best *worker
+	var bestLoad int64
+	for _, w := range ranked[1:] {
+		if w.inflight >= r.opts.MaxInflightPerWorker {
+			continue
+		}
+		load := int64(w.inflight) + w.load
+		if best == nil || load < bestLoad {
+			best, bestLoad = w, load
+		}
+	}
+	return best
+}
+
+// eligibleLocked counts workers that could take the job now or soon:
+// ready and not excluded (a saturated or breaker-open worker still
+// counts — capacity frees and cooldowns expire).
+func (r *registry) eligibleLocked(exclude map[string]bool) int {
+	n := 0
+	for _, w := range r.workers {
+		if w.ready && !exclude[w.addr] {
+			n++
+		}
+	}
+	return n
+}
+
+// acquire blocks until a worker is available for hash (or ctx ends, or
+// no eligible worker remains) and reserves one in-flight slot on it.
+func (r *registry) acquire(ctx context.Context, hash string, exclude map[string]bool) (*worker, error) {
+	// A context cancellation must wake the cond wait below.
+	stop := context.AfterFunc(ctx, func() {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	})
+	defer stop()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if r.closed {
+			return nil, fmt.Errorf("cluster: coordinator closed")
+		}
+		now := time.Now()
+		if w := r.pickLocked(hash, exclude, now); w != nil {
+			w.inflight++
+			w.br.commit()
+			return w, nil
+		}
+		if r.eligibleLocked(exclude) == 0 {
+			return nil, ErrNoWorkers
+		}
+		r.cond.Wait()
+	}
+}
+
+// tryAcquire is acquire without blocking — the hedge path must not
+// queue behind saturated workers; if no capacity is spare right now,
+// the hedge simply does not fire.
+func (r *registry) tryAcquire(hash string, exclude map[string]bool) *worker {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	w := r.pickLocked(hash, exclude, time.Now())
+	if w != nil {
+		w.inflight++
+		w.br.commit()
+	}
+	return w
+}
+
+// release returns a worker's in-flight slot and feeds the verdict to
+// its breaker.
+func (r *registry) release(w *worker, v verdict) {
+	r.mu.Lock()
+	w.inflight--
+	switch v {
+	case verdictSuccess:
+		w.br.onSuccess()
+	case verdictFailure:
+		w.br.onFailure(time.Now())
+	default:
+		w.br.onNeutral()
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// snapshot returns the worker states sorted by address.
+func (r *registry) snapshot() []WorkerStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]WorkerStatus, 0, len(r.workers))
+	for _, w := range r.workers {
+		ws := WorkerStatus{
+			Addr:           w.addr,
+			Ready:          w.ready,
+			Draining:       w.draining,
+			Breaker:        w.br.state.String(),
+			ConsecFails:    w.br.fails,
+			Inflight:       w.inflight,
+			ReportedLoad:   w.load,
+			HeartbeatFails: w.hbFails,
+			LastError:      w.lastErr,
+			Metrics:        w.metrics,
+		}
+		if !w.lastSeen.IsZero() {
+			ws.LastSeenMillis = time.Since(w.lastSeen).Milliseconds()
+		} else {
+			ws.LastSeenMillis = -1
+		}
+		out = append(out, ws)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}

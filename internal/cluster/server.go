@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"bow/internal/simjob"
+)
+
+// StreamEvent is one NDJSON line of a streaming sweep (POST
+// /sweep?stream=1): per-completion events carry Item with Done/Total
+// progress over unique points; the final line carries Summary (with
+// Items stripped — the per-item lines already delivered them).
+type StreamEvent struct {
+	Done    int                 `json:"done,omitempty"`
+	Total   int                 `json:"total,omitempty"`
+	Item    *simjob.SweepItem   `json:"item,omitempty"`
+	Summary *simjob.SweepResult `json:"summary,omitempty"`
+}
+
+// JoinRequest is the body of POST /join.
+type JoinRequest struct {
+	Addr string `json:"addr"`
+}
+
+// Server is the coordinator's HTTP interface — what cmd/bowd serves
+// in -coordinator mode and cmd/bowctl talks to.
+//
+//	POST /simulate          JobSpec -> simjob.SimulateResponse (routed)
+//	POST /sweep             SweepSpec -> simjob.SweepResult
+//	POST /sweep?stream=1    SweepSpec -> NDJSON StreamEvents
+//	POST /join              {"addr":"host:port"} -> {"joined":bool}
+//	GET  /status            Status
+//	GET  /healthz           liveness
+//	GET  /readyz            readiness (503 while draining)
+//	GET  /metrics           Counters + latency quantiles
+type Server struct {
+	coord    *Coordinator
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// NewServer builds the coordinator's HTTP interface.
+func NewServer(c *Coordinator) *Server {
+	s := &Server{coord: c, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/simulate", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodPost) {
+			return
+		}
+		var spec simjob.JobSpec
+		if !decodeBody(w, r, &spec) {
+			return
+		}
+		res, cached, err := c.Do(r.Context(), spec)
+		if err != nil {
+			httpError(w, errStatus(err), err)
+			return
+		}
+		writeJSON(w, simjob.SimulateResponse{Cached: cached, Result: res})
+	})
+	s.mux.HandleFunc("/sweep", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodPost) {
+			return
+		}
+		var sw simjob.SweepSpec
+		if !decodeBody(w, r, &sw) {
+			return
+		}
+		stream := r.URL.Query().Get("stream") != "" ||
+			strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+		if !stream {
+			res, err := c.Sweep(r.Context(), sw, nil)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			writeJSON(w, res)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		res, err := c.Sweep(r.Context(), sw, func(done, total int, item simjob.SweepItem) {
+			it := item
+			_ = enc.Encode(StreamEvent{Done: done, Total: total, Item: &it})
+			if flusher != nil {
+				flusher.Flush()
+			}
+		})
+		if err != nil {
+			// Headers are not sent until the first write; an expansion
+			// error happens before any item, so a plain error code still
+			// reaches the client.
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		sum := *res
+		sum.Items = nil
+		_ = enc.Encode(StreamEvent{Summary: &sum})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	s.mux.HandleFunc("/join", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodPost) {
+			return
+		}
+		var req JoinRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		if req.Addr == "" {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("cluster: join needs addr"))
+			return
+		}
+		writeJSON(w, map[string]any{"joined": c.Join(req.Addr)})
+	})
+	s.mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodGet) {
+			return
+		}
+		writeJSON(w, c.Status())
+	})
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodGet) {
+			return
+		}
+		st := c.Status()
+		ready := 0
+		for _, ws := range st.Workers {
+			if ws.Ready {
+				ready++
+			}
+		}
+		writeJSON(w, map[string]any{
+			"status": "ok", "workers": len(st.Workers), "ready": ready,
+		})
+	})
+	s.mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodGet) {
+			return
+		}
+		if s.draining.Load() {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, map[string]string{"status": "ready"})
+	})
+	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodGet) {
+			return
+		}
+		st := c.Status()
+		writeJSON(w, map[string]any{
+			"counters":         st.Counters,
+			"p50LatencyMicros": st.P50LatencyMicros,
+			"p95LatencyMicros": st.P95LatencyMicros,
+			"hedgeDelayMicros": st.HedgeDelayMicros,
+			"workers":          len(st.Workers),
+		})
+	})
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// StartDraining flips /readyz to 503, mirroring the worker server's
+// drain semantics for anything load-balancing across coordinators.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// errStatus maps a routed-job error onto the status the coordinator
+// reports: a worker's 4xx verdict passes through as 400, everything
+// else (no workers, exhausted retries) is a 502 — the request was
+// fine, the cluster could not serve it.
+func errStatus(err error) int {
+	var se *simjob.StatusError
+	if errors.As(err, &se) && se.Permanent() {
+		return http.StatusBadRequest
+	}
+	if errors.Is(err, ErrBadSpec) {
+		return http.StatusBadRequest
+	}
+	return http.StatusBadGateway
+}
+
+// Helpers mirrored from internal/simjob's HTTP layer (kept local: the
+// packages serve different APIs and share only these few lines).
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		httpError(w, http.StatusMethodNotAllowed,
+			fmt.Errorf("use %s %s", method, r.URL.Path))
+		return false
+	}
+	return true
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"bow/internal/simjob"
+)
+
+// TestClusterSmoke is the end-to-end acceptance run `make
+// cluster-smoke` executes: a sweep submitted over HTTP to a
+// coordinator in front of 3 workers, streamed as NDJSON, with the
+// first worker to receive a job crashing mid-request — and the gathered
+// results must be byte-identical to the same sweep run single-node.
+func TestClusterSmoke(t *testing.T) {
+	kit := newDoomKit()
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		name := string(rune('A' + i))
+		addr, kill := startKillableWorker(t, kit.wrap(name))
+		kit.mu.Lock()
+		kit.kills[name] = kill
+		kit.mu.Unlock()
+		addrs = append(addrs, addr)
+	}
+	c := newCoordinator(t, fastOpts(), addrs...)
+	srv := httptest.NewServer(NewServer(c))
+	t.Cleanup(srv.Close)
+
+	sw := simjob.SweepSpec{
+		Benches:  []string{"VECTORADD", "SRAD", "LIB"},
+		Policies: []string{"baseline", "bow-wr"},
+		IWs:      []int{2, 3},
+	}
+	body, err := json.Marshal(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/sweep?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type %q", ct)
+	}
+
+	// Gather the stream: item events with monotonically complete
+	// progress, then the final summary.
+	var summary *simjob.SweepResult
+	byHash := make(map[string]*simjob.SweepItem)
+	total, events := 0, 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if ev.Summary != nil {
+			summary = ev.Summary
+			continue
+		}
+		if ev.Item == nil {
+			t.Fatalf("stream event without item or summary: %q", sc.Text())
+		}
+		events++
+		total = ev.Total
+		if ev.Done != events {
+			t.Errorf("event %d reported done=%d", events, ev.Done)
+		}
+		if ev.Item.Error != "" {
+			t.Errorf("streamed item failed: %s", ev.Item.Error)
+		} else {
+			byHash[ev.Item.Result.SpecHash] = ev.Item
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if summary == nil {
+		t.Fatal("stream ended without a summary event")
+	}
+	if summary.Failed != 0 {
+		t.Fatalf("summary reports %d failed jobs", summary.Failed)
+	}
+	if events != total || len(byHash) != total {
+		t.Fatalf("stream delivered %d events / %d unique for total %d", events, len(byHash), total)
+	}
+	if kit.victim() == "" {
+		t.Fatal("no worker crashed — the injected fault never fired")
+	}
+
+	// Single-node oracle: byte-identical results, expansion order.
+	ref, err := newWorkerEngine(t).RunSweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Jobs != ref.Jobs {
+		t.Fatalf("jobs %d, want %d", summary.Jobs, ref.Jobs)
+	}
+	for i, refItem := range ref.Items {
+		h, err := refItem.Spec.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := byHash[h]
+		if !ok {
+			t.Fatalf("item %d (%s/%s) missing from stream", i, refItem.Spec.Bench, refItem.Spec.Policy)
+		}
+		want, _ := refItem.Result.CanonicalJSON()
+		have, _ := got.Result.CanonicalJSON()
+		if !bytes.Equal(want, have) {
+			t.Errorf("item %d diverged from single-node run:\n%s\n%s", i, want, have)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package simjob
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// ErrDraining is returned by Client.Ready when the server answered
+// /readyz with 503: the process is alive but shutting down, so no new
+// work should be routed to it.
+var ErrDraining = errors.New("simjob: server draining")
+
+// StatusError is a non-2xx HTTP response decoded into an error. Code
+// distinguishes client mistakes (4xx — the same spec will fail on any
+// worker, don't retry elsewhere) from server trouble (5xx, retryable).
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("simjob: server returned %d: %s", e.Code, e.Msg)
+}
+
+// Permanent reports whether retrying the same request elsewhere is
+// pointless (a 4xx: the request itself is bad).
+func (e *StatusError) Permanent() bool { return e.Code >= 400 && e.Code < 500 }
+
+// Client talks to one bowd server. It is the typed counterpart of the
+// Server's endpoints; the cluster coordinator holds one per worker,
+// and cmd/bowctl one per coordinator.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the server at base (scheme optional —
+// "host:8080" is normalized to "http://host:8080"). hc nil selects a
+// dedicated client with sane connection reuse; per-request deadlines
+// come from the caller's context.
+func NewClient(base string, hc *http.Client) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	if hc == nil {
+		hc = &http.Client{Transport: http.DefaultTransport}
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// Base is the normalized server URL.
+func (c *Client) Base() string { return c.base }
+
+// Simulate submits one spec and returns the server's response.
+func (c *Client) Simulate(ctx context.Context, spec JobSpec) (*SimulateResponse, error) {
+	var out SimulateResponse
+	if err := c.postJSON(ctx, "/simulate", spec, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Sweep submits a whole sweep and waits for the aggregate result.
+func (c *Client) Sweep(ctx context.Context, sw SweepSpec) (*SweepResult, error) {
+	var out SweepResult
+	if err := c.postJSON(ctx, "/sweep", sw, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the server's metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
+	var m Metrics
+	err := c.getJSON(ctx, "/metrics", &m)
+	return m, err
+}
+
+// Healthz probes liveness: nil means the process answered.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.getJSON(ctx, "/healthz", nil)
+}
+
+// Ready probes readiness: nil means route work here, ErrDraining means
+// the server is up but shutting down, anything else means unreachable.
+func (c *Client) Ready(ctx context.Context) error {
+	err := c.getJSON(ctx, "/readyz", nil)
+	var se *StatusError
+	if errors.As(err, &se) && se.Code == http.StatusServiceUnavailable {
+		return ErrDraining
+	}
+	return err
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
+	raw, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var e map[string]string
+		msg := strings.TrimSpace(string(body))
+		if json.Unmarshal(body, &e) == nil && e["error"] != "" {
+			msg = e["error"]
+		} else if json.Unmarshal(body, &e) == nil && e["status"] != "" {
+			msg = e["status"]
+		}
+		return &StatusError{Code: resp.StatusCode, Msg: msg}
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
+	"sync/atomic"
 )
 
 // SimulateResponse is the envelope POST /simulate answers with.
@@ -12,16 +14,38 @@ type SimulateResponse struct {
 	Result JobResult `json:"result"`
 }
 
-// NewServer builds the HTTP interface cmd/bowd serves: the engine's
-// four endpoints on a fresh mux.
+// Server is the HTTP interface cmd/bowd serves (and the one cluster
+// workers are addressed through). Beyond routing it tracks the
+// HTTP-level gauges the cluster coordinator's load-aware routing
+// consumes — per-endpoint request counts and an in-flight gauge — and
+// owns the liveness/readiness split: /healthz answers as long as the
+// process is up, while /readyz turns 503 once draining starts, so a
+// coordinator stops routing to a worker that is shutting down before
+// its listener actually closes.
 //
-//	POST /simulate  JobSpec JSON  -> SimulateResponse
+//	POST /simulate  JobSpec JSON   -> SimulateResponse
 //	POST /sweep     SweepSpec JSON -> SweepResult
 //	GET  /healthz   liveness
-//	GET  /metrics   Metrics JSON
-func NewServer(e *Engine) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/simulate", func(w http.ResponseWriter, r *http.Request) {
+//	GET  /readyz    readiness (503 while draining)
+//	GET  /metrics   Metrics JSON (engine + HTTP gauges)
+type Server struct {
+	engine   *Engine
+	mux      *http.ServeMux
+	draining atomic.Bool
+	inflight atomic.Int64
+
+	reqMu    sync.Mutex
+	requests map[string]int64
+}
+
+// NewServer builds the HTTP interface around an engine.
+func NewServer(e *Engine) *Server {
+	s := &Server{
+		engine:   e,
+		mux:      http.NewServeMux(),
+		requests: make(map[string]int64),
+	}
+	s.mux.HandleFunc("/simulate", func(w http.ResponseWriter, r *http.Request) {
 		if !requireMethod(w, r, http.MethodPost) {
 			return
 		}
@@ -36,7 +60,7 @@ func NewServer(e *Engine) http.Handler {
 		}
 		writeJSON(w, SimulateResponse{Cached: out.Cached, Result: out.Summary})
 	})
-	mux.HandleFunc("/sweep", func(w http.ResponseWriter, r *http.Request) {
+	s.mux.HandleFunc("/sweep", func(w http.ResponseWriter, r *http.Request) {
 		if !requireMethod(w, r, http.MethodPost) {
 			return
 		}
@@ -51,19 +75,72 @@ func NewServer(e *Engine) http.Handler {
 		}
 		writeJSON(w, res)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if !requireMethod(w, r, http.MethodGet) {
 			return
 		}
 		writeJSON(w, map[string]any{"status": "ok", "workers": e.Workers()})
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	s.mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		if !requireMethod(w, r, http.MethodGet) {
 			return
 		}
-		writeJSON(w, e.Metrics())
+		if s.draining.Load() {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, map[string]string{"status": "ready"})
 	})
-	return mux
+	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodGet) {
+			return
+		}
+		writeJSON(w, s.Metrics())
+	})
+	return s
+}
+
+// ServeHTTP counts the request against its endpoint and the in-flight
+// gauge, then dispatches. Only the fixed endpoint set is tallied
+// (arbitrary paths must not grow the map without bound).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	path := r.URL.Path
+	switch path {
+	case "/simulate", "/sweep", "/healthz", "/readyz", "/metrics":
+	default:
+		path = "other"
+	}
+	s.reqMu.Lock()
+	s.requests[path]++
+	s.reqMu.Unlock()
+	s.mux.ServeHTTP(w, r)
+}
+
+// StartDraining flips /readyz to 503. The listener keeps serving —
+// liveness is unaffected — but a heartbeating coordinator will stop
+// routing new jobs here.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// Draining reports whether StartDraining has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Metrics is the engine snapshot plus this server's HTTP gauges. The
+// in-flight gauge includes the /metrics request being served.
+func (s *Server) Metrics() Metrics {
+	m := s.engine.Metrics()
+	m.HTTPInflight = s.inflight.Load()
+	m.Draining = s.draining.Load()
+	s.reqMu.Lock()
+	m.Requests = make(map[string]int64, len(s.requests))
+	for k, v := range s.requests {
+		m.Requests[k] = v
+	}
+	s.reqMu.Unlock()
+	return m
 }
 
 func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {

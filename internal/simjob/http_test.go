@@ -1,7 +1,9 @@
 package simjob
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -155,5 +157,133 @@ func TestHTTPErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("unknown field status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPReadyzDraining(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1})
+	s := NewServer(e)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz before drain: %d, want 200", resp.StatusCode)
+	}
+
+	s.StartDraining()
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining: %d, want 503", resp.StatusCode)
+	}
+	// Liveness is unaffected: a draining worker is alive, just not
+	// accepting routed work.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz while draining: %d, want 200", resp.StatusCode)
+	}
+	m := s.Metrics()
+	if !m.Draining {
+		t.Error("metrics should report draining")
+	}
+}
+
+func TestHTTPEndpointCounters(t *testing.T) {
+	srv, _ := newTestServer(t)
+	post := func(path, body string) {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	post("/simulate", `{"bench":"VECTORADD","policy":"baseline"}`)
+	post("/simulate", `{"bench":"VECTORADD","policy":"baseline"}`)
+	if resp, err := http.Get(srv.URL + "/nosuch"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests["/simulate"] != 2 {
+		t.Errorf("simulate count = %d, want 2", m.Requests["/simulate"])
+	}
+	if m.Requests["other"] != 1 {
+		t.Errorf("other count = %d, want 1", m.Requests["other"])
+	}
+	// The /metrics request that produced this snapshot counts itself
+	// and is in flight while served.
+	if m.Requests["/metrics"] != 1 || m.HTTPInflight < 1 {
+		t.Errorf("metrics count=%d inflight=%d", m.Requests["/metrics"], m.HTTPInflight)
+	}
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 2})
+	s := NewServer(e)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	c := NewClient(srv.URL, nil)
+	ctx := context.Background()
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("Healthz: %v", err)
+	}
+	if err := c.Ready(ctx); err != nil {
+		t.Fatalf("Ready: %v", err)
+	}
+	out, err := c.Simulate(ctx, JobSpec{Bench: "VECTORADD", Policy: "bow-wr"})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if out.Result.Bench != "VECTORADD" || out.Result.Cycles <= 0 {
+		t.Errorf("bad result: %+v", out.Result)
+	}
+	sw, err := c.Sweep(ctx, SweepSpec{Benches: []string{"VECTORADD"}, Policies: []string{"baseline", "bow-wr"}})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if sw.Jobs != 2 || sw.Failed != 0 {
+		t.Errorf("sweep: %+v", sw)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if m.Done == 0 {
+		t.Errorf("metrics done = 0 after jobs ran")
+	}
+
+	// Bad spec surfaces as a permanent StatusError.
+	_, err = c.Simulate(ctx, JobSpec{Bench: "NOPE", Policy: "bow-wr"})
+	var se *StatusError
+	if !errors.As(err, &se) || !se.Permanent() {
+		t.Errorf("bad spec error = %v, want permanent StatusError", err)
+	}
+
+	s.StartDraining()
+	if err := c.Ready(ctx); !errors.Is(err, ErrDraining) {
+		t.Errorf("Ready while draining = %v, want ErrDraining", err)
 	}
 }

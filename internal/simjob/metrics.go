@@ -20,6 +20,15 @@ type Metrics struct {
 	// (internal/stats histogram quantiles).
 	P50LatencyMicros int `json:"p50LatencyMicros"`
 	P99LatencyMicros int `json:"p99LatencyMicros"`
+
+	// HTTP-level gauges, filled by the Server wrapper (zero/empty when
+	// the engine is queried in-process): requests in flight right now,
+	// per-endpoint request totals, and whether the server is draining.
+	// The cluster coordinator's load-aware routing reads these; bowctl
+	// status renders them.
+	HTTPInflight int64            `json:"httpInflight,omitempty"`
+	Requests     map[string]int64 `json:"requests,omitempty"`
+	Draining     bool             `json:"draining,omitempty"`
 }
 
 // Metrics snapshots the engine state.

@@ -69,6 +69,43 @@ func (s SweepSpec) Expand() ([]JobSpec, error) {
 	return out, nil
 }
 
+// HashedSpec pairs a normalized spec with its content hash — the unit
+// the cluster layer shards by.
+type HashedSpec struct {
+	Spec JobSpec
+	Hash string
+}
+
+// ExpandHashed expands the sweep like Expand but deduplicates points
+// that normalize to the same content hash (baseline and rfc collapse
+// their IW dimension, so the raw cross product repeats them). It
+// returns one HashedSpec per unique point plus the mapping from
+// expansion index to unique index, so a scatter layer simulates each
+// point once and still reports results in expansion order.
+func (s SweepSpec) ExpandHashed() ([]HashedSpec, []int, error) {
+	specs, err := s.Expand()
+	if err != nil {
+		return nil, nil, err
+	}
+	index := make([]int, len(specs))
+	seen := make(map[string]int, len(specs))
+	unique := make([]HashedSpec, 0, len(specs))
+	for i, sp := range specs {
+		h, err := sp.Hash()
+		if err != nil {
+			return nil, nil, err
+		}
+		u, ok := seen[h]
+		if !ok {
+			u = len(unique)
+			seen[h] = u
+			unique = append(unique, HashedSpec{Spec: sp, Hash: h})
+		}
+		index[i] = u
+	}
+	return unique, index, nil
+}
+
 // SweepItem is one expanded point's outcome inside a SweepResult.
 type SweepItem struct {
 	Spec   JobSpec    `json:"spec"`

@@ -94,3 +94,45 @@ func TestRunSweep(t *testing.T) {
 		t.Errorf("bow-wb RF reads %d not below baseline %d", bow.RFReads, base.RFReads)
 	}
 }
+
+func TestExpandHashedDedup(t *testing.T) {
+	// baseline collapses the IW dimension, so 2 benches x (baseline x 2
+	// IWs + bow-wr x 2 IWs) = 8 expanded points but only 6 unique.
+	sw := SweepSpec{
+		Benches:  []string{"VECTORADD", "SRAD"},
+		Policies: []string{"baseline", "bow-wr"},
+		IWs:      []int{2, 4},
+	}
+	specs, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unique, index, err := sw.ExpandHashed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 8 || len(index) != 8 {
+		t.Fatalf("expansion %d / index %d, want 8", len(specs), len(index))
+	}
+	if len(unique) != 6 {
+		t.Fatalf("unique points = %d, want 6", len(unique))
+	}
+	seen := make(map[string]bool)
+	for _, u := range unique {
+		if u.Hash == "" || seen[u.Hash] {
+			t.Fatalf("bad or duplicate hash %q", u.Hash)
+		}
+		seen[u.Hash] = true
+	}
+	// The mapping must send every expansion point to the unique entry
+	// with its own hash.
+	for i, sp := range specs {
+		h, err := sp.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if unique[index[i]].Hash != h {
+			t.Errorf("index[%d] -> %s, want %s", i, unique[index[i]].Hash, h)
+		}
+	}
+}

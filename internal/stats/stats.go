@@ -166,6 +166,61 @@ func (h *Histogram) Merge(o *Histogram) {
 	o.each(func(k int, c int64) { h.Add(k, c) })
 }
 
+// Window is a fixed-capacity sliding window of integer samples: once
+// full, each new observation evicts the oldest. The cluster
+// coordinator keeps recent job latencies in one and reads a high
+// quantile off it to decide when to hedge a straggler — a window (not
+// a histogram) because routing must react to what latency is *now*,
+// not what it averaged over the whole run.
+type Window struct {
+	buf  []int
+	n    int // samples held (== len(buf) once saturated)
+	next int // ring write position
+}
+
+// NewWindow creates a window holding up to capacity samples
+// (capacity <= 0 selects the default of 256).
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Window{buf: make([]int, capacity)}
+}
+
+// Observe records one sample, evicting the oldest when full.
+func (w *Window) Observe(v int) {
+	w.buf[w.next] = v
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+}
+
+// Len is the number of samples currently held.
+func (w *Window) Len() int { return w.n }
+
+// Quantile returns the empirical q-quantile of the held samples (the
+// smallest held value v with at least a fraction q of samples <= v).
+// q is clamped to [0, 1]; an empty window returns 0.
+func (w *Window) Quantile(q float64) int {
+	if w.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	sorted := make([]int, w.n)
+	copy(sorted, w.buf[:w.n])
+	sort.Ints(sorted)
+	idx := int(math.Ceil(q*float64(w.n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
 // Mean is an online arithmetic mean.
 type Mean struct {
 	sum float64

@@ -193,3 +193,36 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		b.Fatal("total mismatch")
 	}
 }
+
+func TestWindowQuantile(t *testing.T) {
+	w := NewWindow(4)
+	if w.Len() != 0 || w.Quantile(0.5) != 0 {
+		t.Fatalf("empty window: len=%d q50=%d", w.Len(), w.Quantile(0.5))
+	}
+	for _, v := range []int{10, 20, 30, 40} {
+		w.Observe(v)
+	}
+	if w.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", w.Len())
+	}
+	if got := w.Quantile(0.5); got != 20 {
+		t.Errorf("q50 = %d, want 20", got)
+	}
+	if got := w.Quantile(1); got != 40 {
+		t.Errorf("q100 = %d, want 40", got)
+	}
+	if got := w.Quantile(0); got != 10 {
+		t.Errorf("q0 = %d, want 10", got)
+	}
+	// Saturated: new samples evict the oldest, so the window tracks the
+	// recent regime, not the all-time distribution.
+	for _, v := range []int{100, 100, 100, 100} {
+		w.Observe(v)
+	}
+	if got := w.Quantile(0.5); got != 100 {
+		t.Errorf("after eviction q50 = %d, want 100", got)
+	}
+	if w.Len() != 4 {
+		t.Errorf("saturated Len = %d, want 4", w.Len())
+	}
+}
