@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cluster-smoke bench bench-all repro examples cover clean
+.PHONY: all build vet test race cluster-smoke trace-smoke bench bench-all repro examples cover clean
 
 all: build vet test
 
@@ -15,7 +15,7 @@ vet:
 # The default test gate includes vet and the race detector: the job
 # engine (internal/simjob) simulates concurrently, so every test run
 # also proves the pool's thread safety.
-test: vet cluster-smoke
+test: vet cluster-smoke trace-smoke
 	$(GO) test ./...
 	$(GO) test -race ./...
 
@@ -28,6 +28,12 @@ race:
 cluster-smoke:
 	$(GO) test -run TestClusterSmoke -count=1 -v ./internal/cluster
 
+# End-to-end observability run: a traced sweep against a coordinator in
+# front of 3 in-process workers must reconstruct spans from all three
+# hops (coordinator, worker, engine) under one trace ID.
+trace-smoke:
+	$(GO) test -run TestTraceSmoke -count=1 -v ./internal/cluster
+
 # Full test log, as recorded in test_output.txt.
 test-log:
 	$(GO) test ./... 2>&1 | tee test_output.txt
@@ -38,10 +44,11 @@ repro:
 
 # Simulator-throughput benchmarks: the cycles/sec harness (compared
 # against the in-tree reference loop) plus the machine-readable report
-# at the repo root.
+# at the repo root. bowbench fails the run if any policy's allocs/cycle
+# exceeds the gate (every bypass policy must stay ≤ 1.0).
 bench:
 	$(GO) test -run xxx -bench SimRate -benchmem .
-	$(GO) run ./cmd/bowbench -simrate BENCH_simrate.json
+	$(GO) run ./cmd/bowbench -simrate BENCH_simrate.json -allocgate 1.0
 
 # One testing.B per paper artifact + microbenchmarks.
 bench-all:

@@ -13,7 +13,8 @@
 //	bowbench -list           # list experiment IDs
 //	bowbench -seq            # inline sequential simulation (no engine)
 //	bowbench -cachedir DIR   # persist result summaries across runs
-//	bowbench -simrate FILE   # measure simulator throughput, write JSON
+//	bowbench -simrate FILE   # measure simulator throughput, write JSON,
+//	                         # and gate per-policy allocs/cycle (-allocgate)
 //	bowbench -cpuprofile F   # write a pprof CPU profile of the run
 //	bowbench -memprofile F   # write a pprof heap profile at exit
 //
@@ -22,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +50,47 @@ func writeSimRate(path string, minWall time.Duration) error {
 	return simjob.WriteSimRateReport(path, simRateWorkloads, simRatePolicies, minWall,
 		"pre-PR seed rates (2s/pt, same host class): VECTORADD 229736 c/s, LIB 128996 c/s, SAD 161394 c/s baseline",
 		func(line string) { fmt.Fprintln(os.Stderr, "  "+line) })
+}
+
+// checkAllocGate reads a freshly written simrate report back and fails
+// when any policy's worst allocs/cycle exceeds the gate — the
+// regression guard that keeps the cycle loop's hot path allocation-free
+// under every bypass policy, not just the baseline.
+func checkAllocGate(path string, gate float64) error {
+	if gate <= 0 {
+		return nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep simjob.SimRateReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	worst := map[string]float64{}
+	order := []string{}
+	for _, p := range rep.Points {
+		if _, ok := worst[p.Policy]; !ok {
+			order = append(order, p.Policy)
+		}
+		if p.AllocsPerCycle > worst[p.Policy] {
+			worst[p.Policy] = p.AllocsPerCycle
+		}
+	}
+	failed := false
+	for _, pol := range order {
+		verdict := "PASS"
+		if worst[pol] > gate {
+			verdict, failed = "FAIL", true
+		}
+		fmt.Fprintf(os.Stderr, "bowbench: allocgate %-8s max %.2f allocs/cycle (gate %.2f) %s\n",
+			pol, worst[pol], gate, verdict)
+	}
+	if failed {
+		return fmt.Errorf("allocs/cycle gate %.2f exceeded", gate)
+	}
+	return nil
 }
 
 type experiment struct {
@@ -182,6 +225,7 @@ func main() {
 	cacheDir := flag.String("cachedir", "", "persist result summaries to this directory")
 	simRate := flag.String("simrate", "", "measure simulation rate and write the JSON report to this file")
 	simRateWall := flag.Duration("simrate-wall", 2*time.Second, "minimum wall time per -simrate measurement point")
+	allocGate := flag.Float64("allocgate", 1.0, "-simrate: fail if any policy's max allocs/cycle exceeds this (<= 0 disables)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
@@ -220,6 +264,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "bowbench: wrote %s\n", *simRate)
+		if err := checkAllocGate(*simRate, *allocGate); err != nil {
+			fmt.Fprintln(os.Stderr, "bowbench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -6,13 +6,19 @@
 //	bowctl [-coord http://localhost:8080] status
 //	bowctl [-coord URL] sweep [-benches SAD,LIB] [-policies baseline,bow-wr]
 //	       [-iws 2,3,4] [-capacities ...] [-sms ...] [-schedulers gto,lrr]
-//	       [-maxcycles N] [-json] [-quiet]
+//	       [-maxcycles N] [-json] [-quiet] [-trace] [-traceid ID]
+//	bowctl [-coord URL] trace -id ID
 //
 // sweep streams partial results as the cluster completes them (one
 // line per unique design point, via the coordinator's NDJSON stream),
-// then prints the gathered table. status renders every worker's
-// routing state — readiness, breaker, in-flight, load, cache hit
-// ratio, per-endpoint request counts — plus the cluster counters.
+// then prints the gathered table. With -trace the sweep is tagged with
+// a trace ID (generated unless -traceid pins one), propagated to the
+// coordinator and every worker via the X-Bow-Trace-Id header, and the
+// reconstructed coordinator→worker→engine span timeline is fetched
+// back and rendered after the results. trace re-fetches the spans of
+// an earlier traced run. status renders every worker's routing state —
+// readiness, breaker, in-flight, load, cache hit ratio, per-endpoint
+// request counts — plus the cluster counters.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strconv"
@@ -30,6 +37,7 @@ import (
 	"bow/internal/cluster"
 	"bow/internal/simjob"
 	"bow/internal/stats"
+	"bow/internal/trace"
 )
 
 func main() {
@@ -53,6 +61,8 @@ func main() {
 		err = runStatus(base)
 	case "sweep":
 		err = runSweep(base, args[1:])
+	case "trace":
+		err = runTrace(base, args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "bowctl: unknown command %q\n", args[0])
 		usage()
@@ -69,7 +79,8 @@ func usage() {
   bowctl [-coord URL] status
   bowctl [-coord URL] sweep [-benches a,b] [-policies p,q] [-iws 2,3]
          [-capacities n,m] [-sms 1,2] [-schedulers gto,lrr]
-         [-maxcycles N] [-json] [-quiet]
+         [-maxcycles N] [-json] [-quiet] [-trace] [-traceid ID]
+  bowctl [-coord URL] trace -id ID
 `)
 }
 
@@ -123,8 +134,19 @@ func runSweep(base string, args []string) error {
 	maxCycles := fs.Int64("maxcycles", 0, "per-job cycle bound (0 = default)")
 	jsonOut := fs.Bool("json", false, "print the aggregate SweepResult JSON instead of tables")
 	quiet := fs.Bool("quiet", false, "suppress per-point progress lines")
+	traced := fs.Bool("trace", false, "tag the sweep with a trace ID and render its spans afterwards")
+	traceID := fs.String("traceid", "", "trace ID to tag the sweep with (implies -trace; empty = generated)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceID != "" {
+		*traced = true
+	}
+	if *traced && *traceID == "" {
+		*traceID = trace.NewID()
+	}
+	if *traced {
+		fmt.Fprintf(os.Stderr, "trace id: %s\n", *traceID)
 	}
 
 	sw := simjob.SweepSpec{
@@ -149,7 +171,7 @@ func runSweep(base string, args []string) error {
 	}
 
 	if *jsonOut {
-		resp, err := http.Post(base+"/sweep", "application/json", bytes.NewReader(body))
+		resp, err := postSweep(base+"/sweep", body, *traceID)
 		if err != nil {
 			return err
 		}
@@ -163,10 +185,16 @@ func runSweep(base string, args []string) error {
 		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
 			return err
 		}
-		return enc.Encode(res)
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+		if *traced {
+			return showTrace(base, *traceID)
+		}
+		return nil
 	}
 
-	resp, err := http.Post(base+"/sweep?stream=1", "application/json", bytes.NewReader(body))
+	resp, err := postSweep(base+"/sweep?stream=1", body, *traceID)
 	if err != nil {
 		return err
 	}
@@ -239,10 +267,87 @@ func runSweep(base string, args []string) error {
 	} else if failed > 0 {
 		fmt.Printf("\n%d of %d points failed\n", failed, len(items))
 	}
+	if *traced {
+		if err := showTrace(base, *traceID); err != nil {
+			return err
+		}
+	}
 	if failed > 0 || (summary != nil && summary.Failed > 0) {
 		return fmt.Errorf("sweep finished with failures")
 	}
 	return nil
+}
+
+// postSweep posts the sweep body, tagging the request with the trace
+// ID when one is set.
+func postSweep(url string, body []byte, traceID string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set(trace.HeaderTraceID, traceID)
+	}
+	return http.DefaultClient.Do(req)
+}
+
+// runTrace fetches and renders the spans of an earlier traced run.
+func runTrace(base string, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	id := fs.String("id", "", "trace ID (as printed by sweep -trace)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("trace needs -id")
+	}
+	return showTrace(base, *id)
+}
+
+// showTrace fetches /spans?trace=id from the coordinator and renders
+// the cross-process timeline.
+func showTrace(base, id string) error {
+	resp, err := http.Get(base + "/spans?trace=" + url.QueryEscape(id))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("coordinator answered %d", resp.StatusCode)
+	}
+	var spans []trace.Span
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		return err
+	}
+	fmt.Printf("\ntrace %s: %d spans\n", id, len(spans))
+	if len(spans) == 0 {
+		return nil
+	}
+	renderSpans(spans)
+	return nil
+}
+
+// renderSpans prints spans as a table, start times relative to the
+// earliest span.
+func renderSpans(spans []trace.Span) {
+	t0 := spans[0].StartMicros
+	for _, s := range spans {
+		if s.StartMicros < t0 {
+			t0 = s.StartMicros
+		}
+	}
+	tbl := stats.NewTable("start", "dur", "hop", "stage", "worker", "job", "err")
+	for _, s := range spans {
+		job := s.Job
+		if len(job) > 12 {
+			job = job[:12]
+		}
+		tbl.AddRowf(fmt.Sprintf("+%.3fms", float64(s.StartMicros-t0)/1000),
+			fmt.Sprintf("%.3fms", float64(s.DurMicros)/1000),
+			s.Hop, s.Stage, s.Worker, job, s.Err)
+	}
+	fmt.Print(tbl.String())
 }
 
 func printProgress(ev cluster.StreamEvent) {

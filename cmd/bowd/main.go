@@ -25,7 +25,10 @@
 //	                 listener closes
 //	GET  /metrics    jobs queued/running/done/failed, cache hit ratio,
 //	                 p50/p99 job latency, per-endpoint request counts,
-//	                 HTTP in-flight gauge
+//	                 HTTP in-flight gauge — JSON by default, Prometheus
+//	                 text format when the Accept header asks for
+//	                 text/plain (bow_* metric families)
+//	GET  /spans      recorded spans; ?trace=ID filters to one trace
 //	GET  /debug/pprof/...  live profiling (-pprof=false disables)
 //
 // Coordinator endpoints (same /simulate and /sweep schema, plus):
@@ -33,6 +36,13 @@
 //	POST /sweep?stream=1  NDJSON stream of per-point results
 //	POST /join            {"addr":"host:8080"} dynamic worker join
 //	GET  /status          per-worker routing state + cluster counters
+//	GET  /spans           coordinator spans merged with every worker's,
+//	                      ?trace=ID reconstructs one request's
+//	                      coordinator -> worker -> engine timeline
+//
+// Both modes propagate the X-Bow-Trace-Id request header into every
+// hop they touch, so a single ID (bowctl sweep -trace) stitches the
+// whole cluster path together.
 //
 // Example session:
 //

@@ -9,6 +9,7 @@
 //
 //	bowsim -bench LIB -policy bow-wr -iw 3 -capacity 6
 //	bowsim -bench SAD -policy bow-wr -json
+//	bowsim -bench SAD -policy bow-wr -trace sad.ndjson   (then: bowtrace -events sad.ndjson)
 //	bowsim -list
 //	bowsim -bench SAD -policy baseline -sms 2 -v
 package main
@@ -24,6 +25,7 @@ import (
 
 	"bow/internal/energy"
 	"bow/internal/simjob"
+	"bow/internal/trace"
 	"bow/internal/workloads"
 )
 
@@ -39,6 +41,7 @@ func main() {
 	beyond := flag.Bool("beyond", false, "future-work mode: capacity-bound bypassing (no nominal window cutoff)")
 	noExtend := flag.Bool("noextend", false, "ablation: disable the extended instruction window")
 	reorder := flag.Bool("reorder", false, "extension: compiler reordering for reuse locality")
+	traceFile := flag.String("trace", "", "write cycle-level trace events (NDJSON) to this file; render with bowtrace -events")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
@@ -88,10 +91,33 @@ func main() {
 		NoExtend:     *noExtend,
 		Reorder:      *reorder,
 	}
-	out, err := simjob.Execute(context.Background(), spec)
+	var tracer *trace.CycleTracer
+	if *traceFile != "" {
+		tracer = trace.NewCycleTracer(0)
+	}
+	out, err := simjob.ExecuteTraced(context.Background(), spec, tracer)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bowsim:", err)
 		os.Exit(1)
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bowsim:", err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteNDJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bowsim:", err)
+			os.Exit(1)
+		}
+		// Stderr, so -trace composes with -json's stdout schema.
+		fmt.Fprintf(os.Stderr, "bowsim: wrote %d trace events to %s (%d dropped)\n",
+			tracer.Len(), *traceFile, tracer.Dropped())
 	}
 
 	if *jsonOut {

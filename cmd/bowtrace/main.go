@@ -1,13 +1,20 @@
-// Command bowtrace captures a benchmark's dynamic per-warp instruction
-// traces from a baseline simulation and reports the register
-// reuse-distance characterization that motivates the paper's window
-// sizes (§III): how often the same register is touched again within k
-// instructions.
+// Command bowtrace has two modes.
+//
+// Without -events it captures a benchmark's dynamic per-warp
+// instruction traces from a baseline simulation and reports the
+// register reuse-distance characterization that motivates the paper's
+// window sizes (§III): how often the same register is touched again
+// within k instructions.
+//
+// With -events it renders a cycle-level event trace written by
+// bowsim -trace: per-warp issue timelines, per-kind event totals, and
+// the BOC occupancy summary.
 //
 // Usage:
 //
 //	bowtrace -bench SAD
 //	bowtrace -bench LIB -dump 20   # also print the head of warp 0's trace
+//	bowsim -bench SAD -policy bow-wr -trace sad.ndjson && bowtrace -events sad.ndjson
 package main
 
 import (
@@ -29,7 +36,17 @@ import (
 func main() {
 	benchName := flag.String("bench", "SAD", "benchmark name")
 	dump := flag.Int("dump", 0, "print the first N instructions of one warp's trace")
+	events := flag.String("events", "", "render a cycle-event NDJSON file (from bowsim -trace) instead of simulating")
+	width := flag.Int("width", 64, "timeline columns in -events mode")
 	flag.Parse()
+
+	if *events != "" {
+		if err := renderEvents(*events, *width); err != nil {
+			fmt.Fprintln(os.Stderr, "bowtrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	b, err := workloads.ByName(*benchName)
 	if err != nil {
@@ -105,4 +122,128 @@ func main() {
 			fmt.Printf("%4d:  %s\n", i, t[i].String())
 		}
 	}
+}
+
+// renderEvents reads a bowsim -trace NDJSON file and prints per-warp
+// issue timelines, per-kind totals, and the BOC occupancy summary.
+func renderEvents(path string, width int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	evs, err := trace.ReadNDJSON(f)
+	if err != nil {
+		return err
+	}
+	if len(evs) == 0 {
+		return fmt.Errorf("%s: no events", path)
+	}
+	if width < 8 {
+		width = 8
+	}
+
+	minCycle, maxCycle := evs[0].Cycle, evs[0].Cycle
+	var totals [8]int64 // indexed by EventKind; all kinds fit today
+	var bankConflicts int64
+	var occ stats.Mean
+	maxOcc := int32(0)
+	type warpKey struct{ sm, warp int16 }
+	issues := map[warpKey][]int64{} // issue cycles per warp
+	for _, ev := range evs {
+		if ev.Cycle < minCycle {
+			minCycle = ev.Cycle
+		}
+		if ev.Cycle > maxCycle {
+			maxCycle = ev.Cycle
+		}
+		if int(ev.Kind) < len(totals) {
+			totals[ev.Kind]++
+		}
+		switch ev.Kind {
+		case trace.EvWarpIssue:
+			k := warpKey{ev.SM, ev.Warp}
+			issues[k] = append(issues[k], ev.Cycle)
+		case trace.EvBOCWrite:
+			occ.Add(float64(ev.Arg))
+			if ev.Arg > maxOcc {
+				maxOcc = ev.Arg
+			}
+		case trace.EvBankConflict:
+			bankConflicts += int64(ev.Arg)
+		}
+	}
+	span := maxCycle - minCycle + 1
+
+	fmt.Printf("trace %s: %d events, cycles %d..%d (%d cycles)\n\n",
+		path, len(evs), minCycle, maxCycle, span)
+
+	fmt.Println("event totals:")
+	for k := trace.EventKind(0); int(k) < len(totals); k++ {
+		if totals[k] == 0 {
+			continue
+		}
+		fmt.Printf("  %-18s %d\n", k.String(), totals[k])
+	}
+	hits, misses := totals[trace.EvBOCHit], totals[trace.EvBOCMiss]
+	if hits+misses > 0 {
+		fmt.Printf("  boc hit rate       %.1f%%\n", 100*float64(hits)/float64(hits+misses))
+	}
+	if bankConflicts > 0 {
+		fmt.Printf("  bank conflicts     %d (summed)\n", bankConflicts)
+	}
+	fmt.Println()
+
+	if occ.N() > 0 {
+		fmt.Printf("boc occupancy: mean %.2f entries, max %d (over %d installs)\n\n",
+			occ.Value(), maxOcc, occ.N())
+	}
+
+	// Per-warp issue timelines: one row per (sm, warp), issue density
+	// bucketed into fixed-width columns.
+	keys := make([]warpKey, 0, len(issues))
+	for k := range issues {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].sm != keys[j].sm {
+			return keys[i].sm < keys[j].sm
+		}
+		return keys[i].warp < keys[j].warp
+	})
+	if len(keys) == 0 {
+		return nil
+	}
+	fmt.Printf("per-warp issue timelines (%d cycles/column; . 1+  : 25%%+  # 75%%+ of peak):\n", (span+int64(width)-1)/int64(width))
+	for _, k := range keys {
+		buckets := make([]int, width)
+		for _, c := range issues[k] {
+			b := int((c - minCycle) * int64(width) / span)
+			if b >= width {
+				b = width - 1
+			}
+			buckets[b]++
+		}
+		peak := 0
+		for _, n := range buckets {
+			if n > peak {
+				peak = n
+			}
+		}
+		row := make([]byte, width)
+		for i, n := range buckets {
+			switch {
+			case n == 0:
+				row[i] = ' '
+			case n*4 >= peak*3:
+				row[i] = '#'
+			case n*4 >= peak:
+				row[i] = ':'
+			default:
+				row[i] = '.'
+			}
+		}
+		fmt.Printf("  sm%-2d w%-3d |%s| %d issues\n", k.sm, k.warp, row, len(issues[k]))
+	}
+	return nil
 }

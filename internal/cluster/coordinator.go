@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
 	"bow/internal/simjob"
 	"bow/internal/stats"
+	"bow/internal/trace"
 )
 
 // ErrBadSpec marks submission errors caused by the spec itself (it
@@ -72,6 +74,10 @@ type Coordinator struct {
 	reg   *registry
 	cache *simjob.Cache
 
+	// spans records the coordinator-hop stages (route, dispatch, hedge,
+	// retry, cache) of every job, keyed to the submitter's trace ID.
+	spans *trace.SpanLog
+
 	mu      sync.Mutex
 	latency *stats.Window
 	rng     *rand.Rand
@@ -90,6 +96,7 @@ func New(opts Options, workers ...string) (*Coordinator, error) {
 		opts:    opts,
 		reg:     newRegistry(opts),
 		cache:   cache,
+		spans:   trace.NewSpanLog(0),
 		latency: stats.NewWindow(opts.LatencyWindow),
 		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
@@ -134,7 +141,16 @@ func (c *Coordinator) Do(ctx context.Context, spec simjob.JobSpec) (simjob.JobRe
 	if err != nil {
 		return simjob.JobResult{}, "", fmt.Errorf("%w: %w", ErrBadSpec, err)
 	}
+	lookupStart := time.Now()
 	if out, ok := c.cache.Get(hash, false); ok {
+		c.spans.Record(trace.Span{
+			TraceID:     trace.IDFromContext(ctx),
+			Hop:         trace.HopCoordinator,
+			Stage:       trace.StageCache,
+			Job:         hash,
+			StartMicros: lookupStart.UnixMicro(),
+			DurMicros:   time.Since(lookupStart).Microseconds(),
+		})
 		c.mu.Lock()
 		c.ctr.Jobs++
 		c.ctr.Done++
@@ -172,9 +188,19 @@ func (c *Coordinator) run(ctx context.Context, spec simjob.JobSpec, hash string)
 			c.mu.Lock()
 			c.ctr.Retries++
 			c.mu.Unlock()
+			retryStart := time.Now()
 			if err := c.sleepBackoff(ctx, attempt-1); err != nil {
 				return simjob.JobResult{}, "", err
 			}
+			// The retry span times the backoff gap between attempts.
+			c.spans.Record(trace.Span{
+				TraceID:     trace.IDFromContext(ctx),
+				Hop:         trace.HopCoordinator,
+				Stage:       trace.StageRetry,
+				Job:         hash,
+				StartMicros: retryStart.UnixMicro(),
+				DurMicros:   time.Since(retryStart).Microseconds(),
+			})
 		}
 		res, cached, err := c.attempt(ctx, spec, hash, exclude)
 		if err == nil {
@@ -208,14 +234,28 @@ type attemptResult struct {
 // duplicate against it once the straggler threshold passes. Workers
 // that failed are added to exclude for the caller's next attempt.
 func (c *Coordinator) attempt(ctx context.Context, spec simjob.JobSpec, hash string, exclude map[string]bool) (simjob.JobResult, string, error) {
+	traceID := trace.IDFromContext(ctx)
+	routeStart := time.Now()
 	primary, err := c.reg.acquire(ctx, hash, exclude)
+	routeSpan := trace.Span{
+		TraceID:     traceID,
+		Hop:         trace.HopCoordinator,
+		Stage:       trace.StageRoute,
+		Job:         hash,
+		StartMicros: routeStart.UnixMicro(),
+		DurMicros:   time.Since(routeStart).Microseconds(),
+	}
 	if err != nil {
+		routeSpan.Err = err.Error()
+		c.spans.Record(routeSpan)
 		return simjob.JobResult{}, "", err
 	}
+	routeSpan.Worker = primary.addr
+	c.spans.Record(routeSpan)
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	resc := make(chan attemptResult, 2)
-	launch := func(w *worker) {
+	launch := func(w *worker, stage string) {
 		go func() {
 			start := time.Now()
 			resp, err := w.client.Simulate(actx, spec)
@@ -230,10 +270,23 @@ func (c *Coordinator) attempt(ctx context.Context, spec simjob.JobSpec, hash str
 			default:
 				c.reg.release(w, verdictFailure)
 			}
+			span := trace.Span{
+				TraceID:     traceID,
+				Hop:         trace.HopCoordinator,
+				Stage:       stage,
+				Job:         hash,
+				Worker:      w.addr,
+				StartMicros: start.UnixMicro(),
+				DurMicros:   time.Since(start).Microseconds(),
+			}
+			if err != nil {
+				span.Err = err.Error()
+			}
+			c.spans.Record(span)
 			resc <- attemptResult{w: w, resp: resp, err: err}
 		}()
 	}
-	launch(primary)
+	launch(primary, trace.StageDispatch)
 	outstanding := 1
 	hedged := false
 
@@ -292,7 +345,7 @@ func (c *Coordinator) attempt(ctx context.Context, spec simjob.JobSpec, hash str
 				c.mu.Lock()
 				c.ctr.Hedges++
 				c.mu.Unlock()
-				launch(hw)
+				launch(hw, trace.StageHedge)
 				outstanding++
 			} else {
 				// Every other worker is saturated right now; keep the
@@ -347,6 +400,29 @@ func (c *Coordinator) sleepBackoff(ctx context.Context, retry int) error {
 	case <-t.C:
 		return nil
 	}
+}
+
+// Spans exposes the coordinator-hop span log (stage breakdowns feed
+// the cluster /metrics Prometheus output).
+func (c *Coordinator) Spans() *trace.SpanLog { return c.spans }
+
+// GatherSpans merges the coordinator's own spans with every worker's
+// (their worker- and engine-hop spans fetched over GET /spans), sorted
+// by start time. Workers that cannot be reached are skipped — a
+// partial trace beats no trace. traceID "" gathers everything held.
+func (c *Coordinator) GatherSpans(ctx context.Context, traceID string) []trace.Span {
+	out := c.spans.ByTrace(traceID)
+	for _, cl := range c.reg.clients() {
+		spans, err := cl.Spans(ctx, traceID)
+		if err != nil {
+			continue
+		}
+		out = append(out, spans...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].StartMicros < out[j].StartMicros
+	})
+	return out
 }
 
 // Sweep scatter/gathers a sweep across the cluster: the expansion is

@@ -319,6 +319,23 @@ func (r *registry) release(w *worker, v verdict) {
 	r.mu.Unlock()
 }
 
+// clients returns every registered worker's client, sorted by address
+// (the span-gather fan-out iterates these).
+func (r *registry) clients() []*simjob.Client {
+	r.mu.Lock()
+	addrs := make([]string, 0, len(r.workers))
+	for a := range r.workers {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	out := make([]*simjob.Client, 0, len(addrs))
+	for _, a := range addrs {
+		out = append(out, r.workers[a].client)
+	}
+	r.mu.Unlock()
+	return out
+}
+
 // snapshot returns the worker states sorted by address.
 func (r *registry) snapshot() []WorkerStatus {
 	r.mu.Lock()

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"bow/internal/simjob"
+	"bow/internal/trace"
 )
 
 // StreamEvent is one NDJSON line of a streaming sweep (POST
@@ -30,14 +31,20 @@ type JoinRequest struct {
 // Server is the coordinator's HTTP interface — what cmd/bowd serves
 // in -coordinator mode and cmd/bowctl talks to.
 //
+// Requests carrying an X-Bow-Trace-Id header get their trace ID
+// threaded into routing (and forwarded to workers by the per-worker
+// clients); GET /spans?trace=ID gathers the full cross-process trace.
+//
 //	POST /simulate          JobSpec -> simjob.SimulateResponse (routed)
 //	POST /sweep             SweepSpec -> simjob.SweepResult
 //	POST /sweep?stream=1    SweepSpec -> NDJSON StreamEvents
 //	POST /join              {"addr":"host:port"} -> {"joined":bool}
 //	GET  /status            Status
+//	GET  /spans             coordinator + worker spans, ?trace=ID filters
 //	GET  /healthz           liveness
 //	GET  /readyz            readiness (503 while draining)
-//	GET  /metrics           Counters + latency quantiles
+//	GET  /metrics           Counters + latency quantiles (JSON);
+//	                        Prometheus text when Accept asks for text/plain
 type Server struct {
 	coord    *Coordinator
 	mux      *http.ServeMux
@@ -55,7 +62,8 @@ func NewServer(c *Coordinator) *Server {
 		if !decodeBody(w, r, &spec) {
 			return
 		}
-		res, cached, err := c.Do(r.Context(), spec)
+		ctx := trace.ContextWithID(r.Context(), r.Header.Get(trace.HeaderTraceID))
+		res, cached, err := c.Do(ctx, spec)
 		if err != nil {
 			httpError(w, errStatus(err), err)
 			return
@@ -70,10 +78,11 @@ func NewServer(c *Coordinator) *Server {
 		if !decodeBody(w, r, &sw) {
 			return
 		}
+		ctx := trace.ContextWithID(r.Context(), r.Header.Get(trace.HeaderTraceID))
 		stream := r.URL.Query().Get("stream") != "" ||
 			strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
 		if !stream {
-			res, err := c.Sweep(r.Context(), sw, nil)
+			res, err := c.Sweep(ctx, sw, nil)
 			if err != nil {
 				httpError(w, http.StatusBadRequest, err)
 				return
@@ -84,7 +93,7 @@ func NewServer(c *Coordinator) *Server {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		flusher, _ := w.(http.Flusher)
 		enc := json.NewEncoder(w)
-		res, err := c.Sweep(r.Context(), sw, func(done, total int, item simjob.SweepItem) {
+		res, err := c.Sweep(ctx, sw, func(done, total int, item simjob.SweepItem) {
 			it := item
 			_ = enc.Encode(StreamEvent{Done: done, Total: total, Item: &it})
 			if flusher != nil {
@@ -118,6 +127,12 @@ func NewServer(c *Coordinator) *Server {
 			return
 		}
 		writeJSON(w, map[string]any{"joined": c.Join(req.Addr)})
+	})
+	s.mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodGet) {
+			return
+		}
+		writeJSON(w, c.GatherSpans(r.Context(), r.URL.Query().Get("trace")))
 	})
 	s.mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		if !requireMethod(w, r, http.MethodGet) {
@@ -154,6 +169,11 @@ func NewServer(c *Coordinator) *Server {
 	})
 	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if !requireMethod(w, r, http.MethodGet) {
+			return
+		}
+		if wantsPrometheus(r) {
+			w.Header().Set("Content-Type", prometheusContentType)
+			s.WritePrometheus(w)
 			return
 		}
 		st := c.Status()

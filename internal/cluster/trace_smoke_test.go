@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"bow/internal/simjob"
+	"bow/internal/trace"
+)
+
+// TestTraceSmoke is the end-to-end observability acceptance run `make
+// trace-smoke` executes: a sweep tagged with one trace ID submitted to
+// a coordinator in front of 3 workers must come back reconstructable
+// as spans from all three hops — the coordinator's routing/dispatch,
+// the workers' HTTP handlers, and the engines' queue/simulation stages
+// — all stitched together by that single ID over GET /spans.
+func TestTraceSmoke(t *testing.T) {
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		addrs = append(addrs, startWorker(t, nil).URL)
+	}
+	c := newCoordinator(t, fastOpts(), addrs...)
+	srv := httptest.NewServer(NewServer(c))
+	t.Cleanup(srv.Close)
+
+	const traceID = "smoke-trace-0001"
+	sw := simjob.SweepSpec{
+		Benches:  []string{"VECTORADD", "SRAD", "LIB"},
+		Policies: []string{"baseline", "bow-wr"},
+	}
+	body, err := json.Marshal(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/sweep?stream=1", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(trace.HeaderTraceID, traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	var summary *simjob.SweepResult
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if ev.Summary != nil {
+			summary = ev.Summary
+		}
+		if ev.Item != nil && ev.Item.Error != "" {
+			t.Errorf("streamed item failed: %s", ev.Item.Error)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if summary == nil || summary.Failed != 0 {
+		t.Fatalf("sweep summary: %+v", summary)
+	}
+
+	// Reconstruct the trace through the coordinator's gather endpoint.
+	sresp, err := http.Get(srv.URL + "/spans?trace=" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("/spans status %d", sresp.StatusCode)
+	}
+	var spans []trace.Span
+	if err := json.NewDecoder(sresp.Body).Decode(&spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans gathered for the trace")
+	}
+	hops := map[string]int{}
+	stages := map[string]int{}
+	lastStart := int64(-1 << 62)
+	for _, s := range spans {
+		if s.TraceID != traceID {
+			t.Fatalf("span with foreign trace id %q: %+v", s.TraceID, s)
+		}
+		hops[s.Hop]++
+		stages[s.Stage]++
+		if s.StartMicros < lastStart {
+			t.Fatalf("spans not sorted by start time: %+v", spans)
+		}
+		lastStart = s.StartMicros
+	}
+	for _, hop := range []string{trace.HopCoordinator, trace.HopWorker, trace.HopEngine} {
+		if hops[hop] == 0 {
+			t.Errorf("no spans from hop %q (got %v)", hop, hops)
+		}
+	}
+	// The engine hop must show both halves of a job's life there.
+	for _, stage := range []string{trace.StageRoute, trace.StageDispatch, trace.StageHTTP,
+		trace.StageQueue, trace.StageEngine} {
+		if stages[stage] == 0 {
+			t.Errorf("no %q-stage spans (got %v)", stage, stages)
+		}
+	}
+}

@@ -169,6 +169,8 @@ type entry struct {
 	// is reserved and later readers forward from it (request merging),
 	// but the value is not yet architecturally valid.
 	pending bool
+	// next links recycled entries on the engine's free list.
+	next *entry
 }
 
 // Stats counts the engine's traffic. All counts are in warp-register
@@ -263,12 +265,22 @@ type Plan struct {
 }
 
 // Engine is the breathing operand window of a single warp.
+//
+// Entry storage is a direct-indexed table plus an insertion-ordered
+// live list instead of a map: register numbers are 8-bit, the BOC holds
+// at most Capacity+1 entries, and the cycle loop calls Advance once per
+// dynamic instruction — so lookups must be branch-cheap, the expiry
+// scan must iterate in a deterministic order, and the steady state must
+// not allocate. Entries are recycled through a free list preallocated
+// at construction.
 type Engine struct {
-	cfg     Config
-	sink    RFWriteSink
-	seq     int64
-	entries map[uint8]*entry
-	stats   Stats
+	cfg   Config
+	sink  RFWriteSink
+	seq   int64
+	byReg [256]*entry // direct-indexed by register number; nil = absent
+	live  []*entry    // live entries in insertion order
+	free  *entry      // recycled entries (preallocated slab)
+	stats Stats
 }
 
 // NewEngine creates a window engine. sink must not be nil for bypassing
@@ -281,11 +293,19 @@ func NewEngine(cfg Config, sink RFWriteSink) (*Engine, error) {
 	if cfg.Policy.Bypassing() && sink == nil {
 		return nil, fmt.Errorf("core: bypassing policy %v requires a write sink", cfg.Policy)
 	}
-	return &Engine{
-		cfg:     cfg,
-		sink:    sink,
-		entries: make(map[uint8]*entry, cfg.Capacity+1),
-	}, nil
+	e := &Engine{cfg: cfg, sink: sink}
+	if cfg.Policy.Bypassing() {
+		// Capacity+1 covers the transient overshoot between attach and
+		// enforceCapacity; one spare keeps allocEntry off the heap even
+		// if that invariant ever slips by one.
+		e.live = make([]*entry, 0, cfg.Capacity+1)
+		slab := make([]entry, cfg.Capacity+2)
+		for i := range slab {
+			slab[i].next = e.free
+			e.free = &slab[i]
+		}
+	}
+	return e, nil
 }
 
 // Config returns the engine's normalized configuration.
@@ -294,15 +314,66 @@ func (e *Engine) Config() Config { return e.cfg }
 // Stats returns a snapshot of the counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// Coalesced returns the running count of consolidated writes. It exists
+// so the cycle tracer can detect a write bypass around one Advance call
+// without copying the full Stats block.
+func (e *Engine) Coalesced() int64 { return e.stats.CoalescedWrites }
+
 // Occupancy returns the number of live BOC entries (for Fig. 9).
-func (e *Engine) Occupancy() int { return len(e.entries) }
+func (e *Engine) Occupancy() int { return len(e.live) }
+
+// allocEntry pops a recycled entry (or, as a safety net, heap-allocates
+// one). The 128-byte value is deliberately left stale: every path that
+// publishes an entry either fills val or marks it pending.
+func (e *Engine) allocEntry() *entry {
+	if en := e.free; en != nil {
+		e.free = en.next
+		en.next = nil
+		return en
+	}
+	return new(entry)
+}
+
+// attach publishes a fresh entry for reg at the live-list tail.
+func (e *Engine) attach(reg uint8, en *entry) {
+	en.reg = reg
+	e.byReg[reg] = en
+	e.live = append(e.live, en)
+}
+
+// release resets an entry's bookkeeping and pushes it on the free list.
+// The caller must already have unlinked it from byReg/live.
+func (e *Engine) release(en *entry) {
+	en.lastAccess = 0
+	en.dirty = false
+	en.hint = isa.WBBoth
+	en.cancelWB = false
+	en.pending = false
+	en.next = e.free
+	e.free = en
+}
+
+// detach unlinks en from the table and the live list (preserving
+// insertion order) and recycles it.
+func (e *Engine) detach(en *entry) {
+	e.byReg[en.reg] = nil
+	for i, x := range e.live {
+		if x == en {
+			copy(e.live[i:], e.live[i+1:])
+			e.live[len(e.live)-1] = nil
+			e.live = e.live[:len(e.live)-1]
+			break
+		}
+	}
+	e.release(en)
+}
 
 // Lookup returns the buffered value of reg, if present. Used by the
 // functional executor to obtain the *effective* architectural value
 // (window copy is always newer than the RF copy when dirty). Pending
 // entries hold no valid value yet and do not count.
 func (e *Engine) Lookup(reg uint8) (Value, bool) {
-	if en, ok := e.entries[reg]; ok && !en.pending {
+	if en := e.byReg[reg]; en != nil && !en.pending {
 		return en.val, true
 	}
 	return Value{}, false
@@ -338,7 +409,7 @@ func (e *Engine) Advance(in *isa.Instruction) Plan {
 	regs, n := in.UniqueSrcRegs()
 	for i := 0; i < n; i++ {
 		r := regs[i]
-		if en, ok := e.entries[r]; ok {
+		if en := e.byReg[r]; en != nil {
 			if !e.cfg.NoExtend {
 				en.lastAccess = e.seq
 			}
@@ -358,7 +429,10 @@ func (e *Engine) Advance(in *isa.Instruction) Plan {
 			e.stats.RFReads++
 			// Reserve the slot so later in-flight readers merge into this
 			// fill instead of issuing their own bank read.
-			e.entries[r] = &entry{reg: r, lastAccess: e.seq, pending: true}
+			en := e.allocEntry()
+			en.lastAccess = e.seq
+			en.pending = true
+			e.attach(r, en)
 			e.stats.BOCWrites++
 			e.enforceCapacity()
 		}
@@ -369,7 +443,7 @@ func (e *Engine) Advance(in *isa.Instruction) Plan {
 	// bypass). The entry's value stays valid until the new result
 	// arrives, but its RF write-back is cancelled now.
 	if d, ok := in.DstReg(); ok {
-		if en, ok := e.entries[d]; ok && !en.cancelWB {
+		if en := e.byReg[d]; en != nil && !en.cancelWB {
 			if en.dirty {
 				e.stats.CoalescedWrites++
 			}
@@ -379,25 +453,31 @@ func (e *Engine) Advance(in *isa.Instruction) Plan {
 	return p
 }
 
-// evictExpired removes entries that slid out of the instruction window.
-// With BeyondWindow, the nominal window never expires values — only
-// capacity pressure does (the paper's stated future work).
+// evictExpired removes entries that slid out of the instruction window,
+// oldest insertion first (the live list keeps insertion order, so the
+// RF write-back order is deterministic — the map this replaced iterated
+// randomly). With BeyondWindow, the nominal window never expires values
+// — only capacity pressure does (the paper's stated future work).
 func (e *Engine) evictExpired() {
 	if e.cfg.BeyondWindow {
 		return
 	}
-	for r, en := range e.entries {
+	for i := 0; i < len(e.live); {
+		en := e.live[i]
 		if e.seq-en.lastAccess >= int64(e.cfg.IW) {
-			e.evict(r, en, false)
+			e.evict(en, false) // removes live[i]; the next entry shifts into i
+			continue
 		}
+		i++
 	}
 }
 
 // evict removes one entry, writing it back to the RF when required.
 // capacity marks a forced early eviction (full BOC).
-func (e *Engine) evict(r uint8, en *entry, capacity bool) {
-	delete(e.entries, r)
+func (e *Engine) evict(en *entry, capacity bool) {
+	r := en.reg
 	if !en.dirty || en.cancelWB {
+		e.detach(en)
 		return
 	}
 	if capacity {
@@ -405,14 +485,17 @@ func (e *Engine) evict(r uint8, en *entry, capacity bool) {
 		// tagged it boc-only: its remaining reuses haven't happened yet.
 		e.emitRF(r, en.val, CauseCapacityEvict)
 		e.stats.CapacityEvicts++
+		e.detach(en)
 		return
 	}
 	if e.cfg.Policy == PolicyCompilerHints && en.hint == isa.WBCollectorOnly {
 		// Transient value: dead beyond the window, never touches the RF.
 		e.stats.DroppedTransient++
+		e.detach(en)
 		return
 	}
 	e.emitRF(r, en.val, CauseWindowEvict)
+	e.detach(en)
 }
 
 func (e *Engine) emitRF(r uint8, v Value, cause WriteCause) {
@@ -434,7 +517,7 @@ func (e *Engine) FillFromRF(reg uint8, val Value, seq int64) {
 	if !e.cfg.Policy.Bypassing() {
 		return
 	}
-	if en, ok := e.entries[reg]; ok {
+	if en := e.byReg[reg]; en != nil {
 		if en.pending {
 			en.val = val
 			en.pending = false
@@ -465,7 +548,9 @@ func (e *Engine) Writeback(reg uint8, val Value, hint isa.WritebackHint, seq int
 		if hint == isa.WBRegfileOnly {
 			// Straight to the RF; drop any stale window copy (its pending
 			// write was already cancelled by Advance's consolidation).
-			delete(e.entries, reg)
+			if en := e.byReg[reg]; en != nil {
+				e.detach(en)
+			}
 			e.emitRF(reg, val, CauseHintDirect)
 			return false
 		}
@@ -477,7 +562,7 @@ func (e *Engine) Writeback(reg uint8, val Value, hint isa.WritebackHint, seq int
 
 // install creates or refreshes the window entry for reg.
 func (e *Engine) install(reg uint8, val Value, dirty bool, hint isa.WritebackHint, seq int64) {
-	if en, ok := e.entries[reg]; ok {
+	if en := e.byReg[reg]; en != nil {
 		en.val = val
 		en.dirty = dirty
 		en.hint = hint
@@ -489,7 +574,12 @@ func (e *Engine) install(reg uint8, val Value, dirty bool, hint isa.WritebackHin
 		e.stats.BOCWrites++
 		return
 	}
-	e.entries[reg] = &entry{reg: reg, val: val, lastAccess: seq, dirty: dirty, hint: hint}
+	en := e.allocEntry()
+	en.val = val
+	en.lastAccess = seq
+	en.dirty = dirty
+	en.hint = hint
+	e.attach(reg, en)
 	e.stats.BOCWrites++
 	e.enforceCapacity()
 }
@@ -497,17 +587,15 @@ func (e *Engine) install(reg uint8, val Value, dirty bool, hint isa.WritebackHin
 // enforceCapacity evicts oldest-accessed entries until the BOC fits its
 // physical entry budget (FIFO on last access, per §IV-C).
 func (e *Engine) enforceCapacity() {
-	for len(e.entries) > e.cfg.Capacity {
-		var victim *entry
-		var vreg uint8
-		for r, en := range e.entries {
-			if victim == nil || en.lastAccess < victim.lastAccess ||
-				(en.lastAccess == victim.lastAccess && r < vreg) {
+	for len(e.live) > e.cfg.Capacity {
+		victim := e.live[0]
+		for _, en := range e.live[1:] {
+			if en.lastAccess < victim.lastAccess ||
+				(en.lastAccess == victim.lastAccess && en.reg < victim.reg) {
 				victim = en
-				vreg = r
 			}
 		}
-		e.evict(vreg, victim, true)
+		e.evict(victim, true)
 	}
 }
 
@@ -516,22 +604,26 @@ func (e *Engine) enforceCapacity() {
 // the RF; callers needing the final architectural state use Lookup
 // before flushing.
 func (e *Engine) Flush() {
-	for r, en := range e.entries {
+	for _, en := range e.live {
 		if en.dirty && !en.cancelWB {
 			e.stats.FlushDropped++
 		}
-		delete(e.entries, r)
+		e.byReg[en.reg] = nil
+		e.release(en)
 	}
+	e.live = e.live[:0]
 }
 
 // DrainToRF force-writes every dirty, un-superseded value to the RF and
-// empties the window. Used when precise RF state is required mid-kernel
-// (not at exit).
+// empties the window, in insertion order. Used when precise RF state is
+// required mid-kernel (not at exit).
 func (e *Engine) DrainToRF() {
-	for r, en := range e.entries {
-		delete(e.entries, r)
+	for _, en := range e.live {
+		e.byReg[en.reg] = nil
 		if en.dirty && !en.cancelWB {
-			e.emitRF(r, en.val, CauseWindowEvict)
+			e.emitRF(en.reg, en.val, CauseWindowEvict)
 		}
+		e.release(en)
 	}
+	e.live = e.live[:0]
 }

@@ -15,6 +15,7 @@ import (
 	"bow/internal/mem"
 	"bow/internal/regfile"
 	"bow/internal/sm"
+	"bow/internal/trace"
 )
 
 // Device is one simulated GPU.
@@ -32,6 +33,11 @@ type Device struct {
 	// CaptureTrace records each warp's dynamic instruction stream for
 	// internal/trace analyses.
 	CaptureTrace bool
+	// Tracer, when non-nil, receives cycle-level events from every SM
+	// (the SM loop is sequential, so the shared ring stays deterministic
+	// and needs no locking). It does not affect the simulation: Result
+	// is bit-identical with and without it.
+	Tracer *trace.CycleTracer
 }
 
 // New builds a device for one kernel launch. The kernel is Prepared
@@ -104,6 +110,7 @@ func (d *Device) run(ctx context.Context, maxCycles int64) (*Result, error) {
 	for _, s := range d.sms {
 		s.CaptureRegs = d.CaptureRegs
 		s.CaptureTrace = d.CaptureTrace
+		s.Tracer = d.Tracer
 	}
 
 	nextCTA := 0

@@ -1,0 +1,38 @@
+package rfc
+
+import (
+	"testing"
+
+	"bow/internal/core"
+	"bow/internal/isa"
+)
+
+// TestRFCSteadyStateAllocs pins the same zero-alloc guarantee for the
+// RFC configuration (effectively infinite window, small capacity): the
+// comparator model churns through capacity evictions constantly, so a
+// per-entry allocation here would dominate the simulator's hot path.
+func TestRFCSteadyStateAllocs(t *testing.T) {
+	eng, err := core.NewEngine(Config(DefaultEntriesPerWarp),
+		func(uint8, core.Value, core.WriteCause) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v core.Value
+	in := &isa.Instruction{Op: isa.OpAdd, PredReg: isa.PredTrue, HasDst: true, NSrc: 2}
+	run := func() {
+		for i := 0; i < 64; i++ {
+			in.Dst = uint8(i % 16)
+			in.Srcs[0] = isa.Reg(uint8((i + 5) % 16))
+			in.Srcs[1] = isa.Reg(uint8((i + 9) % 16))
+			plan := eng.Advance(in)
+			for j := 0; j < plan.NNeedRF; j++ {
+				eng.FillFromRF(plan.NeedRF[j], v, plan.Seq)
+			}
+			eng.Writeback(in.Dst, v, in.WBHint, plan.Seq)
+		}
+	}
+	run()
+	if got := testing.AllocsPerRun(50, run); got != 0 {
+		t.Errorf("rfc steady state: %.1f allocs per 64-instruction run, want 0", got)
+	}
+}

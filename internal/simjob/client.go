@@ -8,7 +8,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
+
+	"bow/internal/trace"
 )
 
 // ErrDraining is returned by Client.Ready when the server answered
@@ -88,6 +91,20 @@ func (c *Client) Healthz(ctx context.Context) error {
 	return c.getJSON(ctx, "/healthz", nil)
 }
 
+// Spans fetches the server's recorded spans, filtered to one trace ID
+// when traceID is non-empty.
+func (c *Client) Spans(ctx context.Context, traceID string) ([]trace.Span, error) {
+	path := "/spans"
+	if traceID != "" {
+		path += "?trace=" + url.QueryEscape(traceID)
+	}
+	var out []trace.Span
+	if err := c.getJSON(ctx, path, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Ready probes readiness: nil means route work here, ErrDraining means
 // the server is up but shutting down, anything else means unreachable.
 func (c *Client) Ready(ctx context.Context) error {
@@ -121,6 +138,11 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 }
 
 func (c *Client) do(req *http.Request, out any) error {
+	// Propagate the caller's trace ID so the receiving hop's spans join
+	// the same trace.
+	if id := trace.IDFromContext(req.Context()); id != "" {
+		req.Header.Set(trace.HeaderTraceID, id)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"bow/internal/stats"
+	"bow/internal/trace"
 )
 
 // Options configures an Engine.
@@ -45,6 +46,10 @@ type Engine struct {
 	// execute is the job body; tests may stub it to inject failures.
 	execute func(context.Context, JobSpec) (*Outcome, error)
 
+	// spans records the engine-hop stages (queue, engine, cache) of
+	// every job, keyed to the submitter's trace ID when present.
+	spans *trace.SpanLog
+
 	// Counters (guarded by mu).
 	queued, running, done, failed, retries int64
 	latencyUS                              *stats.Histogram
@@ -53,10 +58,12 @@ type Engine struct {
 // job is one queued unit of work, fanned out to every ticket waiting
 // on the same spec hash.
 type job struct {
-	spec    JobSpec
-	hash    string
-	ctx     context.Context
-	tickets []*Ticket
+	spec      JobSpec
+	hash      string
+	ctx       context.Context
+	tickets   []*Ticket
+	traceID   string    // first submitter's trace ID (spans)
+	submitted time.Time // enqueue time (queue-stage span)
 }
 
 // Ticket is a handle on a submitted job.
@@ -71,6 +78,22 @@ type Ticket struct {
 func (t *Ticket) Wait() (*Outcome, error) {
 	<-t.done
 	return t.out, t.err
+}
+
+// WaitContext is Wait that also gives up when ctx ends. The job itself
+// keeps running (other tickets may still be waiting on it, and the
+// single-flight entry stays live), but this caller returns ctx's error
+// immediately. The HTTP handlers wait this way so a cancelled request —
+// a hedge the coordinator abandoned, a client gone away — releases its
+// handler (and the in-flight gauge decremented by its defer) right
+// away instead of pinning it until the simulation finishes.
+func (t *Ticket) WaitContext(ctx context.Context) (*Outcome, error) {
+	select {
+	case <-t.done:
+		return t.out, t.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 func (t *Ticket) resolve(out *Outcome, err error) {
@@ -95,6 +118,7 @@ func New(opts Options) (*Engine, error) {
 		cache:     cache,
 		inflight:  make(map[string]*job),
 		execute:   Execute,
+		spans:     trace.NewSpanLog(0),
 		latencyUS: stats.NewHistogram(),
 	}
 	e.cond = sync.NewCond(&e.mu)
@@ -129,14 +153,15 @@ func (e *Engine) SubmitFull(ctx context.Context, spec JobSpec) *Ticket {
 	return e.submit(ctx, spec, true)
 }
 
-// Do submits and waits.
+// Do submits and waits, giving up (without aborting the job for other
+// waiters) when ctx ends.
 func (e *Engine) Do(ctx context.Context, spec JobSpec) (*Outcome, error) {
-	return e.Submit(ctx, spec).Wait()
+	return e.Submit(ctx, spec).WaitContext(ctx)
 }
 
-// DoFull submits with SubmitFull and waits.
+// DoFull submits with SubmitFull and waits, ctx-bounded like Do.
 func (e *Engine) DoFull(ctx context.Context, spec JobSpec) (*Outcome, error) {
-	return e.SubmitFull(ctx, spec).Wait()
+	return e.SubmitFull(ctx, spec).WaitContext(ctx)
 }
 
 func (e *Engine) submit(ctx context.Context, spec JobSpec, needFull bool) *Ticket {
@@ -151,7 +176,16 @@ func (e *Engine) submit(ctx context.Context, spec JobSpec, needFull bool) *Ticke
 		t.resolve(nil, err)
 		return t
 	}
+	lookupStart := time.Now()
 	if out, ok := e.cache.Get(hash, needFull); ok {
+		e.spans.Record(trace.Span{
+			TraceID:     trace.IDFromContext(ctx),
+			Hop:         trace.HopEngine,
+			Stage:       trace.StageCache,
+			Job:         hash,
+			StartMicros: lookupStart.UnixMicro(),
+			DurMicros:   time.Since(lookupStart).Microseconds(),
+		})
 		t.resolve(out, nil)
 		return t
 	}
@@ -168,7 +202,8 @@ func (e *Engine) submit(ctx context.Context, spec JobSpec, needFull bool) *Ticke
 		e.mu.Unlock()
 		return t
 	}
-	j := &job{spec: norm, hash: hash, ctx: ctx, tickets: []*Ticket{t}}
+	j := &job{spec: norm, hash: hash, ctx: ctx, tickets: []*Ticket{t},
+		traceID: trace.IDFromContext(ctx), submitted: time.Now()}
 	e.inflight[hash] = j
 	e.queue = append(e.queue, j)
 	e.queued++
@@ -195,8 +230,29 @@ func (e *Engine) worker() {
 		e.mu.Unlock()
 
 		start := time.Now()
+		e.spans.Record(trace.Span{
+			TraceID:     j.traceID,
+			Hop:         trace.HopEngine,
+			Stage:       trace.StageQueue,
+			Job:         j.hash,
+			StartMicros: j.submitted.UnixMicro(),
+			DurMicros:   start.Sub(j.submitted).Microseconds(),
+		})
 		out, attempts, err := e.runJob(j)
 		elapsed := time.Since(start)
+
+		engineSpan := trace.Span{
+			TraceID:     j.traceID,
+			Hop:         trace.HopEngine,
+			Stage:       trace.StageEngine,
+			Job:         j.hash,
+			StartMicros: start.UnixMicro(),
+			DurMicros:   elapsed.Microseconds(),
+		}
+		if err != nil {
+			engineSpan.Err = err.Error()
+		}
+		e.spans.Record(engineSpan)
 
 		if err == nil {
 			out.Attempts = attempts
@@ -274,6 +330,10 @@ func (e *Engine) safeExecute(ctx context.Context, spec JobSpec) (out *Outcome, e
 // Cache exposes the engine's result cache (read-mostly: tests and the
 // daemon's metrics use it).
 func (e *Engine) Cache() *Cache { return e.cache }
+
+// Spans exposes the engine-hop span log (the worker server serves it
+// on GET /spans and folds its stage breakdowns into /metrics).
+func (e *Engine) Spans() *trace.SpanLog { return e.spans }
 
 // Workers is the pool size.
 func (e *Engine) Workers() int { return e.opts.Workers }

@@ -6,6 +6,9 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"bow/internal/trace"
 )
 
 // SimulateResponse is the envelope POST /simulate answers with.
@@ -23,11 +26,18 @@ type SimulateResponse struct {
 // coordinator stops routing to a worker that is shutting down before
 // its listener actually closes.
 //
+// Requests carrying an X-Bow-Trace-Id header get their trace ID
+// threaded into the job context, an http-stage span recorded per
+// simulate call, and their spans served back on GET /spans?trace=ID.
+//
 //	POST /simulate  JobSpec JSON   -> SimulateResponse
 //	POST /sweep     SweepSpec JSON -> SweepResult
 //	GET  /healthz   liveness
 //	GET  /readyz    readiness (503 while draining)
-//	GET  /metrics   Metrics JSON (engine + HTTP gauges)
+//	GET  /metrics   Metrics JSON (engine + HTTP gauges); Prometheus
+//	                text format when the Accept header asks for
+//	                text/plain
+//	GET  /spans     recorded spans, ?trace=ID filters to one trace
 type Server struct {
 	engine   *Engine
 	mux      *http.ServeMux
@@ -53,11 +63,25 @@ func NewServer(e *Engine) *Server {
 		if !decodeBody(w, r, &spec) {
 			return
 		}
-		out, err := e.Do(r.Context(), spec)
+		traceID := r.Header.Get(trace.HeaderTraceID)
+		ctx := trace.ContextWithID(r.Context(), traceID)
+		start := time.Now()
+		out, err := e.Do(ctx, spec)
+		span := trace.Span{
+			TraceID:     traceID,
+			Hop:         trace.HopWorker,
+			Stage:       trace.StageHTTP,
+			StartMicros: start.UnixMicro(),
+			DurMicros:   time.Since(start).Microseconds(),
+		}
 		if err != nil {
+			span.Err = err.Error()
+			e.Spans().Record(span)
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
+		span.Job = out.Hash
+		e.Spans().Record(span)
 		writeJSON(w, SimulateResponse{Cached: out.Cached, Result: out.Summary})
 	})
 	s.mux.HandleFunc("/sweep", func(w http.ResponseWriter, r *http.Request) {
@@ -68,12 +92,19 @@ func NewServer(e *Engine) *Server {
 		if !decodeBody(w, r, &sw) {
 			return
 		}
-		res, err := e.RunSweep(r.Context(), sw)
+		ctx := trace.ContextWithID(r.Context(), r.Header.Get(trace.HeaderTraceID))
+		res, err := e.RunSweep(ctx, sw)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
 		writeJSON(w, res)
+	})
+	s.mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodGet) {
+			return
+		}
+		writeJSON(w, e.Spans().ByTrace(r.URL.Query().Get("trace")))
 	})
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if !requireMethod(w, r, http.MethodGet) {
@@ -97,20 +128,28 @@ func NewServer(e *Engine) *Server {
 		if !requireMethod(w, r, http.MethodGet) {
 			return
 		}
+		if wantsPrometheus(r) {
+			w.Header().Set("Content-Type", prometheusContentType)
+			s.WritePrometheus(w)
+			return
+		}
 		writeJSON(w, s.Metrics())
 	})
 	return s
 }
 
 // ServeHTTP counts the request against its endpoint and the in-flight
-// gauge, then dispatches. Only the fixed endpoint set is tallied
+// gauge, then dispatches. The gauge decrement is deferred so it runs on
+// every exit path — including a handler panic unwinding through
+// net/http's recovery — and can never leak when a hedged request is
+// cancelled mid-flight. Only the fixed endpoint set is tallied
 // (arbitrary paths must not grow the map without bound).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 	path := r.URL.Path
 	switch path {
-	case "/simulate", "/sweep", "/healthz", "/readyz", "/metrics":
+	case "/simulate", "/sweep", "/healthz", "/readyz", "/metrics", "/spans":
 	default:
 		path = "other"
 	}

@@ -1,0 +1,64 @@
+package simjob
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHTTPInflightGaugeCancelledHedge drives the failure mode a hedging
+// coordinator creates: it cancels the losing duplicate of a request
+// while the worker is still simulating. The handler must unblock on the
+// cancellation (not wait for the simulation), so its deferred decrement
+// returns the in-flight gauge to zero promptly — a leaked gauge would
+// poison the coordinator's load-aware routing forever.
+func TestHTTPInflightGaugeCancelledHedge(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	e.execute = func(ctx context.Context, spec JobSpec) (*Outcome, error) {
+		once.Do(func() { close(started) })
+		<-release
+		return nil, fmt.Errorf("released")
+	}
+	// Cleanups run LIFO: this closes release before newTestEngine's
+	// e.Close waits the pool out.
+	t.Cleanup(func() { close(release) })
+	s := NewServer(e)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := NewClient(srv.URL, nil)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Simulate(ctx, JobSpec{Bench: "VECTORADD", Policy: "baseline"})
+		errc <- err
+	}()
+
+	<-started // the job is on the pool; the handler is blocked waiting
+	cancel()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("cancelled simulate returned no error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled request did not return; handler pinned until simulation end")
+	}
+
+	// The job is still running (release is held), but the handler must
+	// already be gone and the gauge back at zero.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.inflight.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight gauge stuck at %d after cancellation", s.inflight.Load())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

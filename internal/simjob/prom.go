@@ -1,0 +1,75 @@
+package simjob
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// prometheusContentType is the text exposition format version both bowd
+// modes serve when a scraper asks for text/plain.
+const prometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// wantsPrometheus reports whether the request's Accept header asks for
+// the Prometheus text format. JSON stays the default — simjob.Client
+// sends no Accept header, so in-cluster metric polling is unaffected.
+func wantsPrometheus(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "text/plain")
+}
+
+// WritePrometheus renders the worker's metrics in Prometheus text
+// exposition format: engine gauges and counters, cache tiers, job
+// latency quantiles, the HTTP gauges, and the per-(hop,stage) span
+// breakdowns.
+func (s *Server) WritePrometheus(w io.Writer) {
+	m := s.Metrics()
+	promGauge(w, "bow_worker_pool_size", "Simulation worker pool size.", int64(m.Workers))
+	promGauge(w, "bow_jobs_queued", "Jobs waiting for a pool worker.", m.Queued)
+	promGauge(w, "bow_jobs_running", "Jobs currently simulating.", m.Running)
+	promCounter(w, "bow_jobs_done_total", "Jobs completed successfully.", m.Done)
+	promCounter(w, "bow_jobs_failed_total", "Jobs that exhausted retries.", m.Failed)
+	promCounter(w, "bow_job_retries_total", "Extra attempts after job failures.", m.Retries)
+
+	fmt.Fprintf(w, "# HELP bow_cache_hits_total Result cache hits by tier.\n")
+	fmt.Fprintf(w, "# TYPE bow_cache_hits_total counter\n")
+	fmt.Fprintf(w, "bow_cache_hits_total{tier=\"memory\"} %d\n", m.CacheHitsMemory)
+	fmt.Fprintf(w, "bow_cache_hits_total{tier=\"disk\"} %d\n", m.CacheHitsDisk)
+	promCounter(w, "bow_cache_misses_total", "Result cache misses.", m.CacheMisses)
+	promGauge(w, "bow_cache_entries", "Entries in the in-memory cache tier.", int64(m.CacheEntries))
+
+	fmt.Fprintf(w, "# HELP bow_job_latency_microseconds Completed job latency quantiles.\n")
+	fmt.Fprintf(w, "# TYPE bow_job_latency_microseconds gauge\n")
+	fmt.Fprintf(w, "bow_job_latency_microseconds{quantile=\"0.5\"} %d\n", m.P50LatencyMicros)
+	fmt.Fprintf(w, "bow_job_latency_microseconds{quantile=\"0.99\"} %d\n", m.P99LatencyMicros)
+
+	promGauge(w, "bow_http_inflight", "HTTP requests being served right now.", m.HTTPInflight)
+	if len(m.Requests) > 0 {
+		fmt.Fprintf(w, "# HELP bow_http_requests_total HTTP requests served per endpoint.\n")
+		fmt.Fprintf(w, "# TYPE bow_http_requests_total counter\n")
+		paths := make([]string, 0, len(m.Requests))
+		for p := range m.Requests {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			fmt.Fprintf(w, "bow_http_requests_total{path=%q} %d\n", p, m.Requests[p])
+		}
+	}
+	draining := int64(0)
+	if m.Draining {
+		draining = 1
+	}
+	promGauge(w, "bow_draining", "1 while the server is draining (readyz 503).", draining)
+
+	s.engine.Spans().WritePrometheus(w)
+}
+
+func promGauge(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+}
+
+func promCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}

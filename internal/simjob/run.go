@@ -9,6 +9,7 @@ import (
 	"bow/internal/gpu"
 	"bow/internal/mem"
 	"bow/internal/sm"
+	"bow/internal/trace"
 	"bow/internal/workloads"
 )
 
@@ -18,6 +19,14 @@ import (
 // worker body, and also serves cmd/bowsim's single-shot path. The
 // context cancels the simulation loop cooperatively.
 func Execute(ctx context.Context, spec JobSpec) (*Outcome, error) {
+	return ExecuteTraced(ctx, spec, nil)
+}
+
+// ExecuteTraced is Execute with a cycle-level event tracer attached to
+// the device (nil degrades to Execute). Tracing is deliberately not a
+// JobSpec field: it must not change the spec's content hash or the
+// simulation result — only observe it.
+func ExecuteTraced(ctx context.Context, spec JobSpec, tr *trace.CycleTracer) (*Outcome, error) {
 	spec, err := spec.Normalize()
 	if err != nil {
 		return nil, err
@@ -67,6 +76,7 @@ func Execute(ctx context.Context, spec JobSpec) (*Outcome, error) {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
 	d.CaptureTrace = spec.Trace
+	d.Tracer = tr
 
 	start := time.Now()
 	res, err := d.RunContext(ctx, spec.MaxCycles)

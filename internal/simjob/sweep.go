@@ -137,7 +137,7 @@ func (e *Engine) RunSweep(ctx context.Context, sw SweepSpec) (*SweepResult, erro
 	res := &SweepResult{Jobs: len(specs), Items: make([]SweepItem, len(specs))}
 	for i, t := range tickets {
 		item := SweepItem{Spec: specs[i]}
-		out, err := t.Wait()
+		out, err := t.WaitContext(ctx)
 		if err != nil {
 			item.Error = err.Error()
 			res.Failed++

@@ -1,0 +1,54 @@
+package simjob
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"bow/internal/trace"
+)
+
+// TestTraceDeterminism: the same spec traced twice must produce
+// byte-identical NDJSON — the tracer observes a deterministic
+// simulation through a sequential SM loop, so any divergence means a
+// nondeterministic iteration order leaked into the pipeline.
+func TestTraceDeterminism(t *testing.T) {
+	spec := JobSpec{Bench: "SAD", Policy: "bow-wr", IW: 3}
+	var bufs [2]bytes.Buffer
+	for i := range bufs {
+		tr := trace.NewCycleTracer(0)
+		if _, err := ExecuteTraced(context.Background(), spec, tr); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() == 0 {
+			t.Fatal("traced run emitted no events")
+		}
+		if err := tr.WriteNDJSON(&bufs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Fatalf("identical runs produced different traces (%d vs %d bytes)",
+			bufs[0].Len(), bufs[1].Len())
+	}
+}
+
+// TestTracingDoesNotPerturbResult: the tracer is pure observation —
+// attaching it must not change a single counter of the simulation
+// result.
+func TestTracingDoesNotPerturbResult(t *testing.T) {
+	spec := JobSpec{Bench: "LIB", Policy: "bow-wt", IW: 3}
+	plain, err := Execute(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := ExecuteTraced(context.Background(), spec, trace.NewCycleTracer(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Full, traced.Full) {
+		t.Fatalf("tracing changed the simulation result:\nplain:  %+v\ntraced: %+v",
+			plain.Full, traced.Full)
+	}
+}

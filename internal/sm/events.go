@@ -3,6 +3,7 @@ package sm
 import (
 	"bow/internal/core"
 	"bow/internal/isa"
+	"bow/internal/trace"
 )
 
 // evKind discriminates the typed completion records the cycle loop
@@ -189,6 +190,9 @@ func (s *SM) runEvents() {
 		}
 		delete(s.refEvents, s.cycle)
 		for _, ev := range evs {
+			if s.Tracer != nil {
+				s.traceWheelPop(ev)
+			}
 			s.apply(ev)
 			s.wheel.release(ev)
 		}
@@ -196,10 +200,26 @@ func (s *SM) runEvents() {
 	}
 	for ev := s.wheel.due(s.cycle); ev != nil; {
 		next := ev.next
+		if s.Tracer != nil {
+			s.traceWheelPop(ev)
+		}
 		s.apply(ev)
 		s.wheel.release(ev)
 		ev = next
 	}
+}
+
+// traceWheelPop emits one EvWheelPop record for a due event. Both cycle
+// loops call it so a traced reference run and a traced wheel run yield
+// the same stream.
+func (s *SM) traceWheelPop(ev *event) {
+	warp := -1
+	if ev.f != nil && ev.f.warp != nil {
+		warp = ev.f.warp.slot
+	} else if ev.w != nil {
+		warp = ev.w.slot
+	}
+	s.Tracer.Emit(s.cycle, s.id, warp, trace.EvWheelPop, int32(ev.kind))
 }
 
 // apply performs one completion record.

@@ -8,6 +8,7 @@ import (
 	"bow/internal/exec"
 	"bow/internal/isa"
 	"bow/internal/mem"
+	"bow/internal/trace"
 )
 
 // coreValue aliases the warp-wide value type for brevity.
@@ -357,7 +358,11 @@ func (s *SM) writeback(f *inflight, result coreValue, mask uint32) {
 
 	if d, ok := in.DstReg(); ok {
 		merged := exec.Merge(f.oldDst, result, mask)
-		s.engines[w.slot].Writeback(d, merged, in.WBHint, f.seq)
+		eng := s.engines[w.slot]
+		buffered := eng.Writeback(d, merged, in.WBHint, f.seq)
+		if s.Tracer != nil && buffered {
+			s.Tracer.Emit(s.cycle, s.id, w.slot, trace.EvBOCWrite, int32(eng.Occupancy()))
+		}
 		s.st.WritebacksByHint[in.WBHint]++
 	}
 	s.sb.ReleaseWrite(w.slot, in)

@@ -3,6 +3,7 @@ package sm
 import (
 	"bow/internal/exec"
 	"bow/internal/isa"
+	"bow/internal/trace"
 )
 
 // canIssueWarp reports whether the warp can accept a new instruction
@@ -94,8 +95,28 @@ func (s *SM) issueInstruction(w *warpCtx, t *simtEntry, in *isa.Instruction) {
 	// Slide the window. Evictions enqueue RF writes through the engine
 	// sink; forwarded operands fill instantly (multi-operand forwarding).
 	eng := s.engines[w.slot]
+	var coalescedBefore int64
+	if s.Tracer != nil {
+		coalescedBefore = eng.Coalesced()
+	}
 	plan := eng.Advance(in)
 	f.seq = plan.Seq
+
+	if tr := s.Tracer; tr != nil {
+		tr.Emit(s.cycle, s.id, w.slot, trace.EvWarpIssue, int32(in.PC))
+		for i := 0; i < plan.NBypassed; i++ {
+			tr.Emit(s.cycle, s.id, w.slot, trace.EvBOCHit, int32(plan.BypassedRegs[i]))
+		}
+		for i := 0; i < plan.NPendingRegs; i++ {
+			tr.Emit(s.cycle, s.id, w.slot, trace.EvBOCHit, int32(plan.PendingRegs[i]))
+		}
+		for i := 0; i < plan.NNeedRF; i++ {
+			tr.Emit(s.cycle, s.id, w.slot, trace.EvBOCMiss, int32(plan.NeedRF[i]))
+		}
+		if d, ok := in.DstReg(); ok && eng.Coalesced() > coalescedBefore {
+			tr.Emit(s.cycle, s.id, w.slot, trace.EvWriteConsolidate, int32(d))
+		}
+	}
 
 	if s.bcfg.ForwardThroughPort {
 		// RFC comparator mode: the cache is organized like the RF, so a

@@ -23,6 +23,7 @@ import (
 	"bow/internal/scheduler"
 	"bow/internal/scoreboard"
 	"bow/internal/stats"
+	"bow/internal/trace"
 )
 
 // Kernel is a launched grid.
@@ -137,6 +138,16 @@ type SM struct {
 	// dynamic instruction stream (internal/trace consumes these).
 	CaptureTrace bool
 	Traces       map[[2]int][]*isa.Instruction
+
+	// Tracer, when non-nil, receives cycle-level events (warp issues,
+	// BOC hits/misses/evictions, consolidations, bank conflicts, wheel
+	// pops). Every emission site guards on nil, so a disabled tracer
+	// costs one branch per site and zero allocations.
+	Tracer *trace.CycleTracer
+
+	// lastBankConflicts remembers the RF conflict counter between
+	// cycles so the tracer can emit per-cycle conflict deltas.
+	lastBankConflicts int64
 }
 
 // New creates an SM.
@@ -220,6 +231,10 @@ func New(id int, gcfg config.GPU, bcfg core.Config, kernel *Kernel,
 		}
 		wslot := w
 		eng, err := core.NewEngine(bcfg, func(reg uint8, val core.Value, cause core.WriteCause) {
+			if s.Tracer != nil &&
+				(cause == core.CauseWindowEvict || cause == core.CauseCapacityEvict) {
+				s.Tracer.Emit(s.cycle, s.id, wslot, trace.EvBOCEvict, int32(reg))
+			}
 			// Functional value propagates instantly so Peek-based merge
 			// bases and oracle snapshots are always architecturally
 			// current; the queued write models the bank-port timing.
@@ -286,6 +301,13 @@ func (s *SM) Cycle() {
 	// 1. Register file banks serve one request each; completed reads
 	// queue operand deliveries into the collectors.
 	s.rf.Cycle()
+	if s.Tracer != nil {
+		if c := s.rf.Stats().BankConflicts; c > s.lastBankConflicts {
+			s.Tracer.Emit(s.cycle, s.id, -1, trace.EvBankConflict,
+				int32(c-s.lastBankConflicts))
+			s.lastBankConflicts = c
+		}
+	}
 
 	// 2. Scheduled events: writebacks, memory completions, branch
 	// resolution.

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// The quantile helpers feed routing decisions (hedge delays) and
+// metrics endpoints, so every degenerate input must map to a defined
+// value: an empty container returns 0, out-of-range and NaN fractions
+// clamp, and a single sample answers every quantile.
+func TestWindowQuantileEdges(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []int
+		q       float64
+		want    int
+	}{
+		{"empty", nil, 0.5, 0},
+		{"empty-nan", nil, math.NaN(), 0},
+		{"single-p0", []int{7}, 0, 7},
+		{"single-p50", []int{7}, 0.5, 7},
+		{"single-p100", []int{7}, 1, 7},
+		{"single-nan", []int{7}, math.NaN(), 7},
+		{"nan-clamps-low", []int{1, 2, 3, 4}, math.NaN(), 1},
+		{"below-range", []int{1, 2, 3, 4}, -0.5, 1},
+		{"above-range", []int{1, 2, 3, 4}, 1.5, 4},
+		{"inf", []int{1, 2, 3, 4}, math.Inf(1), 4},
+		{"neg-inf", []int{1, 2, 3, 4}, math.Inf(-1), 1},
+		{"median", []int{4, 1, 3, 2}, 0.5, 2},
+	}
+	for _, tc := range cases {
+		w := NewWindow(8)
+		for _, s := range tc.samples {
+			w.Observe(s)
+		}
+		if got := w.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Window.Quantile(%v) = %d, want %d", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestWindowQuantileSaturated(t *testing.T) {
+	// After wrap-around only the newest capacity samples may count.
+	w := NewWindow(4)
+	for _, s := range []int{100, 200, 1, 2, 3, 4} {
+		w.Observe(s)
+	}
+	if got := w.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := w.Quantile(1); got != 4 {
+		t.Errorf("saturated p100 = %d, want 4 (evicted 100/200 must not count)", got)
+	}
+	if got := w.Quantile(0); got != 1 {
+		t.Errorf("saturated p0 = %d, want 1", got)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []int
+		q       float64
+		want    int
+	}{
+		{"empty", nil, 0.99, 0},
+		{"empty-nan", nil, math.NaN(), 0},
+		{"single", []int{9}, 0.5, 9},
+		{"single-nan", []int{9}, math.NaN(), 9},
+		{"nan-clamps-low", []int{1, 2, 3}, math.NaN(), 1},
+		{"below-range", []int{1, 2, 3}, -2, 1},
+		{"above-range", []int{1, 2, 3}, 2, 3},
+		{"p50", []int{1, 2, 3, 4}, 0.5, 2},
+	}
+	for _, tc := range cases {
+		h := NewHistogram()
+		for _, s := range tc.samples {
+			h.Observe(s)
+		}
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Histogram.Quantile(%v) = %d, want %d", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestMeanIgnoresNaN(t *testing.T) {
+	var m Mean
+	m.Add(2)
+	m.Add(math.NaN())
+	m.Add(4)
+	if got := m.Value(); got != 3 {
+		t.Errorf("Mean with NaN sample = %v, want 3", got)
+	}
+	if got := m.N(); got != 2 {
+		t.Errorf("N = %d, want 2 (NaN not counted)", got)
+	}
+	var empty Mean
+	if got := empty.Value(); got != 0 {
+		t.Errorf("empty Mean = %v, want 0", got)
+	}
+}

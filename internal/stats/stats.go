@@ -115,13 +115,15 @@ func (h *Histogram) Mean() float64 {
 
 // Quantile returns the smallest observed value v such that at least a
 // fraction q of the samples are <= v (the empirical q-quantile). q is
-// clamped to [0, 1]; an empty histogram returns 0. The job engine uses
+// clamped to [0, 1] and a NaN q is treated as 0 (a NaN would slip past
+// both clamp comparisons and make the int64 conversion below
+// platform-defined); an empty histogram returns 0. The job engine uses
 // this for its p50/p99 latency gauges.
 func (h *Histogram) Quantile(q float64) int {
 	if h.total == 0 {
 		return 0
 	}
-	if q < 0 {
+	if math.IsNaN(q) || q < 0 {
 		q = 0
 	} else if q > 1 {
 		q = 1
@@ -201,12 +203,14 @@ func (w *Window) Len() int { return w.n }
 
 // Quantile returns the empirical q-quantile of the held samples (the
 // smallest held value v with at least a fraction q of samples <= v).
-// q is clamped to [0, 1]; an empty window returns 0.
+// q is clamped to [0, 1] and a NaN q is treated as 0 (it would
+// otherwise pass both clamp comparisons and index with an undefined
+// int conversion); an empty window returns 0.
 func (w *Window) Quantile(q float64) int {
 	if w.n == 0 {
 		return 0
 	}
-	if q < 0 {
+	if math.IsNaN(q) || q < 0 {
 		q = 0
 	} else if q > 1 {
 		q = 1
@@ -227,8 +231,16 @@ type Mean struct {
 	n   int64
 }
 
-// Add records one sample.
-func (m *Mean) Add(v float64) { m.sum += v; m.n++ }
+// Add records one sample. NaN samples are ignored: one poisoned input
+// (e.g. a 0/0 ratio from an empty run) must not turn the whole mean —
+// and every report derived from it — into NaN.
+func (m *Mean) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	m.sum += v
+	m.n++
+}
 
 // Value returns the mean (0 when empty).
 func (m *Mean) Value() float64 {

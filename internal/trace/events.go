@@ -1,0 +1,207 @@
+// Cycle-level event tracing. The reuse-distance analyses in this
+// package look at instruction streams before timing; the CycleTracer
+// here records what the timed pipeline actually did, cycle by cycle —
+// warp issues, BOC hits/misses/evictions, write consolidations, bank
+// conflicts, timing-wheel pops — so a single run can be replayed as
+// per-warp timelines (cmd/bowtrace) instead of end-of-run aggregates.
+//
+// The tracer is designed around two constraints:
+//
+//   - Disabled must be free. Every emission site guards on a nil
+//     tracer pointer, so the cycle loop pays one predictable branch.
+//   - Enabled must not allocate per event. Events land in a
+//     preallocated ring; once full, the oldest events are overwritten
+//     and counted in Dropped.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// EventKind types a cycle event.
+type EventKind uint8
+
+// Cycle event kinds. The Arg field of an Event is kind-dependent, as
+// documented per constant.
+const (
+	// EvWarpIssue: a warp issued an instruction. Arg = program counter.
+	EvWarpIssue EventKind = iota
+	// EvBOCHit: a source operand was served by the window (including
+	// merges into an in-flight fill). Arg = register number.
+	EvBOCHit
+	// EvBOCMiss: a source operand needed a register-file bank read.
+	// Arg = register number.
+	EvBOCMiss
+	// EvBOCWrite: a result was buffered in the BOC. Arg = window
+	// occupancy (live entries) right after the install — the occupancy
+	// samples bowtrace summarizes.
+	EvBOCWrite
+	// EvBOCEvict: a dirty value left the window for the register file
+	// (window slide or capacity pressure). Arg = register number.
+	EvBOCEvict
+	// EvWriteConsolidate: a buffered write was superseded inside the
+	// window and will never reach the register file (the paper's write
+	// bypass). Arg = destination register.
+	EvWriteConsolidate
+	// EvBankConflict: register-file bank conflicts were detected this
+	// cycle. Arg = number of conflicts; Warp is -1 (bank arbitration is
+	// not warp-scoped).
+	EvBankConflict
+	// EvWheelPop: the timing wheel delivered a scheduled pipeline event.
+	// Arg = the SM-internal event kind.
+	EvWheelPop
+
+	numEventKinds
+)
+
+var eventKindNames = [numEventKinds]string{
+	"warp-issue",
+	"boc-hit",
+	"boc-miss",
+	"boc-write",
+	"boc-evict",
+	"write-consolidate",
+	"bank-conflict",
+	"wheel-pop",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// EventKindFromString inverts String (for NDJSON decoding).
+func EventKindFromString(s string) (EventKind, bool) {
+	for i, n := range eventKindNames {
+		if n == s {
+			return EventKind(i), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one cycle-level record: 16 bytes, no pointers.
+type Event struct {
+	Cycle int64
+	SM    int16
+	Warp  int16 // warp slot; -1 when the event is not warp-scoped
+	Kind  EventKind
+	Arg   int32 // kind-dependent payload (see the kind constants)
+}
+
+// DefaultTraceCapacity bounds a tracer ring when the caller passes 0:
+// 1<<20 events x 16 bytes = 16 MiB, enough for the full event stream of
+// the bundled workloads without drops.
+const DefaultTraceCapacity = 1 << 20
+
+// CycleTracer collects cycle events into a bounded ring. It is not
+// concurrency-safe: the device's SM loop is sequential, which is also
+// what makes the emitted stream deterministic.
+type CycleTracer struct {
+	buf     []Event
+	next    int // overwrite position once the ring is full
+	dropped int64
+	counts  [numEventKinds]int64
+}
+
+// NewCycleTracer creates a tracer holding up to capacity events
+// (capacity <= 0 selects DefaultTraceCapacity).
+func NewCycleTracer(capacity int) *CycleTracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &CycleTracer{buf: make([]Event, 0, capacity)}
+}
+
+// Emit records one event, overwriting the oldest when the ring is full.
+func (t *CycleTracer) Emit(cycle int64, sm, warp int, kind EventKind, arg int32) {
+	t.counts[kind]++
+	ev := Event{Cycle: cycle, SM: int16(sm), Warp: int16(warp), Kind: kind, Arg: arg}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+		return
+	}
+	t.buf[t.next] = ev
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+	}
+	t.dropped++
+}
+
+// Len is the number of events currently held.
+func (t *CycleTracer) Len() int { return len(t.buf) }
+
+// Dropped is the number of events overwritten because the ring filled.
+func (t *CycleTracer) Dropped() int64 { return t.dropped }
+
+// Count returns how many events of kind were emitted over the whole
+// run, including any that were later overwritten.
+func (t *CycleTracer) Count(kind EventKind) int64 { return t.counts[kind] }
+
+// Each calls fn for every held event, oldest first.
+func (t *CycleTracer) Each(fn func(Event)) {
+	for _, ev := range t.buf[t.next:] {
+		fn(ev)
+	}
+	for _, ev := range t.buf[:t.next] {
+		fn(ev)
+	}
+}
+
+// eventJSON is the NDJSON wire form of an Event.
+type eventJSON struct {
+	Cycle int64  `json:"cycle"`
+	SM    int16  `json:"sm"`
+	Warp  int16  `json:"warp"`
+	Kind  string `json:"kind"`
+	Arg   int32  `json:"arg"`
+}
+
+// WriteNDJSON streams the held events, oldest first, one JSON object
+// per line. The encoding is canonical (fixed field order, no
+// timestamps), so two identical runs produce byte-identical output.
+func (t *CycleTracer) WriteNDJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	var err error
+	t.Each(func(ev Event) {
+		if err != nil {
+			return
+		}
+		err = enc.Encode(eventJSON{
+			Cycle: ev.Cycle, SM: ev.SM, Warp: ev.Warp,
+			Kind: ev.Kind.String(), Arg: ev.Arg,
+		})
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadNDJSON decodes an event stream written by WriteNDJSON.
+func ReadNDJSON(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var ej eventJSON
+		if err := dec.Decode(&ej); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("trace: line %d: %w", len(out)+1, err)
+		}
+		kind, ok := EventKindFromString(ej.Kind)
+		if !ok {
+			return out, fmt.Errorf("trace: line %d: unknown event kind %q", len(out)+1, ej.Kind)
+		}
+		out = append(out, Event{
+			Cycle: ej.Cycle, SM: ej.SM, Warp: ej.Warp, Kind: kind, Arg: ej.Arg,
+		})
+	}
+}

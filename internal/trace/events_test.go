@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCycleTracerRingWrap(t *testing.T) {
+	tr := NewCycleTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Emit(int64(i), 0, i, EvWarpIssue, int32(i*10))
+	}
+	if tr.Len() != 4 {
+		t.Errorf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", tr.Dropped())
+	}
+	if tr.Count(EvWarpIssue) != 6 {
+		t.Errorf("Count = %d, want 6 (overwritten events still counted)", tr.Count(EvWarpIssue))
+	}
+	var cycles []int64
+	tr.Each(func(ev Event) { cycles = append(cycles, ev.Cycle) })
+	if want := []int64{2, 3, 4, 5}; !reflect.DeepEqual(cycles, want) {
+		t.Errorf("Each order = %v, want %v (oldest first)", cycles, want)
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	tr := NewCycleTracer(16)
+	tr.Emit(1, 0, 3, EvWarpIssue, 42)
+	tr.Emit(2, 1, -1, EvBankConflict, 7)
+	tr.Emit(2, 1, 5, EvBOCEvict, 12)
+
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Cycle: 1, SM: 0, Warp: 3, Kind: EvWarpIssue, Arg: 42},
+		{Cycle: 2, SM: 1, Warp: -1, Kind: EvBankConflict, Arg: 7},
+		{Cycle: 2, SM: 1, Warp: 5, Kind: EvBOCEvict, Arg: 12},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip = %+v, want %+v", got, want)
+	}
+}
+
+func TestEventKindStringRoundTrip(t *testing.T) {
+	for k := EventKind(0); k < numEventKinds; k++ {
+		got, ok := EventKindFromString(k.String())
+		if !ok || got != k {
+			t.Errorf("kind %d: round trip via %q gave (%d, %v)", k, k.String(), got, ok)
+		}
+	}
+	if _, ok := EventKindFromString("bogus"); ok {
+		t.Error("unknown kind name accepted")
+	}
+}
+
+func TestSpanLogRecordAndByTrace(t *testing.T) {
+	l := NewSpanLog(8)
+	// Untraced span: feeds the stage windows but is not held.
+	l.Record(Span{Hop: HopWorker, Stage: StageHTTP, DurMicros: 100})
+	l.Record(Span{TraceID: "t1", Hop: HopWorker, Stage: StageHTTP, StartMicros: 20, DurMicros: 50})
+	l.Record(Span{TraceID: "t2", Hop: HopEngine, Stage: StageEngine, StartMicros: 10, DurMicros: 30})
+
+	if got := l.ByTrace("t1"); len(got) != 1 || got[0].DurMicros != 50 {
+		t.Errorf("ByTrace(t1) = %+v", got)
+	}
+	all := l.ByTrace("")
+	if len(all) != 2 {
+		t.Fatalf("ByTrace(\"\") held %d spans, want 2 (untraced not stored)", len(all))
+	}
+	if all[0].TraceID != "t2" || all[1].TraceID != "t1" {
+		t.Errorf("spans not sorted by start time: %+v", all)
+	}
+
+	st := l.Stages()
+	if len(st) != 2 {
+		t.Fatalf("Stages = %+v, want 2 entries", st)
+	}
+	// engine/engine sorts before worker/http; the untraced span still
+	// counted toward worker/http.
+	if st[0].Hop != HopEngine || st[1].Count != 2 {
+		t.Errorf("stage breakdown wrong: %+v", st)
+	}
+
+	var buf bytes.Buffer
+	l.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`bow_spans_total{hop="worker",stage="http"} 2`,
+		`bow_span_latency_microseconds{hop="engine",stage="engine",quantile="0.5"} 30`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanLogRingBound(t *testing.T) {
+	l := NewSpanLog(4)
+	for i := 0; i < 10; i++ {
+		l.Record(Span{TraceID: "t", StartMicros: int64(i), Hop: HopClient, Stage: StageHTTP})
+	}
+	got := l.ByTrace("t")
+	if len(got) != 4 {
+		t.Fatalf("ring held %d spans, want 4", len(got))
+	}
+	if got[0].StartMicros != 6 || got[3].StartMicros != 9 {
+		t.Errorf("ring kept wrong spans: %+v", got)
+	}
+}

@@ -1,0 +1,227 @@
+// Distributed spans. A simulation request crosses three processes —
+// bowctl/client, the cluster coordinator, and a worker bowd — and
+// inside the worker it crosses the HTTP handler, the job queue, and the
+// simulation engine. A Span is one timed stage on that path; all spans
+// of one request share a trace ID carried in the X-Bow-Trace-Id HTTP
+// header (injected by simjob.Client from the request context, extracted
+// by both servers), so a slow sweep can be attributed to a hop after
+// the fact via GET /spans?trace=ID.
+//
+// SpanLog stores spans in a bounded ring and, independently of any
+// trace ID, folds every recorded duration into per-(hop,stage)
+// stats.Window latency breakdowns — those feed the Prometheus /metrics
+// exposition even when no request is traced.
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"bow/internal/stats"
+)
+
+// HeaderTraceID is the HTTP header that carries a trace ID across the
+// bowctl -> coordinator -> worker hops.
+const HeaderTraceID = "X-Bow-Trace-Id"
+
+// Hop names: which process recorded a span.
+const (
+	HopClient      = "client"
+	HopCoordinator = "coordinator"
+	HopWorker      = "worker"
+	HopEngine      = "engine"
+)
+
+// Stage names: which part of a hop the span timed.
+const (
+	StageRoute    = "route"    // coordinator: waiting to acquire a worker slot
+	StageDispatch = "dispatch" // coordinator: one RPC attempt against a worker
+	StageHedge    = "hedge"    // coordinator: a speculative duplicate dispatch
+	StageRetry    = "retry"    // coordinator: backoff + re-dispatch after a failure
+	StageHTTP     = "http"     // worker: whole /simulate handler
+	StageQueue    = "queue"    // engine: job waiting for a pool worker
+	StageEngine   = "engine"   // engine: the simulation itself
+	StageCache    = "cache"    // engine/coordinator: result served from cache
+)
+
+type traceIDKey struct{}
+
+// ContextWithID returns ctx carrying the trace ID (no-op for "").
+func ContextWithID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// IDFromContext extracts the trace ID, or "" when the request is
+// untraced.
+func IDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
+
+// NewID returns a fresh 16-hex-digit random trace ID.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; here a
+		// constant fallback only degrades trace grouping, not correctness.
+		return "trace-rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Span is one timed stage of one hop.
+type Span struct {
+	TraceID     string `json:"traceId"`
+	Hop         string `json:"hop"`
+	Stage       string `json:"stage"`
+	Job         string `json:"job,omitempty"`    // spec content hash
+	Worker      string `json:"worker,omitempty"` // worker address (coordinator hops)
+	StartMicros int64  `json:"startMicros"`      // unix microseconds
+	DurMicros   int64  `json:"durMicros"`
+	Err         string `json:"err,omitempty"`
+}
+
+// StageStat is the latency breakdown of one (hop, stage) pair, over all
+// recorded spans (traced or not).
+type StageStat struct {
+	Hop       string `json:"hop"`
+	Stage     string `json:"stage"`
+	Count     int64  `json:"count"`
+	P50Micros int    `json:"p50Micros"`
+	P95Micros int    `json:"p95Micros"`
+}
+
+// DefaultSpanCapacity bounds a SpanLog ring when the caller passes 0.
+const DefaultSpanCapacity = 4096
+
+type stageAgg struct {
+	count int64
+	win   *stats.Window
+}
+
+// SpanLog is a concurrency-safe bounded span store with per-stage
+// latency windows.
+type SpanLog struct {
+	mu     sync.Mutex
+	buf    []Span
+	next   int
+	stages map[[2]string]*stageAgg
+}
+
+// NewSpanLog creates a log holding up to capacity spans (<= 0 selects
+// DefaultSpanCapacity).
+func NewSpanLog(capacity int) *SpanLog {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &SpanLog{
+		buf:    make([]Span, 0, capacity),
+		stages: make(map[[2]string]*stageAgg),
+	}
+}
+
+// Record folds the span's duration into its (hop, stage) latency window
+// and, when the span belongs to a trace, stores it in the ring
+// (overwriting the oldest). Untraced spans still feed the windows —
+// the /metrics breakdowns cover all traffic, not just traced requests.
+func (l *SpanLog) Record(s Span) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	key := [2]string{s.Hop, s.Stage}
+	agg := l.stages[key]
+	if agg == nil {
+		agg = &stageAgg{win: stats.NewWindow(0)}
+		l.stages[key] = agg
+	}
+	agg.count++
+	agg.win.Observe(int(s.DurMicros))
+	if s.TraceID == "" {
+		return
+	}
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, s)
+		return
+	}
+	l.buf[l.next] = s
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+	}
+}
+
+// ByTrace returns the held spans of one trace ID (all held spans when
+// id is ""), sorted by start time with recording order as tie-break.
+func (l *SpanLog) ByTrace(id string) []Span {
+	l.mu.Lock()
+	out := make([]Span, 0, 16)
+	for _, s := range l.buf[l.next:] {
+		if id == "" || s.TraceID == id {
+			out = append(out, s)
+		}
+	}
+	for _, s := range l.buf[:l.next] {
+		if id == "" || s.TraceID == id {
+			out = append(out, s)
+		}
+	}
+	l.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].StartMicros < out[j].StartMicros
+	})
+	return out
+}
+
+// Stages snapshots the per-(hop, stage) breakdowns, sorted by hop then
+// stage.
+func (l *SpanLog) Stages() []StageStat {
+	l.mu.Lock()
+	out := make([]StageStat, 0, len(l.stages))
+	for key, agg := range l.stages {
+		out = append(out, StageStat{
+			Hop:       key[0],
+			Stage:     key[1],
+			Count:     agg.count,
+			P50Micros: agg.win.Quantile(0.50),
+			P95Micros: agg.win.Quantile(0.95),
+		})
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hop != out[j].Hop {
+			return out[i].Hop < out[j].Hop
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// WritePrometheus renders the per-stage counters and latency quantiles
+// in Prometheus text exposition format. Both bowd modes append this to
+// their /metrics output.
+func (l *SpanLog) WritePrometheus(w io.Writer) {
+	st := l.Stages()
+	if len(st) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP bow_spans_total Spans recorded per hop and stage.\n")
+	fmt.Fprintf(w, "# TYPE bow_spans_total counter\n")
+	for _, s := range st {
+		fmt.Fprintf(w, "bow_spans_total{hop=%q,stage=%q} %d\n", s.Hop, s.Stage, s.Count)
+	}
+	fmt.Fprintf(w, "# HELP bow_span_latency_microseconds Recent span latency per hop and stage.\n")
+	fmt.Fprintf(w, "# TYPE bow_span_latency_microseconds gauge\n")
+	for _, s := range st {
+		fmt.Fprintf(w, "bow_span_latency_microseconds{hop=%q,stage=%q,quantile=\"0.5\"} %d\n",
+			s.Hop, s.Stage, s.P50Micros)
+		fmt.Fprintf(w, "bow_span_latency_microseconds{hop=%q,stage=%q,quantile=\"0.95\"} %d\n",
+			s.Hop, s.Stage, s.P95Micros)
+	}
+}
