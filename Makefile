@@ -2,20 +2,33 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cluster-smoke trace-smoke bench bench-all repro examples cover clean
+.PHONY: all build vet lint test race cluster-smoke trace-smoke bench bench-all repro examples cover clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
 
-vet:
-	$(GO) vet ./...
+# bowvet is built once into bin/ and reused; its -V=full stamp hashes
+# the binary, so go vet's result cache invalidates itself whenever the
+# passes change.
+bin/bowvet: $(wildcard cmd/bowvet/*.go internal/analysis/*.go) go.mod
+	$(GO) build -o bin/bowvet ./cmd/bowvet
 
-# The default test gate includes vet and the race detector: the job
+# lint is the full static gate: stock go vet first, then the repo's own
+# invariant passes (determinism, hotpathalloc, nilguardtrace, locksafe)
+# driven through the same vet harness. `go run ./cmd/bowvet ./...` is
+# the cache-free equivalent of the second step.
+lint: bin/bowvet
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(CURDIR)/bin/bowvet ./...
+
+vet: lint
+
+# The default test gate includes lint and the race detector: the job
 # engine (internal/simjob) simulates concurrently, so every test run
 # also proves the pool's thread safety.
-test: vet cluster-smoke trace-smoke
+test: lint cluster-smoke trace-smoke
 	$(GO) test ./...
 	$(GO) test -race ./...
 
@@ -48,7 +61,9 @@ repro:
 # exceeds the gate (every bypass policy must stay ≤ 1.0).
 bench:
 	$(GO) test -run xxx -bench SimRate -benchmem .
-	$(GO) run ./cmd/bowbench -simrate BENCH_simrate.json -allocgate 1.0
+	$(GO) run ./cmd/bowbench -simrate BENCH_simrate.json -allocgate 1.0 || \
+		{ echo "allocgate tripped: a hot path allocates." ; \
+		  echo "Run 'go run ./cmd/bowvet -pass hotpathalloc ./...' to find the site (//bow:hotpath functions must not allocate)." ; exit 1 ; }
 
 # One testing.B per paper artifact + microbenchmarks.
 bench-all:

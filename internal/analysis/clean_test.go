@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot locates the repository root via the active go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatal("not in a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+// TestRepositoryClean proves the invariants hold on the whole tree:
+// every bowvet pass over every package of this module must come up
+// empty. A failure here means a real finding — fix it or add a
+// documented //bowvet:ignore at the site.
+func TestRepositoryClean(t *testing.T) {
+	pkgs, err := Load(moduleRoot(t), "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, pkg := range pkgs {
+		for _, d := range Run(pkg, Analyzers()) {
+			t.Errorf("%s", d.String())
+		}
+	}
+}
+
+// TestBowvetCommandClean runs the actual command — the same invocation
+// make lint uses — and asserts a zero exit, covering the CLI wiring on
+// top of the in-process check above.
+func TestBowvetCommandClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping bowvet subprocess in -short mode")
+	}
+	root := moduleRoot(t)
+	cmd := exec.Command("go", "run", "./cmd/bowvet", "./...")
+	cmd.Dir = root
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("bowvet ./... failed: %v\n%s", err, out.String())
+	}
+}

@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPathAlloc flags allocating constructs inside functions annotated
+// //bow:hotpath. The runtime allocgate (bowbench -allocgate) measures
+// allocs/cycle after the fact; this pass points at the line that
+// allocates before the benchmark ever runs. The two are complementary:
+// the gate catches cross-function regressions the intraprocedural pass
+// cannot see, the pass names the construct the gate only counts.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "forbid allocating constructs (capturing closures, fmt calls, map/slice " +
+		"literals, make/new, interface boxing, string building) in //bow:hotpath functions",
+	Run: runHotPathAlloc,
+}
+
+// isHotPath reports whether a function's doc comment carries the
+// //bow:hotpath annotation.
+func isHotPath(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), "//bow:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotPathAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if capt := capturedVar(info, x, fd); capt != "" {
+				pass.Reportf(x.Pos(),
+					"closure capturing %q allocates on the hot path; hoist it to a field or pass state explicitly", capt)
+			}
+		case *ast.GoStmt:
+			pass.Reportf(x.Pos(), "goroutine spawn allocates a stack on the hot path")
+		case *ast.DeferStmt:
+			pass.Reportf(x.Pos(), "defer on the hot path costs a frame record per call; unlock/cleanup inline instead")
+		case *ast.CompositeLit:
+			tv, ok := info.Types[x]
+			if !ok || tv.Type == nil {
+				return
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(x.Pos(), "map literal always heap-allocates on the hot path")
+			case *types.Slice:
+				pass.Reportf(x.Pos(), "slice literal may heap-allocate on the hot path; use a fixed-size array or a reused buffer")
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringExpr(info, x) {
+				pass.Reportf(x.Pos(), "string concatenation allocates on the hot path")
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, x, fd)
+		case *ast.SelectorExpr:
+			// A method value (x.M used as a func) allocates a bound
+			// closure. Method *calls* have the CallExpr as parent.
+			sel, ok := info.Selections[x]
+			if !ok || sel.Kind() != types.MethodVal {
+				return
+			}
+			if len(stack) > 0 {
+				if call, ok := stack[len(stack)-1].(*ast.CallExpr); ok && call.Fun == x {
+					return
+				}
+			}
+			pass.Reportf(x.Pos(), "method value %s allocates a bound closure on the hot path", exprString(x))
+		}
+	})
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	// Conversions: string <-> []byte/[]rune copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && isStringByteConv(info, tv.Type, call.Args[0]) {
+			pass.Reportf(call.Pos(), "string/[]byte conversion copies and allocates on the hot path")
+		}
+		return
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make on the hot path allocates; preallocate in setup or use a free list")
+			case "new":
+				pass.Reportf(call.Pos(), "new on the hot path allocates; use a free list or value storage")
+			}
+			return
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(),
+			"fmt.%s allocates (boxing + formatting) on the hot path; move formatting to a cold helper", fn.Name())
+		return
+	}
+	// Interface boxing of concrete non-pointer-shaped arguments.
+	sigTV, ok := info.Types[call.Fun]
+	if !ok || sigTV.Type == nil {
+		return
+	}
+	sig, ok := sigTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		atv, ok := info.Types[arg]
+		if !ok || atv.Type == nil || atv.Value != nil { // constants fold to static data
+			continue
+		}
+		at := atv.Type
+		if at == types.Typ[types.UntypedNil] || pointerShaped(at) {
+			continue
+		}
+		if _, isIface := at.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"passing %s to an interface parameter boxes and may allocate on the hot path", at.String())
+	}
+}
+
+// capturedVar returns the name of a variable the closure captures from
+// the enclosing function, or "" if it captures nothing (a non-capturing
+// closure compiles to a static function and does not allocate).
+func capturedVar(info *types.Info, lit *ast.FuncLit, fd *ast.FuncDecl) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured iff declared in the enclosing function but outside
+		// the literal itself (parameters and receiver included).
+		if declaredWithin(v, fd.Pos(), fd.End()) && !declaredWithin(v, lit.Pos(), lit.End()) {
+			captured = v.Name()
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isStringByteConv reports whether converting arg to target crosses the
+// string/[]byte (or []rune) boundary, which copies.
+func isStringByteConv(info *types.Info, target types.Type, arg ast.Expr) bool {
+	atv, ok := info.Types[arg]
+	if !ok || atv.Type == nil {
+		return false
+	}
+	toStr := isStringType(target)
+	fromStr := isStringType(atv.Type)
+	toSlice := isByteOrRuneSlice(target)
+	fromSlice := isByteOrRuneSlice(atv.Type)
+	return (toStr && fromSlice) || (toSlice && fromStr)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// pointerShaped reports whether boxing a value of t into an interface
+// stores the value directly (no heap allocation): pointers, channels,
+// maps, funcs, and unsafe pointers.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.UnsafePointer
+}

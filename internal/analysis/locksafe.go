@@ -1,0 +1,403 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// lockPackages are the concurrent subsystems the locksafe pass covers:
+// the cluster coordinator and the simulation job engine, where a mutex
+// held across a channel rendezvous or a worker HTTP round trip turns a
+// slow peer into a coordinator-wide stall.
+var lockPackages = map[string]bool{"cluster": true, "simjob": true}
+
+// LockSafe flags mutex value copies and locks held across blocking
+// boundary operations (channel sends/receives/selects, net/http calls,
+// simjob.Client RPCs) in the cluster and job-engine packages.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc: "forbid lock-by-value copies, and channel or HTTP operations performed " +
+		"while holding a mutex, in internal/cluster and internal/simjob",
+	Run: runLockSafe,
+}
+
+func runLockSafe(pass *Pass) {
+	if !lockPackages[pass.Pkg.Name()] {
+		return
+	}
+	for _, f := range pass.Files {
+		checkLockCopies(pass, f)
+		// Every function body (including literals) is analyzed as its
+		// own straight-line region; a goroutine or closure has its own
+		// lock discipline.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkHeldAcross(pass, fn.Body.List, map[string]token.Pos{})
+				}
+			case *ast.FuncLit:
+				checkHeldAcross(pass, fn.Body.List, map[string]token.Pos{})
+			}
+			return true
+		})
+	}
+}
+
+// --- lock copies ---------------------------------------------------
+
+// containsLock reports whether a value of type t embeds sync state
+// that must not be copied.
+func containsLock(t types.Type) bool {
+	return containsLockDepth(t, 0)
+}
+
+func containsLockDepth(t types.Type, depth int) bool {
+	if depth > 10 {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockDepth(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockDepth(u.Elem(), depth+1)
+	}
+	return false
+}
+
+func checkLockCopies(pass *Pass, f *ast.File) {
+	info := pass.TypesInfo
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			checkLockFields(pass, x.Recv, "receiver")
+			if x.Type.Params != nil {
+				checkLockFields(pass, x.Type.Params, "parameter")
+			}
+			if x.Type.Results != nil {
+				checkLockFields(pass, x.Type.Results, "result")
+			}
+		case *ast.AssignStmt:
+			if len(x.Rhs) != len(x.Lhs) {
+				return true
+			}
+			for _, rhs := range x.Rhs {
+				switch ast.Unparen(rhs).(type) {
+				case *ast.CompositeLit, *ast.CallExpr, *ast.UnaryExpr:
+					continue // initialization or pointer, not a copy of live state
+				}
+				tv, ok := info.Types[rhs]
+				if !ok || tv.Type == nil || !containsLock(tv.Type) {
+					continue
+				}
+				pass.Reportf(x.Pos(), "assignment copies lock value of type %s (use a pointer)", tv.Type.String())
+			}
+		case *ast.RangeStmt:
+			if x.Value == nil {
+				return true
+			}
+			// A := range variable is a definition, recorded in Defs
+			// rather than Types.
+			var vt types.Type
+			if id, isIdent := x.Value.(*ast.Ident); isIdent {
+				if obj := info.Defs[id]; obj != nil {
+					vt = obj.Type()
+				}
+			}
+			if vt == nil {
+				if tv, ok := info.Types[x.Value]; ok {
+					vt = tv.Type
+				}
+			}
+			if vt != nil && containsLock(vt) {
+				pass.Reportf(x.Value.Pos(), "range copies lock value of type %s per iteration (range over pointers)", vt.String())
+			}
+		}
+		return true
+	})
+}
+
+func checkLockFields(pass *Pass, fields *ast.FieldList, what string) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+			continue
+		}
+		if containsLock(tv.Type) {
+			pass.Reportf(field.Pos(), "%s passes lock value of type %s by value (use a pointer)", what, tv.Type.String())
+		}
+	}
+}
+
+// --- locks held across blocking boundaries -------------------------
+
+// checkHeldAcross walks one statement list, tracking which mutexes are
+// held (by receiver expression text) and flagging channel operations
+// and HTTP round trips performed while any lock is held. Nested blocks
+// are analyzed with a copy of the held set; unlocks observed anywhere
+// in a nested block conservatively release the outer view, so a
+// conditional unlock does not produce false positives downstream.
+func checkHeldAcross(pass *Pass, stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			if recv, op, ok := lockCall(pass.TypesInfo, s.X); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[recv] = s.Pos()
+				case "Unlock", "RUnlock":
+					delete(held, recv)
+				}
+				continue
+			}
+			checkBlockingExpr(pass, s.X, held)
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held to function end:
+			// the held set intentionally keeps the entry, so blocking
+			// calls later in the body still get flagged.
+			continue
+		case *ast.SendStmt:
+			reportHeld(pass, s.Pos(), held, "channel send")
+		case *ast.SelectStmt:
+			reportHeld(pass, s.Pos(), held, "select")
+			checkNestedBlocks(pass, s, held)
+		case *ast.GoStmt:
+			continue // the spawned goroutine has its own discipline
+		case *ast.AssignStmt, *ast.DeclStmt, *ast.ReturnStmt, *ast.IfStmt,
+			*ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt,
+			*ast.BlockStmt, *ast.LabeledStmt, *ast.IncDecStmt:
+			// Scan embedded expressions (receives, HTTP calls in
+			// conditions and right-hand sides), then recurse.
+			checkStmtExprs(pass, st, held)
+			checkNestedBlocks(pass, st, held)
+		default:
+			checkStmtExprs(pass, st, held)
+		}
+	}
+}
+
+// checkNestedBlocks recurses into the statement's blocks with a copy
+// of the held set, then releases from the outer view any mutex a
+// nested branch may have unlocked.
+func checkNestedBlocks(pass *Pass, st ast.Stmt, held map[string]token.Pos) {
+	recurse := func(list []ast.Stmt) {
+		inner := make(map[string]token.Pos, len(held))
+		for k, v := range held {
+			inner[k] = v
+		}
+		checkHeldAcross(pass, list, inner)
+	}
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		recurse(s.List)
+	case *ast.IfStmt:
+		recurse(s.Body.List)
+		if s.Else != nil {
+			checkNestedBlocks(pass, s.Else, held)
+		}
+	case *ast.ForStmt:
+		recurse(s.Body.List)
+	case *ast.RangeStmt:
+		recurse(s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				recurse(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				recurse(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				recurse(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		checkNestedBlocks(pass, s.Stmt, held)
+	}
+	// Conservative release: any unlock inside the nested statement
+	// clears that mutex from the outer view.
+	ast.Inspect(st, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if recv, op, ok := lockCallExpr(pass.TypesInfo, call); ok && (op == "Unlock" || op == "RUnlock") {
+				delete(held, recv)
+			}
+		}
+		return true
+	})
+}
+
+// checkStmtExprs scans the statement's immediate expressions (not its
+// nested blocks) for blocking operations while locks are held.
+func checkStmtExprs(pass *Pass, st ast.Stmt, held map[string]token.Pos) {
+	if len(held) == 0 {
+		return
+	}
+	var exprs []ast.Expr
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		exprs = append(exprs, s.Rhs...)
+	case *ast.ReturnStmt:
+		exprs = append(exprs, s.Results...)
+	case *ast.IfStmt:
+		exprs = append(exprs, s.Cond)
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			exprs = append(exprs, s.Cond)
+		}
+	case *ast.RangeStmt:
+		exprs = append(exprs, s.X)
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			exprs = append(exprs, s.Tag)
+		}
+	case *ast.ExprStmt:
+		exprs = append(exprs, s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					exprs = append(exprs, vs.Values...)
+				}
+			}
+		}
+	}
+	for _, e := range exprs {
+		checkBlockingExpr(pass, e, held)
+	}
+}
+
+// checkBlockingExpr flags channel receives and HTTP round trips inside
+// the expression while locks are held. Function literals inside the
+// expression are skipped: they run later, under their own discipline.
+func checkBlockingExpr(pass *Pass, e ast.Expr, held map[string]token.Pos) {
+	if len(held) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				reportHeld(pass, x.Pos(), held, "channel receive")
+			}
+		case *ast.CallExpr:
+			if kind, ok := httpCall(pass.TypesInfo, x); ok {
+				reportHeld(pass, x.Pos(), held, kind)
+			}
+		}
+		return true
+	})
+}
+
+func reportHeld(pass *Pass, pos token.Pos, held map[string]token.Pos, what string) {
+	if len(held) == 0 {
+		return
+	}
+	// Report against one deterministic holder (lexically first).
+	holders := make([]string, 0, len(held))
+	for k := range held {
+		holders = append(holders, k)
+	}
+	sort.Strings(holders)
+	pass.Reportf(pos, "%s while holding %s: a blocked peer stalls every path serialized on the lock (release before blocking)", what, holders[0])
+}
+
+// lockCall matches a statement-level mutex acquire/release call and
+// returns the receiver text and operation.
+func lockCall(info *types.Info, e ast.Expr) (recv, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	return lockCallExpr(info, call)
+}
+
+func lockCallExpr(info *types.Info, call *ast.CallExpr) (recv, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return exprString(ast.Unparen(sel.X)), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// httpCall recognizes blocking RPC shapes: anything in net/http, and
+// methods on simjob.Client (the worker RPC surface the coordinator
+// uses).
+func httpCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	if fn.Pkg().Path() == "net/http" {
+		return "net/http call", true
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, isPtr := rt.(*types.Pointer); isPtr {
+			rt = p.Elem()
+		}
+		if named, isNamed := rt.(*types.Named); isNamed {
+			obj := named.Obj()
+			// Only the context-taking methods block on the network;
+			// plain accessors (Base, ...) are lock-safe.
+			if obj.Name() == "Client" && obj.Pkg() != nil && obj.Pkg().Name() == "simjob" &&
+				firstParamIsContext(sig) {
+				return "simjob.Client RPC", true
+			}
+		}
+	}
+	return "", false
+}
+
+func firstParamIsContext(sig *types.Signature) bool {
+	if sig.Params().Len() == 0 {
+		return false
+	}
+	named, ok := sig.Params().At(0).Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

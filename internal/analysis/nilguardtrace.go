@@ -1,0 +1,291 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilGuardTrace enforces the two tracing disciplines established with
+// the observability layer:
+//
+//   - CycleTracer is call-site-guarded: its methods are NOT nil-safe
+//     (the zero branch must cost nothing at emission sites), so every
+//     call through a possibly-nil tracer must be dominated by an
+//     `if tr != nil` guard, an early `if tr == nil { return }` bail,
+//     or a constructor call in the same function.
+//   - SpanLog is receiver-guarded: its exported methods begin with a
+//     nil-receiver check, so call sites stay guard-free. The pass
+//     verifies the guards exist when analyzing package trace itself.
+var NilGuardTrace = &Analyzer{
+	Name: "nilguardtrace",
+	Doc: "require nil guards at trace.CycleTracer call sites and nil-safe receivers " +
+		"on trace.SpanLog methods",
+	Run: runNilGuardTrace,
+}
+
+// traceTypeNames classifies the tracing types by discipline.
+const (
+	callSiteGuarded = "CycleTracer"
+	receiverGuarded = "SpanLog"
+)
+
+// isTraceType reports whether t (after pointer peeling) is the named
+// type name from a package called "trace".
+func isTraceType(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Name() == "trace"
+}
+
+func runNilGuardTrace(pass *Pass) {
+	if pass.Pkg.Name() == "trace" {
+		checkSpanLogReceivers(pass)
+	}
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.MethodVal {
+				return
+			}
+			if !isTraceType(selection.Recv(), callSiteGuarded) {
+				return
+			}
+			if _, ok := selection.Recv().(*types.Pointer); !ok {
+				return // value receiver copy: cannot be nil
+			}
+			recv := ast.Unparen(sel.X)
+			if nilGuarded(pass, recv, call, stack) {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"call to (*trace.CycleTracer).%s without a nil guard on %s; emission sites must branch on the tracer (disabled tracing is free)",
+				sel.Sel.Name, exprString(recv))
+		})
+	}
+}
+
+// nilGuarded reports whether the receiver of a CycleTracer call is
+// provably non-nil at the call: guarded by a dominating `!= nil`
+// condition, bailed out on `== nil`, freshly constructed, or the
+// enclosing method's own receiver.
+func nilGuarded(pass *Pass, recv ast.Expr, call *ast.CallExpr, stack []ast.Node) bool {
+	info := pass.TypesInfo
+	recvStr := exprString(recv)
+
+	var encl ast.Node // innermost enclosing FuncDecl or FuncLit
+	for i := len(stack) - 1; i >= 0 && encl == nil; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			encl = stack[i]
+		}
+	}
+
+	// The enclosing method's own receiver, inside package trace: the
+	// guard lives at the method's call sites, not inside it.
+	if fd, ok := encl.(*ast.FuncDecl); ok && fd.Recv != nil && len(fd.Recv.List) == 1 {
+		if names := fd.Recv.List[0].Names; len(names) == 1 && names[0].Name == recvStr &&
+			pass.Pkg.Name() == "trace" {
+			return true
+		}
+	}
+
+	// Dominating guard: an ancestor `if` whose condition conjoins
+	// `recv != nil`, with the call inside the then-branch.
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		inBody := ifs.Body.Pos() <= call.Pos() && call.Pos() <= ifs.Body.End()
+		if inBody && condChecksNonNil(ifs.Cond, recvStr) {
+			return true
+		}
+	}
+
+	var body *ast.BlockStmt
+	switch e := encl.(type) {
+	case *ast.FuncDecl:
+		body = e.Body
+	case *ast.FuncLit:
+		body = e.Body
+	}
+	if body == nil {
+		return false
+	}
+
+	guarded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if guarded || n == nil {
+			return false
+		}
+		if n.Pos() >= call.Pos() {
+			return false // only code before the call can establish the guard
+		}
+		switch x := n.(type) {
+		case *ast.IfStmt:
+			// Early bail: `if recv == nil { return }` before the call.
+			if x.End() < call.Pos() && condChecksNil(x.Cond, recvStr) && endsInReturn(x.Body) {
+				guarded = true
+			}
+		case *ast.AssignStmt:
+			// Fresh construction: recv := trace.NewCycleTracer(...) or
+			// recv := &trace.CycleTracer{...} before the call.
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				if exprString(ast.Unparen(lhs)) != recvStr {
+					continue
+				}
+				switch r := ast.Unparen(x.Rhs[i]).(type) {
+				case *ast.CallExpr:
+					if fn := calleeFunc(info, r); fn != nil && fn.Name() == "NewCycleTracer" {
+						guarded = true
+					}
+				case *ast.UnaryExpr:
+					if r.Op == token.AND {
+						if cl, ok := r.X.(*ast.CompositeLit); ok {
+							if tv, ok := info.Types[cl]; ok && isTraceType(tv.Type, callSiteGuarded) {
+								guarded = true
+							}
+						}
+					}
+				}
+			}
+		}
+		return !guarded
+	})
+	return guarded
+}
+
+// condChecksNonNil reports whether cond (possibly an && chain)
+// contains the conjunct `<expr> != nil` for the given receiver text.
+func condChecksNonNil(cond ast.Expr, recvStr string) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			return condChecksNonNil(c.X, recvStr) || condChecksNonNil(c.Y, recvStr)
+		case token.NEQ:
+			return binaryNilCheck(c, recvStr)
+		}
+	}
+	return false
+}
+
+// condChecksNil reports whether cond is `<expr> == nil` (possibly
+// inside an || chain) for the receiver text.
+func condChecksNil(cond ast.Expr, recvStr string) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LOR:
+			return condChecksNil(c.X, recvStr) || condChecksNil(c.Y, recvStr)
+		case token.EQL:
+			return binaryNilCheck(c, recvStr)
+		}
+	}
+	return false
+}
+
+func binaryNilCheck(b *ast.BinaryExpr, recvStr string) bool {
+	x, y := ast.Unparen(b.X), ast.Unparen(b.Y)
+	if isNilIdent(y) {
+		return exprString(x) == recvStr
+	}
+	if isNilIdent(x) {
+		return exprString(y) == recvStr
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// endsInReturn reports whether the block's last statement terminates
+// the function (return or panic).
+func endsInReturn(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkSpanLogReceivers verifies, inside package trace, that every
+// exported pointer-receiver method of SpanLog opens with a
+// nil-receiver guard, keeping the type safe to call through a nil
+// pointer from every hop.
+func checkSpanLogReceivers(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			if !ast.IsExported(fd.Name.Name) {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			if sig.Recv() == nil || !isTraceType(sig.Recv().Type(), receiverGuarded) {
+				continue
+			}
+			if _, isPtr := sig.Recv().Type().(*types.Pointer); !isPtr {
+				continue
+			}
+			recvName := ""
+			if names := fd.Recv.List[0].Names; len(names) == 1 {
+				recvName = names[0].Name
+			}
+			if recvName == "" || !startsWithNilGuard(fd.Body, recvName) {
+				pass.Reportf(fd.Pos(),
+					"(*trace.SpanLog).%s must begin with `if %s == nil { return ... }` — SpanLog is nil-safe by contract so hops can record unconditionally",
+					fd.Name.Name, recvName)
+			}
+		}
+	}
+}
+
+// startsWithNilGuard reports whether the first statement is
+// `if recv == nil { return ... }`.
+func startsWithNilGuard(body *ast.BlockStmt, recvName string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	return condChecksNil(ifs.Cond, recvName) && endsInReturn(ifs.Body)
+}

@@ -1,0 +1,100 @@
+// Package sm is a fixture named after a simulation package, so the
+// strict determinism rules (time, rand, goroutines) apply alongside the
+// tree-wide map-iteration rule.
+package sm
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now in simulation package sm"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in simulation package sm"
+}
+
+func globalRand() int {
+	return rand.Intn(8) // want "rand.Intn in simulation package sm uses the globally-seeded source"
+}
+
+// seededRand is fine: methods on an explicitly seeded source are
+// deterministic.
+func seededRand(r *rand.Rand) int {
+	return r.Intn(8)
+}
+
+func spawn(ch chan int) {
+	go send(ch) // want "goroutine spawn in simulation package sm"
+}
+
+func send(ch chan int) { ch <- 1 }
+
+func mapSideEffects(m map[string]int, out chan int, sink func(int)) {
+	for _, v := range m {
+		sink(v) // want "call with potential side effects inside iteration over map m"
+	}
+	for _, v := range m {
+		out <- v // want "channel send inside iteration over map m"
+	}
+	var sum float64
+	for _, v := range m {
+		sum += float64(v) // want "accumulation into sum is order-dependent for its type"
+	}
+	_ = sum
+	var last int
+	for _, v := range m {
+		last = v // want "assignment to last depends on the iteration order of map m"
+	}
+	_ = last
+}
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out under iteration over map m without a subsequent sort"
+	}
+	return out
+}
+
+func deleteOtherKey(m, other map[string]int) {
+	for k := range m {
+		delete(other, k) // want "delete of another key while ranging over m"
+	}
+}
+
+// orderFree exercises the allowed idioms: loop-local writes, integer
+// accumulation, keyed writes (even deep in the access chain), deleting
+// the loop key, and collect-then-sort.
+func orderFree(m map[string]int) []string {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	type slot struct{ n int }
+	slots := make([]slot, 64)
+	for k, v := range m {
+		if len(k) < len(slots) {
+			slots[len(k)].n = v
+		}
+	}
+	for k := range m {
+		delete(m, k)
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// suppressed shows the escape hatch: the directive silences the
+// diagnostic on the next line.
+func suppressed() int64 {
+	//bowvet:ignore determinism -- fixture: demonstrates the suppression directive
+	return time.Now().UnixNano()
+}

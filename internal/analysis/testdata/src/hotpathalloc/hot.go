@@ -1,0 +1,71 @@
+// Package hot exercises the hotpathalloc pass: functions annotated
+// //bow:hotpath must not contain allocating constructs.
+package hot
+
+import "fmt"
+
+type engine struct {
+	buf  []int
+	emit func(int)
+}
+
+//bow:hotpath
+func (e *engine) grow(n int) []int {
+	return make([]int, n) // want "make on the hot path allocates"
+}
+
+//bow:hotpath
+func (e *engine) fresh() *engine {
+	return new(engine) // want "new on the hot path allocates"
+}
+
+//bow:hotpath
+func (e *engine) format(v int) string {
+	return fmt.Sprintf("v=%d", v) // want "fmt.Sprintf allocates"
+}
+
+//bow:hotpath
+func (e *engine) capture(v int) {
+	e.emit = func(x int) { e.buf[0] = x + v } // want "closure capturing .e. allocates on the hot path"
+}
+
+//bow:hotpath
+func (e *engine) box(v int) {
+	sink(v) // want "passing int to an interface parameter boxes"
+}
+
+//bow:hotpath
+func (e *engine) literalMap() map[int]int {
+	return map[int]int{1: 2} // want "map literal always heap-allocates"
+}
+
+//bow:hotpath
+func (e *engine) deferred() {
+	defer e.reset() // want "defer on the hot path costs a frame record"
+}
+
+// reset is not annotated, so its allocations are not checked.
+func (e *engine) reset() {
+	e.buf = make([]int, 16)
+}
+
+// inline is hot but clean: value storage, pointer arguments, indexed
+// writes.
+//
+//bow:hotpath
+func (e *engine) inline(v int) {
+	e.buf[0] = v
+	use(e) // pointers are pointer-shaped: no boxing
+}
+
+// amortized shows the escape hatch for free-list refills.
+//
+//bow:hotpath
+func (e *engine) amortized() []int {
+	//bowvet:ignore hotpathalloc -- fixture: amortized refill
+	return make([]int, 16)
+}
+
+func sink(v any)   { _ = v }
+func use(v any)    { _ = v }
+func helper(v int) { _ = v }

@@ -1,0 +1,84 @@
+// Package cluster exercises the locksafe pass: no lock-by-value
+// copies, and no blocking boundary operations while a mutex is held.
+package cluster
+
+import (
+	"net/http"
+	"sync"
+)
+
+type state struct {
+	mu sync.Mutex
+	n  int
+}
+
+func copyParam(s state) int { // want "parameter passes lock value"
+	return s.n
+}
+
+func assignCopy(a *state) int {
+	b := *a // want "assignment copies lock value"
+	return b.n
+}
+
+func rangeCopy(xs []state) int {
+	total := 0
+	for _, s := range xs { // want "range copies lock value"
+		total += s.n
+	}
+	return total
+}
+
+func sendHeld(s *state, ch chan int) {
+	s.mu.Lock()
+	ch <- 1 // want "channel send while holding s.mu"
+	s.mu.Unlock()
+}
+
+func recvHeld(s *state, ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := <-ch // want "channel receive while holding s.mu"
+	return v
+}
+
+func selectHeld(s *state, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select while holding s.mu"
+	case <-ch:
+	default:
+	}
+}
+
+func httpHeld(s *state, c *http.Client, url string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := c.Get(url) // want "net.http call while holding s.mu"
+	return err
+}
+
+// released is fine: the send happens after the unlock.
+func released(s *state, ch chan int) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	ch <- s.n
+}
+
+// conditionalUnlock is accepted: an unlock on any branch conservatively
+// releases the lock from the straight-line view.
+func conditionalUnlock(s *state, ch chan int, flip bool) {
+	s.mu.Lock()
+	if flip {
+		s.mu.Unlock()
+	}
+	ch <- 1
+}
+
+// spawn is fine: the goroutine body runs under its own discipline.
+func spawn(s *state, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { ch <- 1 }()
+}

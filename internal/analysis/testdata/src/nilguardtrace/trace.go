@@ -1,0 +1,67 @@
+// Package trace mirrors the real tracing package's two disciplines:
+// CycleTracer is call-site-guarded (methods are not nil-safe), SpanLog
+// is receiver-guarded (exported methods open with a nil check).
+package trace
+
+type CycleTracer struct{ n int }
+
+func NewCycleTracer(capacity int) *CycleTracer { return &CycleTracer{n: capacity} }
+
+// Emit may touch the receiver freely: inside the type's own methods the
+// guard obligation lives at the call sites.
+func (t *CycleTracer) Emit(cycle int64) { t.n++ }
+
+func emitUnguarded(t *CycleTracer) {
+	t.Emit(1) // want "call to ..trace.CycleTracer..Emit without a nil guard"
+}
+
+func emitGuarded(t *CycleTracer) {
+	if t != nil {
+		t.Emit(1)
+	}
+}
+
+func emitGuardedConjunct(t *CycleTracer, on bool) {
+	if on && t != nil {
+		t.Emit(2)
+	}
+}
+
+func emitBail(t *CycleTracer) {
+	if t == nil {
+		return
+	}
+	t.Emit(3)
+}
+
+func emitFresh() {
+	t := NewCycleTracer(4)
+	t.Emit(4)
+	u := &CycleTracer{}
+	u.Emit(5)
+}
+
+func emitAfterIf(t *CycleTracer) {
+	if t != nil {
+		t.Emit(6)
+	}
+	t.Emit(7) // want "call to ..trace.CycleTracer..Emit without a nil guard"
+}
+
+type SpanLog struct{ n int }
+
+// Record lacks the nil-receiver guard the contract requires.
+func (l *SpanLog) Record(v int) { // want "must begin with .if l == nil"
+	l.n += v
+}
+
+// Count follows the contract.
+func (l *SpanLog) Count() int {
+	if l == nil {
+		return 0
+	}
+	return l.n
+}
+
+// reset is unexported: internal helpers run under the exported guards.
+func (l *SpanLog) reset() { l.n = 0 }

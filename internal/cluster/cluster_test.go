@@ -77,12 +77,12 @@ func fastOpts() Options {
 		// milliseconds to answer, which must not count as down.
 		HeartbeatTimeout: time.Second,
 		DownAfter:        2,
-		BreakerThreshold:  3,
-		BreakerCooldown:   150 * time.Millisecond,
-		MaxAttempts:       4,
-		BackoffBase:       5 * time.Millisecond,
-		BackoffMax:        20 * time.Millisecond,
-		HedgeOff:          true,
+		BreakerThreshold: 3,
+		BreakerCooldown:  150 * time.Millisecond,
+		MaxAttempts:      4,
+		BackoffBase:      5 * time.Millisecond,
+		BackoffMax:       20 * time.Millisecond,
+		HedgeOff:         true,
 	}
 }
 

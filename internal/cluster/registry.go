@@ -131,6 +131,7 @@ func (r *registry) heartbeatOnce() {
 	r.mu.Lock()
 	ws := make([]*worker, 0, len(r.workers))
 	for _, w := range r.workers {
+		//bowvet:ignore determinism -- probe fan-out order is immaterial: probes run in parallel and results fold in per-worker under the lock
 		ws = append(ws, w)
 	}
 	r.mu.Unlock()

@@ -325,16 +325,21 @@ func (e *Engine) Occupancy() int { return len(e.live) }
 // allocEntry pops a recycled entry (or, as a safety net, heap-allocates
 // one). The 128-byte value is deliberately left stale: every path that
 // publishes an entry either fills val or marks it pending.
+//
+//bow:hotpath
 func (e *Engine) allocEntry() *entry {
 	if en := e.free; en != nil {
 		e.free = en.next
 		en.next = nil
 		return en
 	}
+	//bowvet:ignore hotpathalloc -- free-list miss: amortized across the run, steady state recycles
 	return new(entry)
 }
 
 // attach publishes a fresh entry for reg at the live-list tail.
+//
+//bow:hotpath
 func (e *Engine) attach(reg uint8, en *entry) {
 	en.reg = reg
 	e.byReg[reg] = en
@@ -343,6 +348,8 @@ func (e *Engine) attach(reg uint8, en *entry) {
 
 // release resets an entry's bookkeeping and pushes it on the free list.
 // The caller must already have unlinked it from byReg/live.
+//
+//bow:hotpath
 func (e *Engine) release(en *entry) {
 	en.lastAccess = 0
 	en.dirty = false
@@ -355,6 +362,8 @@ func (e *Engine) release(en *entry) {
 
 // detach unlinks en from the table and the live list (preserving
 // insertion order) and recycles it.
+//
+//bow:hotpath
 func (e *Engine) detach(en *entry) {
 	e.byReg[en.reg] = nil
 	for i, x := range e.live {
@@ -372,6 +381,8 @@ func (e *Engine) detach(en *entry) {
 // functional executor to obtain the *effective* architectural value
 // (window copy is always newer than the RF copy when dirty). Pending
 // entries hold no valid value yet and do not count.
+//
+//bow:hotpath
 func (e *Engine) Lookup(reg uint8) (Value, bool) {
 	if en := e.byReg[reg]; en != nil && !en.pending {
 		return en.val, true
@@ -384,6 +395,8 @@ func (e *Engine) Lookup(reg uint8) (Value, bool) {
 // survivors to the RF through the sink), the instruction's source
 // operands are looked up for forwarding, and a pending older write to
 // the same destination is consolidated.
+//
+//bow:hotpath
 func (e *Engine) Advance(in *isa.Instruction) Plan {
 	e.seq++
 	e.stats.Instructions++
@@ -458,6 +471,8 @@ func (e *Engine) Advance(in *isa.Instruction) Plan {
 // RF write-back order is deterministic — the map this replaced iterated
 // randomly). With BeyondWindow, the nominal window never expires values
 // — only capacity pressure does (the paper's stated future work).
+//
+//bow:hotpath
 func (e *Engine) evictExpired() {
 	if e.cfg.BeyondWindow {
 		return
@@ -474,6 +489,8 @@ func (e *Engine) evictExpired() {
 
 // evict removes one entry, writing it back to the RF when required.
 // capacity marks a forced early eviction (full BOC).
+//
+//bow:hotpath
 func (e *Engine) evict(en *entry, capacity bool) {
 	r := en.reg
 	if !en.dirty || en.cancelWB {
@@ -498,6 +515,7 @@ func (e *Engine) evict(en *entry, capacity bool) {
 	e.detach(en)
 }
 
+//bow:hotpath
 func (e *Engine) emitRF(r uint8, v Value, cause WriteCause) {
 	e.stats.RFWrites++
 	e.stats.RFWritesByReg[r]++
@@ -513,6 +531,8 @@ func (e *Engine) emitRF(r uint8, v Value, cause WriteCause) {
 // is dropped — its waiting readers receive the value through the
 // caller's own plumbing, and re-inserting here would resurrect a value
 // the window semantics already aged out.
+//
+//bow:hotpath
 func (e *Engine) FillFromRF(reg uint8, val Value, seq int64) {
 	if !e.cfg.Policy.Bypassing() {
 		return
@@ -532,6 +552,8 @@ func (e *Engine) FillFromRF(reg uint8, val Value, seq int64) {
 // caller passes the full warp-wide merged value (predication merges are
 // the functional executor's job). Returns true when the value was
 // buffered in the BOC.
+//
+//bow:hotpath
 func (e *Engine) Writeback(reg uint8, val Value, hint isa.WritebackHint, seq int64) bool {
 	switch e.cfg.Policy {
 	case PolicyBaseline:
@@ -561,6 +583,8 @@ func (e *Engine) Writeback(reg uint8, val Value, hint isa.WritebackHint, seq int
 }
 
 // install creates or refreshes the window entry for reg.
+//
+//bow:hotpath
 func (e *Engine) install(reg uint8, val Value, dirty bool, hint isa.WritebackHint, seq int64) {
 	if en := e.byReg[reg]; en != nil {
 		en.val = val
@@ -586,6 +610,8 @@ func (e *Engine) install(reg uint8, val Value, dirty bool, hint isa.WritebackHin
 
 // enforceCapacity evicts oldest-accessed entries until the BOC fits its
 // physical entry budget (FIFO on last access, per §IV-C).
+//
+//bow:hotpath
 func (e *Engine) enforceCapacity() {
 	for len(e.live) > e.cfg.Capacity {
 		victim := e.live[0]

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"bow/internal/core"
@@ -275,10 +276,17 @@ func (f *Fig9Result) Render() string {
 	for _, b := range f.Benchmarks {
 		d := f.Histo[b]
 		le2 := d[0] + d[1] + d[2]
+		// Sum the tail in ascending key order: float addition is not
+		// associative, and the report must be byte-identical across runs.
+		keys := make([]int, 0, len(d))
+		for k := range d {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
 		var ge7 float64
-		for k, v := range d {
+		for _, k := range keys {
 			if k >= 7 {
-				ge7 += v
+				ge7 += d[k]
 			}
 		}
 		t.AddRow(b, stats.Pct(le2), stats.Pct(d[3]), stats.Pct(d[4]),

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"bow/internal/stats"
 	"bow/internal/trace"
@@ -36,9 +37,22 @@ func ReuseDist(r *Runner) (*ReuseDistResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
+		// Merge warps in (cta, warp) order so the aggregate histogram's
+		// internals — and anything derived from its iteration — are
+		// reproducible (same idiom as cmd/bowtrace).
+		keys := make([][2]int, 0, len(out.Traces))
+		for key := range out.Traces {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
 		agg := stats.NewHistogram()
-		for _, tr := range out.Traces {
-			agg.Merge(trace.ReuseDistances(tr))
+		for _, key := range keys {
+			agg.Merge(trace.ReuseDistances(out.Traces[key]))
 		}
 		res.Benchmarks = append(res.Benchmarks, b.Name)
 		res.MeanDist[b.Name] = agg.Mean()

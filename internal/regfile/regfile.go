@@ -89,8 +89,10 @@ type readRing struct {
 	n    int
 }
 
+//bow:hotpath
 func (r *readRing) push(req readReq) {
 	if r.n == len(r.buf) {
+		//bowvet:ignore hotpathalloc -- amortized ring doubling; capacity stabilizes after warm-up
 		grown := make([]readReq, maxInt(8, 2*len(r.buf)))
 		for i := 0; i < r.n; i++ {
 			grown[i] = r.buf[(r.head+i)%len(r.buf)]
@@ -101,6 +103,7 @@ func (r *readRing) push(req readReq) {
 	r.n++
 }
 
+//bow:hotpath
 func (r *readRing) pop() readReq {
 	req := r.buf[r.head]
 	r.buf[r.head] = readReq{} // drop cb/sink references
@@ -120,8 +123,10 @@ type writeRing struct {
 	n    int
 }
 
+//bow:hotpath
 func (r *writeRing) pushSlot() *writeReq {
 	if r.n == len(r.buf) {
+		//bowvet:ignore hotpathalloc -- amortized ring doubling; capacity stabilizes after warm-up
 		grown := make([]writeReq, maxInt(8, 2*len(r.buf)))
 		for i := 0; i < r.n; i++ {
 			grown[i] = r.buf[(r.head+i)%len(r.buf)]
@@ -133,8 +138,10 @@ func (r *writeRing) pushSlot() *writeReq {
 	return sl
 }
 
+//bow:hotpath
 func (r *writeRing) front() *writeReq { return &r.buf[r.head] }
 
+//bow:hotpath
 func (r *writeRing) drop() {
 	r.head = (r.head + 1) % len(r.buf)
 	r.n--
@@ -201,8 +208,10 @@ type servedRing struct {
 	n    int
 }
 
+//bow:hotpath
 func (r *servedRing) pushSlot() *servedRead {
 	if r.n == len(r.buf) {
+		//bowvet:ignore hotpathalloc -- amortized ring doubling; capacity stabilizes after warm-up
 		grown := make([]servedRead, maxInt(8, 2*len(r.buf)))
 		for i := 0; i < r.n; i++ {
 			grown[i] = r.buf[(r.head+i)%len(r.buf)]
@@ -214,8 +223,10 @@ func (r *servedRing) pushSlot() *servedRead {
 	return sl
 }
 
+//bow:hotpath
 func (r *servedRing) front() *servedRead { return &r.buf[r.head] }
 
+//bow:hotpath
 func (r *servedRing) drop() {
 	sl := &r.buf[r.head]
 	sl.cb, sl.sink = nil, nil // the value may go stale; pointers may not
@@ -252,11 +263,14 @@ func (f *File) Bank(warp int, reg uint8) int {
 	return (int(reg) + warp) % f.cfg.NumBanks
 }
 
+//bow:hotpath
 func (f *File) markBusy(b int) { f.nonempty[b>>6] |= 1 << uint(b&63) }
 
 // EnqueueRead queues a read of (warp, reg). cb runs when the bank port
 // serves the request. Prefer EnqueueReadSink on hot paths: this variant
 // costs a closure per request.
+//
+//bow:hotpath
 func (f *File) EnqueueRead(warp int, reg uint8, cb ReadCallback) {
 	b := f.Bank(warp, reg)
 	f.banks[b].reads.push(readReq{warp: int32(warp), reg: reg, cb: cb, queued: f.cycle})
@@ -265,6 +279,8 @@ func (f *File) EnqueueRead(warp int, reg uint8, cb ReadCallback) {
 
 // EnqueueReadSink queues a read of (warp, reg) delivering to sink —
 // the allocation-free form of EnqueueRead.
+//
+//bow:hotpath
 func (f *File) EnqueueReadSink(warp int, reg uint8, sink ReadSink) {
 	b := f.Bank(warp, reg)
 	f.banks[b].reads.push(readReq{warp: int32(warp), reg: reg, sink: sink, queued: f.cycle})
@@ -272,6 +288,8 @@ func (f *File) EnqueueReadSink(warp int, reg uint8, sink ReadSink) {
 }
 
 // EnqueueWrite queues a write of val to (warp, reg).
+//
+//bow:hotpath
 func (f *File) EnqueueWrite(warp int, reg uint8, val core.Value) {
 	b := f.Bank(warp, reg)
 	sl := f.banks[b].writes.pushSlot()
@@ -290,6 +308,8 @@ func (f *File) Pending() int {
 }
 
 // deliver hands a completed read to its receiver.
+//
+//bow:hotpath
 func deliver(reg uint8, val *core.Value, cb ReadCallback, sink ReadSink) {
 	if sink != nil {
 		sink.DeliverRead(reg, val)
@@ -302,6 +322,8 @@ func deliver(reg uint8, val *core.Value, cb ReadCallback, sink ReadSink) {
 // most one request, writes first (matching the write-priority
 // arbitration of the baseline architecture); served reads deliver their
 // value after the AccessLatency pipeline.
+//
+//bow:hotpath
 func (f *File) Cycle() {
 	f.cycle++
 
@@ -340,6 +362,8 @@ func (f *File) Cycle() {
 
 // cycleBank serves one request on bank b: the oldest write if any is
 // pending, else the oldest read.
+//
+//bow:hotpath
 func (f *File) cycleBank(b int) {
 	bk := &f.banks[b]
 	if bk.writes.n > 0 {

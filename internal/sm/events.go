@@ -106,6 +106,8 @@ func newEventWheel(minSpan int) *eventWheel {
 // completes through a mask-gated merge (evALU), so stale lanes are
 // never observed, and skipping the 128-byte clear per event matters in
 // the hot loop.
+//
+//bow:hotpath
 func (w *eventWheel) alloc() *event {
 	if ev := w.free; ev != nil {
 		w.free = ev.next
@@ -114,6 +116,7 @@ func (w *eventWheel) alloc() *event {
 	}
 	// Refill a slab at a time; single-record warm-up showed up in short
 	// runs' allocation profiles.
+	//bowvet:ignore hotpathalloc -- amortized slab refill; steady state serves from the free list
 	slab := make([]event, 16)
 	for i := range slab[1:] {
 		slab[1+i].next = w.free
@@ -124,6 +127,8 @@ func (w *eventWheel) alloc() *event {
 
 // release resets the record's bookkeeping fields (not result — see
 // alloc) and returns it to the free list.
+//
+//bow:hotpath
 func (w *eventWheel) release(ev *event) {
 	ev.f = nil
 	ev.w = nil
@@ -137,6 +142,8 @@ func (w *eventWheel) release(ev *event) {
 }
 
 // schedule files ev to fire at absolute cycle at (> now).
+//
+//bow:hotpath
 func (w *eventWheel) schedule(now, at int64, ev *event) {
 	if at-now <= w.mask {
 		w.slots[at&w.mask].push(ev)
@@ -146,6 +153,8 @@ func (w *eventWheel) schedule(now, at int64, ev *event) {
 }
 
 // due detaches the event chain firing at cycle now.
+//
+//bow:hotpath
 func (w *eventWheel) due(now int64) *event {
 	if len(w.far) > 0 {
 		// Migrate far events whose cycle now fits the wheel horizon,
@@ -168,6 +177,8 @@ func (w *eventWheel) due(now int64) *event {
 
 // schedule files ev delay cycles ahead (min 1), on the wheel or — in
 // reference-loop mode — on the seed-style map calendar.
+//
+//bow:hotpath
 func (s *SM) schedule(delay int, ev *event) {
 	if delay < 1 {
 		delay = 1
@@ -182,6 +193,8 @@ func (s *SM) schedule(delay int, ev *event) {
 
 // runEvents fires every event due this cycle, in scheduling order, and
 // recycles the records.
+//
+//bow:hotpath
 func (s *SM) runEvents() {
 	if s.ref {
 		evs, ok := s.refEvents[s.cycle]
@@ -211,8 +224,14 @@ func (s *SM) runEvents() {
 
 // traceWheelPop emits one EvWheelPop record for a due event. Both cycle
 // loops call it so a traced reference run and a traced wheel run yield
-// the same stream.
+// the same stream. Callers pre-check s.Tracer to keep the disabled path
+// free; the bail here makes the helper safe on its own.
+//
+//bow:hotpath
 func (s *SM) traceWheelPop(ev *event) {
+	if s.Tracer == nil {
+		return
+	}
 	warp := -1
 	if ev.f != nil && ev.f.warp != nil {
 		warp = ev.f.warp.slot
@@ -223,6 +242,8 @@ func (s *SM) traceWheelPop(ev *event) {
 }
 
 // apply performs one completion record.
+//
+//bow:hotpath
 func (s *SM) apply(ev *event) {
 	switch ev.kind {
 	case evALU:
@@ -266,6 +287,8 @@ func (s *SM) apply(ev *event) {
 }
 
 // instEvent allocates an event bound to f.
+//
+//bow:hotpath
 func (s *SM) instEvent(kind evKind, f *inflight) *event {
 	ev := s.wheel.alloc()
 	ev.kind = kind
@@ -290,6 +313,8 @@ func readyLess(a, b *inflight) bool {
 // readyInsert files f into the dispatch-ordered ready list. Newly
 // ready instructions usually belong at the tail (their issue cycle is
 // recent), so insertion walks backwards from the tail.
+//
+//bow:hotpath
 func (s *SM) readyInsert(f *inflight) {
 	at := s.readyTail
 	for at != nil && readyLess(f, at) {
@@ -317,6 +342,8 @@ func (s *SM) readyInsert(f *inflight) {
 }
 
 // readyRemove unlinks f from the ready list.
+//
+//bow:hotpath
 func (s *SM) readyRemove(f *inflight) {
 	if f.rprev != nil {
 		f.rprev.rnext = f.rnext

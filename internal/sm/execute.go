@@ -19,6 +19,8 @@ type coreValue = core.Value
 // ready in the same cycle. The ready list is kept in dispatch order
 // (issueCycle, slot, seq) by markReady, so this is a single walk — no
 // per-cycle scan over every warp slot and no sort.
+//
+//bow:hotpath
 func (s *SM) dispatch() {
 	for f := s.readyHead; f != nil; {
 		next := f.rnext
@@ -32,12 +34,17 @@ func (s *SM) dispatch() {
 		removeCollector(f.warp, f)
 		s.busyCollectors--
 		if err := s.execute(f); err != nil {
-			// Functional faults abort the simulation loudly: they mean a
-			// kernel or pipeline bug, never a recoverable condition.
-			panic(fmt.Sprintf("sm %d cycle %d: %v (inst %s)", s.id, s.cycle, err, f.in))
+			s.execFault(err, f)
 		}
 		f = next
 	}
+}
+
+// execFault aborts the simulation on a functional fault: it means a
+// kernel or pipeline bug, never a recoverable condition. Out of line so
+// the message formatting stays off the dispatch hot path.
+func (s *SM) execFault(err error, f *inflight) {
+	panic(fmt.Sprintf("sm %d cycle %d: %v (inst %s)", s.id, s.cycle, err, f.in))
 }
 
 // dispatchRef is the reference-loop dispatch: scan every collector of
@@ -76,7 +83,7 @@ func (s *SM) dispatchRef() {
 		removeCollector(f.warp, f)
 		s.busyCollectors--
 		if err := s.execute(f); err != nil {
-			panic(fmt.Sprintf("sm %d cycle %d: %v (inst %s)", s.id, s.cycle, err, f.in))
+			s.execFault(err, f)
 		}
 	}
 	for i := range ready {

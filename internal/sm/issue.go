@@ -9,6 +9,8 @@ import (
 // canIssueWarp reports whether the warp can accept a new instruction
 // this cycle (structural conditions; per-instruction hazards are checked
 // against the scoreboard after fetching).
+//
+//bow:hotpath
 func (s *SM) canIssueWarp(w *warpCtx) bool {
 	if w.ctaID < 0 || w.done || w.stalled || len(w.collectors) >= collectorsPerWarp {
 		return false
@@ -24,10 +26,12 @@ func (s *SM) canIssueWarp(w *warpCtx) bool {
 const collectorsPerWarp = 2
 
 // issue runs every warp scheduler for one cycle.
+//
+//bow:hotpath
 func (s *SM) issue() {
 	for _, sched := range s.scheds {
 		issued := 0
-		for _, wid := range sched.Order(func(wid int) bool { return s.canIssueWarp(s.warps[wid]) }) {
+		for _, wid := range sched.Order(s.canIssue) {
 			if issued >= s.gcfg.IssuePerSched {
 				break
 			}
@@ -64,6 +68,8 @@ func (s *SM) issue() {
 // stage: the window engine slides (possibly evicting values to the RF),
 // forwarded operands are captured immediately, and RF reads are enqueued
 // to the banks.
+//
+//bow:hotpath
 func (s *SM) issueInstruction(w *warpCtx, t *simtEntry, in *isa.Instruction) {
 	s.sb.Reserve(w.slot, in)
 	w.issued++

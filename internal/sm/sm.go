@@ -148,6 +148,11 @@ type SM struct {
 	// lastBankConflicts remembers the RF conflict counter between
 	// cycles so the tracer can emit per-cycle conflict deltas.
 	lastBankConflicts int64
+
+	// canIssue is the eligibility predicate handed to the warp
+	// schedulers, built once at construction so issue() does not
+	// allocate a capturing closure per scheduler per cycle.
+	canIssue func(wid int) bool
 }
 
 // New creates an SM.
@@ -207,6 +212,7 @@ func New(id int, gcfg config.GPU, bcfg core.Config, kernel *Kernel,
 		RegSnapshots:  make(map[[2]int][]core.Value),
 		Traces:        make(map[[2]int][]*isa.Instruction),
 	}
+	s.canIssue = func(wid int) bool { return s.canIssueWarp(s.warps[wid]) }
 	s.wheel = newEventWheel(wheelSpan(gcfg.ALULatency, gcfg.FPULatency,
 		gcfg.SFULatency, gcfg.L1HitCycles, gcfg.L2HitCycles,
 		gcfg.DRAMCycles, gcfg.RFAccessLat))
@@ -293,6 +299,8 @@ func (s *SM) BusyCTAs() int { return len(s.ctas) }
 func (s *SM) Idle() bool { return len(s.ctas) == 0 }
 
 // Cycle advances the SM one clock.
+//
+//bow:hotpath
 func (s *SM) Cycle() {
 	s.cycle++
 	s.st.Cycles++

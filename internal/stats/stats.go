@@ -72,16 +72,22 @@ func (h *Histogram) Frac(v int) float64 {
 	return float64(h.Count(v)) / float64(h.total)
 }
 
-// each iterates all (value, count) pairs with nonzero counts, dense
-// slots first in ascending order, then overflow values in map order.
+// each iterates all (value, count) pairs with nonzero counts in
+// ascending value order: dense slots first, then sorted overflow keys,
+// so every derived statistic and rendering is reproducible.
 func (h *Histogram) each(fn func(v int, c int64)) {
 	for v, c := range h.dense {
 		if c != 0 {
 			fn(v, c)
 		}
 	}
-	for v, c := range h.counts {
-		if c != 0 {
+	over := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		over = append(over, v)
+	}
+	sort.Ints(over)
+	for _, v := range over {
+		if c := h.counts[v]; c != 0 {
 			fn(v, c)
 		}
 	}

@@ -119,6 +119,8 @@ func NewCycleTracer(capacity int) *CycleTracer {
 }
 
 // Emit records one event, overwriting the oldest when the ring is full.
+//
+//bow:hotpath
 func (t *CycleTracer) Emit(cycle int64, sm, warp int, kind EventKind, arg int32) {
 	t.counts[kind]++
 	ev := Event{Cycle: cycle, SM: int16(sm), Warp: int16(warp), Kind: kind, Arg: arg}

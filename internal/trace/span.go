@@ -133,6 +133,9 @@ func NewSpanLog(capacity int) *SpanLog {
 // (overwriting the oldest). Untraced spans still feed the windows —
 // the /metrics breakdowns cover all traffic, not just traced requests.
 func (l *SpanLog) Record(s Span) {
+	if l == nil {
+		return
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	key := [2]string{s.Hop, s.Stage}
@@ -160,6 +163,9 @@ func (l *SpanLog) Record(s Span) {
 // ByTrace returns the held spans of one trace ID (all held spans when
 // id is ""), sorted by start time with recording order as tie-break.
 func (l *SpanLog) ByTrace(id string) []Span {
+	if l == nil {
+		return nil
+	}
 	l.mu.Lock()
 	out := make([]Span, 0, 16)
 	for _, s := range l.buf[l.next:] {
@@ -182,6 +188,9 @@ func (l *SpanLog) ByTrace(id string) []Span {
 // Stages snapshots the per-(hop, stage) breakdowns, sorted by hop then
 // stage.
 func (l *SpanLog) Stages() []StageStat {
+	if l == nil {
+		return nil
+	}
 	l.mu.Lock()
 	out := make([]StageStat, 0, len(l.stages))
 	for key, agg := range l.stages {
@@ -207,6 +216,9 @@ func (l *SpanLog) Stages() []StageStat {
 // in Prometheus text exposition format. Both bowd modes append this to
 // their /metrics output.
 func (l *SpanLog) WritePrometheus(w io.Writer) {
+	if l == nil {
+		return
+	}
 	st := l.Stages()
 	if len(st) == 0 {
 		return
