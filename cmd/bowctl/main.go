@@ -6,7 +6,7 @@
 //	bowctl [-coord http://localhost:8080] status
 //	bowctl [-coord URL] sweep [-benches SAD,LIB] [-policies baseline,bow-wr]
 //	       [-iws 2,3,4] [-capacities ...] [-sms ...] [-schedulers gto,lrr]
-//	       [-maxcycles N] [-json] [-quiet] [-trace] [-traceid ID]
+//	       [-maxcycles N] [-fork] [-warmup N] [-json] [-quiet] [-trace] [-traceid ID]
 //	bowctl [-coord URL] trace -id ID
 //
 // sweep streams partial results as the cluster completes them (one
@@ -79,7 +79,7 @@ func usage() {
   bowctl [-coord URL] status
   bowctl [-coord URL] sweep [-benches a,b] [-policies p,q] [-iws 2,3]
          [-capacities n,m] [-sms 1,2] [-schedulers gto,lrr]
-         [-maxcycles N] [-json] [-quiet] [-trace] [-traceid ID]
+         [-maxcycles N] [-fork] [-warmup N] [-json] [-quiet] [-trace] [-traceid ID]
   bowctl [-coord URL] trace -id ID
 `)
 }
@@ -132,6 +132,8 @@ func runSweep(base string, args []string) error {
 	sms := fs.String("sms", "", "comma-separated SM counts")
 	schedulers := fs.String("schedulers", "", "comma-separated schedulers (gto,lrr)")
 	maxCycles := fs.Int64("maxcycles", 0, "per-job cycle bound (0 = default)")
+	forkPrefix := fs.Bool("fork", false, "warm-up prefix forking: points sharing a (bench,sms,scheduler) class resume one shared warm-up snapshot instead of re-simulating it (honored when the target is a worker bowd; a coordinator shards per point and runs cold)")
+	warmup := fs.Int64("warmup", 0, "with -fork: shared warm-up prefix length in cycles (0 = engine default; implies -fork)")
 	jsonOut := fs.Bool("json", false, "print the aggregate SweepResult JSON instead of tables")
 	quiet := fs.Bool("quiet", false, "suppress per-point progress lines")
 	traced := fs.Bool("trace", false, "tag the sweep with a trace ID and render its spans afterwards")
@@ -149,11 +151,16 @@ func runSweep(base string, args []string) error {
 		fmt.Fprintf(os.Stderr, "trace id: %s\n", *traceID)
 	}
 
+	if *warmup > 0 {
+		*forkPrefix = true
+	}
 	sw := simjob.SweepSpec{
-		Benches:    splitCSV(*benches),
-		Policies:   splitCSV(*policies),
-		Schedulers: splitCSV(*schedulers),
-		MaxCycles:  *maxCycles,
+		Benches:      splitCSV(*benches),
+		Policies:     splitCSV(*policies),
+		Schedulers:   splitCSV(*schedulers),
+		MaxCycles:    *maxCycles,
+		ForkPrefix:   *forkPrefix,
+		WarmupCycles: *warmup,
 	}
 	var err error
 	if sw.IWs, err = splitInts(*iws); err != nil {
@@ -206,30 +213,49 @@ func runSweep(base string, args []string) error {
 	var items []simjob.SweepItem
 	var summary *simjob.SweepResult
 	failed := 0
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		var ev cluster.StreamEvent
-		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			return fmt.Errorf("bad stream line: %w", err)
+	if strings.Contains(resp.Header.Get("Content-Type"), "application/x-ndjson") {
+		// Coordinator: per-point NDJSON progress stream.
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			var ev cluster.StreamEvent
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				return fmt.Errorf("bad stream line: %w", err)
+			}
+			if ev.Summary != nil {
+				summary = ev.Summary
+				continue
+			}
+			if ev.Item == nil {
+				continue
+			}
+			items = append(items, *ev.Item)
+			if !*quiet {
+				printProgress(ev)
+			}
+			if ev.Item.Error != "" {
+				failed++
+			}
 		}
-		if ev.Summary != nil {
-			summary = ev.Summary
-			continue
+		if err := sc.Err(); err != nil {
+			return err
 		}
-		if ev.Item == nil {
-			continue
+	} else {
+		// Worker bowd: the stream param is ignored and the whole sweep
+		// (forked when -fork asked for it) arrives as one document.
+		var res simjob.SweepResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			return err
 		}
-		items = append(items, *ev.Item)
-		if !*quiet {
-			printProgress(ev)
+		items = res.Items
+		for _, it := range items {
+			if it.Error != "" {
+				failed++
+			}
 		}
-		if ev.Item.Error != "" {
-			failed++
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return err
+		sum := res
+		sum.Items = nil
+		summary = &sum
 	}
 
 	sort.Slice(items, func(i, j int) bool {
@@ -264,6 +290,10 @@ func runSweep(base string, args []string) error {
 	fmt.Print(tbl.String())
 	if summary != nil {
 		fmt.Printf("\n%d jobs (%d unique), %d failed\n", summary.Jobs, len(items), summary.Failed)
+		if summary.ForkGroups > 0 {
+			fmt.Printf("forked %d warm-up group(s), %d simulated cycles reused\n",
+				summary.ForkGroups, summary.ReusedCycles)
+		}
 	} else if failed > 0 {
 		fmt.Printf("\n%d of %d points failed\n", failed, len(items))
 	}

@@ -143,9 +143,13 @@ func main() {
 		handler = srv
 		drain = func(ctx context.Context, hs *http.Server) {
 			// Readiness goes dark first so the coordinator reroutes new
-			// jobs; the grace period lets its heartbeat observe that
-			// before in-flight requests are waited out.
+			// jobs, and the engine drain interrupts in-flight simulations
+			// at their next cycle boundary — their /simulate responses
+			// carry resumable checkpoints that the coordinator migrates
+			// to another worker. The grace period lets its heartbeat
+			// observe the 503 before in-flight requests are waited out.
 			srv.StartDraining()
+			engine.Drain()
 			time.Sleep(*drainGrace)
 			_ = hs.Shutdown(ctx)
 			engine.Close()

@@ -10,26 +10,41 @@
 //	bowsim -bench LIB -policy bow-wr -iw 3 -capacity 6
 //	bowsim -bench SAD -policy bow-wr -json
 //	bowsim -bench SAD -policy bow-wr -trace sad.ndjson   (then: bowtrace -events sad.ndjson)
+//	bowsim -bench SAD -policy bow-wr -checkpoint-at 500 -checkpoint sad.snap
+//	bowsim -resume sad.snap                              (continue to completion)
 //	bowsim -list
 //	bowsim -bench SAD -policy baseline -sms 2 -v
+//
+// A -trace file is flushed and closed on every exit path: a failed or
+// signal-interrupted run leaves a complete file of the events captured
+// so far, a diagnostic on stderr, and a nonzero exit — never a silent
+// partial file.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"bow/internal/energy"
 	"bow/internal/simjob"
+	"bow/internal/snap"
 	"bow/internal/trace"
 	"bow/internal/workloads"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	benchName := flag.String("bench", "VECTORADD", "benchmark name (see -list)")
 	policy := flag.String("policy", "bow-wr", "baseline | bow | bow-wb | bow-wr | rfc")
 	iw := flag.Int("iw", 3, "instruction window size")
@@ -42,6 +57,9 @@ func main() {
 	noExtend := flag.Bool("noextend", false, "ablation: disable the extended instruction window")
 	reorder := flag.Bool("reorder", false, "extension: compiler reordering for reuse locality")
 	traceFile := flag.String("trace", "", "write cycle-level trace events (NDJSON) to this file; render with bowtrace -events")
+	checkpointFile := flag.String("checkpoint", "", "write a resumable snapshot to this file when the run pauses at -checkpoint-at")
+	checkpointAt := flag.Int64("checkpoint-at", 0, "pause the simulation at this cycle and write the -checkpoint snapshot")
+	resumeFile := flag.String("resume", "", "resume from a snapshot written by -checkpoint (the embedded spec overrides the spec flags)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
@@ -50,12 +68,12 @@ func main() {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bowsim:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, "bowsim:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -78,7 +96,15 @@ func main() {
 		for _, b := range workloads.All() {
 			fmt.Printf("%-11s %-9s %s\n", b.Name, b.Suite, b.Description)
 		}
-		return
+		return 0
+	}
+	if *checkpointAt > 0 && *checkpointFile == "" {
+		fmt.Fprintln(os.Stderr, "bowsim: -checkpoint-at needs -checkpoint FILE")
+		return 2
+	}
+	if *checkpointFile != "" && *checkpointAt <= 0 {
+		fmt.Fprintln(os.Stderr, "bowsim: -checkpoint needs -checkpoint-at CYCLE")
+		return 2
 	}
 
 	spec := simjob.JobSpec{
@@ -91,33 +117,68 @@ func main() {
 		NoExtend:     *noExtend,
 		Reorder:      *reorder,
 	}
+	if *resumeFile != "" {
+		resumed, err := specFromSnapshot(*resumeFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bowsim:", err)
+			return 1
+		}
+		spec = resumed
+	}
+
 	var tracer *trace.CycleTracer
 	if *traceFile != "" {
 		tracer = trace.NewCycleTracer(0)
 	}
-	out, err := simjob.ExecuteTraced(context.Background(), spec, tracer)
+
+	// A signal interrupts the simulation loop cooperatively; the trace
+	// is still flushed below and the partial run diagnosed — the file is
+	// never left silently incomplete.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	out, err := simjob.ExecuteUntil(ctx, spec, tracer, *checkpointAt)
+
+	// Flush the trace on every exit path — success, pause, simulation
+	// error, or signal — before deciding the exit code.
+	if tracer != nil {
+		if werr := writeTrace(tracer, *traceFile); werr != nil {
+			fmt.Fprintln(os.Stderr, "bowsim: trace:", werr)
+			if err == nil {
+				return 1
+			}
+		} else {
+			// Stderr, so -trace composes with -json's stdout schema.
+			fmt.Fprintf(os.Stderr, "bowsim: wrote %d trace events to %s (%d dropped)\n",
+				tracer.Len(), *traceFile, tracer.Dropped())
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bowsim:", err)
-		os.Exit(1)
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "bowsim: run interrupted by signal; results incomplete")
+		}
+		if tracer != nil {
+			fmt.Fprintf(os.Stderr, "bowsim: %s covers only the cycles before the failure\n", *traceFile)
+		}
+		return 1
 	}
-	if tracer != nil {
-		f, err := os.Create(*traceFile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "bowsim:", err)
-			os.Exit(1)
+
+	if out.Interrupted {
+		// Paused at -checkpoint-at: persist the snapshot and stop.
+		if err := os.WriteFile(*checkpointFile, out.Checkpoint, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bowsim: checkpoint:", err)
+			return 1
 		}
-		if err := tracer.WriteNDJSON(f); err == nil {
-			err = f.Close()
-		} else {
-			f.Close()
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "bowsim:", err)
-			os.Exit(1)
-		}
-		// Stderr, so -trace composes with -json's stdout schema.
-		fmt.Fprintf(os.Stderr, "bowsim: wrote %d trace events to %s (%d dropped)\n",
-			tracer.Len(), *traceFile, tracer.Dropped())
+		fmt.Fprintf(os.Stderr, "bowsim: checkpoint at cycle %d written to %s (%d bytes); resume with -resume %s\n",
+			out.CheckpointCycle, *checkpointFile, len(out.Checkpoint), *checkpointFile)
+		return 0
+	}
+	if *checkpointAt > 0 {
+		fmt.Fprintf(os.Stderr, "bowsim: kernel completed before cycle %d; no checkpoint written\n", *checkpointAt)
+	}
+	if out.ResumedFrom > 0 {
+		fmt.Fprintf(os.Stderr, "bowsim: resumed from cycle %d\n", out.ResumedFrom)
 	}
 
 	if *jsonOut {
@@ -125,15 +186,15 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out.Summary); err != nil {
 			fmt.Fprintln(os.Stderr, "bowsim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	b, err := workloads.ByName(out.Spec.Bench)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bowsim:", err)
-		os.Exit(1)
+		return 1
 	}
 	if out.Spec.Reorder {
 		fmt.Println("kernel reordered for reuse locality (footnote-1 extension)")
@@ -169,4 +230,46 @@ func main() {
 			res.Stats.WritebacksByHint[1], res.Stats.WritebacksByHint[0], res.Stats.WritebacksByHint[2])
 		fmt.Printf("occupancy   mean %.2f entries\n", res.Stats.OccupancyBOC.Mean())
 	}
+	return 0
+}
+
+// writeTrace persists the captured events, closing the file before
+// reporting, so no exit path leaves an open or torn NDJSON file. A nil
+// tracer (tracing disabled) is a no-op.
+func writeTrace(tracer *trace.CycleTracer, path string) error {
+	if tracer == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteNDJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// specFromSnapshot reads a checkpoint file and rebuilds the job it
+// belongs to from the spec embedded in the snapshot header, with the
+// snapshot stream attached as the resume point.
+func specFromSnapshot(path string) (simjob.JobSpec, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return simjob.JobSpec{}, err
+	}
+	h, err := snap.ReadHeader(bytes.NewReader(blob))
+	if err != nil {
+		return simjob.JobSpec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(h.SpecJSON) == 0 {
+		return simjob.JobSpec{}, fmt.Errorf("%s: snapshot carries no job spec (written outside simjob?)", path)
+	}
+	var spec simjob.JobSpec
+	if err := json.Unmarshal(h.SpecJSON, &spec); err != nil {
+		return simjob.JobSpec{}, fmt.Errorf("%s: embedded spec: %w", path, err)
+	}
+	spec.FromCheckpoint = blob
+	return spec, nil
 }

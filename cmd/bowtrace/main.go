@@ -1,6 +1,6 @@
-// Command bowtrace has two modes.
+// Command bowtrace has three modes.
 //
-// Without -events it captures a benchmark's dynamic per-warp
+// Without flags it captures a benchmark's dynamic per-warp
 // instruction traces from a baseline simulation and reports the
 // register reuse-distance characterization that motivates the paper's
 // window sizes (§III): how often the same register is touched again
@@ -10,14 +10,28 @@
 // bowsim -trace: per-warp issue timelines, per-kind event totals, and
 // the BOC occupancy summary.
 //
+// With -resume it time-travel debugs a checkpoint written by
+// bowsim -checkpoint: the simulation is restored from the snapshot and
+// replayed forward — optionally only to -until CYCLE — while the full
+// cycle-event trace of the replayed window is written to -trace. The
+// simulator is deterministic, so the replayed window is bit-identical
+// to what the original run did over those cycles; re-running with a
+// later -until widens the window without touching the checkpoint.
+//
 // Usage:
 //
 //	bowtrace -bench SAD
 //	bowtrace -bench LIB -dump 20   # also print the head of warp 0's trace
 //	bowsim -bench SAD -policy bow-wr -trace sad.ndjson && bowtrace -events sad.ndjson
+//	bowsim -bench SAD -policy bow-wr -checkpoint-at 500 -checkpoint sad.snap
+//	bowtrace -resume sad.snap -until 900 -trace window.ndjson
+//	bowtrace -events window.ndjson
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,7 +41,9 @@ import (
 	"bow/internal/core"
 	"bow/internal/gpu"
 	"bow/internal/mem"
+	"bow/internal/simjob"
 	"bow/internal/sm"
+	"bow/internal/snap"
 	"bow/internal/stats"
 	"bow/internal/trace"
 	"bow/internal/workloads"
@@ -38,8 +54,18 @@ func main() {
 	dump := flag.Int("dump", 0, "print the first N instructions of one warp's trace")
 	events := flag.String("events", "", "render a cycle-event NDJSON file (from bowsim -trace) instead of simulating")
 	width := flag.Int("width", 64, "timeline columns in -events mode")
+	resume := flag.String("resume", "", "time-travel: replay a bowsim -checkpoint snapshot forward")
+	until := flag.Int64("until", 0, "with -resume: stop the replay at this absolute cycle (0 = run to completion)")
+	traceOut := flag.String("trace", "", "with -resume: write the replayed window's cycle events (NDJSON) here")
 	flag.Parse()
 
+	if *resume != "" {
+		if err := timeTravel(*resume, *until, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "bowtrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *events != "" {
 		if err := renderEvents(*events, *width); err != nil {
 			fmt.Fprintln(os.Stderr, "bowtrace:", err)
@@ -122,6 +148,61 @@ func main() {
 			fmt.Printf("%4d:  %s\n", i, t[i].String())
 		}
 	}
+}
+
+// timeTravel restores a snapshot and replays the simulation forward to
+// `until` (0 = completion), writing the replayed window's cycle events
+// to outPath. The job spec travels inside the snapshot header, so the
+// checkpoint file alone identifies the kernel and configuration.
+func timeTravel(path string, until int64, outPath string) error {
+	if outPath == "" {
+		return fmt.Errorf("-resume needs -trace FILE for the replayed events")
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	h, err := snap.ReadHeader(bytes.NewReader(blob))
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(h.SpecJSON) == 0 {
+		return fmt.Errorf("%s: snapshot carries no job spec (written outside simjob?)", path)
+	}
+	var spec simjob.JobSpec
+	if err := json.Unmarshal(h.SpecJSON, &spec); err != nil {
+		return fmt.Errorf("%s: embedded spec: %w", path, err)
+	}
+	if until > 0 && until <= h.Cycle {
+		return fmt.Errorf("-until %d is not past the checkpoint cycle %d", until, h.Cycle)
+	}
+	spec.FromCheckpoint = blob
+
+	tracer := trace.NewCycleTracer(0)
+	out, err := simjob.ExecuteUntil(context.Background(), spec, tracer, until)
+	if err != nil {
+		return err
+	}
+	end := "completion"
+	if out.Interrupted {
+		end = fmt.Sprintf("cycle %d", out.CheckpointCycle)
+	}
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteNDJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("replayed %s/%s from cycle %d to %s: %d events -> %s (%d dropped)\n",
+		spec.Bench, spec.Policy, h.Cycle, end, tracer.Len(), outPath, tracer.Dropped())
+	fmt.Printf("render with: bowtrace -events %s\n", outPath)
+	return nil
 }
 
 // renderEvents reads a bowsim -trace NDJSON file and prints per-warp

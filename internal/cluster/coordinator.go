@@ -39,6 +39,12 @@ type Counters struct {
 	Hedges         int64 `json:"hedges"`
 	HedgeWins      int64 `json:"hedgeWins"`
 	HedgeDiscarded int64 `json:"hedgeDiscarded"`
+	// Migrations counts jobs a draining worker handed back as
+	// checkpoints and the coordinator re-dispatched elsewhere;
+	// MigratedCycles totals the checkpoint cycles those jobs resumed
+	// from instead of re-simulating from cycle 0.
+	Migrations     int64 `json:"migrations"`
+	MigratedCycles int64 `json:"migratedCycles"`
 }
 
 // WorkerStatus is one worker's routing state as /status reports it.
@@ -178,8 +184,27 @@ func (c *Coordinator) Do(ctx context.Context, spec simjob.JobSpec) (simjob.JobRe
 	return res, cached, nil
 }
 
+// migratedError carries a draining worker's checkpoint out of an
+// attempt: the job did not fail — it paused, and the next attempt
+// resumes it elsewhere via JobSpec.FromCheckpoint.
+type migratedError struct {
+	addr  string
+	cycle int64
+	ckpt  []byte
+}
+
+func (e *migratedError) Error() string {
+	return fmt.Sprintf("cluster: worker %s drained at cycle %d", e.addr, e.cycle)
+}
+
 // run is the retry loop: each attempt goes to a worker that has not
-// failed this job yet, with jittered exponential backoff in between.
+// failed this job yet, with jittered exponential backoff in between. A
+// draining worker hands the job back as a checkpoint; the coordinator
+// re-dispatches the spec with the checkpoint attached, so the next
+// worker resumes mid-run instead of restarting from cycle 0 (resuming
+// the same spec is bit-identical to the cold run, so the final result
+// is unchanged). Migrations don't consume attempts — each one excludes
+// the drained worker, so the loop still terminates.
 func (c *Coordinator) run(ctx context.Context, spec simjob.JobSpec, hash string) (simjob.JobResult, string, error) {
 	exclude := make(map[string]bool)
 	var lastErr error
@@ -205,6 +230,23 @@ func (c *Coordinator) run(ctx context.Context, spec simjob.JobSpec, hash string)
 		res, cached, err := c.attempt(ctx, spec, hash, exclude)
 		if err == nil {
 			return res, cached, nil
+		}
+		var mig *migratedError
+		if errors.As(err, &mig) {
+			spec.FromCheckpoint = mig.ckpt
+			c.mu.Lock()
+			c.ctr.Migrations++
+			c.ctr.MigratedCycles += mig.cycle
+			c.mu.Unlock()
+			c.spans.Record(trace.Span{
+				TraceID: trace.IDFromContext(ctx),
+				Hop:     trace.HopCoordinator,
+				Stage:   trace.StageMigrate,
+				Job:     hash,
+				Worker:  mig.addr,
+			})
+			attempt--
+			continue
 		}
 		// An empty eligible set can be a transient blip (a heartbeat
 		// round timing out, a rolling restart): keep retrying, but
@@ -307,6 +349,16 @@ func (c *Coordinator) attempt(ctx context.Context, spec simjob.JobSpec, hash str
 		select {
 		case r := <-resc:
 			outstanding--
+			if r.err == nil && r.resp.Interrupted {
+				// The worker drained mid-job and answered with a
+				// checkpoint. Don't route back there; hand the snapshot up
+				// for re-dispatch.
+				cancel()
+				exclude[r.w.addr] = true
+				return simjob.JobResult{}, "", &migratedError{
+					addr: r.w.addr, cycle: r.resp.CheckpointCycle, ckpt: r.resp.Checkpoint,
+				}
+			}
 			if r.err == nil {
 				cancel()
 				if outstanding > 0 {

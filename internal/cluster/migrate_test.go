@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"bow/internal/simjob"
+)
+
+// migrateKit injects the drain handshake at the HTTP layer: the first
+// cold /simulate request any wrapped worker receives is answered with
+// an Interrupted response carrying a real checkpoint, exactly as a
+// draining bowd would answer. Requests arriving with a checkpoint
+// attached (the coordinator's re-dispatch) are counted and passed
+// through to the real engine.
+type migrateKit struct {
+	mu      sync.Mutex
+	ckpt    []byte
+	cycle   int64
+	fired   bool
+	resumed int
+}
+
+func (k *migrateKit) wrap(inner http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/simulate" {
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			var spec simjob.JobSpec
+			_ = json.Unmarshal(body, &spec)
+			k.mu.Lock()
+			if len(spec.FromCheckpoint) > 0 {
+				k.resumed++
+			}
+			intercept := !k.fired && len(spec.FromCheckpoint) == 0
+			if intercept {
+				k.fired = true
+			}
+			ckpt, cycle := k.ckpt, k.cycle
+			k.mu.Unlock()
+			if intercept {
+				w.Header().Set("Content-Type", "application/json")
+				_ = json.NewEncoder(w).Encode(simjob.SimulateResponse{
+					Interrupted: true, Checkpoint: ckpt, CheckpointCycle: cycle,
+				})
+				return
+			}
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// TestMigrationResumesFromCheckpoint is the deterministic migration
+// path: a worker hands a half-finished job back as a checkpoint, and
+// the coordinator must re-dispatch the spec with the checkpoint
+// attached to another worker, count the migration and the reused
+// cycles, and deliver a result byte-identical to the cold run.
+func TestMigrationResumesFromCheckpoint(t *testing.T) {
+	spec := simjob.JobSpec{Bench: "SAD", Policy: "bow-wr"}
+	cold, err := simjob.Execute(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := cold.Summary.CanonicalJSON()
+	pauseAt := cold.Summary.Cycles / 2
+	paused, err := simjob.ExecuteUntil(context.Background(), spec, nil, pauseAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !paused.Interrupted {
+		t.Fatalf("pause at cycle %d did not interrupt", pauseAt)
+	}
+
+	kit := &migrateKit{ckpt: paused.Checkpoint, cycle: paused.CheckpointCycle}
+	w1 := startWorker(t, kit.wrap)
+	w2 := startWorker(t, kit.wrap)
+	c := newCoordinator(t, fastOpts(), w1.URL, w2.URL)
+
+	res, cached, err := c.Do(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != "" {
+		t.Errorf("migrated job reported cached=%q, want fresh", cached)
+	}
+	got, _ := res.CanonicalJSON()
+	if !bytes.Equal(want, got) {
+		t.Errorf("migrated result diverged from cold run:\n%s\n%s", want, got)
+	}
+
+	kit.mu.Lock()
+	fired, resumed := kit.fired, kit.resumed
+	kit.mu.Unlock()
+	if !fired {
+		t.Fatal("the drain handshake never fired")
+	}
+	if resumed != 1 {
+		t.Errorf("re-dispatches carrying the checkpoint = %d, want 1", resumed)
+	}
+
+	st := c.Status()
+	if st.Counters.Migrations != 1 {
+		t.Errorf("Migrations = %d, want 1", st.Counters.Migrations)
+	}
+	if st.Counters.MigratedCycles != pauseAt {
+		t.Errorf("MigratedCycles = %d, want %d (the checkpoint cycle)", st.Counters.MigratedCycles, pauseAt)
+	}
+	// A migration is a pause, not a failure: it must not burn retries or
+	// count the job failed.
+	if st.Counters.Failed != 0 {
+		t.Errorf("migration counted as %d failures", st.Counters.Failed)
+	}
+	if st.Counters.Done != 1 {
+		t.Errorf("Done = %d, want 1", st.Counters.Done)
+	}
+}
+
+// drainKit wires the "first worker to receive a /simulate gets
+// SIGTERMed mid-job" fault: the victim runs bowd's exact drain
+// sequence (readyz dark, engine drain) while the request is still in
+// flight, so that job — and everything queued behind it — comes back
+// as an Interrupted response carrying a checkpoint instead of a
+// result.
+type drainKit struct {
+	mu     sync.Mutex
+	victim string
+	drains map[string]func()
+}
+
+func newDrainKit() *drainKit {
+	return &drainKit{drains: make(map[string]func())}
+}
+
+func (d *drainKit) wrap(name string) func(http.Handler) http.Handler {
+	return func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/simulate" {
+				d.mu.Lock()
+				if d.victim == "" {
+					d.victim = name
+				}
+				isVictim := d.victim == name
+				drain := d.drains[name]
+				d.mu.Unlock()
+				if isVictim {
+					drain()
+				}
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
+}
+
+func (d *drainKit) victimName() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.victim
+}
+
+// TestClusterSmokeDrainMigration is the drain half of the cluster
+// acceptance run: mid-sweep, the first worker to receive a job is
+// drained the way bowd's SIGTERM handler drains it, with the job in
+// flight. Its jobs come back as checkpoints, the coordinator migrates
+// them to the surviving workers, and the sweep still completes with
+// results byte-identical to a single-node run — without restarting the
+// migrated work from scratch on a healthy cluster path.
+func TestClusterSmokeDrainMigration(t *testing.T) {
+	kit := newDrainKit()
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		name := string(rune('A' + i))
+		eng := newWorkerEngine(t)
+		srv := simjob.NewServer(eng)
+		ts := httptest.NewServer(kit.wrap(name)(srv))
+		t.Cleanup(ts.Close)
+		var once sync.Once
+		kit.mu.Lock()
+		kit.drains[name] = func() {
+			once.Do(func() {
+				srv.StartDraining()
+				eng.Drain()
+			})
+		}
+		kit.mu.Unlock()
+		addrs = append(addrs, ts.URL)
+	}
+	c := newCoordinator(t, fastOpts(), addrs...)
+
+	sw := simjob.SweepSpec{
+		Benches:  []string{"VECTORADD", "SRAD", "LIB", "SAD"},
+		Policies: []string{"baseline", "bow-wr"},
+		IWs:      []int{2, 3},
+	}
+	got, err := c.Sweep(context.Background(), sw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kit.victimName() == "" {
+		t.Fatal("no worker ever received a job — the drain never fired")
+	}
+	if got.Failed != 0 {
+		for _, it := range got.Items {
+			if it.Error != "" {
+				t.Errorf("item %s/%s failed: %s", it.Spec.Bench, it.Spec.Policy, it.Error)
+			}
+		}
+		t.Fatalf("sweep failed %d/%d items despite migration", got.Failed, got.Jobs)
+	}
+
+	st := c.Status()
+	if st.Counters.Migrations == 0 {
+		t.Error("draining a busy worker produced no migrations")
+	}
+
+	// Single-node oracle, expansion order: migrated jobs must not change
+	// a single byte of any result.
+	ref, err := newWorkerEngine(t).RunSweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Items) != len(got.Items) {
+		t.Fatalf("item count %d vs %d", len(got.Items), len(ref.Items))
+	}
+	for i := range ref.Items {
+		if ref.Items[i].Result == nil || got.Items[i].Result == nil {
+			t.Fatalf("item %d missing result", i)
+		}
+		want, _ := ref.Items[i].Result.CanonicalJSON()
+		have, _ := got.Items[i].Result.CanonicalJSON()
+		if !bytes.Equal(want, have) {
+			t.Errorf("item %d diverged from single-node run:\n%s\n%s", i, want, have)
+		}
+	}
+}

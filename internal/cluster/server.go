@@ -224,7 +224,9 @@ func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 }
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	// 64 MiB, matching the worker server: a spec may arrive with a
+	// resume checkpoint inlined in JobSpec.FromCheckpoint.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"bow/internal/isa"
+	"bow/internal/snap"
+)
+
+// SaveState serializes the stats block.
+func (s *Stats) SaveState(enc *snap.Encoder) {
+	enc.I64(s.Instructions)
+	enc.I64(s.RFReads)
+	enc.I64(s.BypassedRead)
+	enc.I64(s.RFWrites)
+	enc.I64(s.CoalescedWrites)
+	enc.I64(s.DroppedTransient)
+	enc.I64(s.FlushDropped)
+	enc.I64(s.CapacityEvicts)
+	enc.I64(s.BOCReads)
+	enc.I64(s.BOCWrites)
+	for _, v := range s.RFWritesByReg {
+		enc.I64(v)
+	}
+	for _, v := range s.RFWriteCauses {
+		enc.I64(v)
+	}
+}
+
+// LoadState restores a stats block written by SaveState.
+func (s *Stats) LoadState(dec *snap.Decoder) {
+	s.Instructions = dec.I64()
+	s.RFReads = dec.I64()
+	s.BypassedRead = dec.I64()
+	s.RFWrites = dec.I64()
+	s.CoalescedWrites = dec.I64()
+	s.DroppedTransient = dec.I64()
+	s.FlushDropped = dec.I64()
+	s.CapacityEvicts = dec.I64()
+	s.BOCReads = dec.I64()
+	s.BOCWrites = dec.I64()
+	for i := range s.RFWritesByReg {
+		s.RFWritesByReg[i] = dec.I64()
+	}
+	for i := range s.RFWriteCauses {
+		s.RFWriteCauses[i] = dec.I64()
+	}
+}
+
+// SaveState serializes the window: sequence counter, stats, and the
+// live entries in insertion order. The free list and the byReg index
+// are derived state and are rebuilt on load.
+func (e *Engine) SaveState(enc *snap.Encoder) {
+	enc.I64(e.seq)
+	e.stats.SaveState(enc)
+	enc.U32(uint32(len(e.live)))
+	for _, en := range e.live {
+		enc.U8(en.reg)
+		enc.Words(en.val[:])
+		enc.I64(en.lastAccess)
+		enc.Bool(en.dirty)
+		enc.U8(uint8(en.hint))
+		enc.Bool(en.cancelWB)
+		enc.Bool(en.pending)
+	}
+}
+
+// LoadState restores a window written by SaveState. The target engine
+// may be configured differently from the source (forked sweeps restore
+// a baseline warm-up into bypassing configurations): that is accepted
+// exactly when the serialized window is empty, because an empty window
+// is a valid state of every configuration. A non-empty window only
+// restores into a configuration that can hold it.
+func (e *Engine) LoadState(dec *snap.Decoder) {
+	e.seq = dec.I64()
+	e.stats.LoadState(dec)
+	n := int(dec.U32())
+	if dec.Err() != nil {
+		return
+	}
+	// Drop current live entries before repopulating.
+	for _, en := range e.live {
+		e.byReg[en.reg] = nil
+		e.release(en)
+	}
+	e.live = e.live[:0]
+	if n > 0 {
+		if !e.cfg.Policy.Bypassing() {
+			dec.Fail(fmt.Errorf("core: snapshot has %d window entries but target policy is baseline", n))
+			return
+		}
+		if n > e.cfg.Capacity {
+			dec.Fail(fmt.Errorf("core: snapshot has %d window entries, target capacity is %d", n, e.cfg.Capacity))
+			return
+		}
+	}
+	for i := 0; i < n; i++ {
+		reg := dec.U8()
+		en := e.allocEntry()
+		dec.WordsInto(en.val[:])
+		en.lastAccess = dec.I64()
+		en.dirty = dec.Bool()
+		en.hint = isa.WritebackHint(dec.U8())
+		en.cancelWB = dec.Bool()
+		en.pending = dec.Bool()
+		if dec.Err() != nil {
+			e.release(en)
+			return
+		}
+		e.attach(reg, en)
+	}
+}
+
+// WindowEmpty reports whether the BOC holds no live entries. The forked
+// sweep planner checks this before restoring a warm-up snapshot into a
+// differently windowed configuration.
+func (e *Engine) WindowEmpty() bool { return len(e.live) == 0 }
+
+// SaveState serializes one warp-wide value.
+func (v *Value) SaveState(enc *snap.Encoder) { enc.Words(v[:]) }
+
+// LoadState restores one warp-wide value.
+func (v *Value) LoadState(dec *snap.Decoder) { dec.WordsInto(v[:]) }

@@ -6,7 +6,9 @@ package gpu
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"bow/internal/config"
 	"bow/internal/core"
@@ -18,6 +20,11 @@ import (
 	"bow/internal/trace"
 )
 
+// ErrInterrupted is returned by the run loop when Interrupt was called.
+// The device state is intact at a cycle boundary: the caller can
+// Snapshot it and a restored device resumes exactly where it stopped.
+var ErrInterrupted = errors.New("gpu: run interrupted")
+
 // Device is one simulated GPU.
 type Device struct {
 	cfg    config.GPU
@@ -26,6 +33,13 @@ type Device struct {
 	l2     *mem.Cache
 	sms    []*sm.SM
 	kernel *sm.Kernel
+
+	// nextCTA and cycles are run-loop state kept on the device (rather
+	// than in the loop) so a snapshot captures dispatch progress and a
+	// restored device resumes mid-grid.
+	nextCTA   int
+	cycles    int64
+	interrupt atomic.Bool
 
 	// CaptureRegs propagates to the SMs: snapshot effective register
 	// state at warp exit for oracle comparison.
@@ -83,6 +97,14 @@ type Result struct {
 	Traces map[[2]int][]*isa.Instruction
 }
 
+// Interrupt asks a running simulation to stop at the next cycle
+// boundary; the run loop returns ErrInterrupted with the device state
+// intact and snapshottable. Safe to call from another goroutine.
+func (d *Device) Interrupt() { d.interrupt.Store(true) }
+
+// Cycles returns the device cycle count (total across a restored run).
+func (d *Device) Cycles() int64 { return d.cycles }
+
 // Run executes the kernel to completion. maxCycles bounds runaway
 // simulations (0 means a generous default). Functional faults inside the
 // pipeline (out-of-range parameter reads, misaligned accesses — i.e.
@@ -95,15 +117,27 @@ func (d *Device) Run(maxCycles int64) (*Result, error) {
 // polls ctx every 1024 cycles and aborts with ctx's error when it is
 // done. This is what lets the job engine enforce per-job timeouts.
 func (d *Device) RunContext(ctx context.Context, maxCycles int64) (res *Result, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			res, err = nil, fmt.Errorf("gpu: kernel fault: %v", r)
-		}
-	}()
-	return d.run(ctx, maxCycles)
+	res, _, err = d.RunUntil(ctx, maxCycles, 0)
+	return res, err
 }
 
-func (d *Device) run(ctx context.Context, maxCycles int64) (*Result, error) {
+// RunUntil simulates until the kernel completes or the device cycle
+// counter reaches until (0 = no pause point). done reports completion;
+// when false the device is paused at a cycle boundary and can be
+// snapshotted or resumed with another RunUntil/RunContext call. The
+// result reflects the state so far (partial when paused). maxCycles is
+// a total-cycle bound, so a resumed run enforces the same limit the
+// cold run would.
+func (d *Device) RunUntil(ctx context.Context, maxCycles, until int64) (res *Result, done bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, done, err = nil, false, fmt.Errorf("gpu: kernel fault: %v", r)
+		}
+	}()
+	return d.run(ctx, maxCycles, until)
+}
+
+func (d *Device) run(ctx context.Context, maxCycles, until int64) (*Result, bool, error) {
 	if maxCycles <= 0 {
 		maxCycles = 50_000_000
 	}
@@ -113,25 +147,29 @@ func (d *Device) run(ctx context.Context, maxCycles int64) (*Result, error) {
 		s.Tracer = d.Tracer
 	}
 
-	nextCTA := 0
 	total := d.kernel.GridDim
-	var cycles int64
 
 	for {
+		if d.interrupt.Swap(false) {
+			return nil, false, ErrInterrupted
+		}
+		if until > 0 && d.cycles >= until {
+			return d.collect(), false, nil
+		}
 		// Dispatch CTAs breadth-first across SMs.
 		progressing := false
 		for _, s := range d.sms {
-			for nextCTA < total && s.CanAcceptCTA() {
-				if err := s.AssignCTA(nextCTA); err != nil {
-					return nil, err
+			for d.nextCTA < total && s.CanAcceptCTA() {
+				if err := s.AssignCTA(d.nextCTA); err != nil {
+					return nil, false, err
 				}
-				nextCTA++
+				d.nextCTA++
 			}
 			if !s.Idle() {
 				progressing = true
 			}
 		}
-		if !progressing && nextCTA >= total {
+		if !progressing && d.nextCTA >= total {
 			break
 		}
 		for _, s := range d.sms {
@@ -139,17 +177,23 @@ func (d *Device) run(ctx context.Context, maxCycles int64) (*Result, error) {
 				s.Cycle()
 			}
 		}
-		cycles++
-		if cycles > maxCycles {
-			return nil, fmt.Errorf("gpu: kernel exceeded %d cycles (livelock or runaway loop?)", maxCycles)
+		d.cycles++
+		if d.cycles > maxCycles {
+			return nil, false, fmt.Errorf("gpu: kernel exceeded %d cycles (livelock or runaway loop?)", maxCycles)
 		}
-		if cycles&1023 == 0 {
+		if d.cycles&1023 == 0 {
 			if cerr := ctx.Err(); cerr != nil {
-				return nil, fmt.Errorf("gpu: run canceled after %d cycles: %w", cycles, cerr)
+				return nil, false, fmt.Errorf("gpu: run canceled after %d cycles: %w", d.cycles, cerr)
 			}
 		}
 	}
 
+	return d.collect(), true, nil
+}
+
+// collect builds a Result from the current device state.
+func (d *Device) collect() *Result {
+	cycles := d.cycles
 	res := &Result{
 		Cycles:       cycles,
 		RegSnapshots: make(map[[2]int][]core.Value),
@@ -177,5 +221,5 @@ func (d *Device) run(ctx context.Context, maxCycles int64) (*Result, error) {
 		BOCReads:  res.Engine.BOCReads,
 		BOCWrites: res.Engine.BOCWrites,
 	}
-	return res, nil
+	return res
 }

@@ -1,0 +1,130 @@
+package gpu
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"bow/internal/snap"
+)
+
+// Snapshot section ids. New sections must be appended (higher ids) so
+// old readers can skip them by their length frame.
+const (
+	secDevice = 1 // dispatch cursor, SM count
+	secMemory = 2 // global memory pages
+	secL2     = 3 // shared L2 tag/LRU state
+	secSMBase = 16
+)
+
+// ConfigHash fingerprints the chip configuration. It deliberately
+// excludes the BOW window configuration (core.Config): window state is
+// checked structurally on restore, which is what lets a forked sweep
+// restore one warm-up snapshot into many window configurations.
+func (d *Device) ConfigHash() string {
+	b, err := json.Marshal(d.cfg)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// KernelHash fingerprints the program and launch geometry (hint-
+// agnostic; see sm.Kernel.StateHash).
+func (d *Device) KernelHash() string { return d.kernel.StateHash() }
+
+// Snapshot serializes the complete device state — global memory, L2,
+// and every SM's pipeline — to w as a versioned snapshot stream. It
+// must be called at a cycle boundary: after New, after a paused
+// RunUntil, or after ErrInterrupted. specJSON (may be nil) is embedded
+// in the header so the snapshot is self-describing. Returns the content
+// hash of the written stream.
+func (d *Device) Snapshot(w io.Writer, specJSON []byte) (string, error) {
+	enc := snap.NewEncoder()
+	enc.Section(secDevice)
+	enc.Int(d.nextCTA)
+	enc.Int(len(d.sms))
+	enc.Section(secMemory)
+	d.Global.SaveState(enc)
+	enc.Section(secL2)
+	d.l2.SaveState(enc)
+	for i, s := range d.sms {
+		enc.Section(secSMBase + uint32(i))
+		s.SaveState(enc)
+	}
+	payload, err := enc.Bytes()
+	if err != nil {
+		return "", fmt.Errorf("gpu: snapshot: %w", err)
+	}
+	h := snap.Header{
+		Version:    snap.FormatVersion,
+		Cycle:      d.cycles,
+		ConfigHash: d.ConfigHash(),
+		KernelHash: d.KernelHash(),
+		SpecJSON:   specJSON,
+	}
+	return snap.Encode(w, h, payload)
+}
+
+// Restore loads a snapshot stream into a freshly constructed device.
+// The target must have been built with the same chip configuration and
+// kernel (enforced via the header hashes); the window configuration may
+// differ when the snapshot's windows are empty (core.Engine.LoadState
+// enforces that). Returns the decoded header.
+func (d *Device) Restore(r io.Reader) (snap.Header, error) {
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		return snap.Header{}, fmt.Errorf("gpu: restore: %w", err)
+	}
+	return d.RestoreBytes(blob)
+}
+
+// RestoreBytes is Restore over an in-memory snapshot, decoding the
+// blob in place (snap.DecodeBytes) instead of buffering a copy. The
+// blob must not be mutated during the call; checkpoint resumption uses
+// this path for every forked sweep point and migrated job.
+func (d *Device) RestoreBytes(blob []byte) (snap.Header, error) {
+	return d.restoreDecoded(snap.DecodeBytes(blob))
+}
+
+// RestorePreverified is RestoreBytes for a blob whose content hash is
+// already known good (snap.DecodeBytesPreverified): forked sweeps
+// restore one warm-up snapshot into every point of the class and only
+// pay the hash once, at the warm-up that encoded it.
+func (d *Device) RestorePreverified(blob []byte) (snap.Header, error) {
+	return d.restoreDecoded(snap.DecodeBytesPreverified(blob))
+}
+
+func (d *Device) restoreDecoded(h snap.Header, dec *snap.Decoder, err error) (snap.Header, error) {
+	if err != nil {
+		return h, err
+	}
+	if got := d.ConfigHash(); h.ConfigHash != got {
+		return h, fmt.Errorf("gpu: snapshot chip config %.12s does not match device %.12s", h.ConfigHash, got)
+	}
+	if got := d.KernelHash(); h.KernelHash != got {
+		return h, fmt.Errorf("gpu: snapshot kernel %.12s does not match device %.12s", h.KernelHash, got)
+	}
+	dec.Section(secDevice)
+	d.nextCTA = dec.Int()
+	nsms := dec.Int()
+	if err := dec.Err(); err != nil {
+		return h, err
+	}
+	if nsms != len(d.sms) {
+		return h, fmt.Errorf("gpu: snapshot has %d SMs, device has %d", nsms, len(d.sms))
+	}
+	d.cycles = h.Cycle
+	dec.Section(secMemory)
+	d.Global.LoadState(dec)
+	dec.Section(secL2)
+	d.l2.LoadState(dec)
+	for i, s := range d.sms {
+		dec.Section(secSMBase + uint32(i))
+		s.LoadState(dec)
+	}
+	return h, dec.Close()
+}

@@ -7,7 +7,10 @@
 // while letting the timing model stay simple.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // pageWords is the granularity of the sparse global store (4 KiB pages).
 const pageWords = 1024
@@ -21,10 +24,18 @@ const pageWords = 1024
 // A Memory belongs to a single simulation: the device loop runs on one
 // goroutine and every job allocates its own store, so accesses are not
 // synchronized. It is not safe for concurrent use.
+//
+// Pages come in two tiers: a private overlay (pages) and an optional
+// frozen base shared with other Memories created by Fork. Reads fall
+// through the overlay to the base; the first write to a base page
+// copies it into the overlay (copy-on-write). Forking a warm-up state
+// for N sweep points is therefore a map-share, not a deep page walk.
 type Memory struct {
 	pages    map[uint32]*[pageWords]uint32
-	last     *[pageWords]uint32 // most recently touched page
-	lastPage uint32             // its page number; ^0 when none
+	base     map[uint32]*[pageWords]uint32 // frozen, shared across forks; never written
+	last     *[pageWords]uint32            // most recently touched page
+	lastPage uint32                        // its page number; ^0 when none
+	lastRO   bool                          // cached page belongs to base (copy before write)
 }
 
 // NewMemory creates an empty global memory.
@@ -37,19 +48,51 @@ func NewMemory() *Memory {
 // of unwritten memory are zero and must not populate the store.
 func (m *Memory) page(idx uint32, alloc bool) *[pageWords]uint32 {
 	pn := idx / pageWords
-	if pn == m.lastPage {
+	if pn == m.lastPage && !(alloc && m.lastRO) {
 		return m.last
 	}
 	p := m.pages[pn]
 	if p == nil {
-		if !alloc {
-			return nil
+		if b := m.base[pn]; b != nil {
+			if !alloc {
+				m.last, m.lastPage, m.lastRO = b, pn, true
+				return b
+			}
+			// Copy-on-write: first store to a shared base page.
+			cp := *b
+			p = &cp
+			m.pages[pn] = p
+		} else {
+			if !alloc {
+				return nil
+			}
+			p = new([pageWords]uint32)
+			m.pages[pn] = p
 		}
-		p = new([pageWords]uint32)
-		m.pages[pn] = p
 	}
-	m.last, m.lastPage = p, pn
+	m.last, m.lastPage, m.lastRO = p, pn, false
 	return p
+}
+
+// Fork freezes this memory's current pages into the shared base tier
+// and returns a new Memory seeing the same contents. Both the receiver
+// and the fork copy-on-write from the shared base afterwards, so
+// neither can observe the other's writes. O(pages-in-overlay), with no
+// page data copied.
+func (m *Memory) Fork() *Memory {
+	if m.base == nil {
+		m.base = make(map[uint32]*[pageWords]uint32, len(m.pages))
+	}
+	for pn, p := range m.pages {
+		m.base[pn] = p
+		delete(m.pages, pn)
+	}
+	m.last, m.lastPage, m.lastRO = nil, ^uint32(0), false
+	return &Memory{
+		pages:    make(map[uint32]*[pageWords]uint32),
+		base:     m.base,
+		lastPage: ^uint32(0),
+	}
 }
 
 // Read32 loads the word at byte address addr.
@@ -111,14 +154,32 @@ func (m *Memory) ReadWords(base uint32, n int) ([]uint32, error) {
 }
 
 // Snapshot returns a copy of all nonzero words, keyed by word index
-// (for the functional oracle's end-state comparison).
+// (for the functional oracle's end-state comparison). Overlay pages
+// shadow base pages of the same number.
 func (m *Memory) Snapshot() map[uint32]uint32 {
 	out := make(map[uint32]uint32)
-	for pn, p := range m.pages {
+	emit := func(pn uint32, p *[pageWords]uint32) {
 		for i, v := range p {
 			if v != 0 {
 				out[pn*pageWords+uint32(i)] = v
 			}
+		}
+	}
+	pns := make([]uint32, 0, len(m.base)+len(m.pages))
+	for pn := range m.base {
+		if m.pages[pn] == nil {
+			pns = append(pns, pn)
+		}
+	}
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	for _, pn := range pns {
+		if p := m.pages[pn]; p != nil {
+			emit(pn, p)
+		} else {
+			emit(pn, m.base[pn])
 		}
 	}
 	return out

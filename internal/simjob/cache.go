@@ -2,6 +2,8 @@ package simjob
 
 import (
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -11,7 +13,8 @@ import (
 
 // Cache is the two-tier result cache: an in-memory LRU holding full
 // outcomes (simulator result included), and an optional on-disk tier
-// storing the canonical JobResult JSON under <dir>/<spechash>.json.
+// storing the canonical JobResult JSON — wrapped in a content-hash
+// envelope that is verified on read — under <dir>/<spechash>.json.
 // Memory hits can serve figure generators that need the full result;
 // disk hits serve summary-level consumers (the daemon) across process
 // restarts.
@@ -28,6 +31,25 @@ type Cache struct {
 type cacheEntry struct {
 	hash string
 	out  *Outcome
+}
+
+// diskEnvelope is the on-disk framing of one cached result: the
+// canonical JobResult JSON plus a content hash over exactly those
+// bytes. The hash is verified on every read, so a truncated, torn, or
+// bit-rotted cache file is detected and treated as a miss (the fresh
+// run rewrites it) instead of being served as truth. Files in the old
+// bare-JobResult format carry no hash and are likewise misses.
+type diskEnvelope struct {
+	ContentHash string          `json:"contentHash"`
+	Result      json.RawMessage `json:"result"`
+}
+
+// contentHashOf is the envelope hash: sha256 over the canonical result
+// bytes, hex encoded — the same shape as the spec hash and the
+// snapshot content hash.
+func contentHashOf(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
 }
 
 // NewCache builds a cache holding up to max outcomes in memory
@@ -81,10 +103,10 @@ func (c *Cache) Get(hash string, needFull bool) (*Outcome, bool) {
 		c.mu.Unlock()
 		return nil, false
 	}
-	var sum JobResult
-	if err := json.Unmarshal(raw, &sum); err != nil || sum.SpecHash != hash {
-		// A corrupt or mismatched file is a miss; the fresh run will
-		// overwrite it.
+	sum, ok := decodeDiskEntry(raw, hash)
+	if !ok {
+		// A corrupt, truncated, or mismatched file is a miss; the fresh
+		// run will overwrite it.
 		c.mu.Lock()
 		c.misses++
 		c.mu.Unlock()
@@ -118,7 +140,14 @@ func (c *Cache) Put(out *Outcome) error {
 	if dir == "" {
 		return nil
 	}
-	raw, err := out.Summary.CanonicalJSON()
+	canonical, err := out.Summary.CanonicalJSON()
+	if err != nil {
+		return err
+	}
+	raw, err := json.Marshal(diskEnvelope{
+		ContentHash: contentHashOf(canonical),
+		Result:      canonical,
+	})
 	if err != nil {
 		return err
 	}
@@ -158,6 +187,25 @@ func (c *Cache) insertLocked(hash string, out *Outcome) {
 		c.ll.Remove(tail)
 		delete(c.items, tail.Value.(*cacheEntry).hash)
 	}
+}
+
+// decodeDiskEntry verifies and unwraps one disk-tier file: envelope
+// parse, content hash over the enclosed result bytes, then the spec
+// hash against the file's cache key. Any failure is a miss.
+func decodeDiskEntry(raw []byte, hash string) (JobResult, bool) {
+	var env diskEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return JobResult{}, false
+	}
+	if env.ContentHash == "" || len(env.Result) == 0 ||
+		contentHashOf(env.Result) != env.ContentHash {
+		return JobResult{}, false
+	}
+	var sum JobResult
+	if err := json.Unmarshal(env.Result, &sum); err != nil || sum.SpecHash != hash {
+		return JobResult{}, false
+	}
+	return sum, true
 }
 
 func (c *Cache) path(hash string) string {

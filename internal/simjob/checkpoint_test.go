@@ -1,0 +1,310 @@
+package simjob
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCheckpointResumeMatchesColdRun pins the resume invariant the
+// cache key design rests on: pausing a job mid-run (ExecuteUntil),
+// shipping the checkpoint, and resuming it produces a JobResult
+// byte-identical to the uninterrupted cold run of the same spec.
+func TestCheckpointResumeMatchesColdRun(t *testing.T) {
+	spec := JobSpec{Bench: "SAD", Policy: "bow-wr"}
+
+	cold, err := Execute(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cold.Summary.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := cold.Summary.Cycles / 2
+	if half == 0 {
+		t.Fatalf("kernel too short to pause: %d cycles", cold.Summary.Cycles)
+	}
+
+	paused, err := ExecuteUntil(context.Background(), spec, nil, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !paused.Interrupted {
+		t.Fatal("pause point reached but outcome not Interrupted")
+	}
+	if len(paused.Checkpoint) == 0 {
+		t.Fatal("interrupted outcome carries no checkpoint")
+	}
+	if paused.CheckpointCycle != half {
+		t.Errorf("checkpoint taken at cycle %d, want %d", paused.CheckpointCycle, half)
+	}
+
+	resumeSpec := spec
+	resumeSpec.FromCheckpoint = paused.Checkpoint
+	resumed, err := Execute(context.Background(), resumeSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Interrupted {
+		t.Fatal("resumed run did not complete")
+	}
+	if resumed.ResumedFrom != half {
+		t.Errorf("ResumedFrom = %d, want %d", resumed.ResumedFrom, half)
+	}
+	got, err := resumed.Summary.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("resumed run diverged from cold run:\n%s\n%s", want, got)
+	}
+
+	// The checkpoint hash must not differ from the cold spec's: a
+	// resumed job is the same design point.
+	coldHash, _ := spec.Hash()
+	resumeHash, _ := resumeSpec.Hash()
+	if coldHash != resumeHash {
+		t.Errorf("FromCheckpoint changed the spec hash: %s vs %s", coldHash, resumeHash)
+	}
+}
+
+// TestEngineDrainHandsBackCheckpoint drains an engine and verifies a
+// job submitted afterwards comes back as an Interrupted outcome with a
+// resumable checkpoint — never as a cached result — and that resuming
+// the checkpoint elsewhere completes the job identically to a cold run.
+func TestEngineDrainHandsBackCheckpoint(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1})
+	e.Drain()
+	if !e.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+
+	spec := JobSpec{Bench: "VECTORADD", Policy: "bow-wr"}
+	out, err := e.Do(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Interrupted || len(out.Checkpoint) == 0 {
+		t.Fatalf("drained engine returned interrupted=%v checkpoint=%d bytes",
+			out.Interrupted, len(out.Checkpoint))
+	}
+
+	// Interrupted outcomes must not poison the cache.
+	hash, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Cache().Get(hash, false); ok {
+		t.Error("interrupted outcome was cached")
+	}
+
+	// The handed-back checkpoint resumes to the cold run's exact bytes —
+	// this is what the coordinator relies on when migrating the job.
+	cold, err := Execute(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := cold.Summary.CanonicalJSON()
+	resumeSpec := spec
+	resumeSpec.FromCheckpoint = out.Checkpoint
+	resumed, err := Execute(context.Background(), resumeSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := resumed.Summary.CanonicalJSON()
+	if !bytes.Equal(want, got) {
+		t.Errorf("migrated job diverged from cold run:\n%s\n%s", want, got)
+	}
+}
+
+// TestRunSweepForked covers the forked-sweep planner: points sharing a
+// prefix class simulate the warm-up once and each resume from its
+// snapshot, with the reuse accounted in both the sweep summary and the
+// per-item results.
+func TestRunSweepForked(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 2})
+	const warm = 64
+	sw := SweepSpec{
+		Benches:      []string{"SAD"},
+		Policies:     []string{"bow-wt", "bow-wb"},
+		IWs:          []int{2, 3},
+		ForkPrefix:   true,
+		WarmupCycles: warm,
+	}
+	res, err := e.RunSweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		for _, it := range res.Items {
+			if it.Error != "" {
+				t.Errorf("item %s/%s iw=%d failed: %s", it.Spec.Bench, it.Spec.Policy, it.Spec.IW, it.Error)
+			}
+		}
+		t.Fatalf("forked sweep failed %d/%d items", res.Failed, res.Jobs)
+	}
+	if res.ForkGroups != 1 {
+		t.Errorf("ForkGroups = %d, want 1 (one bench, one prefix class)", res.ForkGroups)
+	}
+	// 4 points in the class: the warm-up ran once instead of 4 times.
+	if want := int64(warm * 3); res.ReusedCycles != want {
+		t.Errorf("sweep ReusedCycles = %d, want %d", res.ReusedCycles, want)
+	}
+	for i, it := range res.Items {
+		if it.Cached != "forked" {
+			t.Errorf("item %d cached=%q, want \"forked\"", i, it.Cached)
+		}
+		if it.Result == nil {
+			t.Fatalf("item %d has no result", i)
+		}
+		if it.Result.ReusedCycles != warm {
+			t.Errorf("item %d ReusedCycles = %d, want %d", i, it.Result.ReusedCycles, warm)
+		}
+		if it.Result.Cycles <= warm {
+			t.Errorf("item %d finished at cycle %d, inside the warm-up", i, it.Result.Cycles)
+		}
+		if !it.Result.Checked {
+			t.Errorf("item %d skipped the functional self-check", i)
+		}
+		wantHash, _ := it.Spec.Hash()
+		if it.Result.SpecHash != wantHash {
+			t.Errorf("item %d carries hash %s, want %s", i, it.Result.SpecHash, wantHash)
+		}
+	}
+
+	// Forked results are warm-up approximations: they must never land in
+	// the cache under the cold spec's hash.
+	for _, it := range res.Items {
+		h, _ := it.Spec.Hash()
+		if _, ok := e.Cache().Get(h, false); ok {
+			t.Errorf("forked result for %s/%s iw=%d was cached", it.Spec.Bench, it.Spec.Policy, it.Spec.IW)
+		}
+	}
+}
+
+// TestRunSweepForkedFallsBackWhenKernelTooShort: a warm-up longer than
+// the kernel leaves nothing to fork — the class must fall back to cold
+// engine runs that match a plain sweep exactly.
+func TestRunSweepForkedFallsBackWhenKernelTooShort(t *testing.T) {
+	sw := SweepSpec{
+		Benches:      []string{"VECTORADD"},
+		Policies:     []string{"bow-wt", "bow-wb"},
+		ForkPrefix:   true,
+		WarmupCycles: 10_000_000, // far beyond the kernel's runtime
+	}
+	e := newTestEngine(t, Options{Workers: 2})
+	res, err := e.RunSweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ForkGroups != 0 || res.ReusedCycles != 0 {
+		t.Errorf("short kernel still forked: groups=%d reused=%d", res.ForkGroups, res.ReusedCycles)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("fallback sweep failed %d items", res.Failed)
+	}
+
+	cold := SweepSpec{Benches: sw.Benches, Policies: sw.Policies}
+	ref, err := newTestEngine(t, Options{Workers: 2}).RunSweep(context.Background(), cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Items {
+		if res.Items[i].Cached == "forked" {
+			t.Errorf("item %d marked forked on the fallback path", i)
+		}
+		want, _ := ref.Items[i].Result.CanonicalJSON()
+		got, _ := res.Items[i].Result.CanonicalJSON()
+		if !bytes.Equal(want, got) {
+			t.Errorf("fallback item %d diverged from plain sweep:\n%s\n%s", i, want, got)
+		}
+	}
+}
+
+// TestDiskCacheCorruptionIsAMiss deliberately damages on-disk cache
+// files and asserts each damaged shape is detected by the content-hash
+// envelope, treated as a miss, re-simulated, and rewritten valid.
+func TestDiskCacheCorruptionIsAMiss(t *testing.T) {
+	spec := JobSpec{Bench: "VECTORADD", Policy: "bow-wr"}
+	hash, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := func() ([]byte, error) {
+		out, err := Execute(context.Background(), spec)
+		if err != nil {
+			return nil, err
+		}
+		return out.Summary.CanonicalJSON()
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := map[string]func(raw []byte) []byte{
+		"truncated": func(raw []byte) []byte { return raw[:len(raw)/2] },
+		"bitflip": func(raw []byte) []byte {
+			// Flip a byte inside the enclosed result payload, past the
+			// envelope's contentHash field.
+			mut := append([]byte(nil), raw...)
+			mut[len(mut)/2] ^= 0x20
+			return mut
+		},
+		"legacy-bare-result": func([]byte) []byte {
+			// The pre-envelope format: canonical JobResult JSON with no
+			// content hash. Must not be trusted.
+			return want
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			seed := newTestEngine(t, Options{Workers: 1, CacheDir: dir})
+			if _, err := seed.Do(context.Background(), spec); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, hash+".json")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// A fresh engine over the damaged dir must re-simulate, not
+			// serve the damaged bytes.
+			e := newTestEngine(t, Options{Workers: 1, CacheDir: dir})
+			out, err := e.Do(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Cached != "" {
+				t.Fatalf("damaged cache file served as a %q hit", out.Cached)
+			}
+			got, _ := out.Summary.CanonicalJSON()
+			if !bytes.Equal(want, got) {
+				t.Errorf("re-simulated result diverged:\n%s\n%s", want, got)
+			}
+			if _, _, misses := e.Cache().Counters(); misses == 0 {
+				t.Error("corruption not counted as a cache miss")
+			}
+
+			// The fresh run rewrote the file; it must verify again.
+			raw2, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum, ok := decodeDiskEntry(raw2, hash)
+			if !ok {
+				t.Fatal("rewritten cache file does not verify")
+			}
+			if canon, _ := sum.CanonicalJSON(); !bytes.Equal(want, canon) {
+				t.Error("rewritten cache file holds a different result")
+			}
+		})
+	}
+}

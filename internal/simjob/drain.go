@@ -1,0 +1,74 @@
+package simjob
+
+import (
+	"context"
+	"sync"
+
+	"bow/internal/gpu"
+)
+
+// DrainController connects in-flight simulations to a drain signal.
+// Execute registers its device when a controller travels in the job
+// context (WithDrain); Drain interrupts every registered device at its
+// next cycle boundary, and each interrupted job returns an Outcome
+// with Interrupted set and a resumable checkpoint attached. Devices
+// registered after Drain are interrupted on arrival, so a job that was
+// still queued when the drain started checkpoints at cycle 0 instead
+// of running to completion on a dying worker.
+type DrainController struct {
+	mu       sync.Mutex
+	draining bool
+	devices  map[*gpu.Device]struct{}
+}
+
+// NewDrainController builds an idle controller.
+func NewDrainController() *DrainController {
+	return &DrainController{devices: make(map[*gpu.Device]struct{})}
+}
+
+// Drain marks the controller draining and interrupts every registered
+// device. Idempotent; safe from signal handlers' goroutines.
+func (dc *DrainController) Drain() {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	dc.draining = true
+	for d := range dc.devices {
+		//bowvet:ignore determinism -- interrupt delivery order is immaterial: Interrupt only swaps each device's atomic flag
+		d.Interrupt()
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (dc *DrainController) Draining() bool {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	return dc.draining
+}
+
+func (dc *DrainController) register(d *gpu.Device) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if dc.draining {
+		d.Interrupt()
+	}
+	dc.devices[d] = struct{}{}
+}
+
+func (dc *DrainController) unregister(d *gpu.Device) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	delete(dc.devices, d)
+}
+
+type drainCtxKey struct{}
+
+// WithDrain attaches a drain controller to a job context; Execute
+// registers its device with it for the duration of the run.
+func WithDrain(ctx context.Context, dc *DrainController) context.Context {
+	return context.WithValue(ctx, drainCtxKey{}, dc)
+}
+
+func drainFrom(ctx context.Context) *DrainController {
+	dc, _ := ctx.Value(drainCtxKey{}).(*DrainController)
+	return dc
+}

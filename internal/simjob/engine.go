@@ -35,6 +35,7 @@ type Options struct {
 type Engine struct {
 	opts  Options
 	cache *Cache
+	drain *DrainController
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -116,6 +117,7 @@ func New(opts Options) (*Engine, error) {
 	e := &Engine{
 		opts:      opts,
 		cache:     cache,
+		drain:     NewDrainController(),
 		inflight:  make(map[string]*job),
 		execute:   Execute,
 		spans:     trace.NewSpanLog(0),
@@ -257,11 +259,14 @@ func (e *Engine) worker() {
 		if err == nil {
 			out.Attempts = attempts
 			// Cache before resolving so a waiter resubmitting
-			// immediately sees the hit.
-			if cerr := e.cache.Put(out); cerr != nil {
-				// A broken disk tier degrades to memory-only; the result
-				// itself is still good.
-				_ = cerr
+			// immediately sees the hit. Interrupted outcomes carry a
+			// checkpoint instead of a result and must never be cached.
+			if !out.Interrupted {
+				if cerr := e.cache.Put(out); cerr != nil {
+					// A broken disk tier degrades to memory-only; the result
+					// itself is still good.
+					_ = cerr
+				}
 			}
 		}
 
@@ -292,6 +297,10 @@ func (e *Engine) runJob(j *job) (*Outcome, int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Every job body sees the engine's drain controller: Drain pauses
+	// the in-flight simulations at their next cycle boundary and they
+	// come back as Interrupted outcomes carrying checkpoints.
+	ctx = WithDrain(ctx, e.drain)
 	var lastErr error
 	for attempt := 1; attempt <= e.opts.Retries+1; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -326,6 +335,17 @@ func (e *Engine) safeExecute(ctx context.Context, spec JobSpec) (out *Outcome, e
 	}()
 	return e.execute(ctx, spec)
 }
+
+// Drain interrupts every in-flight simulation at its next cycle
+// boundary; their jobs resolve with Interrupted outcomes carrying
+// resumable checkpoints, and jobs starting afterwards checkpoint
+// immediately. cmd/bowd calls this on SIGTERM so a coordinator can
+// migrate the half-finished work instead of restarting it from cycle
+// 0. Cache hits are unaffected (they involve no simulation).
+func (e *Engine) Drain() { e.drain.Drain() }
+
+// Draining reports whether Drain has been called.
+func (e *Engine) Draining() bool { return e.drain.Draining() }
 
 // Cache exposes the engine's result cache (read-mostly: tests and the
 // daemon's metrics use it).

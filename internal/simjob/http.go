@@ -11,10 +11,17 @@ import (
 	"bow/internal/trace"
 )
 
-// SimulateResponse is the envelope POST /simulate answers with.
+// SimulateResponse is the envelope POST /simulate answers with. A
+// drained worker answers Interrupted with the resumable checkpoint
+// instead of a result; the coordinator re-submits the spec with
+// FromCheckpoint set on another worker.
 type SimulateResponse struct {
 	Cached string    `json:"cached,omitempty"`
 	Result JobResult `json:"result"`
+
+	Interrupted     bool   `json:"interrupted,omitempty"`
+	Checkpoint      []byte `json:"checkpoint,omitempty"`
+	CheckpointCycle int64  `json:"checkpointCycle,omitempty"`
 }
 
 // Server is the HTTP interface cmd/bowd serves (and the one cluster
@@ -82,7 +89,11 @@ func NewServer(e *Engine) *Server {
 		}
 		span.Job = out.Hash
 		e.Spans().Record(span)
-		writeJSON(w, SimulateResponse{Cached: out.Cached, Result: out.Summary})
+		writeJSON(w, SimulateResponse{
+			Cached: out.Cached, Result: out.Summary,
+			Interrupted: out.Interrupted, Checkpoint: out.Checkpoint,
+			CheckpointCycle: out.CheckpointCycle,
+		})
 	})
 	s.mux.HandleFunc("/sweep", func(w http.ResponseWriter, r *http.Request) {
 		if !requireMethod(w, r, http.MethodPost) {
@@ -192,7 +203,9 @@ func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 }
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	// 64 MiB: a plain spec is tiny, but a migrated job arrives with its
+	// checkpoint inlined in JobSpec.FromCheckpoint.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))

@@ -43,6 +43,14 @@ type JobResult struct {
 	// is a job error, not a result).
 	Checked bool `json:"checked"`
 
+	// ReusedCycles is the simulated-cycle count this result inherited
+	// from a shared warm-up snapshot instead of simulating itself. Only
+	// the forked-sweep planner sets it (RunSweepForked); cold runs and
+	// exact same-spec resumes leave it zero, keeping their canonical
+	// encodings identical. A nonzero value marks the timing numbers as
+	// warm-up approximations — forked results are never cached.
+	ReusedCycles int64 `json:"reusedCycles,omitempty"`
+
 	// WallNanos is the host wall-clock time of the simulation. It is
 	// the one volatile field: CanonicalJSON zeroes it, so cached and
 	// fresh encodings of the same spec are byte-identical.
@@ -111,4 +119,19 @@ type Outcome struct {
 	// Attempts counts execution attempts (retries + 1) for freshly
 	// simulated outcomes.
 	Attempts int
+
+	// Interrupted reports the run was paused before completion — by a
+	// drain (WithDrain) or an explicit pause point (ExecuteUntil).
+	// Checkpoint then holds the snapshot stream to resume from
+	// (JobSpec.FromCheckpoint) and CheckpointCycle the cycle it was
+	// taken at; Summary and Full are empty. Interrupted outcomes are
+	// never cached.
+	Interrupted     bool
+	Checkpoint      []byte
+	CheckpointCycle int64
+	// ResumedFrom is the checkpoint cycle this run was restored from
+	// (zero for cold runs). Informational: it does not enter the cached
+	// summary, because an exact same-spec resume produces the identical
+	// result a cold run would.
+	ResumedFrom int64
 }

@@ -1,7 +1,10 @@
 package simjob
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"time"
 
@@ -18,6 +21,18 @@ import (
 // simulate, and verify the functional self-check. It is the engine's
 // worker body, and also serves cmd/bowsim's single-shot path. The
 // context cancels the simulation loop cooperatively.
+//
+// When spec.FromCheckpoint is set, the device is restored from that
+// snapshot instead of starting cold: the benchmark's Init is skipped
+// (the snapshot carries memory) and the run continues from the
+// checkpoint cycle. Resuming the same spec is bit-identical to a cold
+// run; restoring across window configurations (forked sweeps) is
+// accepted when the snapshot's operand windows are empty.
+//
+// When a DrainController travels in ctx (WithDrain) and drains
+// mid-run, Execute snapshots the paused device and returns an Outcome
+// with Interrupted set and the checkpoint attached — not an error —
+// so the caller can hand the job to another worker.
 func Execute(ctx context.Context, spec JobSpec) (*Outcome, error) {
 	return ExecuteTraced(ctx, spec, nil)
 }
@@ -27,6 +42,19 @@ func Execute(ctx context.Context, spec JobSpec) (*Outcome, error) {
 // JobSpec field: it must not change the spec's content hash or the
 // simulation result — only observe it.
 func ExecuteTraced(ctx context.Context, spec JobSpec, tr *trace.CycleTracer) (*Outcome, error) {
+	return executeUntil(ctx, spec, tr, 0)
+}
+
+// ExecuteUntil is ExecuteTraced with a pause point: the simulation
+// stops once the device cycle counter reaches until (0 = run to
+// completion) and returns an Interrupted outcome carrying the
+// checkpoint, exactly as a drain would. cmd/bowsim -checkpoint-at and
+// cmd/bowtrace -until are built on it.
+func ExecuteUntil(ctx context.Context, spec JobSpec, tr *trace.CycleTracer, until int64) (*Outcome, error) {
+	return executeUntil(ctx, spec, tr, until)
+}
+
+func executeUntil(ctx context.Context, spec JobSpec, tr *trace.CycleTracer, until int64) (*Outcome, error) {
 	spec, err := spec.Normalize()
 	if err != nil {
 		return nil, err
@@ -61,8 +89,10 @@ func ExecuteTraced(ctx context.Context, spec JobSpec, tr *trace.CycleTracer) (*O
 		hints = hs.String()
 	}
 
+	resuming := len(spec.FromCheckpoint) > 0
 	m := mem.NewMemory()
-	if b.Init != nil {
+	if !resuming && b.Init != nil {
+		// A restored device gets its memory from the snapshot, not Init.
 		if err := b.Init(m); err != nil {
 			return nil, fmt.Errorf("%s: init: %w", b.Name, err)
 		}
@@ -78,12 +108,53 @@ func ExecuteTraced(ctx context.Context, spec JobSpec, tr *trace.CycleTracer) (*O
 	d.CaptureTrace = spec.Trace
 	d.Tracer = tr
 
+	var resumedFrom int64
+	if resuming {
+		restore := d.RestoreBytes
+		if spec.checkpointVerified {
+			restore = d.RestorePreverified
+		}
+		h, err := restore(spec.FromCheckpoint)
+		if err != nil {
+			return nil, fmt.Errorf("%s: restore checkpoint: %w", b.Name, err)
+		}
+		resumedFrom = h.Cycle
+	}
+
+	if dc := drainFrom(ctx); dc != nil {
+		dc.register(d)
+		defer dc.unregister(d)
+	}
+
 	start := time.Now()
-	res, err := d.RunContext(ctx, spec.MaxCycles)
+	res, done, err := d.RunUntil(ctx, spec.MaxCycles, until)
+	if errors.Is(err, gpu.ErrInterrupted) {
+		res, done, err = nil, false, nil
+	}
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
 	wall := time.Since(start)
+
+	if !done {
+		// Paused (drain interrupt or explicit until): snapshot the device
+		// so the job can continue elsewhere. The embedded spec (checkpoint
+		// stripped) makes the stream self-describing for bowtrace -resume.
+		ckpt, cycle, err := checkpointDevice(d, spec)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		return &Outcome{
+			Spec:            spec,
+			Hash:            hash,
+			Interrupted:     true,
+			Checkpoint:      ckpt,
+			CheckpointCycle: cycle,
+			ResumedFrom:     resumedFrom,
+			Hints:           hints,
+			Attempts:        1,
+		}, nil
+	}
 
 	checked := false
 	if b.Check != nil {
@@ -94,11 +165,27 @@ func ExecuteTraced(ctx context.Context, spec JobSpec, tr *trace.CycleTracer) (*O
 	}
 
 	return &Outcome{
-		Spec:     spec,
-		Hash:     hash,
-		Summary:  summarize(spec, hash, res, checked, wall.Nanoseconds()),
-		Full:     res,
-		Hints:    hints,
-		Attempts: 1,
+		Spec:        spec,
+		Hash:        hash,
+		Summary:     summarize(spec, hash, res, checked, wall.Nanoseconds()),
+		Full:        res,
+		Hints:       hints,
+		Attempts:    1,
+		ResumedFrom: resumedFrom,
 	}, nil
+}
+
+// checkpointDevice snapshots a paused device with the job's normalized
+// spec (checkpoint bytes stripped) embedded in the header.
+func checkpointDevice(d *gpu.Device, spec JobSpec) ([]byte, int64, error) {
+	spec.FromCheckpoint = nil
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	var buf bytes.Buffer
+	if _, err := d.Snapshot(&buf, specJSON); err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	return buf.Bytes(), d.Cycles(), nil
 }

@@ -29,9 +29,109 @@ type SimRatePoint struct {
 
 // SimRateReport is the schema of BENCH_simrate.json.
 type SimRateReport struct {
-	GitSHA   string         `json:"git_sha"`
-	SeedNote string         `json:"seed_note,omitempty"`
-	Points   []SimRatePoint `json:"points"`
+	GitSHA      string           `json:"git_sha"`
+	SeedNote    string           `json:"seed_note,omitempty"`
+	Points      []SimRatePoint   `json:"points"`
+	ForkedSweep *ForkedSweepRate `json:"forked_sweep,omitempty"`
+}
+
+// ForkedSweepRate is one measured comparison of an instruction-window
+// sweep run cold versus with warm-up prefix forking (RunSweepForked):
+// the same point grid on the same pool, timed end to end, with the
+// fork accounting carried over from the sweep result. Gain is the
+// aggregate sweep-throughput ratio cold/forked; with perfect load
+// balance it approaches ColdCycles / (ColdCycles - ReusedCycles).
+type ForkedSweepRate struct {
+	Benches       []string `json:"benches"`
+	Policies      []string `json:"policies"`
+	IWs           []int    `json:"iws"`
+	WarmupCycles  int64    `json:"warmup_cycles"`
+	Workers       int      `json:"workers"`
+	Points        int      `json:"points"`
+	ForkGroups    int      `json:"fork_groups"`
+	ReusedCycles  int64    `json:"reused_cycles"`
+	ColdCycles    int64    `json:"cold_cycles"`
+	ColdWallSec   float64  `json:"cold_wall_sec"`
+	ForkedWallSec float64  `json:"forked_wall_sec"`
+	Gain          float64  `json:"gain"`
+}
+
+// MeasureForkedSweepRate times sw cold and with ForkPrefix on fresh
+// engines (no result cache between rounds) and reports the best wall
+// time of each over `rounds` repetitions. The sweep must succeed on
+// both paths; any failed item fails the measurement.
+func MeasureForkedSweepRate(sw SweepSpec, workers, rounds int) (*ForkedSweepRate, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if rounds <= 0 {
+		rounds = 3
+	}
+	runOnce := func(s SweepSpec) (*SweepResult, float64, error) {
+		e, err := New(Options{Workers: workers})
+		if err != nil {
+			return nil, 0, err
+		}
+		defer e.Close()
+		start := time.Now()
+		res, err := e.RunSweep(context.Background(), s)
+		if err != nil {
+			return nil, 0, err
+		}
+		if res.Failed > 0 {
+			for _, it := range res.Items {
+				if it.Error != "" {
+					return nil, 0, fmt.Errorf("%s/%s iw=%d: %s", it.Spec.Bench, it.Spec.Policy, it.Spec.IW, it.Error)
+				}
+			}
+		}
+		return res, time.Since(start).Seconds(), nil
+	}
+
+	cold := sw
+	cold.ForkPrefix = false
+	forked := sw
+	forked.ForkPrefix = true
+
+	warm := sw.WarmupCycles
+	if warm <= 0 {
+		warm = DefaultWarmupCycles
+	}
+	out := &ForkedSweepRate{
+		Benches: sw.Benches, Policies: sw.Policies, IWs: sw.IWs,
+		WarmupCycles: warm, Workers: workers,
+	}
+	for r := 0; r < rounds; r++ {
+		cres, cwall, err := runOnce(cold)
+		if err != nil {
+			return nil, fmt.Errorf("cold sweep: %w", err)
+		}
+		fres, fwall, err := runOnce(forked)
+		if err != nil {
+			return nil, fmt.Errorf("forked sweep: %w", err)
+		}
+		if fres.ForkGroups == 0 {
+			return nil, fmt.Errorf("forked sweep formed no prefix classes (warm-up %d cycles too long?)", warm)
+		}
+		if r == 0 {
+			out.Points = cres.Jobs
+			out.ForkGroups = fres.ForkGroups
+			out.ReusedCycles = fres.ReusedCycles
+			for _, it := range cres.Items {
+				out.ColdCycles += it.Result.Cycles
+			}
+		}
+		if r == 0 || cwall < out.ColdWallSec {
+			out.ColdWallSec = cwall
+		}
+		if r == 0 || fwall < out.ForkedWallSec {
+			out.ForkedWallSec = fwall
+		}
+	}
+	if out.ForkedWallSec > 0 {
+		out.Gain = out.ColdWallSec / out.ForkedWallSec
+	}
+	return out, nil
 }
 
 // MeasureSimRate runs the spec's simulation repeatedly (inline, no
@@ -106,9 +206,12 @@ func GitSHA() string {
 
 // WriteSimRateReport measures every (workload, policy) pair and writes
 // the JSON report to path. progress, when non-nil, receives one line
-// per finished point.
+// per finished point. When forkedSweep is non-nil, the same report
+// also records the cold-versus-forked sweep throughput comparison
+// (MeasureForkedSweepRate) for that sweep.
 func WriteSimRateReport(path string, workloads, policies []string,
-	minWall time.Duration, seedNote string, progress func(string)) error {
+	minWall time.Duration, seedNote string, progress func(string),
+	forkedSweep *SweepSpec) error {
 	rep := SimRateReport{GitSHA: GitSHA(), SeedNote: seedNote}
 	for _, wl := range workloads {
 		for _, pol := range policies {
@@ -121,6 +224,17 @@ func WriteSimRateReport(path string, workloads, policies []string,
 				progress(fmt.Sprintf("%-10s %-8s %11.0f cyc/s (ref %11.0f, %.2fx) %6.2f allocs/cyc",
 					p.Workload, p.Policy, p.CyclesPerSec, p.RefCyclesPerSec, p.Speedup, p.AllocsPerCycle))
 			}
+		}
+	}
+	if forkedSweep != nil {
+		fr, err := MeasureForkedSweepRate(*forkedSweep, 0, 0)
+		if err != nil {
+			return fmt.Errorf("forked sweep rate: %w", err)
+		}
+		rep.ForkedSweep = fr
+		if progress != nil {
+			progress(fmt.Sprintf("forked sweep: %d pts, %d groups, %d cycles reused — cold %.2fs vs forked %.2fs (%.2fx)",
+				fr.Points, fr.ForkGroups, fr.ReusedCycles, fr.ColdWallSec, fr.ForkedWallSec, fr.Gain))
 		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -90,6 +90,22 @@ type JobSpec struct {
 	// benchmark use it as the oracle. omitempty keeps cache hashes of
 	// ordinary jobs unchanged.
 	ReferenceLoop bool `json:"referenceLoop,omitempty"`
+
+	// FromCheckpoint, when non-empty, is a snapshot stream
+	// (internal/snap) the simulation resumes from instead of starting at
+	// cycle 0 — the vehicle for job migration off a draining worker and
+	// for forked sweeps. It is transport state, not part of the design
+	// point: Hash excludes it, because resuming the same spec from a
+	// mid-run checkpoint is bit-identical to the cold run (the
+	// differential suite pins this), so both deserve the same cache key.
+	FromCheckpoint []byte `json:"fromCheckpoint,omitempty"`
+
+	// checkpointVerified marks FromCheckpoint as already content-hash
+	// verified, so the restore may skip re-hashing it. In-process only
+	// (never serialized): the fork planner sets it when fanning one
+	// freshly encoded warm-up snapshot out to a whole class. Checkpoints
+	// that crossed a disk or the network always re-verify.
+	checkpointVerified bool
 }
 
 // Normalize canonicalizes and validates the spec: policy aliases are
@@ -156,12 +172,14 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 
 // Hash is the stable content hash of the normalized spec: sha256 over
 // its canonical JSON encoding (struct field order is fixed, so the
-// encoding is deterministic). It keys both cache tiers.
+// encoding is deterministic). It keys both cache tiers. FromCheckpoint
+// is excluded: a resumed job is the same design point as a cold one.
 func (s JobSpec) Hash() (string, error) {
 	n, err := s.Normalize()
 	if err != nil {
 		return "", err
 	}
+	n.FromCheckpoint = nil
 	raw, err := json.Marshal(n)
 	if err != nil {
 		return "", err

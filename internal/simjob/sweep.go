@@ -23,6 +23,18 @@ type SweepSpec struct {
 	SMs        []int    `json:"sms,omitempty"`
 	Schedulers []string `json:"schedulers,omitempty"`
 	MaxCycles  int64    `json:"maxCycles,omitempty"`
+
+	// ForkPrefix turns on warm-up prefix forking (RunSweepForked):
+	// points sharing a (bench, SMs, scheduler, maxCycles) prefix class
+	// simulate their warm-up once under the baseline policy, snapshot
+	// it, and each fork from the snapshot instead of re-simulating the
+	// prefix. Forked timing numbers are warm-up approximations, marked
+	// by JobResult.ReusedCycles and excluded from the result cache.
+	ForkPrefix bool `json:"forkPrefix,omitempty"`
+	// WarmupCycles is the shared prefix length to simulate before
+	// forking (0 = DefaultWarmupCycles). Groups whose kernel completes
+	// within the warm-up fall back to cold runs.
+	WarmupCycles int64 `json:"warmupCycles,omitempty"`
 }
 
 // Expand materializes the cross product as normalized JobSpecs.
@@ -119,6 +131,13 @@ type SweepResult struct {
 	Jobs   int         `json:"jobs"`
 	Failed int         `json:"failed"`
 	Items  []SweepItem `json:"items"`
+
+	// ForkGroups counts the prefix classes that actually forked, and
+	// ReusedCycles the net simulated cycles saved by forking: for a
+	// class of N points with a W-cycle warm-up, the prefix runs once
+	// instead of N times, saving W*(N-1). Zero on plain sweeps.
+	ForkGroups   int   `json:"forkGroups,omitempty"`
+	ReusedCycles int64 `json:"reusedCycles,omitempty"`
 }
 
 // RunSweep expands the sweep, submits every point to the pool at once,
@@ -126,6 +145,9 @@ type SweepResult struct {
 // are reported inline; only expansion errors fail the sweep as a
 // whole.
 func (e *Engine) RunSweep(ctx context.Context, sw SweepSpec) (*SweepResult, error) {
+	if sw.ForkPrefix {
+		return e.RunSweepForked(ctx, sw)
+	}
 	specs, err := sw.Expand()
 	if err != nil {
 		return nil, err

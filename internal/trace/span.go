@@ -43,6 +43,7 @@ const (
 	StageDispatch = "dispatch" // coordinator: one RPC attempt against a worker
 	StageHedge    = "hedge"    // coordinator: a speculative duplicate dispatch
 	StageRetry    = "retry"    // coordinator: backoff + re-dispatch after a failure
+	StageMigrate  = "migrate"  // coordinator: checkpoint handed back by a draining worker
 	StageHTTP     = "http"     // worker: whole /simulate handler
 	StageQueue    = "queue"    // engine: job waiting for a pool worker
 	StageEngine   = "engine"   // engine: the simulation itself
