@@ -1,0 +1,193 @@
+// Package artifact is the shared-preparation layer of the simulation
+// stack: everything a sweep point needs *before* cycle 0 — the parsed
+// kernel, the compiler passes (reorder scheduling, BOW-WR write-back
+// hints), the reconvergence table, the cached scoreboard hazard masks,
+// and the benchmark's initial memory image — is built exactly once per
+// distinct content key and shared read-only across engine workers.
+//
+// A BOW instruction-window sweep is N nearly-identical simulations;
+// before this layer every point independently re-parsed the kernel
+// source, re-ran the compiler, and re-populated the same input arrays.
+// Now the sweep shares two immutable artifact kinds:
+//
+//   - Kernel: the fully prepared program, keyed by the spec fields
+//     that can change its bytes (benchmark, whether the reorder pass
+//     ran, whether the hint pass ran, and the window size those passes
+//     saw). Instructions are immutable after preparation, so any
+//     number of concurrent simulations may execute one Kernel.
+//
+//   - Image: the benchmark's initial global memory, sealed into an
+//     immutable page set (mem.Image). Each job gets a copy-on-write
+//     child — a map-share, not a page copy — so jobs never observe
+//     each other's stores.
+//
+// Both kinds live in a Cache: a small LRU with single-flight
+// construction (concurrent requests for the same key build once) and
+// hit/miss counters exported through the engine's /metrics families.
+package artifact
+
+import (
+	"fmt"
+
+	"bow/internal/asm"
+	"bow/internal/compiler"
+	"bow/internal/mem"
+	"bow/internal/sm"
+	"bow/internal/workloads"
+)
+
+// KernelKey identifies one prepared-kernel artifact: the benchmark
+// plus exactly the knobs that alter the prepared program's contents.
+// Policies that never consult WBHint (baseline, bow-wt, bow-wb, rfc)
+// share one kernel across every window size; bow-wr kernels and
+// reordered kernels are distinct per window size because both compiler
+// passes take the window as input.
+type KernelKey struct {
+	Bench   string
+	Reorder bool // footnote-1 scheduling pass applied
+	Hints   bool // BOW-WR write-back hint pass applied
+	IW      int  // window size the compiler passes ran with (0 when neither ran)
+}
+
+// KeyFor builds the canonical kernel key: when neither compiler pass
+// runs, the window size is irrelevant to the program bytes and is
+// normalized away so all such configurations share one artifact.
+func KeyFor(bench string, reorder, hints bool, iw int) KernelKey {
+	if !reorder && !hints {
+		iw = 0
+	}
+	return KernelKey{Bench: bench, Reorder: reorder, Hints: hints, IW: iw}
+}
+
+func (k KernelKey) String() string {
+	return fmt.Sprintf("%s/reorder=%v/hints=%v/iw=%d", k.Bench, k.Reorder, k.Hints, k.IW)
+}
+
+// Kernel is one immutable prepared-kernel artifact: the parsed program
+// with all compiler passes applied, hazard masks finalized, and the
+// reconvergence table computed. After construction nothing writes to
+// it — NewSMKernel hands out per-launch sm.Kernel values that share
+// the program and reconvergence map read-only.
+type Kernel struct {
+	Key KernelKey
+
+	// Program is parsed, reordered (Key.Reorder), hint-annotated
+	// (Key.Hints), and hazard-finalized. Immutable.
+	Program *asm.Program
+	// Reconv is the branch-PC -> reconvergence-PC table. Immutable.
+	Reconv map[int]int
+
+	// HintStats summarizes the BOW-WR hint classification (zero when
+	// Key.Hints is false); Hints is its rendered form, carried into
+	// job outcomes.
+	HintStats compiler.HintStats
+	Hints     string
+
+	// bench is the registered benchmark the kernel was built from;
+	// launch geometry is copied from it per simulation.
+	bench *workloads.Benchmark
+}
+
+// Benchmark returns the benchmark this kernel was prepared from.
+func (k *Kernel) Benchmark() *workloads.Benchmark { return k.bench }
+
+// NewSMKernel returns a fresh per-launch sm.Kernel sharing the
+// prepared program and reconvergence table. The returned kernel is
+// already prepared (Reconv set, hazards finalized), so gpu.New skips
+// its Prepare step and never mutates the shared program.
+func (k *Kernel) NewSMKernel() *sm.Kernel {
+	return &sm.Kernel{
+		Program:   k.Program,
+		GridDim:   k.bench.GridDim,
+		BlockDim:  k.bench.BlockDim,
+		SharedLen: k.bench.SharedLen,
+		Params:    k.bench.Params,
+		Reconv:    k.Reconv,
+	}
+}
+
+// BuildKernel constructs the artifact for key without touching any
+// cache — the single-flight cache path and tests both use it. Parse
+// and compiler errors are returned, never panicked: a bad kernel fails
+// the jobs that reference it.
+func BuildKernel(key KernelKey) (*Kernel, error) {
+	b, err := workloads.ByName(key.Bench)
+	if err != nil {
+		return nil, err
+	}
+	return BuildKernelFor(b, key)
+}
+
+// BuildKernelFor is BuildKernel over an explicit benchmark value
+// (which need not be registered — the error-path tests hand in
+// literals with bad sources).
+func BuildKernelFor(b *workloads.Benchmark, key KernelKey) (*Kernel, error) {
+	prog, err := b.ParseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if key.Reorder {
+		if err := compiler.Reorder(prog, key.IW); err != nil {
+			return nil, fmt.Errorf("%s: reorder: %w", b.Name, err)
+		}
+	}
+	var hs compiler.HintStats
+	hints := ""
+	if key.Hints {
+		// Annotation runs on the final schedule, so the hints stay
+		// sound under Reorder.
+		hs, err = compiler.Annotate(prog, key.IW)
+		if err != nil {
+			return nil, fmt.Errorf("%s: annotate: %w", b.Name, err)
+		}
+		hints = hs.String()
+	}
+	// Prepare once, while the program is still single-owner: the
+	// reconvergence table and the per-instruction hazard masks are the
+	// last writes the program ever sees.
+	sk := &sm.Kernel{
+		Program: prog, GridDim: b.GridDim, BlockDim: b.BlockDim,
+		SharedLen: b.SharedLen, Params: b.Params,
+	}
+	if err := sk.Prepare(); err != nil {
+		return nil, fmt.Errorf("%s: prepare: %w", b.Name, err)
+	}
+	return &Kernel{
+		Key: key, Program: prog, Reconv: sk.Reconv,
+		HintStats: hs, Hints: hints, bench: b,
+	}, nil
+}
+
+// Image is one benchmark's initial global memory, sealed immutable.
+// NewMemory hands out copy-on-write children; any number of goroutines
+// may call it concurrently.
+type Image struct {
+	Bench string
+	img   *mem.Image
+}
+
+// NewMemory returns a fresh copy-on-write child of the image.
+func (im *Image) NewMemory() *mem.Memory { return im.img.NewMemory() }
+
+// Pages reports the sealed page count (observability).
+func (im *Image) Pages() int { return im.img.Pages() }
+
+// BuildImage runs the benchmark's Init once and seals the result.
+func BuildImage(bench string) (*Image, error) {
+	b, err := workloads.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	return BuildImageFor(b)
+}
+
+// BuildImageFor is BuildImage over an explicit benchmark value.
+func BuildImageFor(b *workloads.Benchmark) (*Image, error) {
+	m := mem.NewMemory()
+	if b.Init != nil {
+		if err := b.Init(m); err != nil {
+			return nil, fmt.Errorf("%s: init: %w", b.Name, err)
+		}
+	}
+	return &Image{Bench: b.Name, img: m.Seal()}, nil
+}

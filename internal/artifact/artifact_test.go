@@ -1,0 +1,210 @@
+package artifact
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"bow/internal/workloads"
+)
+
+func TestKeyForNormalizesIW(t *testing.T) {
+	// Without compiler passes the window size cannot affect the program
+	// bytes, so every IW maps to one artifact.
+	a := KeyFor("VECTORADD", false, false, 3)
+	b := KeyFor("VECTORADD", false, false, 7)
+	if a != b {
+		t.Fatalf("pass-less keys differ: %v vs %v", a, b)
+	}
+	if a.IW != 0 {
+		t.Fatalf("pass-less key kept IW=%d", a.IW)
+	}
+	// With a pass the window size is part of the identity.
+	c := KeyFor("VECTORADD", false, true, 3)
+	d := KeyFor("VECTORADD", false, true, 7)
+	if c == d {
+		t.Fatal("hinted keys must be distinct per IW")
+	}
+}
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := NewCache(0, 0)
+	key := KeyFor("VECTORADD", false, false, 0)
+	if _, err := c.Kernel(key); err != nil {
+		t.Fatalf("first build: %v", err)
+	}
+	if _, err := c.Kernel(key); err != nil {
+		t.Fatalf("second lookup: %v", err)
+	}
+	if _, err := c.Image("VECTORADD"); err != nil {
+		t.Fatalf("image build: %v", err)
+	}
+	if _, err := c.Image("VECTORADD"); err != nil {
+		t.Fatalf("image lookup: %v", err)
+	}
+	hits, misses := c.Counters()
+	if hits != 2 || misses != 2 {
+		t.Fatalf("counters = (%d hits, %d misses), want (2, 2)", hits, misses)
+	}
+	if k, i := c.Len(); k != 1 || i != 1 {
+		t.Fatalf("Len = (%d, %d), want (1, 1)", k, i)
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache(0, 0)
+	key := KeyFor("SAD", false, true, 3)
+	const workers = 16
+	kerns := make([]*Kernel, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			k, err := c.Kernel(key)
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			kerns[w] = k
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if kerns[w] != kerns[0] {
+			t.Fatalf("worker %d got a different kernel artifact", w)
+		}
+	}
+	hits, misses := c.Counters()
+	if misses != 1 {
+		t.Fatalf("single-flight built %d times", misses)
+	}
+	if hits != workers-1 {
+		t.Fatalf("hits = %d, want %d", hits, workers-1)
+	}
+}
+
+func TestBuildKernelSurfacesParseErrors(t *testing.T) {
+	bad := &workloads.Benchmark{
+		Name:   "BROKEN",
+		Source: "broken:\n\tNOTANOP r1, r2\n",
+	}
+	if _, err := BuildKernelFor(bad, KeyFor("BROKEN", false, false, 0)); err == nil {
+		t.Fatal("parse error did not surface")
+	} else if !strings.Contains(err.Error(), "BROKEN") {
+		t.Fatalf("error %q does not name the benchmark", err)
+	}
+}
+
+func TestFailedBuildNotMemoized(t *testing.T) {
+	c := NewCache(0, 0)
+	if _, err := c.Kernel(KeyFor("NO-SUCH-BENCH", false, false, 0)); err == nil {
+		t.Fatal("unknown benchmark built successfully")
+	}
+	if k, _ := c.Len(); k != 0 {
+		t.Fatalf("failed build stayed resident (%d kernels)", k)
+	}
+	_, misses := c.Counters()
+	if _, err := c.Kernel(KeyFor("NO-SUCH-BENCH", false, false, 0)); err == nil {
+		t.Fatal("unknown benchmark built successfully on retry")
+	}
+	if _, m := c.Counters(); m != misses+1 {
+		t.Fatal("failed build did not retry")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2, 0)
+	k1 := KeyFor("VECTORADD", false, false, 0)
+	k2 := KeyFor("SAD", false, false, 0)
+	k3 := KeyFor("LIB", false, false, 0)
+	for _, k := range []KernelKey{k1, k2, k3} {
+		if _, err := c.Kernel(k); err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+	}
+	if n, _ := c.Len(); n != 2 {
+		t.Fatalf("resident kernels = %d, want 2", n)
+	}
+	// k1 was least recently used and must rebuild (a miss); k3 must hit.
+	_, m0 := c.Counters()
+	if _, err := c.Kernel(k3); err != nil {
+		t.Fatal(err)
+	}
+	if _, m := c.Counters(); m != m0 {
+		t.Fatal("recent entry was evicted")
+	}
+	if _, err := c.Kernel(k1); err != nil {
+		t.Fatal(err)
+	}
+	if _, m := c.Counters(); m != m0+1 {
+		t.Fatal("LRU entry was not evicted")
+	}
+}
+
+func TestImageChildrenAreIsolated(t *testing.T) {
+	img, err := BuildImage("VECTORADD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Pages() == 0 {
+		t.Fatal("sealed image holds no pages")
+	}
+	m1 := img.NewMemory()
+	m2 := img.NewMemory()
+	v0, err := m1.Read32(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Write32(0, v0+1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m2.Read32(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v0 {
+		t.Fatalf("sibling observed a CoW write: %d, want %d", got, v0)
+	}
+	m3 := img.NewMemory()
+	if got, _ := m3.Read32(0); got != v0 {
+		t.Fatalf("image mutated through a child: %d, want %d", got, v0)
+	}
+}
+
+// TestSharedKernelConcurrentReads hammers one prepared kernel and one
+// sealed image from many goroutines; run under -race this proves the
+// artifacts really are read-only after construction.
+func TestSharedKernelConcurrentReads(t *testing.T) {
+	pk, err := BuildKernel(KeyFor("VECTORADD", false, true, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := BuildImage("VECTORADD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			k := pk.NewSMKernel()
+			sum := 0
+			for _, ins := range k.Program.Code {
+				sum += int(ins.Op)
+			}
+			for pc := range k.Reconv {
+				sum += pc
+			}
+			m := img.NewMemory()
+			if err := m.Write32(4, uint32(sum)); err != nil {
+				t.Error(err)
+			}
+			if _, err := m.Read32(0); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}

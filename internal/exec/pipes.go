@@ -54,6 +54,13 @@ func classIndex(c isa.FUClass) int {
 	}
 }
 
+// Reset restores the tracker to its freshly-constructed state (cycle
+// zero, all slots free) for device recycling.
+func (p *Pipes) Reset() {
+	p.cycle = 0
+	p.used = [5]int{}
+}
+
 // NewCycle resets the per-cycle slot counters.
 func (p *Pipes) NewCycle(cycle int64) {
 	p.cycle = cycle

@@ -9,13 +9,11 @@ import (
 	"context"
 	"fmt"
 
-	"bow/internal/compiler"
+	"bow/internal/artifact"
 	"bow/internal/config"
 	"bow/internal/core"
 	"bow/internal/gpu"
-	"bow/internal/mem"
 	"bow/internal/simjob"
-	"bow/internal/sm"
 	"bow/internal/workloads"
 )
 
@@ -143,30 +141,35 @@ func (r *Runner) engineSpec(b *workloads.Benchmark, bcfg core.Config, reorder, t
 }
 
 // simulateInline is the engine-less path: one simulation on the
-// calling goroutine against the runner's own GPU config.
+// calling goroutine against the runner's own GPU config. Preparation
+// comes from the shared artifact layer: registered benchmarks draw
+// from the process-wide cache (a figure re-running a bench reuses its
+// prepared kernel and sealed memory image), unregistered benchmark
+// values build uncached.
 func (r *Runner) simulateInline(b *workloads.Benchmark, bcfg core.Config, reorder, trace bool) (*gpu.Result, error) {
-	prog := b.Program()
-	if reorder {
-		if err := compiler.Reorder(prog, bcfg.IW); err != nil {
-			return nil, fmt.Errorf("%s: reorder: %w", b.Name, err)
+	hints := bcfg.Policy == core.PolicyCompilerHints
+	key := artifact.KeyFor(b.Name, reorder, hints, bcfg.IW)
+	var (
+		pk  *artifact.Kernel
+		img *artifact.Image
+		err error
+	)
+	if reg, rerr := workloads.ByName(b.Name); rerr == nil && reg == b {
+		pk, err = artifact.Default.Kernel(key)
+		if err == nil {
+			img, err = artifact.Default.Image(b.Name)
+		}
+	} else {
+		pk, err = artifact.BuildKernelFor(b, key)
+		if err == nil {
+			img, err = artifact.BuildImageFor(b)
 		}
 	}
-	if bcfg.Policy == core.PolicyCompilerHints {
-		if _, err := compiler.Annotate(prog, bcfg.IW); err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
-		}
+	if err != nil {
+		return nil, err
 	}
-	m := mem.NewMemory()
-	if b.Init != nil {
-		if err := b.Init(m); err != nil {
-			return nil, fmt.Errorf("%s: init: %w", b.Name, err)
-		}
-	}
-	k := &sm.Kernel{
-		Program: prog, GridDim: b.GridDim, BlockDim: b.BlockDim,
-		SharedLen: b.SharedLen, Params: b.Params,
-	}
-	d, err := gpu.New(r.GCfg, bcfg, k, m)
+	m := img.NewMemory()
+	d, err := gpu.New(r.GCfg, bcfg, pk.NewSMKernel(), m)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}

@@ -54,17 +54,72 @@ type Device struct {
 	Tracer *trace.CycleTracer
 }
 
+// Salvage holds a retired device's recyclable hardware model: the L2
+// and the SMs themselves. Everything in an SM except its window
+// engines is shaped purely by config.GPU — never by the window policy
+// or kernel — so a sweep stepping many window configurations through
+// the same GPU geometry can rebuild each device from the previous
+// one's carcass with sm.Reset, reallocating almost nothing. Beyond
+// saving the ~1.8 MB a fresh device allocates per sweep point, this
+// keeps the cycle loop's hottest structures (register file banks,
+// collector slabs, the event calendar's free lists) in the same warm
+// memory across the whole sweep. A Salvage is single-use: NewSalvaged
+// consumes it (an SM must never be live in two devices), and a
+// geometry mismatch simply drops it and builds fresh.
+type Salvage struct {
+	gcfg config.GPU
+	l2   *mem.Cache
+	sms  []*sm.SM
+}
+
+// Salvage surrenders the device's recyclable components for a
+// successor built with NewSalvaged. The device must not be stepped
+// afterwards — its SMs now belong to the returned carcass.
+func (d *Device) Salvage() *Salvage {
+	return &Salvage{gcfg: d.cfg, l2: d.l2, sms: d.sms}
+}
+
 // New builds a device for one kernel launch. The kernel is Prepared
-// here.
+// here unless it already carries a reconvergence table — the artifact
+// layer prepares kernels once and shares them read-only across
+// concurrent devices, so re-preparing here would race on the shared
+// program.
 func New(gcfg config.GPU, bcfg core.Config, kernel *sm.Kernel, global *mem.Memory) (*Device, error) {
+	return NewSalvaged(gcfg, bcfg, kernel, global, nil)
+}
+
+// NewSalvaged is New, recycling the components of sv (a retired
+// device's carcass) when it was built under the exact same config.GPU;
+// a nil or mismatched sv builds everything fresh. Reused components
+// are Reset, so the device behaves bit-identically to a New device —
+// the batch differential suite holds the recycled path to that
+// standard. sv is consumed either way: its components are claimed (or
+// dropped) and it must not be passed to a second build.
+func NewSalvaged(gcfg config.GPU, bcfg core.Config, kernel *sm.Kernel, global *mem.Memory, sv *Salvage) (*Device, error) {
 	if err := gcfg.Validate(); err != nil {
 		return nil, err
 	}
-	if err := kernel.Prepare(); err != nil {
-		return nil, err
+	if kernel.Reconv == nil {
+		if err := kernel.Prepare(); err != nil {
+			return nil, err
+		}
 	}
 	if global == nil {
 		global = mem.NewMemory()
+	}
+	if sv != nil && sv.l2 != nil && sv.gcfg == gcfg && len(sv.sms) == gcfg.NumSMs {
+		l2, sms := sv.l2, sv.sms
+		sv.l2, sv.sms = nil, nil
+		l2.Reset()
+		for _, s := range sms {
+			if err := s.Reset(bcfg, kernel, global); err != nil {
+				return nil, err
+			}
+		}
+		return &Device{cfg: gcfg, bcfg: bcfg, Global: global, l2: l2, sms: sms, kernel: kernel}, nil
+	}
+	if sv != nil {
+		sv.l2, sv.sms = nil, nil
 	}
 	l2, err := mem.NewCache("L2", gcfg.L2SizeKB*1024, gcfg.L2LineBytes, gcfg.L2Assoc)
 	if err != nil {
@@ -137,49 +192,104 @@ func (d *Device) RunUntil(ctx context.Context, maxCycles, until int64) (res *Res
 	return d.run(ctx, maxCycles, until)
 }
 
-func (d *Device) run(ctx context.Context, maxCycles, until int64) (*Result, bool, error) {
+// defaultMaxCycles bounds runaway simulations when the caller passes
+// no explicit limit.
+const defaultMaxCycles = 50_000_000
+
+// stepState is the outcome of one Device.step call.
+type stepState uint8
+
+const (
+	// stepRan: one cycle simulated, the kernel is still running.
+	stepRan stepState = iota
+	// stepPaused: the pause point (until) was reached before this
+	// cycle; the device sits at a cycle boundary, snapshottable.
+	stepPaused
+	// stepDone: every CTA has been dispatched and retired.
+	stepDone
+)
+
+// normalizeMaxCycles resolves the caller's bound to the default.
+func normalizeMaxCycles(maxCycles int64) int64 {
 	if maxCycles <= 0 {
-		maxCycles = 50_000_000
+		return defaultMaxCycles
 	}
+	return maxCycles
+}
+
+// propagateCapture pushes the device-level observation switches down
+// to the SMs; run loops call it once before stepping.
+func (d *Device) propagateCapture() {
 	for _, s := range d.sms {
 		s.CaptureRegs = d.CaptureRegs
 		s.CaptureTrace = d.CaptureTrace
 		s.Tracer = d.Tracer
 	}
+}
 
+// step advances the device by exactly one cycle: CTA dispatch, one
+// clock on every busy SM, and the cycle/limit bookkeeping. It is the
+// shared core of the single-device run loop and the lockstep batch
+// loop (Batch), which interleaves steps of many devices on one
+// goroutine. Devices are fully independent, so interleaving cannot
+// change any device's result — the batch differential suite pins
+// this bit-for-bit.
+//
+//bow:hotpath
+func (d *Device) step(maxCycles, until int64) (stepState, error) {
+	if d.interrupt.Swap(false) {
+		return stepPaused, ErrInterrupted
+	}
+	if until > 0 && d.cycles >= until {
+		return stepPaused, nil
+	}
+	// Dispatch CTAs breadth-first across SMs.
 	total := d.kernel.GridDim
+	progressing := false
+	for _, s := range d.sms {
+		for d.nextCTA < total && s.CanAcceptCTA() {
+			if err := s.AssignCTA(d.nextCTA); err != nil {
+				return stepPaused, err
+			}
+			d.nextCTA++
+		}
+		if !s.Idle() {
+			progressing = true
+		}
+	}
+	if !progressing && d.nextCTA >= total {
+		return stepDone, nil
+	}
+	for _, s := range d.sms {
+		if !s.Idle() {
+			s.Cycle()
+		}
+	}
+	d.cycles++
+	if d.cycles > maxCycles {
+		return stepPaused, d.runawayErr(maxCycles)
+	}
+	return stepRan, nil
+}
 
+// runawayErr builds the cycle-limit error off the hot path.
+func (d *Device) runawayErr(maxCycles int64) error {
+	return fmt.Errorf("gpu: kernel exceeded %d cycles (livelock or runaway loop?)", maxCycles)
+}
+
+func (d *Device) run(ctx context.Context, maxCycles, until int64) (*Result, bool, error) {
+	maxCycles = normalizeMaxCycles(maxCycles)
+	d.propagateCapture()
 	for {
-		if d.interrupt.Swap(false) {
-			return nil, false, ErrInterrupted
+		st, err := d.step(maxCycles, until)
+		if err != nil {
+			return nil, false, err
 		}
-		if until > 0 && d.cycles >= until {
+		switch st {
+		case stepPaused:
 			return d.collect(), false, nil
-		}
-		// Dispatch CTAs breadth-first across SMs.
-		progressing := false
-		for _, s := range d.sms {
-			for d.nextCTA < total && s.CanAcceptCTA() {
-				if err := s.AssignCTA(d.nextCTA); err != nil {
-					return nil, false, err
-				}
-				d.nextCTA++
-			}
-			if !s.Idle() {
-				progressing = true
-			}
-		}
-		if !progressing && d.nextCTA >= total {
-			break
-		}
-		for _, s := range d.sms {
-			if !s.Idle() {
-				s.Cycle()
-			}
-		}
-		d.cycles++
-		if d.cycles > maxCycles {
-			return nil, false, fmt.Errorf("gpu: kernel exceeded %d cycles (livelock or runaway loop?)", maxCycles)
+		case stepDone:
+			return d.collect(), true, nil
 		}
 		if d.cycles&1023 == 0 {
 			if cerr := ctx.Err(); cerr != nil {
@@ -187,8 +297,6 @@ func (d *Device) run(ctx context.Context, maxCycles, until int64) (*Result, bool
 			}
 		}
 	}
-
-	return d.collect(), true, nil
 }
 
 // collect builds a Result from the current device state.

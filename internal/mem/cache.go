@@ -43,6 +43,45 @@ func NewCache(name string, sizeBytes, lineBytes, assoc int) (*Cache, error) {
 	return c, nil
 }
 
+// CacheGeometry identifies a cache's shape — the three parameters that
+// determine its tag/LRU storage layout — for reuse matching.
+type CacheGeometry struct {
+	SizeBytes int
+	LineBytes int
+	Assoc     int
+}
+
+// Geometry reports the cache's shape.
+func (c *Cache) Geometry() CacheGeometry {
+	return CacheGeometry{
+		SizeBytes: c.sets * c.assoc * c.lineBytes,
+		LineBytes: c.lineBytes,
+		Assoc:     c.assoc,
+	}
+}
+
+// Reset invalidates every line and zeroes the counters, restoring the
+// cache to its freshly-constructed state without giving up the tag and
+// LRU storage. A reset cache is observationally identical to a
+// NewCache with the same geometry — the batch sweep path recycles
+// cache models across sequentially-run sweep points on the strength of
+// that equivalence.
+func (c *Cache) Reset() {
+	for _, set := range c.tags {
+		for i := range set {
+			set[i] = 0
+		}
+	}
+	for _, set := range c.lru {
+		for i := range set {
+			set[i] = 0
+		}
+	}
+	c.stamp = 0
+	c.Hits = 0
+	c.Misses = 0
+}
+
 // Access probes the cache for the line containing addr, filling on miss
 // (allocate-on-miss, LRU victim). Returns whether it hit.
 func (c *Cache) Access(addr uint32) bool {

@@ -231,3 +231,39 @@ func TestCoalesceProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCacheResetMatchesFresh dirties a cache, Resets it, and demands
+// behavior indistinguishable from a newly built cache with the same
+// geometry — the equivalence the batch sweep's device recycling rests
+// on.
+func TestCacheResetMatchesFresh(t *testing.T) {
+	drive := func(c *Cache) (int64, int64) {
+		for i := 0; i < 64; i++ {
+			c.Access(uint32(i * 128))
+			c.Access(uint32(i * 64))
+		}
+		return c.Hits, c.Misses
+	}
+	fresh, err := NewCache("a", 4096, 128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHits, wantMisses := drive(fresh)
+
+	recycled, err := NewCache("b", 4096, 128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(recycled)
+	recycled.Reset()
+	if recycled.Hits != 0 || recycled.Misses != 0 {
+		t.Fatalf("counters after reset: %d/%d", recycled.Hits, recycled.Misses)
+	}
+	if g := recycled.Geometry(); g != (CacheGeometry{SizeBytes: 4096, LineBytes: 128, Assoc: 4}) {
+		t.Fatalf("geometry: %+v", g)
+	}
+	gotHits, gotMisses := drive(recycled)
+	if gotHits != wantHits || gotMisses != wantMisses {
+		t.Errorf("replay diverges: %d/%d vs %d/%d", gotHits, gotMisses, wantHits, wantMisses)
+	}
+}

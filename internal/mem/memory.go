@@ -43,32 +43,46 @@ func NewMemory() *Memory {
 	return &Memory{pages: make(map[uint32]*[pageWords]uint32), lastPage: ^uint32(0)}
 }
 
-// page returns the page holding word index idx, allocating it when
-// alloc is set. Without alloc it returns nil for untouched pages: reads
-// of unwritten memory are zero and must not populate the store.
-func (m *Memory) page(idx uint32, alloc bool) *[pageWords]uint32 {
+// lookup returns the page holding word index idx for reading, or nil
+// for untouched pages: reads of unwritten memory are zero and must not
+// populate the store. This is the CoW read path — it falls through the
+// private overlay to the shared base image without copying anything,
+// and the hotpathalloc pass proves it allocation-free.
+//
+//bow:hotpath
+func (m *Memory) lookup(idx uint32) *[pageWords]uint32 {
 	pn := idx / pageWords
-	if pn == m.lastPage && !(alloc && m.lastRO) {
+	if pn == m.lastPage {
+		return m.last
+	}
+	if p := m.pages[pn]; p != nil {
+		m.last, m.lastPage, m.lastRO = p, pn, false
+		return p
+	}
+	if b := m.base[pn]; b != nil {
+		m.last, m.lastPage, m.lastRO = b, pn, true
+		return b
+	}
+	return nil
+}
+
+// page returns the page holding word index idx for writing, allocating
+// or copy-on-writing it as needed.
+func (m *Memory) page(idx uint32) *[pageWords]uint32 {
+	pn := idx / pageWords
+	if pn == m.lastPage && !m.lastRO {
 		return m.last
 	}
 	p := m.pages[pn]
 	if p == nil {
 		if b := m.base[pn]; b != nil {
-			if !alloc {
-				m.last, m.lastPage, m.lastRO = b, pn, true
-				return b
-			}
 			// Copy-on-write: first store to a shared base page.
 			cp := *b
 			p = &cp
-			m.pages[pn] = p
 		} else {
-			if !alloc {
-				return nil
-			}
 			p = new([pageWords]uint32)
-			m.pages[pn] = p
 		}
+		m.pages[pn] = p
 	}
 	m.last, m.lastPage, m.lastRO = p, pn, false
 	return p
@@ -95,36 +109,87 @@ func (m *Memory) Fork() *Memory {
 	}
 }
 
+// Image is a frozen, immutable memory image shared read-only across
+// simulations: the base-tier page map with no owner. Unlike Fork —
+// which mutates the receiver and therefore needs external
+// synchronization — an Image has no mutable state at all, so any
+// number of goroutines may call NewMemory concurrently. It is the
+// artifact layer's vehicle for building a benchmark's initial memory
+// once per sweep and handing every job a copy-on-write child.
+type Image struct {
+	base map[uint32]*[pageWords]uint32
+}
+
+// Seal freezes the memory's current contents into an immutable Image
+// and returns it. The receiver keeps seeing the same contents (its
+// pages move to the shared base tier, exactly as Fork does) but must
+// not be written concurrently with Image.NewMemory calls; sealing a
+// memory that is then set aside is the safe pattern.
+func (m *Memory) Seal() *Image {
+	if m.base == nil {
+		m.base = make(map[uint32]*[pageWords]uint32, len(m.pages))
+	}
+	for pn, p := range m.pages {
+		m.base[pn] = p
+		delete(m.pages, pn)
+	}
+	m.last, m.lastPage, m.lastRO = nil, ^uint32(0), false
+	return &Image{base: m.base}
+}
+
+// NewMemory returns a fresh copy-on-write child of the image. The
+// child sees the image's contents; its writes copy pages into a
+// private overlay and are invisible to the image and to sibling
+// children. Safe for concurrent use: it only reads the frozen base
+// map.
+func (im *Image) NewMemory() *Memory {
+	return &Memory{
+		pages:    make(map[uint32]*[pageWords]uint32),
+		base:     im.base,
+		lastPage: ^uint32(0),
+	}
+}
+
+// Pages reports how many pages the image holds (observability).
+func (im *Image) Pages() int { return len(im.base) }
+
 // Read32 loads the word at byte address addr.
+//
+//bow:hotpath
 func (m *Memory) Read32(addr uint32) (uint32, error) {
 	if addr&3 != 0 {
-		return 0, fmt.Errorf("mem: misaligned 32-bit read at 0x%x", addr)
+		return 0, misalignedErr("read", addr)
 	}
 	idx := addr >> 2
-	p := m.page(idx, false)
+	p := m.lookup(idx)
 	if p == nil {
 		return 0, nil
 	}
 	return p[idx%pageWords], nil
 }
 
+// misalignedErr builds the misaligned-access error off the hot path.
+func misalignedErr(op string, addr uint32) error {
+	return fmt.Errorf("mem: misaligned 32-bit %s at 0x%x", op, addr)
+}
+
 // Write32 stores v at byte address addr.
 func (m *Memory) Write32(addr, v uint32) error {
 	if addr&3 != 0 {
-		return fmt.Errorf("mem: misaligned 32-bit write at 0x%x", addr)
+		return misalignedErr("write", addr)
 	}
 	idx := addr >> 2
-	m.page(idx, true)[idx%pageWords] = v
+	m.page(idx)[idx%pageWords] = v
 	return nil
 }
 
 // AtomicAdd adds v to the word at addr and returns the previous value.
 func (m *Memory) AtomicAdd(addr, v uint32) (uint32, error) {
 	if addr&3 != 0 {
-		return 0, fmt.Errorf("mem: misaligned atomic at 0x%x", addr)
+		return 0, misalignedErr("atomic", addr)
 	}
 	idx := addr >> 2
-	p := m.page(idx, true)
+	p := m.page(idx)
 	old := p[idx%pageWords]
 	p[idx%pageWords] = old + v
 	return old, nil

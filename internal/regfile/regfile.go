@@ -249,6 +249,40 @@ func New(cfg Config) (*File, error) {
 	return f, nil
 }
 
+// Reset restores the file to its freshly-constructed state — zeroed
+// registers, empty bank queues, empty delay line, zeroed counters —
+// while keeping every backing allocation (value store, ring buffers,
+// bitmap). A reset file is observationally identical to New(f.Config())
+// output: the batch sweep path recycles register files across
+// sequentially-run sweep points on the strength of that equivalence,
+// and the batch differential suite checks it end to end. Ring entries
+// are cleared (not just truncated) so stale ReadCallback/ReadSink
+// references from an aborted run cannot retain a dead simulation.
+func (f *File) Reset() {
+	for _, v := range f.vals {
+		for i := range v {
+			v[i] = core.Value{}
+		}
+	}
+	for i := range f.banks {
+		b := &f.banks[i]
+		for j := range b.reads.buf {
+			b.reads.buf[j] = readReq{}
+		}
+		b.reads.head, b.reads.n = 0, 0
+		b.writes.head, b.writes.n = 0, 0
+	}
+	for i := range f.nonempty {
+		f.nonempty[i] = 0
+	}
+	for i := range f.delay.buf {
+		f.delay.buf[i] = servedRead{}
+	}
+	f.delay.head, f.delay.n = 0, 0
+	f.cycle = 0
+	f.stats = Stats{}
+}
+
 // Config returns the file's configuration.
 func (f *File) Config() Config { return f.cfg }
 

@@ -127,3 +127,68 @@ func TestPeekPoke(t *testing.T) {
 		t.Error("Poke leaked across warps")
 	}
 }
+
+// TestResetMatchesFresh dirties a file — queued reads and writes,
+// in-flight crossbar deliveries, nonzero registers, counted stats —
+// then Resets it and demands it be indistinguishable from a new file:
+// zero registers, zero stats, no pending work, and a replayed traffic
+// pattern producing the exact same stats and delivery timing. The
+// batch sweep recycles register files across sweep points on this
+// equivalence.
+type sinkFunc func(reg uint8, val *core.Value)
+
+func (fn sinkFunc) DeliverRead(reg uint8, val *core.Value) { fn(reg, val) }
+
+func TestResetMatchesFresh(t *testing.T) {
+	drive := func(f *File) (Stats, []int64) {
+		var served []int64
+		sink := sinkFunc(func(reg uint8, v *core.Value) {})
+		for w := 0; w < 4; w++ {
+			f.Poke(w, 0, val(uint32(w+1)))
+			f.EnqueueWrite(w, 1, val(100+uint32(w)))
+			f.EnqueueReadSink(w, 0, sink)
+		}
+		for c := 0; c < 12; c++ {
+			f.Cycle()
+			served = append(served, int64(f.Stats().Reads))
+		}
+		return f.Stats(), served
+	}
+
+	fresh := mkFile(t, 2)
+	wantStats, wantServed := drive(fresh)
+
+	recycled := mkFile(t, 2)
+	// Dirty it thoroughly, including work left in flight.
+	st1, _ := drive(recycled)
+	if st1 != wantStats {
+		t.Fatalf("determinism check failed before reset: %+v vs %+v", st1, wantStats)
+	}
+	recycled.EnqueueWrite(0, 2, val(7))
+	recycled.EnqueueReadSink(1, 3, sinkFunc(func(reg uint8, v *core.Value) {}))
+	recycled.Cycle() // leave deliveries mid-pipeline
+
+	recycled.Reset()
+	if got := recycled.Stats(); got != (Stats{}) {
+		t.Fatalf("stats after reset: %+v", got)
+	}
+	if recycled.Pending() != 0 {
+		t.Fatalf("pending after reset: %d", recycled.Pending())
+	}
+	for w := 0; w < 4; w++ {
+		for r := 0; r < 8; r++ {
+			if recycled.Peek(w, uint8(r)) != (core.Value{}) {
+				t.Fatalf("register w%d r%d nonzero after reset", w, r)
+			}
+		}
+	}
+	gotStats, gotServed := drive(recycled)
+	if gotStats != wantStats {
+		t.Errorf("replay stats diverge: %+v vs %+v", gotStats, wantStats)
+	}
+	for i := range wantServed {
+		if gotServed[i] != wantServed[i] {
+			t.Errorf("delivery timing diverges at cycle %d: %d vs %d", i, gotServed[i], wantServed[i])
+		}
+	}
+}

@@ -49,6 +49,15 @@ func New(kind Kind, warps []int) *Scheduler {
 	return &Scheduler{kind: kind, warps: append([]int(nil), warps...), greedy: -1, outFor: -1}
 }
 
+// Reset clears the greedy/rotation state (and the cached ranking) so
+// the scheduler starts the next kernel exactly as a New one would. The
+// ranking buffer is kept — it is scratch the next Order call rebuilds.
+func (s *Scheduler) Reset() {
+	s.greedy = -1
+	s.rrNext = 0
+	s.outFor = -1
+}
+
 // Order returns the warp IDs in the priority order they should be
 // considered for issue this cycle. ready reports per warp whether it can
 // issue at all (the scheduler uses it to advance its greedy/rotation

@@ -30,6 +30,22 @@ func New(maxWarps int) *Board {
 	}
 }
 
+// Reset clears every pending-write and pending-read record, restoring
+// the board to its freshly-constructed state without reallocating the
+// per-warp tables. A reset board is observationally identical to a New
+// one — the device-recycling path depends on that.
+func (b *Board) Reset() {
+	for i := range b.pendingWrite {
+		b.pendingWrite[i] = regBits{}
+	}
+	for i := range b.pendingPred {
+		b.pendingPred[i] = 0
+	}
+	for i := range b.pendingRead {
+		b.pendingRead[i] = [256]int{}
+	}
+}
+
 // CanIssue reports whether the instruction is free of RAW, WAW and WAR
 // hazards for the given warp. It runs once per issue candidate per
 // cycle, so the register-set tests use the instruction's precomputed

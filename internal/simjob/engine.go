@@ -54,6 +54,12 @@ type Engine struct {
 	// Counters (guarded by mu).
 	queued, running, done, failed, retries int64
 	latencyUS                              *stats.Histogram
+
+	// Lockstep batch counters (guarded by mu): batches stepped, jobs
+	// they carried, and slot-tick/device-cycle totals whose ratio is
+	// the aggregate lockstep occupancy.
+	batchGroups, batchJobs         int64
+	batchSlotTicks, batchDevCycles int64
 }
 
 // job is one queued unit of work, fanned out to every ticket waiting
@@ -301,6 +307,10 @@ func (e *Engine) runJob(j *job) (*Outcome, int, error) {
 	// the in-flight simulations at their next cycle boundary and they
 	// come back as Interrupted outcomes carrying checkpoints.
 	ctx = WithDrain(ctx, e.drain)
+	// And the span log, so the body can record its prep stage under the
+	// submitter's trace.
+	ctx = withSpanLog(ctx, e.spans)
+	ctx = trace.ContextWithID(ctx, j.traceID)
 	var lastErr error
 	for attempt := 1; attempt <= e.opts.Retries+1; attempt++ {
 		if err := ctx.Err(); err != nil {

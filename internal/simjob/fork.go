@@ -4,13 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"fmt"
 	"sync"
 
+	"bow/internal/artifact"
 	"bow/internal/gpu"
-	"bow/internal/mem"
-	"bow/internal/sm"
-	"bow/internal/workloads"
 )
 
 // DefaultWarmupCycles is the shared-prefix length RunSweepForked
@@ -193,25 +190,22 @@ func warmupSnapshot(ctx context.Context, c forkClass, until int64) ([]byte, int6
 	if err != nil {
 		return nil, 0, err
 	}
-	b, err := workloads.ByName(spec.Bench)
-	if err != nil {
-		return nil, 0, err
-	}
 	bcfg, err := spec.coreConfig()
 	if err != nil {
 		return nil, 0, err
 	}
-	m := mem.NewMemory()
-	if b.Init != nil {
-		if err := b.Init(m); err != nil {
-			return nil, 0, fmt.Errorf("%s: init: %w", b.Name, err)
-		}
+	// Warm-ups draw from the shared artifact layer like any other cold
+	// run: only forkable specs reach here (no Reorder, baseline policy),
+	// so the kernel key is the plain parsed program.
+	pk, err := artifact.Default.Kernel(artifact.KeyFor(spec.Bench, false, false, bcfg.IW))
+	if err != nil {
+		return nil, 0, err
 	}
-	k := &sm.Kernel{
-		Program: b.Program(), GridDim: b.GridDim, BlockDim: b.BlockDim,
-		SharedLen: b.SharedLen, Params: b.Params,
+	img, err := artifact.Default.Image(spec.Bench)
+	if err != nil {
+		return nil, 0, err
 	}
-	d, err := gpu.New(spec.gpuConfig(), bcfg, k, m)
+	d, err := gpu.New(spec.gpuConfig(), bcfg, pk.NewSMKernel(), img.NewMemory())
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,5 +1,7 @@
 package simjob
 
+import "bow/internal/artifact"
+
 // Metrics is a point-in-time snapshot of the engine's gauges and
 // counters — cmd/bowd serves it at /metrics.
 type Metrics struct {
@@ -16,6 +18,19 @@ type Metrics struct {
 	CacheEntries    int     `json:"cacheEntries"`
 	CacheHitRatio   float64 `json:"cacheHitRatio"`
 
+	// Shared-artifact cache (prepared kernels + sealed memory images,
+	// process-wide artifact.Default): lookups that reused an artifact
+	// vs. ones that built it.
+	ArtifactHits   int64 `json:"artifactHits"`
+	ArtifactMisses int64 `json:"artifactMisses"`
+
+	// Lockstep batch stepping: batches run, jobs they carried, and the
+	// aggregate slot occupancy (device-cycles per slot-tick; 1.0 means
+	// batches never drained into a straggler tail).
+	BatchGroups    int64   `json:"batchGroups,omitempty"`
+	BatchJobs      int64   `json:"batchJobs,omitempty"`
+	BatchOccupancy float64 `json:"batchOccupancy,omitempty"`
+
 	// Job latency quantiles in microseconds, over completed attempts
 	// (internal/stats histogram quantiles).
 	P50LatencyMicros int `json:"p50LatencyMicros"`
@@ -31,9 +46,16 @@ type Metrics struct {
 	Draining     bool             `json:"draining,omitempty"`
 }
 
+// artifactDefaultCounters reads the process-wide artifact cache
+// counters (indirection keeps simrate free of the artifact import).
+func artifactDefaultCounters() (hits, misses int64) {
+	return artifact.Default.Counters()
+}
+
 // Metrics snapshots the engine state.
 func (e *Engine) Metrics() Metrics {
 	hitsMem, hitsDisk, misses := e.cache.Counters()
+	ahits, amisses := artifact.Default.Counters()
 	e.mu.Lock()
 	m := Metrics{
 		Workers: e.opts.Workers,
@@ -46,8 +68,15 @@ func (e *Engine) Metrics() Metrics {
 		CacheHitsMemory:  hitsMem,
 		CacheHitsDisk:    hitsDisk,
 		CacheMisses:      misses,
+		ArtifactHits:     ahits,
+		ArtifactMisses:   amisses,
+		BatchGroups:      e.batchGroups,
+		BatchJobs:        e.batchJobs,
 		P50LatencyMicros: e.latencyUS.Quantile(0.50),
 		P99LatencyMicros: e.latencyUS.Quantile(0.99),
+	}
+	if e.batchSlotTicks > 0 {
+		m.BatchOccupancy = float64(e.batchDevCycles) / float64(e.batchSlotTicks)
 	}
 	e.mu.Unlock()
 	m.CacheEntries = e.cache.Len()

@@ -8,19 +8,21 @@ import (
 	"fmt"
 	"time"
 
-	"bow/internal/compiler"
+	"bow/internal/artifact"
 	"bow/internal/gpu"
 	"bow/internal/mem"
-	"bow/internal/sm"
 	"bow/internal/trace"
-	"bow/internal/workloads"
 )
 
-// Execute runs one job to completion on the calling goroutine: parse
-// the kernel, apply the optional compiler passes, initialize memory,
-// simulate, and verify the functional self-check. It is the engine's
-// worker body, and also serves cmd/bowsim's single-shot path. The
-// context cancels the simulation loop cooperatively.
+// Execute runs one job to completion on the calling goroutine: acquire
+// the prepared kernel and initial memory image from the shared
+// artifact layer (parse + compiler passes + Init run once per distinct
+// content key, then shared read-only), simulate, and verify the
+// functional self-check. It is the engine's worker body, and also
+// serves cmd/bowsim's single-shot path. The context cancels the
+// simulation loop cooperatively. Kernel parse errors surface as job
+// errors here, not panics — the engine's panic isolation is a
+// backstop, not the error path.
 //
 // When spec.FromCheckpoint is set, the device is restored from that
 // snapshot instead of starting cold: the benchmark's Init is skipped
@@ -63,48 +65,50 @@ func executeUntil(ctx context.Context, spec JobSpec, tr *trace.CycleTracer, unti
 	if err != nil {
 		return nil, err
 	}
-	b, err := workloads.ByName(spec.Bench)
-	if err != nil {
-		return nil, err
-	}
 	bcfg, err := spec.coreConfig()
 	if err != nil {
 		return nil, err
 	}
 
-	prog := b.Program()
-	if spec.Reorder {
-		if err := compiler.Reorder(prog, bcfg.IW); err != nil {
-			return nil, fmt.Errorf("%s: reorder: %w", b.Name, err)
-		}
+	// Shared-artifact acquisition: the parsed + reordered + annotated
+	// program and the benchmark's initial memory image are built once
+	// per content key and shared read-only across workers. A resumed
+	// job starts from empty memory (the snapshot carries it), so only
+	// cold runs draw an image.
+	prepStart := time.Now()
+	key := artifact.KeyFor(spec.Bench, spec.Reorder, spec.Policy == PolicyBOWWR, bcfg.IW)
+	var pk *artifact.Kernel
+	if uncachedPrep(ctx) {
+		pk, err = artifact.BuildKernel(key)
+	} else {
+		pk, err = artifact.Default.Kernel(key)
 	}
-	var hints string
-	if spec.Policy == PolicyBOWWR {
-		// Annotation runs on the final schedule, so the hints stay sound
-		// under Reorder.
-		hs, err := compiler.Annotate(prog, bcfg.IW)
-		if err != nil {
-			return nil, fmt.Errorf("%s: annotate: %w", b.Name, err)
-		}
-		hints = hs.String()
+	if err != nil {
+		return nil, err
 	}
-
+	b := pk.Benchmark()
+	hints := pk.Hints
 	resuming := len(spec.FromCheckpoint) > 0
-	m := mem.NewMemory()
-	if !resuming && b.Init != nil {
-		// A restored device gets its memory from the snapshot, not Init.
-		if err := b.Init(m); err != nil {
-			return nil, fmt.Errorf("%s: init: %w", b.Name, err)
+	var m *mem.Memory
+	if resuming {
+		m = mem.NewMemory()
+	} else {
+		var img *artifact.Image
+		if uncachedPrep(ctx) {
+			img, err = artifact.BuildImage(spec.Bench)
+		} else {
+			img, err = artifact.Default.Image(spec.Bench)
 		}
+		if err != nil {
+			return nil, err
+		}
+		m = img.NewMemory()
 	}
-	k := &sm.Kernel{
-		Program: prog, GridDim: b.GridDim, BlockDim: b.BlockDim,
-		SharedLen: b.SharedLen, Params: b.Params,
-	}
-	d, err := gpu.New(spec.gpuConfig(), bcfg, k, m)
+	d, err := gpu.New(spec.gpuConfig(), bcfg, pk.NewSMKernel(), m)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
+	recordPrepSpan(ctx, hash, prepStart)
 	d.CaptureTrace = spec.Trace
 	d.Tracer = tr
 
@@ -173,6 +177,60 @@ func executeUntil(ctx context.Context, spec JobSpec, tr *trace.CycleTracer, unti
 		Attempts:    1,
 		ResumedFrom: resumedFrom,
 	}, nil
+}
+
+// spanLogKey carries the engine's span log into the execution path so
+// executeUntil can record fine-grained stages (StagePrep) without the
+// engine inspecting the job body.
+// uncachedPrepKey marks a context whose executions rebuild the kernel
+// and memory image per job instead of drawing from the shared artifact
+// cache — the per-job prep discipline the engine had before the
+// artifact layer. WithUncachedPrep exists so benchmarks can measure
+// the shared layer against that baseline; production paths never set
+// it.
+type uncachedPrepKey struct{}
+
+// WithUncachedPrep returns a context under which every execution
+// rebuilds its prep products privately (no shared artifacts).
+func WithUncachedPrep(ctx context.Context) context.Context {
+	return context.WithValue(ctx, uncachedPrepKey{}, true)
+}
+
+func uncachedPrep(ctx context.Context) bool {
+	on, _ := ctx.Value(uncachedPrepKey{}).(bool)
+	return on
+}
+
+type spanLogKey struct{}
+
+func withSpanLog(ctx context.Context, l *trace.SpanLog) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanLogKey{}, l)
+}
+
+func spanLogFrom(ctx context.Context) *trace.SpanLog {
+	l, _ := ctx.Value(spanLogKey{}).(*trace.SpanLog)
+	return l
+}
+
+// recordPrepSpan records the shared-artifact acquisition stage when a
+// span log travels in ctx (engine-submitted jobs; inline Execute calls
+// carry none and skip it).
+func recordPrepSpan(ctx context.Context, hash string, start time.Time) {
+	l := spanLogFrom(ctx)
+	if l == nil {
+		return
+	}
+	l.Record(trace.Span{
+		TraceID:     trace.IDFromContext(ctx),
+		Hop:         trace.HopEngine,
+		Stage:       trace.StagePrep,
+		Job:         hash,
+		StartMicros: start.UnixMicro(),
+		DurMicros:   time.Since(start).Microseconds(),
+	})
 }
 
 // checkpointDevice snapshots a paused device with the job's normalized

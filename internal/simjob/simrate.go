@@ -33,6 +33,7 @@ type SimRateReport struct {
 	SeedNote    string           `json:"seed_note,omitempty"`
 	Points      []SimRatePoint   `json:"points"`
 	ForkedSweep *ForkedSweepRate `json:"forked_sweep,omitempty"`
+	BatchSweep  *BatchSweepRate  `json:"batch_sweep,omitempty"`
 }
 
 // ForkedSweepRate is one measured comparison of an instruction-window
@@ -134,6 +135,177 @@ func MeasureForkedSweepRate(sw SweepSpec, workers, rounds int) (*ForkedSweepRate
 	return out, nil
 }
 
+// BatchSweepRate is one measured comparison of an instruction-window
+// sweep run through the classic per-job path versus shared artifacts
+// plus batch stepping (RunSweepBatched): the same point grid, timed
+// end to end. The cold leg runs with per-job prep (WithUncachedPrep) —
+// every job parses, reorders, and prepares its own kernel and builds
+// its own memory image, the discipline the engine had before the
+// artifact layer — so the gain records what the shared-prep layer and
+// the batch execution mode buy together over that baseline. Unlike
+// prefix forking the batched results are exact, so this is a
+// pure-throughput comparison with no fidelity trade.
+type BatchSweepRate struct {
+	Benches        []string `json:"benches"`
+	Policies       []string `json:"policies"`
+	IWs            []int    `json:"iws"`
+	BatchSize      int      `json:"batch_size"`
+	Workers        int      `json:"workers"`
+	Points         int      `json:"points"`
+	BatchGroups    int      `json:"batch_groups"`
+	BatchedJobs    int      `json:"batched_jobs"`
+	BatchOccupancy float64  `json:"batch_occupancy"`
+	ArtifactHits   int64    `json:"artifact_hits"`   // delta over the measurement
+	ArtifactMisses int64    `json:"artifact_misses"` // ditto: artifacts actually built
+	SimCycles      int64    `json:"sim_cycles"`      // aggregate simulated cycles per sweep
+
+	ColdWallSec       float64 `json:"cold_wall_sec"`
+	BatchWallSec      float64 `json:"batch_wall_sec"`
+	ColdCyclesPerSec  float64 `json:"cold_cycles_per_sec"`
+	BatchCyclesPerSec float64 `json:"batch_cycles_per_sec"`
+	Gain              float64 `json:"gain"`
+
+	// Allocation-side evidence for the wall-clock numbers, from the
+	// first round of each leg: total bytes allocated and GC cycles
+	// triggered while the sweep ran. The sweep is simulation-bound, so
+	// the wall gain is modest and noise-sensitive; the allocation and
+	// GC deltas are deterministic and show what the shared artifacts,
+	// CoW images, and device-carcass recycling actually remove (the
+	// cold path reallocates ~1.8 MB of device state per point, the
+	// batch path re-launders one carcass through each chunk).
+	ColdAllocMB  float64 `json:"cold_alloc_mb"`
+	BatchAllocMB float64 `json:"batch_alloc_mb"`
+	ColdGCs      int64   `json:"cold_gcs"`
+	BatchGCs     int64   `json:"batch_gcs"`
+}
+
+// MeasureBatchSweepRate times sw through the per-job path and with
+// Batch on, each on a fresh engine (no result cache between rounds),
+// reporting the best wall time of each over `rounds` repetitions. Any
+// failed item fails the measurement.
+func MeasureBatchSweepRate(sw SweepSpec, workers, rounds int) (*BatchSweepRate, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if rounds <= 0 {
+		rounds = 3
+	}
+	runOnce := func(ctx context.Context, s SweepSpec) (*SweepResult, float64, uint64, int64, error) {
+		e, err := New(Options{Workers: workers})
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		defer e.Close()
+		// Normalize GC pacing before the timed leg (the same discipline
+		// MeasureSimRate applies): without this the legs inherit whatever
+		// heap target earlier benchmarks inflated, and the comparison
+		// becomes a function of measurement order.
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		res, err := e.RunSweep(ctx, s)
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&m1)
+		for _, it := range res.Items {
+			if it.Error != "" {
+				return nil, 0, 0, 0, fmt.Errorf("%s/%s iw=%d: %s", it.Spec.Bench, it.Spec.Policy, it.Spec.IW, it.Error)
+			}
+		}
+		return res, wall, m1.TotalAlloc - m0.TotalAlloc, int64(m1.NumGC - m0.NumGC), nil
+	}
+
+	cold := sw
+	cold.ForkPrefix, cold.Batch = false, false
+	coldCtx := WithUncachedPrep(context.Background())
+	batched := sw
+	batched.ForkPrefix, batched.Batch = false, true
+
+	size := sw.BatchSize
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	out := &BatchSweepRate{
+		Benches: sw.Benches, Policies: sw.Policies, IWs: sw.IWs,
+		BatchSize: size, Workers: workers,
+	}
+	h0, m0 := artifactDefaultCounters()
+	for r := 0; r < rounds; r++ {
+		// Alternate which leg runs first: on a busy host the second leg
+		// of a pair inherits warmed CPU state (branch predictors, page
+		// tables), and a fixed order would hand that edge to one side of
+		// the comparison every round.
+		var bres, cres *SweepResult
+		var bwall, cwall float64
+		var balloc, calloc uint64
+		var bgcs, cgcs int64
+		var err error
+		runBatch := func() error {
+			bres, bwall, balloc, bgcs, err = runOnce(context.Background(), batched)
+			if err != nil {
+				return fmt.Errorf("batched sweep: %w", err)
+			}
+			return nil
+		}
+		runCold := func() error {
+			cres, cwall, calloc, cgcs, err = runOnce(coldCtx, cold)
+			if err != nil {
+				return fmt.Errorf("cold sweep: %w", err)
+			}
+			return nil
+		}
+		if r%2 == 0 {
+			err = runBatch()
+			if err == nil {
+				err = runCold()
+			}
+		} else {
+			err = runCold()
+			if err == nil {
+				err = runBatch()
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		if bres.BatchGroups == 0 {
+			return nil, fmt.Errorf("batched sweep formed no lockstep groups")
+		}
+		if r == 0 {
+			out.Points = cres.Jobs
+			out.BatchGroups = bres.BatchGroups
+			out.BatchedJobs = bres.BatchedJobs
+			out.BatchOccupancy = bres.BatchOccupancy
+			for _, it := range cres.Items {
+				out.SimCycles += it.Result.Cycles
+			}
+			out.ColdAllocMB = float64(calloc) / 1e6
+			out.BatchAllocMB = float64(balloc) / 1e6
+			out.ColdGCs = cgcs
+			out.BatchGCs = bgcs
+		}
+		if r == 0 || cwall < out.ColdWallSec {
+			out.ColdWallSec = cwall
+		}
+		if r == 0 || bwall < out.BatchWallSec {
+			out.BatchWallSec = bwall
+		}
+	}
+	h1, m1 := artifactDefaultCounters()
+	out.ArtifactHits, out.ArtifactMisses = h1-h0, m1-m0
+	if out.ColdWallSec > 0 {
+		out.ColdCyclesPerSec = float64(out.SimCycles) / out.ColdWallSec
+	}
+	if out.BatchWallSec > 0 {
+		out.BatchCyclesPerSec = float64(out.SimCycles) / out.BatchWallSec
+		out.Gain = out.ColdWallSec / out.BatchWallSec
+	}
+	return out, nil
+}
+
 // MeasureSimRate runs the spec's simulation repeatedly (inline, no
 // engine, no cache) for at least minWall and returns the throughput.
 // Allocations are measured with runtime.MemStats deltas over the same
@@ -208,11 +380,27 @@ func GitSHA() string {
 // the JSON report to path. progress, when non-nil, receives one line
 // per finished point. When forkedSweep is non-nil, the same report
 // also records the cold-versus-forked sweep throughput comparison
-// (MeasureForkedSweepRate) for that sweep.
+// (MeasureForkedSweepRate) for that sweep; when batchSweep is non-nil,
+// the per-job-versus-lockstep comparison (MeasureBatchSweepRate).
 func WriteSimRateReport(path string, workloads, policies []string,
 	minWall time.Duration, seedNote string, progress func(string),
-	forkedSweep *SweepSpec) error {
+	forkedSweep, batchSweep *SweepSpec) error {
 	rep := SimRateReport{GitSHA: GitSHA(), SeedNote: seedNote}
+	// Measure the batch comparison first, from a clean process: the
+	// per-point loops below run thousands of Execute calls over the very
+	// specs the sweeps replay, and that systematically flatters the
+	// per-job round of a comparison measured after them.
+	if batchSweep != nil {
+		br, err := MeasureBatchSweepRate(*batchSweep, 0, 11)
+		if err != nil {
+			return fmt.Errorf("batch sweep rate: %w", err)
+		}
+		rep.BatchSweep = br
+		if progress != nil {
+			progress(fmt.Sprintf("batch sweep: %d pts in %d batches (occupancy %.2f) — per-job %.0f cyc/s vs lockstep %.0f cyc/s (%.2fx)",
+				br.Points, br.BatchGroups, br.BatchOccupancy, br.ColdCyclesPerSec, br.BatchCyclesPerSec, br.Gain))
+		}
+	}
 	for _, wl := range workloads {
 		for _, pol := range policies {
 			p, err := MeasureSimRateVsReference(JobSpec{Bench: wl, Policy: pol}, minWall)

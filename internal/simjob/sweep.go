@@ -35,6 +35,17 @@ type SweepSpec struct {
 	// forking (0 = DefaultWarmupCycles). Groups whose kernel completes
 	// within the warm-up fall back to cold runs.
 	WarmupCycles int64 `json:"warmupCycles,omitempty"`
+
+	// Batch turns on lockstep multi-config stepping (RunSweepBatched):
+	// points sharing a (bench, SMs, scheduler, maxCycles) class are
+	// stepped one cycle each per tick on a single goroutine, sharing
+	// the prepared kernel and amortizing instruction-stream locality.
+	// Unlike ForkPrefix this is exact — results are bit-identical to
+	// per-job runs and cacheable. ForkPrefix takes precedence when both
+	// are set.
+	Batch bool `json:"batch,omitempty"`
+	// BatchSize caps one lockstep group (0 = DefaultBatchSize).
+	BatchSize int `json:"batchSize,omitempty"`
 }
 
 // Expand materializes the cross product as normalized JobSpecs.
@@ -138,6 +149,14 @@ type SweepResult struct {
 	// instead of N times, saving W*(N-1). Zero on plain sweeps.
 	ForkGroups   int   `json:"forkGroups,omitempty"`
 	ReusedCycles int64 `json:"reusedCycles,omitempty"`
+
+	// BatchGroups counts the lockstep batches stepped, BatchedJobs the
+	// points they simulated, and BatchOccupancy the mean fraction of
+	// batch slots live per tick (1.0 = no straggler tail). Zero on
+	// plain sweeps.
+	BatchGroups    int     `json:"batchGroups,omitempty"`
+	BatchedJobs    int     `json:"batchedJobs,omitempty"`
+	BatchOccupancy float64 `json:"batchOccupancy,omitempty"`
 }
 
 // RunSweep expands the sweep, submits every point to the pool at once,
@@ -147,6 +166,9 @@ type SweepResult struct {
 func (e *Engine) RunSweep(ctx context.Context, sw SweepSpec) (*SweepResult, error) {
 	if sw.ForkPrefix {
 		return e.RunSweepForked(ctx, sw)
+	}
+	if sw.Batch {
+		return e.RunSweepBatched(ctx, sw)
 	}
 	specs, err := sw.Expand()
 	if err != nil {

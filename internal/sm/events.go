@@ -141,6 +141,28 @@ func (w *eventWheel) release(ev *event) {
 	w.free = ev
 }
 
+// reset drains every pending event — wheel slots and the far list —
+// back onto the free list, restoring the calendar to its
+// freshly-constructed (empty, cycle-zero-consistent) state. The free
+// list itself is kept: recycling a retired SM's calendar keeps its
+// warmed-up event records, which is the point. Pending events can
+// exist only when the previous run ended early (cycle-limit error);
+// a completed kernel leaves the wheel empty.
+func (w *eventWheel) reset() {
+	for i := range w.slots {
+		for ev := w.slots[i].take(); ev != nil; {
+			next := ev.next
+			w.release(ev)
+			ev = next
+		}
+	}
+	for i, fe := range w.far {
+		w.release(fe.ev)
+		w.far[i] = farEvent{}
+	}
+	w.far = w.far[:0]
+}
+
 // schedule files ev to fire at absolute cycle at (> now).
 //
 //bow:hotpath

@@ -165,13 +165,12 @@ func New(id int, gcfg config.GPU, bcfg core.Config, kernel *Kernel,
 	if kernel.Reconv == nil {
 		return nil, fmt.Errorf("sm: kernel not Prepared")
 	}
-	rfCfg := regfile.Config{
+	rf, err := regfile.New(regfile.Config{
 		NumBanks:      gcfg.NumRFBanks,
 		WarpRegsPerB:  gcfg.RegFileKBPerSM * 1024 / (gcfg.NumRFBanks * 128),
 		MaxWarps:      gcfg.MaxWarpsPerSM,
 		AccessLatency: gcfg.RFAccessLat,
-	}
-	rf, err := regfile.New(rfCfg)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -235,8 +234,28 @@ func New(id int, gcfg config.GPU, bcfg core.Config, kernel *Kernel,
 			collectors:  collectorSlab[w*collectorsPerWarp : w*collectorsPerWarp : (w+1)*collectorsPerWarp],
 			fillWaiters: waiterSlab[w*collectorsPerWarp*isa.MaxSrcOperands : w*collectorsPerWarp*isa.MaxSrcOperands : (w+1)*collectorsPerWarp*isa.MaxSrcOperands],
 		}
+	}
+	if err := s.buildEngines(); err != nil {
+		return nil, err
+	}
+	for sc := 0; sc < gcfg.NumSched; sc++ {
+		ids := make([]int, 0, gcfg.MaxWarpsPerSM/gcfg.NumSched)
+		for w := sc; w < gcfg.MaxWarpsPerSM; w += gcfg.NumSched {
+			ids = append(ids, w)
+		}
+		s.scheds = append(s.scheds, scheduler.New(skind, ids))
+	}
+	return s, nil
+}
+
+// buildEngines constructs one window engine per warp slot from the
+// SM's current bcfg. Engines are the only per-warp component whose
+// shape depends on the window policy, so Reset rebuilds them (they are
+// small) while everything config-shaped is recycled in place.
+func (s *SM) buildEngines() error {
+	for w := range s.engines {
 		wslot := w
-		eng, err := core.NewEngine(bcfg, func(reg uint8, val core.Value, cause core.WriteCause) {
+		eng, err := core.NewEngine(s.bcfg, func(reg uint8, val core.Value, cause core.WriteCause) {
 			if s.Tracer != nil &&
 				(cause == core.CauseWindowEvict || cause == core.CauseCapacityEvict) {
 				s.Tracer.Emit(s.cycle, s.id, wslot, trace.EvBOCEvict, int32(reg))
@@ -248,18 +267,95 @@ func New(id int, gcfg config.GPU, bcfg core.Config, kernel *Kernel,
 			s.rf.EnqueueWrite(wslot, reg, val)
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		s.engines[w] = eng
+		s.engines[wslot] = eng
 	}
-	for sc := 0; sc < gcfg.NumSched; sc++ {
-		ids := make([]int, 0, gcfg.MaxWarpsPerSM/gcfg.NumSched)
-		for w := sc; w < gcfg.MaxWarpsPerSM; w += gcfg.NumSched {
-			ids = append(ids, w)
+	return nil
+}
+
+// Reset rebinds a retired SM to a new launch, reusing every
+// configuration-shaped structure in place: the register file and cache
+// models, the scoreboard, pipes, schedulers, the timing-wheel calendar
+// (including its warmed event free list), the warp contexts with their
+// collector/waiter slabs, the in-flight record pool, and the stats
+// histograms. Only the window engines — the one per-warp component
+// shaped by the window policy — are rebuilt. A reset SM behaves
+// bit-identically to one built by New; the batch differential suite
+// holds the recycled path to that standard. The previous run may have
+// ended early (cycle-limit error): in-flight instructions are dropped
+// and every pending event is drained, so even a dirty SM resets clean.
+func (s *SM) Reset(bcfg core.Config, kernel *Kernel, global *mem.Memory) error {
+	bcfg, err := bcfg.Normalize()
+	if err != nil {
+		return err
+	}
+	if kernel.Reconv == nil {
+		return fmt.Errorf("sm: kernel not Prepared")
+	}
+	s.bcfg = bcfg
+	s.kernel = kernel
+	s.global = global
+
+	s.rf.Reset()
+	s.hier.L1.Reset()
+	s.sb.Reset()
+	s.pipes.Reset()
+	for _, sc := range s.scheds {
+		sc.Reset()
+	}
+	s.wheel.reset()
+	if s.ref {
+		clear(s.refEvents)
+		s.refScratch = s.refScratch[:0]
+	}
+
+	for _, w := range s.warps {
+		w.ctaID = -1
+		w.warpInCTA = 0
+		w.activeIdx = -1
+		w.done, w.stalled, w.atBarrier = false, false, false
+		w.issued = 0
+		w.preds = [isa.NumPredRegs]uint32{}
+		w.stack = w.stack[:0]
+		// Clear the full slab sections, not just [:len]: an errored run
+		// leaves in-flight records behind, and stale slab pointers would
+		// keep them (and everything they reference) alive.
+		cs := w.collectors[:cap(w.collectors)]
+		for i := range cs {
+			cs[i] = nil
 		}
-		s.scheds = append(s.scheds, scheduler.New(skind, ids))
+		w.collectors = cs[:0]
+		fw := w.fillWaiters[:cap(w.fillWaiters)]
+		for i := range fw {
+			fw[i] = fillWaiter{}
+		}
+		w.fillWaiters = fw[:0]
 	}
-	return s, nil
+	if err := s.buildEngines(); err != nil {
+		return err
+	}
+
+	for i := range s.active {
+		s.active[i] = nil
+	}
+	s.active = s.active[:0]
+	s.readyHead, s.readyTail = nil, nil
+	clear(s.ctas)
+	s.cycle = 0
+	s.busyCollectors = 0
+	s.lastBankConflicts = 0
+	s.freeWarpSlots = s.gcfg.MaxWarpsPerSM
+	s.freeTBSlots = s.gcfg.MaxTBsPerSM
+	clear(s.RegSnapshots)
+	clear(s.Traces)
+
+	hBOC, hOCU, hSrc := s.st.OccupancyBOC, s.st.OccupancyOCU, s.st.SrcOperands
+	hBOC.Reset()
+	hOCU.Reset()
+	hSrc.Reset()
+	s.st = RunStats{OccupancyBOC: hBOC, OccupancyOCU: hOCU, SrcOperands: hSrc}
+	return nil
 }
 
 // CanAcceptCTA reports whether a new thread block fits.

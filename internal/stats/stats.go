@@ -29,6 +29,16 @@ func NewHistogram() *Histogram {
 	return &Histogram{}
 }
 
+// Reset empties the histogram in place, restoring it to the state
+// NewHistogram returns without giving up the dense storage. The batch
+// sweep path recycles per-SM histograms across sequentially-run sweep
+// points on the strength of this equivalence.
+func (h *Histogram) Reset() {
+	h.dense = [denseSlots]int64{}
+	h.counts = nil
+	h.total = 0
+}
+
 // Add records n occurrences of value v.
 func (h *Histogram) Add(v int, n int64) {
 	if uint(v) < denseSlots {

@@ -47,6 +47,7 @@ const (
 	StageHTTP     = "http"     // worker: whole /simulate handler
 	StageQueue    = "queue"    // engine: job waiting for a pool worker
 	StageEngine   = "engine"   // engine: the simulation itself
+	StagePrep     = "prep"     // engine: shared-artifact preparation (kernel + memory image)
 	StageCache    = "cache"    // engine/coordinator: result served from cache
 )
 

@@ -35,8 +35,23 @@ type Benchmark struct {
 	Check func(m *mem.Memory) error
 }
 
-// Program parses the benchmark's kernel source.
+// Program parses the benchmark's kernel source, panicking on parse
+// errors. The built-in suite's sources are compile-time constants, so
+// the panic is effectively an assertion; engine paths use ParseProgram
+// instead and surface the error as a job failure.
 func (b *Benchmark) Program() *asm.Program { return asm.MustParse(b.Source) }
+
+// ParseProgram parses the benchmark's kernel source, returning parse
+// errors instead of panicking — the entry point for the simulation job
+// engine, where a bad kernel must fail the one job that referenced it
+// rather than rely on worker panic isolation.
+func (b *Benchmark) ParseProgram() (*asm.Program, error) {
+	prog, err := asm.Parse(b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", b.Name, err)
+	}
+	return prog, nil
+}
 
 var registry []*Benchmark
 
