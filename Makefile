@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cluster-smoke trace-smoke bench bench-all repro examples cover clean
+.PHONY: all build vet lint test race cluster-smoke trace-smoke failover-smoke bench bench-all repro examples cover clean
 
 all: build lint test
 
@@ -25,10 +25,12 @@ lint: bin/bowvet
 
 vet: lint
 
-# The default test gate includes lint and the race detector: the job
-# engine (internal/simjob) simulates concurrently, so every test run
-# also proves the pool's thread safety.
-test: lint cluster-smoke trace-smoke
+# The default test gate includes lint, the race detector, and the
+# failover differential smoke: the job engine (internal/simjob)
+# simulates concurrently, so every test run also proves the pool's
+# thread safety, and the durable tier's crash/replay path is exercised
+# end to end.
+test: lint cluster-smoke trace-smoke failover-smoke
 	$(GO) test ./...
 	$(GO) test -race ./...
 
@@ -38,8 +40,16 @@ race:
 # End-to-end cluster run: a sweep submitted over HTTP to a coordinator
 # in front of 3 in-process workers, one of which is crashed mid-job.
 # The streamed results must be byte-identical to a single-node run.
-cluster-smoke:
+# The failover scenario rides along: a durable (WAL-backed) coordinator
+# is killed mid-sweep and its warm standby must replay the log and
+# finish the sweep byte-identical to an uninterrupted cold run.
+cluster-smoke: failover-smoke
 	$(GO) test -run TestClusterSmoke -count=1 -v ./internal/cluster
+
+# Failover differential smoke on its own (also part of cluster-smoke
+# and the default test gate).
+failover-smoke:
+	$(GO) test -run 'TestFailoverSmoke|TestStandbyTailAndReadyz' -count=1 -v ./internal/durable
 
 # End-to-end observability run: a traced sweep against a coordinator in
 # front of 3 in-process workers must reconstruct spans from all three

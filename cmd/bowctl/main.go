@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	bowctl [-coord http://localhost:8080] status
-//	bowctl [-coord URL] sweep [-benches SAD,LIB] [-policies baseline,bow-wr]
+//	bowctl [-coord http://localhost:8080] [-api-key KEY] status
+//	bowctl [-coord URL] [-api-key KEY] sweep [-benches SAD,LIB] [-policies baseline,bow-wr]
 //	       [-iws 2,3,4] [-capacities ...] [-sms ...] [-schedulers gto,lrr]
 //	       [-maxcycles N] [-fork] [-warmup N] [-batch] [-batchsize N] [-json] [-quiet] [-trace] [-traceid ID]
+//	bowctl [-coord URL] [-api-key KEY] tenants
 //	bowctl [-coord URL] trace -id ID
 //
 // sweep streams partial results as the cluster completes them (one
@@ -17,8 +18,13 @@
 // reconstructed coordinator→worker→engine span timeline is fetched
 // back and rendered after the results. trace re-fetches the spans of
 // an earlier traced run. status renders every worker's routing state —
-// readiness, breaker, in-flight, load, cache hit ratio, per-endpoint
+// readiness, breaker (an open breaker shows the time until its
+// half-open probe), in-flight, load, cache hit ratio, per-endpoint
 // request counts — plus the cluster counters.
+//
+// Against a durable coordinator (bowd -coordinator -wal-dir), pass
+// -api-key (or set BOW_API_KEY) to authenticate; tenants renders the
+// per-tenant admission/quota/fair-share table.
 package main
 
 import (
@@ -40,10 +46,17 @@ import (
 	"bow/internal/trace"
 )
 
+// apiKey is the -api-key value (or $BOW_API_KEY); when set, every
+// request carries it in the X-Bow-Api-Key header for the durable
+// coordinator's tenant middleware.
+var apiKey string
+
 func main() {
 	coord := flag.String("coord", "http://localhost:8080", "coordinator base URL")
+	key := flag.String("api-key", os.Getenv("BOW_API_KEY"), "tenant API key for a durable coordinator (default $BOW_API_KEY)")
 	flag.Usage = usage
 	flag.Parse()
+	apiKey = *key
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -61,6 +74,8 @@ func main() {
 		err = runStatus(base)
 	case "sweep":
 		err = runSweep(base, args[1:])
+	case "tenants":
+		err = runTenants(base)
 	case "trace":
 		err = runTrace(base, args[1:])
 	default:
@@ -76,16 +91,34 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  bowctl [-coord URL] status
-  bowctl [-coord URL] sweep [-benches a,b] [-policies p,q] [-iws 2,3]
+  bowctl [-coord URL] [-api-key KEY] status
+  bowctl [-coord URL] [-api-key KEY] sweep [-benches a,b] [-policies p,q] [-iws 2,3]
          [-capacities n,m] [-sms 1,2] [-schedulers gto,lrr]
          [-maxcycles N] [-fork] [-warmup N] [-batch] [-batchsize N] [-json] [-quiet] [-trace] [-traceid ID]
+  bowctl [-coord URL] [-api-key KEY] tenants
   bowctl [-coord URL] trace -id ID
 `)
 }
 
+// httpGet issues a GET with the API key header attached when one is
+// configured.
+func httpGet(url string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if apiKey != "" {
+		req.Header.Set(apiKeyHeader, apiKey)
+	}
+	return http.DefaultClient.Do(req)
+}
+
+// apiKeyHeader mirrors durable.APIKeyHeader without importing the
+// whole durable package into the CLI.
+const apiKeyHeader = "X-Bow-Api-Key"
+
 func runStatus(base string) error {
-	resp, err := http.Get(base + "/status")
+	resp, err := httpGet(base + "/status")
 	if err != nil {
 		return err
 	}
@@ -108,7 +141,13 @@ func runStatus(base string) error {
 		case !w.Ready:
 			ready = "DOWN"
 		}
-		tbl.AddRowf(w.Addr, ready, w.Breaker, w.Inflight, w.ReportedLoad,
+		breaker := w.Breaker
+		if w.Breaker == "open" {
+			// An open breaker is still a row — show how long until its
+			// half-open probe may route instead of hiding the worker.
+			breaker = fmt.Sprintf("open(%.1fs→half-open)", float64(w.BreakerRetryMillis)/1000)
+		}
+		tbl.AddRowf(w.Addr, ready, breaker, w.Inflight, w.ReportedLoad,
 			w.Metrics.Done, w.Metrics.Failed, stats.Pct(w.Metrics.CacheHitRatio),
 			w.Metrics.HTTPInflight, w.Metrics.Requests["/simulate"],
 			w.Metrics.Requests["/sweep"])
@@ -120,6 +159,57 @@ func runStatus(base string) error {
 	fmt.Printf("hedging: fired=%d won=%d discarded=%d delay=%dus (p50=%dus p95=%dus)\n",
 		c.Hedges, c.HedgeWins, c.HedgeDiscarded, st.HedgeDelayMicros,
 		st.P50LatencyMicros, st.P95LatencyMicros)
+	return nil
+}
+
+// tenantRow mirrors durable.TenantStatus's JSON shape (kept local for
+// the same reason as apiKeyHeader).
+type tenantRow struct {
+	Name        string  `json:"name"`
+	Weight      int     `json:"weight"`
+	RatePerSec  float64 `json:"ratePerSec"`
+	MaxInflight int     `json:"maxInflight"`
+	Inflight    int     `json:"inflight"`
+	Queued      int     `json:"queued"`
+	Admitted    int64   `json:"admitted"`
+	Served      int64   `json:"served"`
+	Rejected    int64   `json:"rejected"`
+}
+
+func runTenants(base string) error {
+	resp, err := httpGet(base + "/tenants")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusUnauthorized:
+		return fmt.Errorf("coordinator answered 401: pass -api-key (or set BOW_API_KEY)")
+	case http.StatusNotFound:
+		return fmt.Errorf("coordinator has no /tenants endpoint (not running with -wal-dir?)")
+	default:
+		return fmt.Errorf("coordinator answered %d", resp.StatusCode)
+	}
+	var rows []tenantRow
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		return err
+	}
+	tbl := stats.NewTable("tenant", "weight", "rate/s", "max-inflight",
+		"inflight", "queued", "admitted", "served", "rejected")
+	for _, t := range rows {
+		rate := "∞"
+		if t.RatePerSec > 0 {
+			rate = fmt.Sprintf("%g", t.RatePerSec)
+		}
+		maxIn := "∞"
+		if t.MaxInflight > 0 {
+			maxIn = strconv.Itoa(t.MaxInflight)
+		}
+		tbl.AddRowf(t.Name, t.Weight, rate, maxIn,
+			t.Inflight, t.Queued, t.Admitted, t.Served, t.Rejected)
+	}
+	fmt.Print(tbl.String())
 	return nil
 }
 
@@ -330,6 +420,9 @@ func postSweep(url string, body []byte, traceID string) (*http.Response, error) 
 	if traceID != "" {
 		req.Header.Set(trace.HeaderTraceID, traceID)
 	}
+	if apiKey != "" {
+		req.Header.Set(apiKeyHeader, apiKey)
+	}
 	return http.DefaultClient.Do(req)
 }
 
@@ -349,7 +442,7 @@ func runTrace(base string, args []string) error {
 // showTrace fetches /spans?trace=id from the coordinator and renders
 // the cross-process timeline.
 func showTrace(base, id string) error {
-	resp, err := http.Get(base + "/spans?trace=" + url.QueryEscape(id))
+	resp, err := httpGet(base + "/spans?trace=" + url.QueryEscape(id))
 	if err != nil {
 		return err
 	}

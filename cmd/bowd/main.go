@@ -6,19 +6,28 @@
 // restarts — are simulated once. In -coordinator mode it runs no
 // simulations itself: it shards the same API across a fleet of worker
 // bowds with cache-affinity routing, hedging, retries, and circuit
-// breaking (internal/cluster).
+// breaking (internal/cluster). A coordinator given -wal-dir becomes
+// the durable multi-tenant tier (internal/durable): every admitted job
+// is write-ahead logged, results persist content-addressed, tenants
+// authenticate with API keys under rate/quota/fair-share control, and
+// a second bowd started with -standby-of tails the WAL and takes over
+// when the primary dies.
 //
 // Usage:
 //
 //	bowd                                   # worker on :8080, GOMAXPROCS pool
 //	bowd -addr :9090 -workers 8 -cachedir /var/cache/bow
+//	bowd -addr :8081 -peers=localhost:8082,localhost:8083   # peer cache fill
 //	bowd -coordinator -workers=host1:8080,host2:8080
+//	bowd -coordinator -wal-dir /var/lib/bow -tenants-file tenants.json
+//	bowd -standby-of http://primary:8080 -wal-dir /var/lib/bow-standby
 //	bowd -addr :8081 -register http://coord:8080   # worker that joins a coordinator
 //
 // Worker endpoints:
 //
 //	POST /simulate   one JobSpec            -> {cached, result}
 //	POST /sweep      SweepSpec cross-product -> SweepResult
+//	GET  /result/{hash}  cached result envelope (peer cache fill)
 //	GET  /healthz    liveness
 //	GET  /readyz     readiness — 503 once SIGTERM starts the drain,
 //	                 so a coordinator stops routing here before the
@@ -35,10 +44,15 @@
 //
 //	POST /sweep?stream=1  NDJSON stream of per-point results
 //	POST /join            {"addr":"host:8080"} dynamic worker join
+//	POST /leave           {"addr":"host:8080"} drain-time deregister
 //	GET  /status          per-worker routing state + cluster counters
 //	GET  /spans           coordinator spans merged with every worker's,
 //	                      ?trace=ID reconstructs one request's
 //	                      coordinator -> worker -> engine timeline
+//
+// Durable-mode coordinators additionally serve GET /tenants, GET /wal
+// (the standby tail feed), and require the X-Bow-Api-Key header on
+// job-submitting endpoints; see internal/durable.
 //
 // Both modes propagate the X-Bow-Trace-Id request header into every
 // hop they touch, so a single ID (bowctl sweep -trace) stitches the
@@ -67,12 +81,25 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"bow/internal/cluster"
+	"bow/internal/durable"
 	"bow/internal/simjob"
 )
+
+// switchableHandler lets the standby swap in the full durable server
+// at promotion time without restarting the listener.
+type switchableHandler struct {
+	h atomic.Value // http.Handler
+}
+
+func (s *switchableHandler) set(h http.Handler) { s.h.Store(&h) }
+func (s *switchableHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*s.h.Load().(*http.Handler)).ServeHTTP(w, r)
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -82,17 +109,149 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "worker mode: per-job simulation timeout (0 = none)")
 	cacheDir := flag.String("cachedir", "", "worker mode: on-disk result cache directory (empty = memory only)")
 	cacheSize := flag.Int("cachesize", 4096, "in-memory result cache entries")
+	peers := flag.String("peers", "", "worker mode: comma-separated sibling worker URLs for peer-to-peer cache fill")
 	inflight := flag.Int("inflight", 0, "coordinator mode: max in-flight jobs per worker (0 = default 4)")
 	register := flag.String("register", "", "worker mode: coordinator URL to join on startup (POST /join)")
 	advertise := flag.String("advertise", "", "address announced to the coordinator when registering (default 127.0.0.1<addr>)")
 	drainGrace := flag.Duration("draingrace", 3*time.Second, "pause between flipping /readyz to 503 and closing the listener on SIGTERM")
+	walDir := flag.String("wal-dir", "", "coordinator mode: write-ahead log directory — enables the durable multi-tenant tier")
+	tenantsFile := flag.String("tenants-file", "", "durable mode: JSON tenant definitions (name, apiKey, weight, ratePerSec, burst, maxInflight)")
+	standbyOf := flag.String("standby-of", "", "run as warm standby: primary coordinator URL whose WAL to tail (requires -wal-dir)")
 	pprofOn := flag.Bool("pprof", true, "expose /debug/pprof/ profiling endpoints")
 	flag.Parse()
 
 	var handler http.Handler
 	var drain func(context.Context, *http.Server)
 
-	if *coordinator {
+	var fileTenants []durable.Tenant
+	if *tenantsFile != "" {
+		var err error
+		fileTenants, err = durable.LoadTenantsFile(*tenantsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bowd:", err)
+			os.Exit(1)
+		}
+	}
+
+	switch {
+	case *standbyOf != "":
+		if *walDir == "" {
+			fmt.Fprintln(os.Stderr, "bowd: -standby-of requires -wal-dir")
+			os.Exit(1)
+		}
+		sw := &switchableHandler{}
+		promote := func(sb *durable.Standby) {
+			var svcSlot atomic.Pointer[durable.Service]
+			coord, err := cluster.New(cluster.Options{
+				MaxInflightPerWorker: *inflight,
+				CacheSize:            *cacheSize,
+				OnCheckpoint: func(hash string, cycle int64, ckpt []byte) {
+					if svc := svcSlot.Load(); svc != nil {
+						svc.LogCheckpoint(hash, cycle, ckpt)
+					}
+				},
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bowd: promote:", err)
+				return
+			}
+			svc, stats, err := sb.Promote(durable.ServiceOptions{
+				Tenants: fileTenants,
+				Dispatch: func(ctx context.Context, spec simjob.JobSpec) (simjob.JobResult, error) {
+					res, _, derr := coord.Do(ctx, spec)
+					return res, derr
+				},
+				OnWorker: func(a string) { coord.Join(a) },
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bowd: promote:", err)
+				coord.Close()
+				return
+			}
+			svcSlot.Store(svc)
+			sw.set(durable.NewServer(svc, coord))
+			fmt.Printf("bowd: promoted — replayed %d records, recovered %d jobs (%d resumed from checkpoints), %d workers\n",
+				stats.Records, stats.JobsRecovered, stats.JobsResumed, stats.WorkersReplayed)
+		}
+		sb, err := durable.NewStandby(durable.StandbyOptions{
+			Primary: *standbyOf,
+			WALDir:  *walDir,
+			OnDown: func(sb *durable.Standby) {
+				fmt.Println("bowd: primary heartbeat lapsed — promoting")
+				promote(sb)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bowd:", err)
+			os.Exit(1)
+		}
+		sw.set(sb)
+		handler = sw
+		drain = func(ctx context.Context, hs *http.Server) {
+			_ = hs.Shutdown(ctx)
+			_ = sb.Close()
+		}
+		fmt.Printf("bowd: warm standby for %s on %s (wal %s)\n", *standbyOf, *addr, *walDir)
+
+	case *coordinator && *walDir != "":
+		var addrs []string
+		if *workers != "" {
+			for _, a := range strings.Split(*workers, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					addrs = append(addrs, a)
+				}
+			}
+		}
+		// The checkpoint hook needs the service, which needs the
+		// coordinator's Do: late-bind through an atomic pointer.
+		var svcSlot atomic.Pointer[durable.Service]
+		coord, err := cluster.New(cluster.Options{
+			MaxInflightPerWorker: *inflight,
+			CacheSize:            *cacheSize,
+			OnCheckpoint: func(hash string, cycle int64, ckpt []byte) {
+				if svc := svcSlot.Load(); svc != nil {
+					svc.LogCheckpoint(hash, cycle, ckpt)
+				}
+			},
+		}, addrs...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bowd:", err)
+			os.Exit(1)
+		}
+		svc, stats, err := durable.NewService(durable.ServiceOptions{
+			WALDir:  *walDir,
+			Tenants: fileTenants,
+			Dispatch: func(ctx context.Context, spec simjob.JobSpec) (simjob.JobResult, error) {
+				res, _, derr := coord.Do(ctx, spec)
+				return res, derr
+			},
+			OnWorker: func(a string) { coord.Join(a) },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bowd:", err)
+			os.Exit(1)
+		}
+		svcSlot.Store(svc)
+		for _, a := range addrs {
+			svc.NoteWorker(a)
+		}
+		srv := durable.NewServer(svc, coord)
+		handler = srv
+		drain = func(ctx context.Context, hs *http.Server) {
+			srv.StartDraining()
+			time.Sleep(*drainGrace)
+			_ = hs.Shutdown(ctx)
+			_ = svc.Close()
+			coord.Close()
+		}
+		if stats.Records > 0 {
+			fmt.Printf("bowd: replayed %d WAL records — recovered %d jobs (%d resumed), %d tenants, %d workers\n",
+				stats.Records, stats.JobsRecovered, stats.JobsResumed, stats.TenantsReplayed, stats.WorkersReplayed)
+		}
+		fmt.Printf("bowd: durable coordinator on %s (wal %s, %d workers, %d tenants)\n",
+			*addr, *walDir, len(addrs), len(fileTenants))
+
+	case *coordinator:
 		var addrs []string
 		if *workers != "" {
 			for _, a := range strings.Split(*workers, ",") {
@@ -118,7 +277,8 @@ func main() {
 			coord.Close()
 		}
 		fmt.Printf("bowd: coordinating %d workers on %s\n", len(addrs), *addr)
-	} else {
+
+	default:
 		pool := runtime.GOMAXPROCS(0)
 		if *workers != "" {
 			n, err := strconv.Atoi(*workers)
@@ -128,12 +288,21 @@ func main() {
 			}
 			pool = n
 		}
+		var peerList []string
+		if *peers != "" {
+			for _, p := range strings.Split(*peers, ",") {
+				if p = strings.TrimSpace(p); p != "" {
+					peerList = append(peerList, p)
+				}
+			}
+		}
 		engine, err := simjob.New(simjob.Options{
 			Workers:   pool,
 			Retries:   *retries,
 			Timeout:   *timeout,
 			CacheSize: *cacheSize,
 			CacheDir:  *cacheDir,
+			Peers:     peerList,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bowd:", err)
@@ -142,19 +311,31 @@ func main() {
 		srv := simjob.NewServer(engine)
 		handler = srv
 		drain = func(ctx context.Context, hs *http.Server) {
-			// Readiness goes dark first so the coordinator reroutes new
-			// jobs, and the engine drain interrupts in-flight simulations
-			// at their next cycle boundary — their /simulate responses
-			// carry resumable checkpoints that the coordinator migrates
-			// to another worker. The grace period lets its heartbeat
-			// observe the 503 before in-flight requests are waited out.
+			// Deregister from the coordinator FIRST — before checkpointing
+			// anything. Relying on the heartbeat to notice the /readyz 503
+			// races it: the coordinator could route a job here in the
+			// window between SIGTERM and its next probe, and that job
+			// would immediately bounce back as a checkpoint. An explicit
+			// POST /leave closes the window.
+			if *register != "" {
+				if err := leaveCoordinator(*register, *advertise, *addr); err != nil {
+					fmt.Fprintln(os.Stderr, "bowd: deregister:", err)
+				}
+			}
+			// Readiness goes dark next so anything not using the registry
+			// reroutes too, and the engine drain interrupts in-flight
+			// simulations at their next cycle boundary — their /simulate
+			// responses carry resumable checkpoints that the coordinator
+			// migrates to another worker. The grace period lets a
+			// heartbeat observe the 503 before in-flight requests are
+			// waited out.
 			srv.StartDraining()
 			engine.Drain()
 			time.Sleep(*drainGrace)
 			_ = hs.Shutdown(ctx)
 			engine.Close()
 		}
-		fmt.Printf("bowd: serving on %s (%d workers, cachedir=%q)\n", *addr, pool, *cacheDir)
+		fmt.Printf("bowd: serving on %s (%d workers, cachedir=%q, %d peers)\n", *addr, pool, *cacheDir, len(peerList))
 		if *register != "" {
 			if err := joinCoordinator(*register, *advertise, *addr); err != nil {
 				fmt.Fprintln(os.Stderr, "bowd: register:", err)
@@ -205,21 +386,39 @@ func main() {
 // listen port — fine for single-host clusters; multi-host setups pass
 // -advertise explicitly.
 func joinCoordinator(coord, advertise, listen string) error {
-	if advertise == "" {
-		if strings.HasPrefix(listen, ":") {
-			advertise = "127.0.0.1" + listen
-		} else {
-			advertise = listen
-		}
+	if err := postMembership(coord, "/join", advertise, listen); err != nil {
+		return err
 	}
+	fmt.Printf("bowd: registered %s with %s\n", advertiseAddr(advertise, listen), coord)
+	return nil
+}
+
+// leaveCoordinator removes this worker from the coordinator's registry
+// — the first step of the SIGTERM drain, so no new job races the
+// checkpointing window.
+func leaveCoordinator(coord, advertise, listen string) error {
+	return postMembership(coord, "/leave", advertise, listen)
+}
+
+func advertiseAddr(advertise, listen string) string {
+	if advertise != "" {
+		return advertise
+	}
+	if strings.HasPrefix(listen, ":") {
+		return "127.0.0.1" + listen
+	}
+	return listen
+}
+
+func postMembership(coord, path, advertise, listen string) error {
 	if !strings.Contains(coord, "://") {
 		coord = "http://" + coord
 	}
-	raw, err := json.Marshal(cluster.JoinRequest{Addr: advertise})
+	raw, err := json.Marshal(cluster.JoinRequest{Addr: advertiseAddr(advertise, listen)})
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(strings.TrimRight(coord, "/")+"/join", "application/json", bytes.NewReader(raw))
+	resp, err := http.Post(strings.TrimRight(coord, "/")+path, "application/json", bytes.NewReader(raw))
 	if err != nil {
 		return err
 	}
@@ -227,6 +426,5 @@ func joinCoordinator(coord, advertise, listen string) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("coordinator answered %d", resp.StatusCode)
 	}
-	fmt.Printf("bowd: registered %s with %s\n", advertise, coord)
 	return nil
 }

@@ -8,18 +8,19 @@ import (
 )
 
 // lockPackages are the concurrent subsystems the locksafe pass covers:
-// the cluster coordinator and the simulation job engine, where a mutex
-// held across a channel rendezvous or a worker HTTP round trip turns a
-// slow peer into a coordinator-wide stall.
-var lockPackages = map[string]bool{"cluster": true, "simjob": true}
+// the cluster coordinator, the simulation job engine, and the durable
+// job tier, where a mutex held across a channel rendezvous, a worker
+// HTTP round trip, or a WAL fsync turns a slow peer (or disk) into a
+// coordinator-wide stall.
+var lockPackages = map[string]bool{"cluster": true, "simjob": true, "durable": true}
 
 // LockSafe flags mutex value copies and locks held across blocking
 // boundary operations (channel sends/receives/selects, net/http calls,
-// simjob.Client RPCs) in the cluster and job-engine packages.
+// simjob.Client RPCs) in the cluster, job-engine, and durable packages.
 var LockSafe = &Analyzer{
 	Name: "locksafe",
 	Doc: "forbid lock-by-value copies, and channel or HTTP operations performed " +
-		"while holding a mutex, in internal/cluster and internal/simjob",
+		"while holding a mutex, in internal/cluster, internal/simjob, and internal/durable",
 	Run: runLockSafe,
 }
 

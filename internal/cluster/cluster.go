@@ -89,6 +89,12 @@ type Options struct {
 	// HTTPClient is shared by all worker clients (nil = a dedicated
 	// client reusing connections).
 	HTTPClient *http.Client
+	// OnCheckpoint, when non-nil, observes every mid-job checkpoint a
+	// draining worker hands back before the coordinator re-dispatches
+	// it. The durable tier logs these to its WAL so a coordinator crash
+	// during the migration resumes from the checkpointed cycle instead
+	// of cycle 0.
+	OnCheckpoint func(hash string, cycle int64, checkpoint []byte)
 }
 
 func (o Options) withDefaults() Options {

@@ -49,17 +49,21 @@ type Counters struct {
 
 // WorkerStatus is one worker's routing state as /status reports it.
 type WorkerStatus struct {
-	Addr           string         `json:"addr"`
-	Ready          bool           `json:"ready"`
-	Draining       bool           `json:"draining,omitempty"`
-	Breaker        string         `json:"breaker"`
-	ConsecFails    int            `json:"consecFails,omitempty"`
-	Inflight       int            `json:"inflight"`
-	ReportedLoad   int64          `json:"reportedLoad"`
-	HeartbeatFails int            `json:"heartbeatFails,omitempty"`
-	LastSeenMillis int64          `json:"lastSeenMillis"`
-	LastError      string         `json:"lastError,omitempty"`
-	Metrics        simjob.Metrics `json:"metrics"`
+	Addr     string `json:"addr"`
+	Ready    bool   `json:"ready"`
+	Draining bool   `json:"draining,omitempty"`
+	Breaker  string `json:"breaker"`
+	// BreakerRetryMillis is, for an open breaker, how long until the
+	// cooldown expires and a half-open probe may route (0 once
+	// routable; absent for closed/half-open breakers).
+	BreakerRetryMillis int64          `json:"breakerRetryMillis,omitempty"`
+	ConsecFails        int            `json:"consecFails,omitempty"`
+	Inflight           int            `json:"inflight"`
+	ReportedLoad       int64          `json:"reportedLoad"`
+	HeartbeatFails     int            `json:"heartbeatFails,omitempty"`
+	LastSeenMillis     int64          `json:"lastSeenMillis"`
+	LastError          string         `json:"lastError,omitempty"`
+	Metrics            simjob.Metrics `json:"metrics"`
 }
 
 // Status is the cluster snapshot /status serves and bowctl renders.
@@ -117,6 +121,11 @@ func New(opts Options, workers ...string) (*Coordinator, error) {
 // new. Routing rebalances automatically: rendezvous hashing moves only
 // the points the new worker now owns.
 func (c *Coordinator) Join(addr string) bool { return c.reg.join(addr) }
+
+// Leave removes a worker from routing (idempotently); it reports
+// whether the address was registered. A worker beginning its SIGTERM
+// drain deregisters first, so no new work races the drain.
+func (c *Coordinator) Leave(addr string) bool { return c.reg.leave(addr) }
 
 // Close stops the heartbeat loop and fails acquires in progress.
 func (c *Coordinator) Close() { c.reg.close() }
@@ -238,6 +247,9 @@ func (c *Coordinator) run(ctx context.Context, spec simjob.JobSpec, hash string)
 			c.ctr.Migrations++
 			c.ctr.MigratedCycles += mig.cycle
 			c.mu.Unlock()
+			if c.opts.OnCheckpoint != nil {
+				c.opts.OnCheckpoint(hash, mig.cycle, mig.ckpt)
+			}
 			c.spans.Record(trace.Span{
 				TraceID: trace.IDFromContext(ctx),
 				Hop:     trace.HopCoordinator,

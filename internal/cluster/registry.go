@@ -91,6 +91,23 @@ func (r *registry) join(addr string) bool {
 	return true
 }
 
+// leave removes a worker from the registry and reports whether it was
+// present. In-flight dispatches keep their *worker reference and
+// finish normally; the address just stops being routable. A draining
+// worker calls this (via POST /leave) before checkpointing, so
+// nothing routes to it during the drain window.
+func (r *registry) leave(addr string) bool {
+	c := simjob.NewClient(addr, r.opts.HTTPClient)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.workers[c.Base()]; !ok {
+		return false
+	}
+	delete(r.workers, c.Base())
+	r.cond.Broadcast()
+	return true
+}
+
 // start launches the heartbeat loop.
 func (r *registry) start() {
 	r.wg.Add(1)
@@ -341,6 +358,7 @@ func (r *registry) clients() []*simjob.Client {
 func (r *registry) snapshot() []WorkerStatus {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	now := time.Now()
 	out := make([]WorkerStatus, 0, len(r.workers))
 	for _, w := range r.workers {
 		ws := WorkerStatus{
@@ -354,6 +372,11 @@ func (r *registry) snapshot() []WorkerStatus {
 			HeartbeatFails: w.hbFails,
 			LastError:      w.lastErr,
 			Metrics:        w.metrics,
+		}
+		if w.br.state == breakerOpen {
+			if left := w.br.cooldown - now.Sub(w.br.openedAt); left > 0 {
+				ws.BreakerRetryMillis = left.Milliseconds()
+			}
 		}
 		if !w.lastSeen.IsZero() {
 			ws.LastSeenMillis = time.Since(w.lastSeen).Milliseconds()

@@ -39,6 +39,7 @@ type JoinRequest struct {
 //	POST /sweep             SweepSpec -> simjob.SweepResult
 //	POST /sweep?stream=1    SweepSpec -> NDJSON StreamEvents
 //	POST /join              {"addr":"host:port"} -> {"joined":bool}
+//	POST /leave             {"addr":"host:port"} -> {"left":bool}
 //	GET  /status            Status
 //	GET  /spans             coordinator + worker spans, ?trace=ID filters
 //	GET  /healthz           liveness
@@ -127,6 +128,20 @@ func NewServer(c *Coordinator) *Server {
 			return
 		}
 		writeJSON(w, map[string]any{"joined": c.Join(req.Addr)})
+	})
+	s.mux.HandleFunc("/leave", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodPost) {
+			return
+		}
+		var req JoinRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		if req.Addr == "" {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("cluster: leave needs addr"))
+			return
+		}
+		writeJSON(w, map[string]any{"left": c.Leave(req.Addr)})
 	})
 	s.mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
 		if !requireMethod(w, r, http.MethodGet) {

@@ -1,0 +1,53 @@
+// Package durable is the coordinator's persistence and tenancy tier —
+// the layer that turns the stateless cluster into a service that
+// survives restarts and isolates callers.
+//
+// Four pieces compose it:
+//
+//   - A write-ahead job log (WAL): every job transition — enqueue,
+//     assign, result hash, complete — plus tenant upserts and worker
+//     joins is appended as a length-framed, CRC-checked record before
+//     it takes effect, with fsync batching (group commit) and segment
+//     rotation. Crash recovery replays the log, keeps the longest
+//     valid prefix (a torn tail record is truncated, never fatal), and
+//     reconstructs the queue and in-flight set; interrupted jobs are
+//     re-routed, resuming from their last drain checkpoint when one
+//     was logged.
+//
+//   - A content-addressed result store keyed by simjob spec hashes:
+//     completed results are persisted as canonical JSON inside a
+//     content-hash envelope that is verified on every read, so the
+//     store can answer repeated submissions across process restarts
+//     and back the peer-to-peer cache fill between workers.
+//
+//   - A tenancy layer: API keys resolve callers to tenants, each with
+//     a token-bucket rate limit, an in-flight quota, and a fair-share
+//     weight. Admission rejects unauthenticated requests with 401 and
+//     over-limit ones with 429 before they reach any engine; between
+//     admitted tenants a deficit-round-robin scheduler divides worker
+//     capacity by weight, so no caller can starve the cluster.
+//
+//   - A warm-standby coordinator: a second bowd tails the primary's
+//     WAL over HTTP into its own log, serves 503 on /readyz until
+//     caught up, and promotes itself — replaying the tailed log into a
+//     live Service — when the primary's heartbeat lapses.
+//
+// cmd/bowd wires the tier in with -wal-dir, -tenants-file, and
+// -standby-of; cmd/bowctl authenticates with -api-key and renders the
+// per-tenant table with `bowctl tenants`.
+package durable
+
+import "errors"
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrUnauthenticated marks a request with a missing or unknown API
+	// key (HTTP 401).
+	ErrUnauthenticated = errors.New("durable: unknown or missing API key")
+	// ErrRateLimited marks a request rejected by its tenant's token
+	// bucket (HTTP 429).
+	ErrRateLimited = errors.New("durable: tenant rate limit exceeded")
+	// ErrOverQuota marks a submission that would push the tenant past
+	// its in-flight quota (HTTP 429).
+	ErrOverQuota = errors.New("durable: tenant in-flight quota exceeded")
+)

@@ -1,0 +1,400 @@
+package durable
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bow/internal/cluster"
+	"bow/internal/simjob"
+)
+
+// startRealWorker serves a real simulation engine over a killable
+// listener (mirrors the cluster package's test harness; this package
+// needs its own because the failover path spans both tiers). wrap, when
+// non-nil, intercepts the handler (fault/delay injection).
+func startRealWorker(t *testing.T, wrap func(http.Handler) http.Handler) string {
+	t.Helper()
+	e, err := simjob.New(simjob.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	var h http.Handler = simjob.NewServer(e)
+	if wrap != nil {
+		h = wrap(h)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: h}
+	t.Cleanup(func() { hs.Close() })
+	go func() { _ = hs.Serve(ln) }()
+	return "http://" + ln.Addr().String()
+}
+
+func fastClusterOpts() cluster.Options {
+	return cluster.Options{
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatTimeout:  time.Second,
+		DownAfter:         2,
+		BreakerThreshold:  3,
+		BreakerCooldown:   150 * time.Millisecond,
+		MaxAttempts:       4,
+		BackoffBase:       5 * time.Millisecond,
+		BackoffMax:        20 * time.Millisecond,
+		HedgeOff:          true,
+	}
+}
+
+// startPrimary builds the full durable coordinator stack on a killable
+// listener: cluster coordinator + Service + Server.
+func startPrimary(t *testing.T, walDir string, workers ...string) (url string, svc *Service, kill func()) {
+	t.Helper()
+	coord, err := cluster.New(fastClusterOpts(), workers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, _, err = NewService(ServiceOptions{
+		WALDir:  walDir,
+		Tenants: []Tenant{{Name: "smoke", APIKey: "smoke-key", Weight: 1}},
+		Dispatch: func(ctx context.Context, spec simjob.JobSpec) (simjob.JobResult, error) {
+			res, _, err := coord.Do(ctx, spec)
+			return res, err
+		},
+	})
+	if err != nil {
+		coord.Close()
+		t.Fatal(err)
+	}
+	// Log the initial fleet exactly as /join would, so the standby can
+	// re-dial it after promotion.
+	for _, w := range workers {
+		svc.NoteWorker(w)
+	}
+	srv := NewServer(svc, coord)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	var once sync.Once
+	kill = func() {
+		once.Do(func() {
+			hs.Close()
+			svc.Abort()
+			coord.Close()
+		})
+	}
+	t.Cleanup(kill)
+	go func() { _ = hs.Serve(ln) }()
+	return "http://" + ln.Addr().String(), svc, kill
+}
+
+// TestFailoverSmoke is the acceptance scenario: kill the primary
+// coordinator mid-sweep, let the warm standby detect the lapse,
+// promote it, and assert the sweep completes with results
+// byte-identical to an uninterrupted single-engine run.
+func TestFailoverSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover smoke runs real simulations")
+	}
+	// Gate the fleet: the first /simulate proceeds (one stream item
+	// lands), every later one blocks until the gate opens — so the kill
+	// below is guaranteed to strike mid-sweep, with jobs split between
+	// done, in-flight, and queued.
+	var simulates atomic.Int32
+	gate := make(chan struct{})
+	gateWrap := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/simulate" && simulates.Add(1) > 1 {
+				select {
+				case <-gate:
+				case <-r.Context().Done():
+					return
+				}
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+	w1 := startRealWorker(t, gateWrap)
+	w2 := startRealWorker(t, gateWrap)
+
+	primaryWAL := t.TempDir()
+	standbyWAL := t.TempDir()
+	primaryURL, primarySvc, killPrimary := startPrimary(t, primaryWAL, w1, w2)
+
+	sb, err := NewStandby(StandbyOptions{
+		Primary:      primaryURL,
+		WALDir:       standbyWAL,
+		PollInterval: 20 * time.Millisecond,
+		FailAfter:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sb.Close() })
+
+	// Before any traffic the standby must be reachable but not ready.
+	waitFor(t, time.Second, func() bool { return sb.EndLSN() >= 2 && sb.CaughtUp() })
+
+	sw := simjob.SweepSpec{
+		Benches:  []string{"VECTORADD"},
+		Policies: []string{"baseline", "bow-wr"},
+		IWs:      []int{2, 3},
+	}
+	unique, _, err := sw.ExpandHashed()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Start a streaming sweep and kill the primary after the first item
+	// lands — jobs are then split between done, in-flight, and queued.
+	body, _ := json.Marshal(sw)
+	req, _ := http.NewRequest(http.MethodPost, primaryURL+"/sweep?stream=1", bytes.NewReader(body))
+	req.Header.Set(APIKeyHeader, "smoke-key")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var first cluster.StreamEvent
+	if err := dec.Decode(&first); err != nil {
+		resp.Body.Close()
+		t.Fatalf("first stream event: %v", err)
+	}
+	// Every enqueue is WAL-logged at admission; wait for the standby to
+	// have tailed them all (1 tenant + 2 worker records + one enqueue
+	// per unique job, plus whatever assigns/results landed) before
+	// pulling the plug, then kill mid-sweep.
+	waitFor(t, 2*time.Second, func() bool { return sb.EndLSN() >= int64(3+len(unique)) })
+	killPrimary()
+	resp.Body.Close()
+	close(gate) // release the fleet for the promoted coordinator
+
+	// The standby notices the heartbeat lapse...
+	select {
+	case <-sb.Down():
+	case <-time.After(5 * time.Second):
+		t.Fatal("standby never declared the primary down")
+	}
+	// ...and promotes: replay rebuilds tenants, fleet, and unfinished
+	// jobs, which re-dispatch to the (still alive) workers.
+	coord2, err := cluster.New(fastClusterOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord2.Close)
+	svc2, stats, err := sb.Promote(ServiceOptions{
+		Dispatch: func(ctx context.Context, spec simjob.JobSpec) (simjob.JobResult, error) {
+			res, _, err := coord2.Do(ctx, spec)
+			return res, err
+		},
+		OnWorker: func(addr string) { coord2.Join(addr) },
+	})
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	t.Cleanup(func() { svc2.Close() })
+	if stats.WorkersReplayed != 2 {
+		t.Fatalf("promoted standby replayed %d workers, want 2", stats.WorkersReplayed)
+	}
+	if stats.JobsRecovered == 0 {
+		t.Fatal("kill mid-sweep recovered no jobs — the kill landed after completion")
+	}
+
+	// Resubmit the sweep against the promoted coordinator. Recovered
+	// jobs may still be running; SubmitMany joins them.
+	specs := make([]simjob.JobSpec, len(unique))
+	for i, hs := range unique {
+		specs[i] = hs.Spec
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	results, err := svc2.SubmitMany(ctx, "smoke", specs)
+	if err != nil {
+		t.Fatalf("post-failover sweep: %v", err)
+	}
+
+	// Differential oracle: one uninterrupted in-process engine.
+	oracle, err := simjob.New(simjob.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oracle.Close()
+	ref, err := oracle.RunSweep(ctx, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refByHash := map[string][]byte{}
+	for _, item := range ref.Items {
+		if item.Result == nil {
+			t.Fatalf("oracle item failed: %+v", item)
+		}
+		canon, err := item.Result.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refByHash[item.Result.SpecHash] = canon
+	}
+	for i, sum := range results {
+		canon, err := sum.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ok := refByHash[sum.SpecHash]
+		if !ok {
+			t.Fatalf("result %d hash %s missing from oracle", i, sum.SpecHash)
+		}
+		if string(canon) != string(want) {
+			t.Fatalf("failover result %d differs from cold run:\n got %s\nwant %s", i, canon, want)
+		}
+	}
+
+	// The primary's own service is dead; its Abort must not have marked
+	// anything complete that wasn't.
+	_ = primarySvc
+}
+
+// TestStandbyTailAndReadyz covers the holding-pattern contract without
+// real simulations: 503 until caught up, then standby-ready.
+func TestStandbyTailAndReadyz(t *testing.T) {
+	dir := t.TempDir()
+	d := newFakeDispatch()
+	svc, _ := newTestService(t, dir, d)
+	defer svc.Close()
+	coord, err := cluster.New(fastClusterOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	srv := NewServer(svc, coord)
+	hts := newHTTPServer(t, srv)
+
+	// Seed some records before the standby exists.
+	for i := 0; i < 5; i++ {
+		if _, err := svc.Submit(context.Background(), "t1", testSpec(2+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sb, err := NewStandby(StandbyOptions{
+		Primary: hts, WALDir: t.TempDir(),
+		PollInterval: 10 * time.Millisecond, FailAfter: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+
+	// Standby catches up to the primary's end.
+	waitFor(t, 2*time.Second, func() bool { return sb.CaughtUp() })
+	if sb.EndLSN() != svc.WAL().End() {
+		t.Fatalf("standby end %d != primary end %d", sb.EndLSN(), svc.WAL().End())
+	}
+	// Its own /readyz flips from 503 to 200 with catch-up (probe via the
+	// handler directly).
+	probe := func() int {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodGet, "/readyz", nil)
+		sb.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	if got := probe(); got != http.StatusOK {
+		t.Fatalf("caught-up standby readyz = %d", got)
+	}
+	// New primary records keep flowing.
+	if _, err := svc.Submit(context.Background(), "t1", testSpec(30)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return sb.EndLSN() == svc.WAL().End() })
+}
+
+// TestOnDownPromotes pins the bowd wiring: OnDown itself calls
+// Promote. Promote waits for the tail loop to exit, so OnDown must be
+// delivered off that goroutine or the promotion deadlocks forever.
+func TestOnDownPromotes(t *testing.T) {
+	dir := t.TempDir()
+	d := newFakeDispatch()
+	svc, _ := newTestService(t, dir, d)
+	coord, err := cluster.New(fastClusterOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	srv := NewServer(svc, coord)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	t.Cleanup(func() { hs.Close() })
+	go func() { _ = hs.Serve(ln) }()
+	hts := "http://" + ln.Addr().String()
+	if _, err := svc.Submit(context.Background(), "t1", testSpec(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	type promotion struct {
+		svc *Service
+		err error
+	}
+	promoted := make(chan promotion, 1)
+	sb, err := NewStandby(StandbyOptions{
+		Primary: hts, WALDir: t.TempDir(),
+		PollInterval: 10 * time.Millisecond, FailAfter: 2,
+		OnDown: func(sb *Standby) {
+			nsvc, _, perr := sb.Promote(ServiceOptions{Dispatch: d.fn})
+			promoted <- promotion{nsvc, perr}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+	waitFor(t, 2*time.Second, func() bool { return sb.CaughtUp() })
+
+	hs.Close() // kill the primary's listener; polls start failing
+	defer svc.Close()
+	select {
+	case p := <-promoted:
+		if p.err != nil {
+			t.Fatalf("promote from OnDown: %v", p.err)
+		}
+		p.svc.Close()
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnDown promotion never completed (deadlocked on the tail loop?)")
+	}
+}
+
+// Helpers.
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func newHTTPServer(t *testing.T, h http.Handler) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: h}
+	t.Cleanup(func() { hs.Close() })
+	go func() { _ = hs.Serve(ln) }()
+	return "http://" + ln.Addr().String()
+}

@@ -1,0 +1,151 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// RecType tags a WAL record. Payloads are canonical JSON — small,
+// self-describing, and diffable with `bowctl` against a live log; the
+// framing layer (length + CRC) already provides integrity, so the
+// payload format optimizes for debuggability over density.
+type RecType byte
+
+const (
+	// RecEnqueue: a job entered a tenant's queue. Logged before the job
+	// becomes visible to the scheduler, so replay can rebuild every
+	// queue exactly.
+	RecEnqueue RecType = 1
+	// RecAssign: a queued job was handed to the dispatch layer. A job
+	// with an assign but no complete at recovery is in-flight and must
+	// be re-routed (resuming from its last checkpoint, if any).
+	RecAssign RecType = 2
+	// RecResult: a job's result was persisted to the content-addressed
+	// store under the given content hash. Replay can serve it without
+	// recomputation.
+	RecResult RecType = 3
+	// RecComplete: the job finished (successfully when Error is empty).
+	// Terminal — replay drops the job from queue and in-flight state.
+	RecComplete RecType = 4
+	// RecCheckpoint: an in-flight job was interrupted mid-run and
+	// migrated with an engine checkpoint; recovery resumes from it
+	// rather than re-running from cycle zero.
+	RecCheckpoint RecType = 5
+	// RecTenant: a tenant was created or updated (key, weight, limits).
+	// The tenant table is entirely WAL-derived after the initial
+	// -tenants-file load, so the standby learns tenants the same way it
+	// learns jobs.
+	RecTenant RecType = 6
+	// RecWorker: a worker joined the cluster. A promoted standby replays
+	// these to re-dial the fleet without waiting for re-joins.
+	RecWorker RecType = 7
+)
+
+// String names the type for spans, logs, and bowctl output.
+func (t RecType) String() string {
+	switch t {
+	case RecEnqueue:
+		return "enqueue"
+	case RecAssign:
+		return "assign"
+	case RecResult:
+		return "result"
+	case RecComplete:
+		return "complete"
+	case RecCheckpoint:
+		return "checkpoint"
+	case RecTenant:
+		return "tenant"
+	case RecWorker:
+		return "worker"
+	default:
+		return fmt.Sprintf("rec(%d)", byte(t))
+	}
+}
+
+// EnqueuePayload records a job entering a tenant's queue. Spec is the
+// job's canonical JSON (simjob.JobSpec), kept verbatim so replay can
+// re-dispatch without consulting any other store.
+type EnqueuePayload struct {
+	Hash   string          `json:"hash"`
+	Tenant string          `json:"tenant"`
+	Spec   json.RawMessage `json:"spec"`
+	// TraceID ties the replayed job back to the span tree of the
+	// original submission.
+	TraceID string `json:"traceId,omitempty"`
+}
+
+// AssignPayload records a job leaving the queue for dispatch.
+type AssignPayload struct {
+	Hash string `json:"hash"`
+}
+
+// ResultPayload records that the job's result is durable in the
+// content-addressed store.
+type ResultPayload struct {
+	Hash        string `json:"hash"`
+	ContentHash string `json:"contentHash"`
+}
+
+// CompletePayload terminates a job. Error is empty on success; a
+// non-empty Error marks a permanent failure (replay will not retry it).
+type CompletePayload struct {
+	Hash  string `json:"hash"`
+	Error string `json:"error,omitempty"`
+}
+
+// CheckpointPayload preserves a migrated job's resume point.
+type CheckpointPayload struct {
+	Hash       string `json:"hash"`
+	Cycle      int64  `json:"cycle"`
+	Checkpoint []byte `json:"checkpoint"`
+}
+
+// TenantPayload upserts a tenant definition (see Tenant for field
+// semantics).
+type TenantPayload struct {
+	Tenant Tenant `json:"tenant"`
+}
+
+// WorkerPayload records a worker join.
+type WorkerPayload struct {
+	Addr string `json:"addr"`
+}
+
+// appendJSON marshals payload and appends it under typ, returning the
+// record's LSN once durable.
+func (w *WAL) appendJSON(typ RecType, payload any) (int64, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return 0, fmt.Errorf("durable: encode %s: %w", typ, err)
+	}
+	return w.Append(typ, raw)
+}
+
+// decodePayload unmarshals a record's payload into the struct matching
+// its type and returns it. Used by replay and by bowctl's log viewer.
+func decodePayload(r Record) (any, error) {
+	var v any
+	switch r.Type {
+	case RecEnqueue:
+		v = &EnqueuePayload{}
+	case RecAssign:
+		v = &AssignPayload{}
+	case RecResult:
+		v = &ResultPayload{}
+	case RecComplete:
+		v = &CompletePayload{}
+	case RecCheckpoint:
+		v = &CheckpointPayload{}
+	case RecTenant:
+		v = &TenantPayload{}
+	case RecWorker:
+		v = &WorkerPayload{}
+	default:
+		return nil, fmt.Errorf("durable: unknown record type %d at lsn %d", r.Type, r.LSN)
+	}
+	if err := json.Unmarshal(r.Payload, v); err != nil {
+		return nil, fmt.Errorf("durable: decode %s at lsn %d: %w", r.Type, r.LSN, err)
+	}
+	return v, nil
+}

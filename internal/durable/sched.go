@@ -1,0 +1,148 @@
+package durable
+
+import "sync"
+
+// FairQueue is a deficit-round-robin scheduler over per-tenant FIFO
+// queues. Each backlogged tenant is visited in rotation; on each visit
+// its deficit grows by its weight and it may serve that many jobs
+// before the rotation moves on, so long-run throughput between
+// backlogged tenants is proportional to their weights — a weight-10
+// tenant gets ten jobs for every one a weight-1 tenant gets — while an
+// idle tenant costs the others nothing.
+type FairQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[string]*tenantQueue
+	// active lists tenants with queued work, in rotation order.
+	active []string
+	cursor int
+	closed bool
+	queued int
+}
+
+type tenantQueue struct {
+	items   []any
+	weight  int
+	deficit int
+	// listed tracks membership in FairQueue.active.
+	listed bool
+}
+
+// NewFairQueue builds an empty scheduler.
+func NewFairQueue() *FairQueue {
+	q := &FairQueue{queues: make(map[string]*tenantQueue)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues item for tenant with the given fair-share weight
+// (weights below 1 are treated as 1; the latest weight wins).
+func (q *FairQueue) Push(tenant string, weight int, item any) {
+	if weight < 1 {
+		weight = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	tq, ok := q.queues[tenant]
+	if !ok {
+		tq = &tenantQueue{}
+		q.queues[tenant] = tq
+	}
+	tq.weight = weight
+	tq.items = append(tq.items, item)
+	if !tq.listed {
+		tq.listed = true
+		q.active = append(q.active, tenant)
+	}
+	q.queued++
+	q.cond.Signal()
+}
+
+// Pop blocks until an item is available or the queue is closed,
+// returning the item, its tenant, and ok=false only after Close with
+// everything drained.
+func (q *FairQueue) Pop() (any, string, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.queued == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.queued == 0 {
+		return nil, "", false
+	}
+	return q.popLocked()
+}
+
+// TryPop is Pop without blocking.
+func (q *FairQueue) TryPop() (any, string, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.queued == 0 {
+		return nil, "", false
+	}
+	return q.popLocked()
+}
+
+// popLocked runs one DRR step. Callers hold q.mu and have checked
+// q.queued > 0, so some active tenant has work.
+func (q *FairQueue) popLocked() (any, string, bool) {
+	for {
+		if q.cursor >= len(q.active) {
+			q.cursor = 0
+		}
+		name := q.active[q.cursor]
+		tq := q.queues[name]
+		if len(tq.items) == 0 {
+			// Emptied since it was listed: unlist and (per classic DRR)
+			// forfeit any remaining deficit.
+			tq.listed = false
+			tq.deficit = 0
+			q.active = append(q.active[:q.cursor], q.active[q.cursor+1:]...)
+			continue
+		}
+		if tq.deficit < 1 {
+			tq.deficit += tq.weight
+		}
+		item := tq.items[0]
+		tq.items = tq.items[1:]
+		tq.deficit--
+		q.queued--
+		if len(tq.items) == 0 {
+			tq.listed = false
+			tq.deficit = 0
+			q.active = append(q.active[:q.cursor], q.active[q.cursor+1:]...)
+		} else if tq.deficit < 1 {
+			q.cursor++
+		}
+		return item, name, true
+	}
+}
+
+// Len reports the total queued items.
+func (q *FairQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued
+}
+
+// LenTenant reports one tenant's queue depth.
+func (q *FairQueue) LenTenant(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if tq, ok := q.queues[tenant]; ok {
+		return len(tq.items)
+	}
+	return 0
+}
+
+// Close wakes all blocked Pops. Queued items remain poppable; once
+// drained, Pop returns ok=false.
+func (q *FairQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

@@ -1,0 +1,122 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"bow/internal/simjob"
+)
+
+// Store is the coordinator's content-addressed result store: one file
+// per completed job under <dir>/<spechash>.json, in the same verified
+// content-hash envelope the worker disk caches use. The WAL records
+// only the content hash (RecResult); the bytes live here, so replay
+// can serve a completed job's result without touching any worker, and
+// a standby that tailed the WAL knows exactly which hashes it still
+// has to backfill.
+type Store struct {
+	dir string
+
+	mu                 sync.Mutex
+	puts, hits, misses int64
+}
+
+// NewStore opens (creating if needed) the store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: store dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+func (s *Store) path(hash string) string {
+	return filepath.Join(s.dir, hash+".json")
+}
+
+// Put persists a result, returning its content hash (the value logged
+// in the RecResult record). Write-then-rename keeps crashes from
+// leaving torn files; a torn temp file is garbage the next Put
+// overwrites.
+func (s *Store) Put(sum simjob.JobResult) (string, error) {
+	raw, contentHash, err := simjob.EncodeResultEnvelope(sum)
+	if err != nil {
+		return "", err
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return "", err
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), s.path(sum.SpecHash)); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.puts++
+	s.mu.Unlock()
+	return contentHash, nil
+}
+
+// Get returns the stored result for a spec hash, verifying the
+// envelope. A missing, torn, or mismatched file is a miss.
+func (s *Store) Get(hash string) (simjob.JobResult, bool) {
+	raw, err := os.ReadFile(s.path(hash))
+	if err != nil {
+		s.mu.Lock()
+		s.misses++
+		s.mu.Unlock()
+		return simjob.JobResult{}, false
+	}
+	sum, ok := simjob.DecodeResultEnvelope(raw, hash)
+	s.mu.Lock()
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	s.mu.Unlock()
+	return sum, ok
+}
+
+// Has reports whether a verified result exists for hash without
+// counting a hit or miss.
+func (s *Store) Has(hash string) bool {
+	raw, err := os.ReadFile(s.path(hash))
+	if err != nil {
+		return false
+	}
+	_, ok := simjob.DecodeResultEnvelope(raw, hash)
+	return ok
+}
+
+// Counters reports (puts, hits, misses) for bow_wal_/store metrics.
+func (s *Store) Counters() (puts, hits, misses int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.puts, s.hits, s.misses
+}
+
+// Len counts the stored results (a directory scan; used by status
+// endpoints, not hot paths).
+func (s *Store) Len() int {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".json" && e.Name()[0] != '.' {
+			n++
+		}
+	}
+	return n
+}

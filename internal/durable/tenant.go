@@ -1,0 +1,325 @@
+package durable
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tenant is one caller of the cluster: an API key plus the limits and
+// fair-share weight attached to it. Definitions come from the
+// -tenants-file at boot and from RecTenant WAL records afterwards, so
+// a standby reconstructs the same table the primary had.
+type Tenant struct {
+	// Name identifies the tenant in metrics, spans, and bowctl output.
+	Name string `json:"name"`
+	// APIKey authenticates requests (X-Bow-Api-Key header).
+	APIKey string `json:"apiKey"`
+	// Weight sets the fair-share proportion between backlogged tenants
+	// (deficit round-robin). Zero means 1.
+	Weight int `json:"weight,omitempty"`
+	// RatePerSec refills the request token bucket. Zero disables rate
+	// limiting for the tenant.
+	RatePerSec float64 `json:"ratePerSec,omitempty"`
+	// Burst is the bucket capacity (defaults to max(1, RatePerSec)).
+	Burst int `json:"burst,omitempty"`
+	// MaxInflight caps the tenant's unique jobs admitted but not yet
+	// complete. Zero means unlimited.
+	MaxInflight int `json:"maxInflight,omitempty"`
+}
+
+func (t Tenant) withDefaults() Tenant {
+	if t.Weight <= 0 {
+		t.Weight = 1
+	}
+	if t.Burst <= 0 {
+		if t.RatePerSec >= 1 {
+			t.Burst = int(t.RatePerSec)
+		} else {
+			t.Burst = 1
+		}
+	}
+	return t
+}
+
+// tenantState is the live accounting behind one Tenant.
+type tenantState struct {
+	def      Tenant
+	tokens   float64   // token bucket level
+	lastFill time.Time // last refill instant
+	inflight int       // admitted, not yet complete
+	// counters for bow_tenant_* metrics and bowctl tenants.
+	admitted, rejected429, rejected401 int64
+	served                             int64
+}
+
+// TenantStatus is the snapshot bowctl tenants renders.
+type TenantStatus struct {
+	Name        string  `json:"name"`
+	Weight      int     `json:"weight"`
+	RatePerSec  float64 `json:"ratePerSec"`
+	MaxInflight int     `json:"maxInflight"`
+	Inflight    int     `json:"inflight"`
+	Queued      int     `json:"queued"`
+	Admitted    int64   `json:"admitted"`
+	Served      int64   `json:"served"`
+	Rejected    int64   `json:"rejected"`
+}
+
+// TenantTable authenticates API keys and enforces per-tenant limits.
+// It is safe for concurrent use.
+type TenantTable struct {
+	mu     sync.Mutex
+	byKey  map[string]*tenantState
+	byName map[string]*tenantState
+	// now is stubbed in tests to drive the token buckets.
+	now func() time.Time
+	// unauthenticated rejections don't belong to any tenant.
+	rejectedUnknown int64
+	// queuedFn lets Snapshot report queue depth (wired by the Service).
+	queuedFn func(name string) int
+}
+
+// NewTenantTable builds a table from the given definitions.
+func NewTenantTable(tenants []Tenant) *TenantTable {
+	tt := &TenantTable{
+		byKey:  make(map[string]*tenantState),
+		byName: make(map[string]*tenantState),
+		now:    time.Now,
+	}
+	for _, t := range tenants {
+		tt.Upsert(t)
+	}
+	return tt
+}
+
+// LoadTenantsFile reads a JSON array of Tenant definitions — the
+// -tenants-file format.
+func LoadTenantsFile(path string) ([]Tenant, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("durable: tenants file: %w", err)
+	}
+	var tenants []Tenant
+	if err := json.Unmarshal(raw, &tenants); err != nil {
+		return nil, fmt.Errorf("durable: tenants file %s: %w", path, err)
+	}
+	for i, t := range tenants {
+		if t.Name == "" || t.APIKey == "" {
+			return nil, fmt.Errorf("durable: tenants file %s: entry %d needs name and apiKey", path, i)
+		}
+	}
+	return tenants, nil
+}
+
+// Upsert adds or replaces a tenant definition, preserving the live
+// accounting (inflight, counters) when the tenant already exists.
+func (tt *TenantTable) Upsert(t Tenant) {
+	t = t.withDefaults()
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	if prev, ok := tt.byName[t.Name]; ok {
+		delete(tt.byKey, prev.def.APIKey)
+		prev.def = t
+		if prev.tokens > float64(t.Burst) {
+			prev.tokens = float64(t.Burst)
+		}
+		tt.byKey[t.APIKey] = prev
+		return
+	}
+	st := &tenantState{def: t, tokens: float64(t.Burst), lastFill: tt.now()}
+	tt.byName[t.Name] = st
+	tt.byKey[t.APIKey] = st
+}
+
+// Tenants returns the current definitions, sorted by name.
+func (tt *TenantTable) Tenants() []Tenant {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	out := make([]Tenant, 0, len(tt.byName))
+	for _, st := range tt.byName {
+		out = append(out, st.def)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// refillLocked advances st's token bucket to now.
+func (st *tenantState) refillLocked(now time.Time) {
+	if st.def.RatePerSec <= 0 {
+		return
+	}
+	dt := now.Sub(st.lastFill).Seconds()
+	if dt <= 0 {
+		return
+	}
+	st.lastFill = now
+	st.tokens += dt * st.def.RatePerSec
+	if st.tokens > float64(st.def.Burst) {
+		st.tokens = float64(st.def.Burst)
+	}
+}
+
+// Admit authenticates an API key and charges one request token.
+// Returns the tenant name, ErrUnauthenticated, or ErrRateLimited.
+func (tt *TenantTable) Admit(apiKey string) (string, error) {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	st, ok := tt.byKey[apiKey]
+	if !ok || apiKey == "" {
+		tt.rejectedUnknown++
+		return "", ErrUnauthenticated
+	}
+	if st.def.RatePerSec > 0 {
+		st.refillLocked(tt.now())
+		if st.tokens < 1 {
+			st.rejected429++
+			return st.def.Name, ErrRateLimited
+		}
+		st.tokens--
+	}
+	st.admitted++
+	return st.def.Name, nil
+}
+
+// AcquireJobs charges n unique jobs against the tenant's in-flight
+// quota, all or nothing. Call ReleaseJobs as each completes.
+func (tt *TenantTable) AcquireJobs(name string, n int) error {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	st, ok := tt.byName[name]
+	if !ok {
+		return ErrUnauthenticated
+	}
+	if st.def.MaxInflight > 0 && st.inflight+n > st.def.MaxInflight {
+		st.rejected429++
+		return ErrOverQuota
+	}
+	st.inflight += n
+	return nil
+}
+
+// ReleaseJobs returns quota charged by AcquireJobs and counts the jobs
+// as served.
+func (tt *TenantTable) ReleaseJobs(name string, n int) {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	if st, ok := tt.byName[name]; ok {
+		st.inflight -= n
+		if st.inflight < 0 {
+			st.inflight = 0
+		}
+		st.served += int64(n)
+	}
+}
+
+// Weight returns the tenant's fair-share weight (1 for unknown names,
+// so scheduling stays sane even if a tenant was deleted mid-flight).
+func (tt *TenantTable) Weight(name string) int {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	if st, ok := tt.byName[name]; ok {
+		return st.def.Weight
+	}
+	return 1
+}
+
+// Snapshot reports per-tenant status rows, sorted by name.
+func (tt *TenantTable) Snapshot() []TenantStatus {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	out := make([]TenantStatus, 0, len(tt.byName))
+	for _, st := range tt.byName {
+		row := TenantStatus{
+			Name:        st.def.Name,
+			Weight:      st.def.Weight,
+			RatePerSec:  st.def.RatePerSec,
+			MaxInflight: st.def.MaxInflight,
+			Inflight:    st.inflight,
+			Admitted:    st.admitted,
+			Served:      st.served,
+			Rejected:    st.rejected401 + st.rejected429,
+		}
+		if tt.queuedFn != nil {
+			row.Queued = tt.queuedFn(st.def.Name)
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Counters reports the table-wide tallies for bow_tenant_* metrics.
+func (tt *TenantTable) Counters() (admitted, rejected401, rejected429 int64) {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	rejected401 = tt.rejectedUnknown
+	for _, st := range tt.byName {
+		admitted += st.admitted
+		rejected401 += st.rejected401
+		rejected429 += st.rejected429
+	}
+	return admitted, rejected401, rejected429
+}
+
+// tenantKey is the context key carrying the authenticated tenant name.
+type tenantKey struct{}
+
+// TenantFromContext returns the tenant name the auth middleware
+// attached, or "" for unauthenticated contexts (health checks,
+// in-process callers).
+func TenantFromContext(ctx context.Context) string {
+	name, _ := ctx.Value(tenantKey{}).(string)
+	return name
+}
+
+// APIKeyHeader is the request header carrying the caller's key.
+const APIKeyHeader = "X-Bow-Api-Key"
+
+// openPaths are reachable without a key: probes, scrapers, and
+// cluster membership (workers joining/leaving) authenticate by network
+// position, not tenant identity, and the standby must tail the WAL
+// before any tenant exists on it.
+var openPaths = map[string]bool{
+	"/healthz": true,
+	"/readyz":  true,
+	"/metrics": true,
+	"/wal":     true,
+	"/wal/":    true,
+	"/join":    true,
+	"/leave":   true,
+}
+
+func pathIsOpen(path string) bool {
+	if openPaths[path] {
+		return true
+	}
+	return len(path) >= 5 && path[:5] == "/wal/"
+}
+
+// Middleware wraps next with API-key authentication and per-request
+// rate limiting. Rejected requests never reach next: missing/unknown
+// keys get 401, rate-limited ones 429 with a Retry-After hint.
+func (tt *TenantTable) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if pathIsOpen(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		name, err := tt.Admit(r.Header.Get(APIKeyHeader))
+		switch err {
+		case nil:
+			next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantKey{}, name)))
+		case ErrRateLimited:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		default:
+			http.Error(w, ErrUnauthenticated.Error(), http.StatusUnauthorized)
+		}
+	})
+}

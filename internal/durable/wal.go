@@ -1,0 +1,538 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WAL framing. Each segment file starts with a 16-byte header — the
+// magic plus the first LSN the segment holds — and then a sequence of
+// records framed as
+//
+//	uint32 LE  length of body (type byte + payload)
+//	uint32 LE  CRC-32C (Castagnoli) over the body
+//	body       [1 byte record type][payload]
+//
+// LSNs are 1-based and strictly sequential across segments; a record
+// is addressed by its LSN alone. Any framing violation — short header,
+// bad magic, impossible length, CRC mismatch, torn tail — invalidates
+// the record it occurs in and everything after it: recovery keeps the
+// longest valid prefix and truncates the rest, which is exactly the
+// contract a crashed append requires.
+const (
+	walMagic      = "BOWWAL1\n"
+	walHeaderSize = 16
+	frameOverhead = 8 // length + CRC
+	// maxRecordBytes bounds one record body (64 MiB — a migrated job's
+	// checkpoint is the largest thing logged). A length field beyond it
+	// is treated as corruption, not an allocation request.
+	maxRecordBytes = 64 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one WAL entry as replay and tailing deliver it.
+type Record struct {
+	LSN     int64   `json:"lsn"`
+	Type    RecType `json:"type"`
+	Payload []byte  `json:"payload"`
+}
+
+// ReplayStats summarizes what opening a WAL found and repaired.
+type ReplayStats struct {
+	Segments int   `json:"segments"`
+	Records  int64 `json:"records"`
+	// TruncatedBytes is how much invalid tail was cut from the last
+	// valid segment (a torn append, a corrupt record).
+	TruncatedBytes int64 `json:"truncatedBytes,omitempty"`
+	// DroppedSegments counts whole segment files discarded because they
+	// sat beyond a corruption point or carried an invalid header.
+	DroppedSegments int `json:"droppedSegments,omitempty"`
+}
+
+// WALOptions tunes a WAL. The zero value selects the defaults.
+type WALOptions struct {
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 8 MiB).
+	SegmentBytes int64
+}
+
+func (o WALOptions) withDefaults() WALOptions {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	return o
+}
+
+// WAL is the write-ahead log: sequential, CRC-checked, fsync-batched.
+// Append returns only after the record is durable. One goroutine (the
+// sync loop) performs the fsyncs; appenders arriving while a sync is
+// in flight share the next one — group commit without timers.
+type WAL struct {
+	dir  string
+	opts WALOptions
+
+	mu       sync.Mutex
+	syncCond *sync.Cond // wakes the sync loop: dirty > synced
+	doneCond *sync.Cond // wakes appenders: synced advanced or error
+
+	f        *os.File
+	segFirst int64 // first LSN of the active segment
+	segSize  int64 // bytes written to the active segment
+	nextLSN  int64 // next LSN to assign
+	dirty    int64 // highest appended LSN
+	synced   int64 // highest durably synced LSN
+	syncErr  error
+	closed   bool
+
+	appends, syncs, rotations int64
+
+	wg sync.WaitGroup
+}
+
+// OpenWAL opens (creating if needed) the log in dir, replays every
+// valid record into replay (which may be nil), repairs any invalid
+// tail, and returns the WAL positioned for appending. The replay
+// callback runs before the first Append can happen, so it may rebuild
+// state without locking against the log.
+func OpenWAL(dir string, opts WALOptions, replay func(Record)) (*WAL, ReplayStats, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, ReplayStats{}, fmt.Errorf("durable: wal dir: %w", err)
+	}
+	w := &WAL{dir: dir, opts: opts, nextLSN: 1}
+	w.syncCond = sync.NewCond(&w.mu)
+	w.doneCond = sync.NewCond(&w.mu)
+
+	stats, err := w.recover(replay)
+	if err != nil {
+		return nil, stats, err
+	}
+	if w.f == nil {
+		// Empty log: open the first segment.
+		if err := w.openSegmentLocked(w.nextLSN); err != nil {
+			return nil, stats, err
+		}
+	}
+	w.dirty = w.nextLSN - 1
+	w.synced = w.nextLSN - 1
+	w.wg.Add(1)
+	go w.syncLoop()
+	return w, stats, nil
+}
+
+// segmentPath names the segment whose first record is lsn.
+func (w *WAL) segmentPath(lsn int64) string {
+	return filepath.Join(w.dir, fmt.Sprintf("wal-%016x.seg", lsn))
+}
+
+// listSegments returns the segment first-LSNs present in dir, sorted.
+func listSegments(dir string) ([]int64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		n, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"), 16, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// recover scans the segments in order, delivers valid records, and
+// repairs the tail: the first invalid byte truncates its segment and
+// drops every later segment. On return the WAL fields describe the
+// append position (f left nil when no valid segment survives).
+func (w *WAL) recover(replay func(Record)) (ReplayStats, error) {
+	var stats ReplayStats
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return stats, fmt.Errorf("durable: wal scan: %w", err)
+	}
+	expect := int64(1)
+	broken := false
+	for i, first := range segs {
+		path := w.segmentPath(first)
+		if broken || first != expect {
+			// Past a corruption point, or a gap in the LSN sequence:
+			// everything from here on is unreachable prefix-wise.
+			_ = os.Remove(path)
+			stats.DroppedSegments++
+			continue
+		}
+		validEnd, records, segBroken, err := scanSegment(path, first, replay)
+		if err != nil {
+			return stats, err
+		}
+		stats.Segments++
+		stats.Records += records
+		expect += records
+		if segBroken {
+			info, statErr := os.Stat(path)
+			if statErr == nil && info.Size() > validEnd {
+				stats.TruncatedBytes += info.Size() - validEnd
+				if err := os.Truncate(path, validEnd); err != nil {
+					return stats, fmt.Errorf("durable: wal truncate: %w", err)
+				}
+			}
+			broken = true
+		}
+		if records == 0 && segBroken && i > 0 {
+			// A fully invalid non-first segment (even its header is gone):
+			// remove it so the previous one becomes the append target.
+			_ = os.Remove(path)
+			stats.Segments--
+			stats.DroppedSegments++
+		}
+	}
+	w.nextLSN = expect
+	// Re-open the last surviving segment for append.
+	segs, err = listSegments(w.dir)
+	if err != nil {
+		return stats, err
+	}
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		f, err := os.OpenFile(w.segmentPath(last), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return stats, fmt.Errorf("durable: wal reopen: %w", err)
+		}
+		info, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return stats, err
+		}
+		w.f, w.segFirst, w.segSize = f, last, info.Size()
+	}
+	return stats, nil
+}
+
+// scanSegment reads one segment, delivering each valid record. It
+// returns the byte offset of the end of the last valid record, the
+// record count, and whether the segment ends in garbage that the
+// caller must truncate (and treat as the log's end).
+func scanSegment(path string, first int64, replay func(Record)) (validEnd int64, records int64, broken bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, true, fmt.Errorf("durable: wal open: %w", err)
+	}
+	defer f.Close()
+
+	var hdr [walHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, 0, true, nil // shorter than a header: all invalid
+	}
+	if string(hdr[:8]) != walMagic || int64(binary.LittleEndian.Uint64(hdr[8:])) != first {
+		return 0, 0, true, nil
+	}
+	offset := int64(walHeaderSize)
+	lsn := first
+	var frame [frameOverhead]byte
+	for {
+		if _, err := io.ReadFull(f, frame[:]); err != nil {
+			// Clean EOF at a record boundary is the good case; a partial
+			// frame is a torn append.
+			return offset, records, err != io.EOF, nil
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		crc := binary.LittleEndian.Uint32(frame[4:8])
+		if length == 0 || length > maxRecordBytes {
+			return offset, records, true, nil
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(f, body); err != nil {
+			return offset, records, true, nil
+		}
+		if crc32.Checksum(body, castagnoli) != crc {
+			return offset, records, true, nil
+		}
+		if replay != nil {
+			replay(Record{LSN: lsn, Type: RecType(body[0]), Payload: body[1:]})
+		}
+		offset += frameOverhead + int64(length)
+		lsn++
+		records++
+	}
+}
+
+// openSegmentLocked creates a fresh segment whose first record will be
+// firstLSN. Callers hold w.mu (or own the WAL exclusively, as during
+// open).
+func (w *WAL) openSegmentLocked(firstLSN int64) error {
+	f, err := os.OpenFile(w.segmentPath(firstLSN), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: wal segment: %w", err)
+	}
+	var hdr [walHeaderSize]byte
+	copy(hdr[:8], walMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(firstLSN))
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	w.f, w.segFirst, w.segSize = f, firstLSN, walHeaderSize
+	return nil
+}
+
+// encodeFrame renders one record body into its wire frame.
+func encodeFrame(typ RecType, payload []byte) []byte {
+	body := make([]byte, 1+len(payload))
+	body[0] = byte(typ)
+	copy(body[1:], payload)
+	out := make([]byte, frameOverhead+len(body))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.Checksum(body, castagnoli))
+	copy(out[frameOverhead:], body)
+	return out
+}
+
+// Append logs one record and returns its LSN once it is durable (the
+// write has been fsynced — possibly by a group commit shared with
+// concurrent appenders).
+func (w *WAL) Append(typ RecType, payload []byte) (int64, error) {
+	frame := encodeFrame(typ, payload)
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, fmt.Errorf("durable: wal closed")
+	}
+	if w.syncErr != nil {
+		err := w.syncErr
+		w.mu.Unlock()
+		return 0, err
+	}
+	if w.segSize+int64(len(frame)) > w.opts.SegmentBytes && w.segSize > walHeaderSize {
+		if err := w.rotateLocked(); err != nil {
+			w.mu.Unlock()
+			return 0, err
+		}
+	}
+	lsn := w.nextLSN
+	if _, err := w.f.Write(frame); err != nil {
+		w.syncErr = err
+		w.doneCond.Broadcast()
+		w.mu.Unlock()
+		return 0, err
+	}
+	w.nextLSN++
+	w.segSize += int64(len(frame))
+	w.dirty = lsn
+	w.appends++
+	w.syncCond.Signal()
+	for w.synced < lsn && w.syncErr == nil {
+		w.doneCond.Wait()
+	}
+	err := w.syncErr
+	w.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// rotateLocked seals the active segment (flushing its tail durably) and
+// opens the next one. Callers hold w.mu.
+func (w *WAL) rotateLocked() error {
+	if err := w.f.Sync(); err != nil {
+		w.syncErr = err
+		w.doneCond.Broadcast()
+		return err
+	}
+	// Everything written so far is durable now; release any waiter.
+	w.synced = w.dirty
+	w.syncs++
+	w.doneCond.Broadcast()
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.rotations++
+	return w.openSegmentLocked(w.nextLSN)
+}
+
+// syncLoop is the group-commit daemon: whenever appended records are
+// waiting, it fsyncs once and marks everything written before the sync
+// durable. Appenders that arrive mid-sync ride the next one.
+func (w *WAL) syncLoop() {
+	defer w.wg.Done()
+	for {
+		w.mu.Lock()
+		for w.dirty == w.synced && !w.closed && w.syncErr == nil {
+			w.syncCond.Wait()
+		}
+		if w.syncErr != nil || (w.closed && w.dirty == w.synced) {
+			w.mu.Unlock()
+			return
+		}
+		f := w.f
+		end := w.dirty
+		w.mu.Unlock()
+
+		err := f.Sync()
+
+		w.mu.Lock()
+		if err != nil {
+			w.syncErr = err
+		} else if end > w.synced {
+			w.synced = end
+			w.syncs++
+		}
+		w.doneCond.Broadcast()
+		w.mu.Unlock()
+	}
+}
+
+// Close flushes outstanding records and stops the sync loop. Appends
+// after Close fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.syncCond.Broadcast()
+	w.doneCond.Broadcast()
+	w.mu.Unlock()
+	w.wg.Wait()
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f != nil {
+		if w.syncErr == nil && w.dirty > w.synced {
+			if err := w.f.Sync(); err == nil {
+				w.synced = w.dirty
+			}
+		}
+		err := w.f.Close()
+		w.f = nil
+		return err
+	}
+	return nil
+}
+
+// End returns the highest durably synced LSN (0 on an empty log).
+func (w *WAL) End() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.synced
+}
+
+// Stats snapshots the WAL gauges for /metrics.
+type WALStats struct {
+	EndLSN    int64 `json:"endLSN"`
+	Appends   int64 `json:"appends"`
+	Syncs     int64 `json:"syncs"`
+	Rotations int64 `json:"rotations"`
+	Segments  int   `json:"segments"`
+	SizeBytes int64 `json:"sizeBytes"`
+}
+
+// Stats reports the append/sync/rotation tallies and on-disk footprint.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	st := WALStats{
+		EndLSN:    w.synced,
+		Appends:   w.appends,
+		Syncs:     w.syncs,
+		Rotations: w.rotations,
+	}
+	w.mu.Unlock()
+	segs, err := listSegments(w.dir)
+	if err == nil {
+		st.Segments = len(segs)
+		for _, first := range segs {
+			if info, err := os.Stat(w.segmentPath(first)); err == nil {
+				st.SizeBytes += info.Size()
+			}
+		}
+	}
+	return st
+}
+
+// ReadFrom returns the durable records with LSN >= from, plus the
+// current durable end. The standby tail loop calls this through the
+// primary's GET /wal endpoint; only synced records are served, so a
+// standby can never get ahead of the primary's own durability.
+func (w *WAL) ReadFrom(from int64, max int) ([]Record, int64, error) {
+	if from < 1 {
+		from = 1
+	}
+	if max <= 0 {
+		max = 4096
+	}
+	w.mu.Lock()
+	end := w.synced
+	w.mu.Unlock()
+	if from > end {
+		return nil, end, nil
+	}
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return nil, end, err
+	}
+	var out []Record
+	for _, first := range segs {
+		if len(out) >= max {
+			break
+		}
+		// Skip segments that end before the requested range. A segment's
+		// extent is only known by scanning, so skip cheaply by the next
+		// segment's first LSN.
+		next := int64(1<<62 - 1)
+		for _, n := range segs {
+			if n > first && n < next {
+				next = n
+			}
+		}
+		if next <= from {
+			continue
+		}
+		_, _, _, err := scanSegmentFunc(w.segmentPath(first), first, func(r Record) bool {
+			if r.LSN < from || r.LSN > end || len(out) >= max {
+				return r.LSN <= end && len(out) < max
+			}
+			out = append(out, r)
+			return true
+		})
+		if err != nil {
+			return nil, end, err
+		}
+	}
+	return out, end, nil
+}
+
+// scanSegmentFunc is scanSegment with an early-exit callback (return
+// false to stop scanning).
+func scanSegmentFunc(path string, first int64, visit func(Record) bool) (int64, int64, bool, error) {
+	stop := false
+	end, n, broken, err := scanSegment(path, first, func(r Record) {
+		if stop {
+			return
+		}
+		if !visit(r) {
+			stop = true
+		}
+	})
+	return end, n, broken, err
+}

@@ -189,6 +189,59 @@ func (c *Cache) insertLocked(hash string, out *Outcome) {
 	}
 }
 
+// EncodeResultEnvelope renders a result into the shared on-disk /
+// on-wire framing: canonical JSON wrapped with its content hash. The
+// same bytes serve the disk cache, the coordinator's durable result
+// store, and the GET /result/{hash} peer-fill endpoint, so any holder
+// can hand them to any other and the receiver re-verifies.
+func EncodeResultEnvelope(sum JobResult) (raw []byte, contentHash string, err error) {
+	canonical, err := sum.CanonicalJSON()
+	if err != nil {
+		return nil, "", err
+	}
+	contentHash = contentHashOf(canonical)
+	raw, err = json.Marshal(diskEnvelope{ContentHash: contentHash, Result: canonical})
+	return raw, contentHash, err
+}
+
+// DecodeResultEnvelope verifies and unwraps envelope bytes against the
+// spec hash they claim to answer. ok=false for any integrity failure —
+// never an error, because a bad envelope is simply not a result.
+func DecodeResultEnvelope(raw []byte, specHash string) (JobResult, bool) {
+	return decodeDiskEntry(raw, specHash)
+}
+
+// Peek returns the raw disk-tier envelope for hash without touching
+// the LRU or the hit/miss counters — the read path of the peer-fill
+// GET /result/{hash} endpoint, which must not distort cache metrics.
+// The bytes are verified before being returned.
+func (c *Cache) Peek(hash string) ([]byte, bool) {
+	c.mu.Lock()
+	dir := c.dir
+	// Serve from memory when the entry is resident: encode the summary
+	// back into envelope form so the wire format is uniform.
+	if el, ok := c.items[hash]; ok {
+		out := el.Value.(*cacheEntry).out
+		c.mu.Unlock()
+		if raw, _, err := EncodeResultEnvelope(out.Summary); err == nil {
+			return raw, true
+		}
+		return nil, false
+	}
+	c.mu.Unlock()
+	if dir == "" {
+		return nil, false
+	}
+	raw, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		return nil, false
+	}
+	if _, ok := decodeDiskEntry(raw, hash); !ok {
+		return nil, false
+	}
+	return raw, true
+}
+
 // decodeDiskEntry verifies and unwraps one disk-tier file: envelope
 // parse, content hash over the enclosed result bytes, then the spec
 // hash against the file's cache key. Any failure is a miss.

@@ -79,6 +79,39 @@ func (c *Client) Sweep(ctx context.Context, sw SweepSpec) (*SweepResult, error) 
 	return &out, nil
 }
 
+// Result fetches the server's cached result for a spec hash (the
+// peer-fill path). ok=false means the peer does not hold it (404) or
+// returned bytes that failed envelope verification — either way the
+// caller simulates; err reports transport-level trouble.
+func (c *Client) Result(ctx context.Context, hash string) (JobResult, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/result/"+url.PathEscape(hash), nil)
+	if err != nil {
+		return JobResult{}, false, err
+	}
+	if id := trace.IDFromContext(ctx); id != "" {
+		req.Header.Set(trace.HeaderTraceID, id)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return JobResult{}, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return JobResult{}, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return JobResult{}, false, &StatusError{Code: resp.StatusCode, Msg: resp.Status}
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return JobResult{}, false, err
+	}
+	sum, ok := DecodeResultEnvelope(raw, hash)
+	return sum, ok, nil
+}
+
 // Metrics fetches the server's metrics snapshot.
 func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
 	var m Metrics

@@ -3,6 +3,7 @@ package simjob
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"runtime"
 	"sync"
 	"time"
@@ -26,6 +27,14 @@ type Options struct {
 	CacheSize int
 	// CacheDir enables the on-disk summary tier when non-empty.
 	CacheDir string
+	// Peers lists sibling worker base URLs for peer-to-peer cache fill:
+	// on a local cache miss the engine asks peers (rendezvous order) for
+	// their cached result before simulating. See peer.go.
+	Peers []string
+	// PeerTimeout bounds each peer probe (0 = 2s).
+	PeerTimeout time.Duration
+	// PeerHTTPClient overrides the peer-fill HTTP client (tests).
+	PeerHTTPClient *http.Client
 }
 
 // Engine runs simulation jobs on a fixed worker pool, deduplicating
@@ -36,6 +45,7 @@ type Engine struct {
 	opts  Options
 	cache *Cache
 	drain *DrainController
+	peers []*Client // peer-fill clients, rendezvous-ranked per hash
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -53,6 +63,7 @@ type Engine struct {
 
 	// Counters (guarded by mu).
 	queued, running, done, failed, retries int64
+	peerHits, peerMisses                   int64
 	latencyUS                              *stats.Histogram
 
 	// Lockstep batch counters (guarded by mu): batches stepped, jobs
@@ -69,6 +80,7 @@ type job struct {
 	hash      string
 	ctx       context.Context
 	tickets   []*Ticket
+	needFull  bool      // some waiter demands the full simulator result
 	traceID   string    // first submitter's trace ID (spans)
 	submitted time.Time // enqueue time (queue-stage span)
 }
@@ -128,6 +140,9 @@ func New(opts Options) (*Engine, error) {
 		execute:   Execute,
 		spans:     trace.NewSpanLog(0),
 		latencyUS: stats.NewHistogram(),
+	}
+	for _, p := range opts.Peers {
+		e.peers = append(e.peers, NewClient(p, opts.PeerHTTPClient))
 	}
 	e.cond = sync.NewCond(&e.mu)
 	e.wg.Add(opts.Workers)
@@ -207,11 +222,13 @@ func (e *Engine) submit(ctx context.Context, spec JobSpec, needFull bool) *Ticke
 		// Single-flight: a running or queued twin will satisfy this
 		// ticket too (execution always produces the full result).
 		j.tickets = append(j.tickets, t)
+		j.needFull = j.needFull || needFull
 		e.mu.Unlock()
 		return t
 	}
 	j := &job{spec: norm, hash: hash, ctx: ctx, tickets: []*Ticket{t},
-		traceID: trace.IDFromContext(ctx), submitted: time.Now()}
+		needFull: needFull,
+		traceID:  trace.IDFromContext(ctx), submitted: time.Now()}
 	e.inflight[hash] = j
 	e.queue = append(e.queue, j)
 	e.queued++
@@ -236,6 +253,28 @@ func (e *Engine) worker() {
 		e.queued--
 		e.running++
 		e.mu.Unlock()
+
+		// A peer may already hold this result; filling is far cheaper
+		// than simulating. needFull is re-checked under mu before the
+		// tickets resolve — a SubmitFull waiter that joined during the
+		// probe still gets a real execution (the filled summary stays
+		// cached either way).
+		if out := e.fetchPeer(j); out != nil {
+			e.mu.Lock()
+			if !j.needFull {
+				e.running--
+				e.done++
+				e.peerHits++
+				delete(e.inflight, j.hash)
+				tickets := j.tickets
+				e.mu.Unlock()
+				for _, t := range tickets {
+					t.resolve(out, nil)
+				}
+				continue
+			}
+			e.mu.Unlock()
+		}
 
 		start := time.Now()
 		e.spans.Record(trace.Span{

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,10 +38,12 @@ type SimulateResponse struct {
 // threaded into the job context, an http-stage span recorded per
 // simulate call, and their spans served back on GET /spans?trace=ID.
 //
-//	POST /simulate  JobSpec JSON   -> SimulateResponse
-//	POST /sweep     SweepSpec JSON -> SweepResult
-//	GET  /healthz   liveness
-//	GET  /readyz    readiness (503 while draining)
+//	POST /simulate       JobSpec JSON   -> SimulateResponse
+//	POST /sweep          SweepSpec JSON -> SweepResult
+//	GET  /result/{hash}  cached result envelope for a spec hash
+//	                     (peer-to-peer cache fill; 404 when absent)
+//	GET  /healthz        liveness
+//	GET  /readyz         readiness (503 while draining)
 //	GET  /metrics   Metrics JSON (engine + HTTP gauges); Prometheus
 //	                text format when the Accept header asks for
 //	                text/plain
@@ -50,6 +53,9 @@ type Server struct {
 	mux      *http.ServeMux
 	draining atomic.Bool
 	inflight atomic.Int64
+	// peerServed counts /result/{hash} requests answered with a cached
+	// envelope — the serving side of peer-to-peer cache fill.
+	peerServed atomic.Int64
 
 	reqMu    sync.Mutex
 	requests map[string]int64
@@ -111,6 +117,20 @@ func NewServer(e *Engine) *Server {
 		}
 		writeJSON(w, res)
 	})
+	s.mux.HandleFunc("/result/", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodGet) {
+			return
+		}
+		hash := strings.TrimPrefix(r.URL.Path, "/result/")
+		raw, ok := e.Cache().Peek(hash)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no cached result for %s", hash))
+			return
+		}
+		s.peerServed.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(raw)
+	})
 	s.mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
 		if !requireMethod(w, r, http.MethodGet) {
 			return
@@ -159,8 +179,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 	path := r.URL.Path
-	switch path {
-	case "/simulate", "/sweep", "/healthz", "/readyz", "/metrics", "/spans":
+	switch {
+	case path == "/simulate" || path == "/sweep" || path == "/healthz" ||
+		path == "/readyz" || path == "/metrics" || path == "/spans":
+	case strings.HasPrefix(path, "/result/"):
+		path = "/result"
 	default:
 		path = "other"
 	}
@@ -184,6 +207,7 @@ func (s *Server) Metrics() Metrics {
 	m := s.engine.Metrics()
 	m.HTTPInflight = s.inflight.Load()
 	m.Draining = s.draining.Load()
+	m.PeerFillServed = s.peerServed.Load()
 	s.reqMu.Lock()
 	m.Requests = make(map[string]int64, len(s.requests))
 	for k, v := range s.requests {

@@ -18,6 +18,14 @@ type Metrics struct {
 	CacheEntries    int     `json:"cacheEntries"`
 	CacheHitRatio   float64 `json:"cacheHitRatio"`
 
+	// Peer-to-peer cache fill: jobs satisfied by a sibling's cache
+	// (hits), probe rounds where no peer held the result (misses), and —
+	// filled by the Server wrapper — envelopes this worker served to
+	// peers on GET /result/{hash}.
+	PeerFillHits   int64 `json:"peerFillHits,omitempty"`
+	PeerFillMisses int64 `json:"peerFillMisses,omitempty"`
+	PeerFillServed int64 `json:"peerFillServed,omitempty"`
+
 	// Shared-artifact cache (prepared kernels + sealed memory images,
 	// process-wide artifact.Default): lookups that reused an artifact
 	// vs. ones that built it.
@@ -68,6 +76,8 @@ func (e *Engine) Metrics() Metrics {
 		CacheHitsMemory:  hitsMem,
 		CacheHitsDisk:    hitsDisk,
 		CacheMisses:      misses,
+		PeerFillHits:     e.peerHits,
+		PeerFillMisses:   e.peerMisses,
 		ArtifactHits:     ahits,
 		ArtifactMisses:   amisses,
 		BatchGroups:      e.batchGroups,

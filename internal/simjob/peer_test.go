@@ -1,0 +1,176 @@
+package simjob
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPeerFillNoRecompute proves the peer-fill contract: a worker whose
+// own cache misses fills from a sibling that already holds the result,
+// without running the simulator at all — the cold engine's execute is
+// stubbed to fail, so any recompute fails the test.
+func TestPeerFillNoRecompute(t *testing.T) {
+	warm, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	warmSrv := NewServer(warm)
+	hts := httptest.NewServer(warmSrv)
+	defer hts.Close()
+
+	spec := JobSpec{Bench: "VECTORADD", Policy: "bow-wr", IW: 2}
+	ref, err := warm.Do(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := New(Options{Workers: 1, Peers: []string{hts.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+	cold.execute = func(context.Context, JobSpec) (*Outcome, error) {
+		return nil, fmt.Errorf("simulated on the cold engine: peer fill failed")
+	}
+
+	out, err := cold.Do(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("peer fill: %v", err)
+	}
+	if out.Cached != "peer" {
+		t.Fatalf("Cached = %q, want peer", out.Cached)
+	}
+	if out.Summary.SpecHash != ref.Summary.SpecHash {
+		t.Fatalf("peer-filled hash %s != reference %s", out.Summary.SpecHash, ref.Summary.SpecHash)
+	}
+	refCanon, _ := ref.Summary.CanonicalJSON()
+	gotCanon, _ := out.Summary.CanonicalJSON()
+	if string(gotCanon) != string(refCanon) {
+		t.Fatalf("peer-filled result differs:\n got %s\nwant %s", gotCanon, refCanon)
+	}
+
+	// The filled result was adopted into the cold engine's cache: a
+	// resubmission is a local memory hit, not another peer round-trip.
+	again, err := cold.Do(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cached != "memory" {
+		t.Fatalf("resubmission Cached = %q, want memory", again.Cached)
+	}
+
+	m := cold.Metrics()
+	if m.PeerFillHits != 1 {
+		t.Fatalf("PeerFillHits = %d, want 1", m.PeerFillHits)
+	}
+	if wm := warmSrv.Metrics(); wm.PeerFillServed != 1 {
+		t.Fatalf("warm PeerFillServed = %d, want 1", wm.PeerFillServed)
+	}
+	// And the Prometheus rendering exposes it.
+	var buf strings.Builder
+	coldSrv := NewServer(cold)
+	coldSrv.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "bow_peerfill_hits_total 1") {
+		t.Fatal("bow_peerfill_hits_total missing from Prometheus output")
+	}
+}
+
+// TestPeerFillNeedFullGuard: peers only hold summaries, so a waiter
+// that demands the full simulator result must never be satisfied by a
+// fill — the job executes locally instead.
+func TestPeerFillNeedFullGuard(t *testing.T) {
+	warm, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	hts := httptest.NewServer(NewServer(warm))
+	defer hts.Close()
+
+	spec := JobSpec{Bench: "VECTORADD", Policy: "baseline", IW: 2}
+	if _, err := warm.Do(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := New(Options{Workers: 1, Peers: []string{hts.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+	out, err := cold.DoFull(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Full == nil {
+		t.Fatal("DoFull returned no full result — a peer summary leaked through")
+	}
+	if out.Cached == "peer" {
+		t.Fatal("full-result job must not resolve from a peer fill")
+	}
+}
+
+// TestPeerFillMiss: an absent result is a clean 404 miss and the job
+// simulates normally.
+func TestPeerFillMiss(t *testing.T) {
+	warm, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	hts := httptest.NewServer(NewServer(warm))
+	defer hts.Close()
+
+	cold, err := New(Options{Workers: 1, Peers: []string{hts.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+	out, err := cold.Do(context.Background(), JobSpec{Bench: "VECTORADD", Policy: "bow-wb", IW: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cached != "" {
+		t.Fatalf("Cached = %q, want fresh execution", out.Cached)
+	}
+	if m := cold.Metrics(); m.PeerFillMisses != 1 {
+		t.Fatalf("PeerFillMisses = %d, want 1", m.PeerFillMisses)
+	}
+}
+
+// TestRankPeersDeterministic: the rendezvous order is a pure function
+// of (peer set, hash) — every worker probes the same order — and
+// different hashes spread across different first choices.
+func TestRankPeersDeterministic(t *testing.T) {
+	peers := []*Client{
+		NewClient("http://a:1", nil),
+		NewClient("http://b:1", nil),
+		NewClient("http://c:1", nil),
+	}
+	order1 := rankPeers(peers, "hash-x")
+	order2 := rankPeers(peers, "hash-x")
+	for i := range order1 {
+		if order1[i] != order2[i] {
+			t.Fatal("rendezvous order not deterministic")
+		}
+	}
+	// All peers present exactly once.
+	seen := map[*Client]bool{}
+	for _, p := range order1 {
+		seen[p] = true
+	}
+	if len(seen) != len(peers) {
+		t.Fatalf("ranking lost peers: %d unique of %d", len(seen), len(peers))
+	}
+	// Not all hashes map to the same head (spread check over a few).
+	heads := map[*Client]bool{}
+	for i := 0; i < 32; i++ {
+		heads[rankPeers(peers, fmt.Sprintf("hash-%d", i))[0]] = true
+	}
+	if len(heads) < 2 {
+		t.Fatal("rendezvous ranking sends every hash to the same peer")
+	}
+}

@@ -39,6 +39,10 @@ func (s *Server) WritePrometheus(w io.Writer) {
 	promCounter(w, "bow_cache_misses_total", "Result cache misses.", m.CacheMisses)
 	promGauge(w, "bow_cache_entries", "Entries in the in-memory cache tier.", int64(m.CacheEntries))
 
+	promCounter(w, "bow_peerfill_hits_total", "Jobs satisfied by a peer worker's cache instead of simulating.", m.PeerFillHits)
+	promCounter(w, "bow_peerfill_misses_total", "Peer-fill probe rounds where no peer held the result.", m.PeerFillMisses)
+	promCounter(w, "bow_peerfill_served_total", "Cached result envelopes served to peers on GET /result/{hash}.", m.PeerFillServed)
+
 	promCounter(w, "bow_artifact_hits_total", "Shared-artifact cache hits (prepared kernels and memory images reused).", m.ArtifactHits)
 	promCounter(w, "bow_artifact_misses_total", "Shared-artifact cache misses (artifacts built).", m.ArtifactMisses)
 	promCounter(w, "bow_batch_groups_total", "Lockstep batches stepped to completion.", m.BatchGroups)

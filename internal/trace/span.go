@@ -49,6 +49,9 @@ const (
 	StageEngine   = "engine"   // engine: the simulation itself
 	StagePrep     = "prep"     // engine: shared-artifact preparation (kernel + memory image)
 	StageCache    = "cache"    // engine/coordinator: result served from cache
+	StageReplay   = "replay"   // durable: WAL replay during recovery
+	StageRecover  = "recover"  // durable: one interrupted job re-routed/resumed
+	StagePeerFill = "peerfill" // engine: result fetched from a peer's cache
 )
 
 type traceIDKey struct{}
