@@ -19,7 +19,7 @@
 //	bowbench -memprofile F   # write a pprof heap profile at exit
 //
 // Experiment IDs: fig1 fig3 fig4 table1 fig7 fig8 fig9 fig10 fig11
-// fig12 fig13 table2 table3 table4 rfc
+// fig12 fig13 table2 table3 table4 rfc crosspolicy
 package main
 
 import (
@@ -37,10 +37,15 @@ import (
 
 // simRateWorkloads/simRatePolicies are the (workload, policy) grid the
 // -simrate report measures: the three benchmarks the cycle-loop
-// benchmark harness tracks, under the baseline and both BOW policies.
+// benchmark harness tracks, under the baseline, both BOW policies, and
+// the three comparator engines (so the alloc gate covers every
+// per-cycle path).
 var (
 	simRateWorkloads = []string{"VECTORADD", "LIB", "SAD"}
-	simRatePolicies  = []string{simjob.PolicyBaseline, simjob.PolicyBOWWT, simjob.PolicyBOWWR}
+	simRatePolicies  = []string{
+		simjob.PolicyBaseline, simjob.PolicyBOWWT, simjob.PolicyBOWWR,
+		simjob.PolicyCARFC, simjob.PolicyLTRF, simjob.PolicySCRF,
+	}
 )
 
 // simRateForkedSweep is the instruction-window sweep the report times
@@ -204,6 +209,13 @@ func allExperiments() []experiment {
 		{"table4", "Table IV: BOC overheads", static(experiments.TableIV())},
 		{"rfc", "Register-file-cache comparison", func(r *experiments.Runner) (string, error) {
 			f, err := experiments.RFC(r)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+		{"crosspolicy", "Cross-policy architecture race (all RF designs)", func(r *experiments.Runner) (string, error) {
+			f, err := experiments.CrossPolicy(r)
 			if err != nil {
 				return "", err
 			}

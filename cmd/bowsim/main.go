@@ -46,7 +46,7 @@ func main() {
 
 func run() int {
 	benchName := flag.String("bench", "VECTORADD", "benchmark name (see -list)")
-	policy := flag.String("policy", "bow-wr", "baseline | bow | bow-wb | bow-wr | rfc")
+	policy := flag.String("policy", "bow-wr", simjob.PolicySpellings())
 	iw := flag.Int("iw", 3, "instruction window size")
 	capacity := flag.Int("capacity", 0, "BOC entries (0 = conservative 4*IW)")
 	sms := flag.Int("sms", 1, "number of SMs")

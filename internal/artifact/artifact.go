@@ -31,36 +31,92 @@ import (
 
 	"bow/internal/asm"
 	"bow/internal/compiler"
+	"bow/internal/core"
 	"bow/internal/mem"
 	"bow/internal/sm"
 	"bow/internal/workloads"
 )
 
-// KernelKey identifies one prepared-kernel artifact: the benchmark
-// plus exactly the knobs that alter the prepared program's contents.
-// Policies that never consult WBHint (baseline, bow-wt, bow-wb, rfc)
-// share one kernel across every window size; bow-wr kernels and
-// reordered kernels are distinct per window size because both compiler
-// passes take the window as input.
-type KernelKey struct {
-	Bench   string
-	Reorder bool // footnote-1 scheduling pass applied
-	Hints   bool // BOW-WR write-back hint pass applied
-	IW      int  // window size the compiler passes ran with (0 when neither ran)
+// PassForPolicy maps a window configuration onto the annotation pass
+// its policy consumes, plus the pass's integer parameter. This is the
+// single place the policy→compiler-pass contract lives; every kernel
+// acquisition path (per-job, batched, forked warm-up, inline
+// experiments) builds its KernelKey through it.
+func PassForPolicy(bcfg core.Config) (hints string, param int) {
+	switch bcfg.Policy {
+	case core.PolicyCompilerHints:
+		return HintsBOWWR, bcfg.IW
+	case core.PolicyCARFC:
+		return HintsCARFC, 0
+	case core.PolicyLTRF:
+		return HintsLTRF, bcfg.Capacity
+	case core.PolicySCRF:
+		return HintsSCRF, 0
+	}
+	return HintsNone, 0
 }
 
-// KeyFor builds the canonical kernel key: when neither compiler pass
-// runs, the window size is irrelevant to the program bytes and is
-// normalized away so all such configurations share one artifact.
-func KeyFor(bench string, reorder, hints bool, iw int) KernelKey {
-	if !reorder && !hints {
+// Hint-pass discriminators for KernelKey.Hints: which per-instruction
+// annotation pass ran over the program. Each policy family consults a
+// different set of instruction hint fields, so kernels are shared
+// across exactly the policies whose pass (and its parameter) match.
+const (
+	// HintsNone: no annotation pass; the plain parsed program. Shared
+	// by baseline, bow-wt, bow-wb, rfc, and every window size.
+	HintsNone = ""
+	// HintsBOWWR: compiler.Annotate write-back hints (parameter = IW).
+	HintsBOWWR = "bow-wr"
+	// HintsCARFC: compiler.AnnotateCARFC allocation + last-use hints
+	// (window-free; no parameter).
+	HintsCARFC = "carfc"
+	// HintsLTRF: compiler.AnnotateLTRF prefetch intervals (parameter =
+	// operand-buffer capacity).
+	HintsLTRF = "ltrf"
+	// HintsSCRF: compiler.AnnotateSCRF narrowness hints (whole-program;
+	// no parameter).
+	HintsSCRF = "scrf"
+)
+
+// hintsParametric reports whether the pass consumes the key's integer
+// parameter; parameterless passes normalize it away so their kernels
+// are shared across configurations.
+func hintsParametric(hints string) bool {
+	return hints == HintsBOWWR || hints == HintsLTRF
+}
+
+// KernelKey identifies one prepared-kernel artifact: the benchmark
+// plus exactly the knobs that alter the prepared program's contents.
+// Policies that never consult instruction hints (baseline, bow-wt,
+// bow-wb, rfc) share one kernel across every window size; annotated
+// kernels (bow-wr, carfc, ltrf, scrf) and reordered kernels are
+// distinct per pass — and per parameter where the pass takes one.
+type KernelKey struct {
+	Bench   string
+	Reorder bool   // footnote-1 scheduling pass applied
+	Hints   string // annotation pass applied (HintsNone..HintsSCRF)
+	// IW is the integer parameter the compiler passes ran with: the
+	// window size for Reorder and HintsBOWWR, the buffer capacity for
+	// HintsLTRF; 0 when no applied pass consumes it.
+	IW int
+}
+
+// KeyFor builds the canonical kernel key: when no applied compiler
+// pass consumes the integer parameter, it is irrelevant to the program
+// bytes and is normalized away so all such configurations share one
+// artifact.
+func KeyFor(bench string, reorder bool, hints string, iw int) KernelKey {
+	if !reorder && !hintsParametric(hints) {
 		iw = 0
 	}
 	return KernelKey{Bench: bench, Reorder: reorder, Hints: hints, IW: iw}
 }
 
 func (k KernelKey) String() string {
-	return fmt.Sprintf("%s/reorder=%v/hints=%v/iw=%d", k.Bench, k.Reorder, k.Hints, k.IW)
+	h := k.Hints
+	if h == HintsNone {
+		h = "none"
+	}
+	return fmt.Sprintf("%s/reorder=%v/hints=%s/iw=%d", k.Bench, k.Reorder, h, k.IW)
 }
 
 // Kernel is one immutable prepared-kernel artifact: the parsed program
@@ -77,9 +133,10 @@ type Kernel struct {
 	// Reconv is the branch-PC -> reconvergence-PC table. Immutable.
 	Reconv map[int]int
 
-	// HintStats summarizes the BOW-WR hint classification (zero when
-	// Key.Hints is false); Hints is its rendered form, carried into
-	// job outcomes.
+	// HintStats summarizes the BOW-WR hint classification (zero unless
+	// Key.Hints is HintsBOWWR or HintsCARFC); Hints is the rendered
+	// summary of whichever annotation pass ran, carried into job
+	// outcomes.
 	HintStats compiler.HintStats
 	Hints     string
 
@@ -133,7 +190,9 @@ func BuildKernelFor(b *workloads.Benchmark, key KernelKey) (*Kernel, error) {
 	}
 	var hs compiler.HintStats
 	hints := ""
-	if key.Hints {
+	switch key.Hints {
+	case HintsNone:
+	case HintsBOWWR:
 		// Annotation runs on the final schedule, so the hints stay
 		// sound under Reorder.
 		hs, err = compiler.Annotate(prog, key.IW)
@@ -141,6 +200,26 @@ func BuildKernelFor(b *workloads.Benchmark, key KernelKey) (*Kernel, error) {
 			return nil, fmt.Errorf("%s: annotate: %w", b.Name, err)
 		}
 		hints = hs.String()
+	case HintsCARFC:
+		cs, cerr := compiler.AnnotateCARFC(prog)
+		if cerr != nil {
+			return nil, fmt.Errorf("%s: annotate carfc: %w", b.Name, cerr)
+		}
+		hs, hints = cs.Hints, cs.String()
+	case HintsLTRF:
+		ls, lerr := compiler.AnnotateLTRF(prog, key.IW)
+		if lerr != nil {
+			return nil, fmt.Errorf("%s: annotate ltrf: %w", b.Name, lerr)
+		}
+		hints = ls.String()
+	case HintsSCRF:
+		ss, serr := compiler.AnnotateSCRF(prog)
+		if serr != nil {
+			return nil, fmt.Errorf("%s: annotate scrf: %w", b.Name, serr)
+		}
+		hints = ss.String()
+	default:
+		return nil, fmt.Errorf("artifact: unknown hint pass %q", key.Hints)
 	}
 	// Prepare once, while the program is still single-owner: the
 	// reconvergence table and the per-instruction hazard masks are the

@@ -11,8 +11,8 @@ import (
 func TestKeyForNormalizesIW(t *testing.T) {
 	// Without compiler passes the window size cannot affect the program
 	// bytes, so every IW maps to one artifact.
-	a := KeyFor("VECTORADD", false, false, 3)
-	b := KeyFor("VECTORADD", false, false, 7)
+	a := KeyFor("VECTORADD", false, HintsNone, 3)
+	b := KeyFor("VECTORADD", false, HintsNone, 7)
 	if a != b {
 		t.Fatalf("pass-less keys differ: %v vs %v", a, b)
 	}
@@ -20,8 +20,8 @@ func TestKeyForNormalizesIW(t *testing.T) {
 		t.Fatalf("pass-less key kept IW=%d", a.IW)
 	}
 	// With a pass the window size is part of the identity.
-	c := KeyFor("VECTORADD", false, true, 3)
-	d := KeyFor("VECTORADD", false, true, 7)
+	c := KeyFor("VECTORADD", false, HintsBOWWR, 3)
+	d := KeyFor("VECTORADD", false, HintsBOWWR, 7)
 	if c == d {
 		t.Fatal("hinted keys must be distinct per IW")
 	}
@@ -29,7 +29,7 @@ func TestKeyForNormalizesIW(t *testing.T) {
 
 func TestCacheHitMissCounters(t *testing.T) {
 	c := NewCache(0, 0)
-	key := KeyFor("VECTORADD", false, false, 0)
+	key := KeyFor("VECTORADD", false, HintsNone, 0)
 	if _, err := c.Kernel(key); err != nil {
 		t.Fatalf("first build: %v", err)
 	}
@@ -53,7 +53,7 @@ func TestCacheHitMissCounters(t *testing.T) {
 
 func TestCacheSingleFlight(t *testing.T) {
 	c := NewCache(0, 0)
-	key := KeyFor("SAD", false, true, 3)
+	key := KeyFor("SAD", false, HintsBOWWR, 3)
 	const workers = 16
 	kerns := make([]*Kernel, workers)
 	var wg sync.WaitGroup
@@ -89,7 +89,7 @@ func TestBuildKernelSurfacesParseErrors(t *testing.T) {
 		Name:   "BROKEN",
 		Source: "broken:\n\tNOTANOP r1, r2\n",
 	}
-	if _, err := BuildKernelFor(bad, KeyFor("BROKEN", false, false, 0)); err == nil {
+	if _, err := BuildKernelFor(bad, KeyFor("BROKEN", false, HintsNone, 0)); err == nil {
 		t.Fatal("parse error did not surface")
 	} else if !strings.Contains(err.Error(), "BROKEN") {
 		t.Fatalf("error %q does not name the benchmark", err)
@@ -98,14 +98,14 @@ func TestBuildKernelSurfacesParseErrors(t *testing.T) {
 
 func TestFailedBuildNotMemoized(t *testing.T) {
 	c := NewCache(0, 0)
-	if _, err := c.Kernel(KeyFor("NO-SUCH-BENCH", false, false, 0)); err == nil {
+	if _, err := c.Kernel(KeyFor("NO-SUCH-BENCH", false, HintsNone, 0)); err == nil {
 		t.Fatal("unknown benchmark built successfully")
 	}
 	if k, _ := c.Len(); k != 0 {
 		t.Fatalf("failed build stayed resident (%d kernels)", k)
 	}
 	_, misses := c.Counters()
-	if _, err := c.Kernel(KeyFor("NO-SUCH-BENCH", false, false, 0)); err == nil {
+	if _, err := c.Kernel(KeyFor("NO-SUCH-BENCH", false, HintsNone, 0)); err == nil {
 		t.Fatal("unknown benchmark built successfully on retry")
 	}
 	if _, m := c.Counters(); m != misses+1 {
@@ -115,9 +115,9 @@ func TestFailedBuildNotMemoized(t *testing.T) {
 
 func TestCacheLRUEviction(t *testing.T) {
 	c := NewCache(2, 0)
-	k1 := KeyFor("VECTORADD", false, false, 0)
-	k2 := KeyFor("SAD", false, false, 0)
-	k3 := KeyFor("LIB", false, false, 0)
+	k1 := KeyFor("VECTORADD", false, HintsNone, 0)
+	k2 := KeyFor("SAD", false, HintsNone, 0)
+	k3 := KeyFor("LIB", false, HintsNone, 0)
 	for _, k := range []KernelKey{k1, k2, k3} {
 		if _, err := c.Kernel(k); err != nil {
 			t.Fatalf("%v: %v", k, err)
@@ -176,7 +176,7 @@ func TestImageChildrenAreIsolated(t *testing.T) {
 // sealed image from many goroutines; run under -race this proves the
 // artifacts really are read-only after construction.
 func TestSharedKernelConcurrentReads(t *testing.T) {
-	pk, err := BuildKernel(KeyFor("VECTORADD", false, true, 3))
+	pk, err := BuildKernel(KeyFor("VECTORADD", false, HintsBOWWR, 3))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,48 @@
+// Package carfc configures the compiler-assisted register file cache
+// comparator (Shoushtary et al., arXiv 2310.17501): a small per-warp
+// capacity-managed cache in front of the register banks, like the
+// classic RFC, but steered by two compiler assists the BOW toolchain
+// already computes —
+//
+//  1. allocation hints: a result with no forthcoming reuse is written
+//     straight to the RF and never occupies a cache entry, and
+//  2. last-use deallocation: a read whose register is dead afterwards
+//     frees its entry at read time, so dead dirty values never cost an
+//     RF write and the same capacity serves a larger working set.
+//
+// Like the RFC comparator, reads that hit still pass through the
+// collector's single port (ForwardThroughPort): the design saves
+// energy and write traffic, not port serialization.
+package carfc
+
+import "bow/internal/core"
+
+// DefaultEntriesPerWarp matches the RFC comparator's sizing (6
+// warp-register entries per warp), so the carfc-vs-rfc comparison
+// isolates the compiler assists.
+const DefaultEntriesPerWarp = 6
+
+// noWindow is an instruction-window size far beyond any kernel length:
+// entries leave the cache only by capacity eviction or last-use
+// deallocation.
+const noWindow = 1 << 30
+
+// Config returns the core configuration modeling a CARFC with the
+// given number of warp-register entries per warp.
+func Config(entriesPerWarp int) core.Config {
+	if entriesPerWarp <= 0 {
+		entriesPerWarp = DefaultEntriesPerWarp
+	}
+	return core.Config{
+		IW:                 noWindow,
+		Capacity:           entriesPerWarp,
+		Policy:             core.PolicyCARFC,
+		ForwardThroughPort: true,
+	}
+}
+
+// StorageBytes is the added storage of the cache across an SM's warps:
+// entries × 128 B per warp.
+func StorageBytes(entriesPerWarp, warps int) int {
+	return entriesPerWarp * 128 * warps
+}

@@ -1,0 +1,122 @@
+package compiler
+
+import (
+	"fmt"
+
+	"bow/internal/asm"
+	"bow/internal/isa"
+)
+
+// carfcNoWindow is the window size the CARFC hint classification runs
+// with: the cache has no nominal instruction window, so any in-block
+// read counts as reuse.
+const carfcNoWindow = 1 << 30
+
+// CARFCStats summarizes the compiler-assisted RF cache pass: the
+// allocation-hint classification of destination writes plus the number
+// of source reads marked last-use.
+type CARFCStats struct {
+	Hints        HintStats
+	LastUseReads int // source operand positions marked last-use
+}
+
+func (s CARFCStats) String() string {
+	return fmt.Sprintf("%s, %d last-use reads", s.Hints, s.LastUseReads)
+}
+
+// AnnotateCARFC runs the compiler-assisted register-file-cache pass of
+// Shoushtary et al.: every destination write gets an allocation hint
+// (an rf-only value never earns a cache entry), and every source read
+// whose register is dead afterwards — on every path — is marked
+// last-use so the engine can deallocate the entry at read time.
+//
+// The analysis is block-conservative like the BOW-WR pass: a read is
+// only marked last-use when the register has no later use inside its
+// block and is not live out of the block (or is unconditionally
+// redefined first). Predicated definitions count as uses (the merge
+// reads the old value), which keeps the marking sound under guarded
+// writes; SIMT divergence is covered by the block-level liveness the
+// repo's hint passes already rely on.
+func AnnotateCARFC(prog *asm.Program) (CARFCStats, error) {
+	cfg, err := BuildCFG(prog)
+	if err != nil {
+		return CARFCStats{}, err
+	}
+	lv := ComputeLiveness(cfg)
+
+	var stats CARFCStats
+	for bi := range cfg.Blocks {
+		b := &cfg.Blocks[bi]
+		for pc := b.Start; pc <= b.End; pc++ {
+			in := &prog.Code[pc]
+
+			// Allocation hints: the window-chaining classification with
+			// an unbounded window (the cache is capacity-managed).
+			if d, ok := in.DstReg(); ok {
+				hint := classify(cfg, lv, b, pc, d, carfcNoWindow)
+				in.WBHint = hint
+				switch hint {
+				case isa.WBRegfileOnly:
+					stats.Hints.RegfileOnly++
+				case isa.WBCollectorOnly:
+					stats.Hints.CollectorOnly++
+				case isa.WBBoth:
+					stats.Hints.Both++
+				}
+			}
+
+			// Last-use marking per distinct source register.
+			in.SrcLastUse = 0
+			regs, n := in.UniqueSrcRegs()
+			for i := 0; i < n; i++ {
+				r := regs[i]
+				if !lastUseAt(cfg, lv, b, pc, r) {
+					continue
+				}
+				for s := 0; s < in.NSrc; s++ {
+					if in.Srcs[s].IsReg() && in.Srcs[s].Reg == r {
+						in.SrcLastUse |= 1 << s
+						stats.LastUseReads++
+					}
+				}
+			}
+		}
+	}
+	return stats, nil
+}
+
+// lastUseAt reports whether the read of r at pc is the final use of
+// its value: no later use exists in the block before an unconditional
+// redefinition, and the register is not live out of the block.
+func lastUseAt(cfg *CFG, lv *Liveness, b *BasicBlock, pc int, r uint8) bool {
+	// The reading instruction itself may kill the value: an
+	// unconditional redefinition of r makes this read the old value's
+	// last (later uses read the new definition). A predicated
+	// redefinition merges the old value forward and proves nothing.
+	_, selfDef := useDef(&cfg.Prog.Code[pc])
+	if selfDef.Has(r) {
+		return cfg.Prog.Code[pc].PredReg == isa.PredTrue
+	}
+	for q := pc + 1; q <= b.End; q++ {
+		use, def := useDef(&cfg.Prog.Code[q])
+		if use.Has(r) {
+			return false
+		}
+		if def.Has(r) && cfg.Prog.Code[q].PredReg == isa.PredTrue {
+			return true
+		}
+	}
+	return !lv.LiveOut[b.End].Has(r)
+}
+
+// ClearRivalHints resets the carfc/ltrf/scrf per-instruction hints to
+// their neutral values (alongside ClearHints for WBHint).
+func ClearRivalHints(prog *asm.Program) {
+	for i := range prog.Code {
+		in := &prog.Code[i]
+		in.SrcLastUse = 0
+		in.Interval = 0
+		in.DstNarrow = false
+		in.SrcNarrow = 0
+	}
+}

@@ -1,0 +1,83 @@
+package compiler
+
+import (
+	"fmt"
+
+	"bow/internal/asm"
+)
+
+// LTRFStats summarizes the latency-tolerant-RF interval partition.
+type LTRFStats struct {
+	Intervals     int // prefetch intervals formed
+	Instructions  int // instructions partitioned
+	MaxWorkingSet int // largest distinct-register working set of any interval
+}
+
+func (s LTRFStats) String() string {
+	if s.Intervals == 0 {
+		return "no intervals"
+	}
+	return fmt.Sprintf("%d intervals over %d instructions (%.1f instr/interval, max working set %d regs)",
+		s.Intervals, s.Instructions,
+		float64(s.Instructions)/float64(s.Intervals), s.MaxWorkingSet)
+}
+
+// AnnotateLTRF runs the latency-tolerant register file pass of
+// Sadrosadati et al.: each basic block is greedily partitioned into
+// prefetch intervals whose distinct-register working set (sources and
+// destinations) fits the operand buffer, and every instruction is
+// stamped with its interval index. The ltrf engine prefetches a
+// register from the RF on its first touch in an interval, serves later
+// touches from the buffer, and drains the buffer back to the RF at
+// every interval boundary — so the buffer never needs more than
+// `capacity` entries while an interval runs.
+//
+// Interval indices increase monotonically across the program; block
+// boundaries always cut (control transfers end the compiler's
+// visibility), so a dynamic change of index is exactly an interval
+// boundary even across branches and loop back-edges.
+func AnnotateLTRF(prog *asm.Program, capacity int) (LTRFStats, error) {
+	if capacity < 2 {
+		return LTRFStats{}, fmt.Errorf("compiler: ltrf buffer capacity %d too small (min 2)", capacity)
+	}
+	cfg, err := BuildCFG(prog)
+	if err != nil {
+		return LTRFStats{}, err
+	}
+
+	var stats LTRFStats
+	interval := int32(0)
+	for bi := range cfg.Blocks {
+		b := &cfg.Blocks[bi]
+		interval++ // block boundary: always a fresh interval
+		stats.Intervals++
+		var ws RegSet
+		wsCount := 0
+		started := false
+		for pc := b.Start; pc <= b.End; pc++ {
+			in := &prog.Code[pc]
+			use, def := useDef(in)
+			use.UnionWith(&def)
+			var grownSet RegSet = ws
+			grownSet.UnionWith(&use)
+			grown := grownSet.Count()
+			if started && grown > capacity {
+				// The working set would outgrow the buffer: cut here.
+				interval++
+				stats.Intervals++
+				ws = use
+				wsCount = ws.Count()
+			} else {
+				ws = grownSet
+				wsCount = grown
+			}
+			started = true
+			in.Interval = interval
+			stats.Instructions++
+			if wsCount > stats.MaxWorkingSet {
+				stats.MaxWorkingSet = wsCount
+			}
+		}
+	}
+	return stats, nil
+}

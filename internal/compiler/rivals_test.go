@@ -1,0 +1,290 @@
+package compiler
+
+import (
+	"testing"
+
+	"bow/internal/asm"
+	"bow/internal/isa"
+)
+
+// TestAnnotateCARFCLastUse checks the last-use marking on a straight
+// line: reads with a later use keep the bit clear, the final read of
+// each value sets it, and an unconditional redefinition counts as a
+// kill for the value being read.
+func TestAnnotateCARFCLastUse(t *testing.T) {
+	p := asm.MustParse(`
+  mov r1, 0x1
+  add r2, r1, r1
+  add r3, r1, 0x2
+  mov r1, 0x7
+  add r4, r1, r3
+  st.global [r5+0x0], r4
+  exit
+`)
+	stats, err := AnnotateCARFC(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LastUseReads == 0 {
+		t.Fatal("pass marked no last uses at all")
+	}
+	// pc 1: r1 is read again at pc 2 — not last use.
+	if p.Code[1].SrcLastUse != 0 {
+		t.Errorf("pc 1 SrcLastUse = %b, want 0 (r1 reused at pc 2)", p.Code[1].SrcLastUse)
+	}
+	// pc 2: r1's old value dies at the pc-3 redefinition — both the r1
+	// read (src 0) is last-use; the immediate is not a register.
+	if p.Code[2].SrcLastUse&1 == 0 {
+		t.Error("pc 2: read of r1 before its redefinition not marked last-use")
+	}
+	// pc 4: both r1 (redefined value, never read again) and r3 die here.
+	if p.Code[4].SrcLastUse&0b11 != 0b11 {
+		t.Errorf("pc 4 SrcLastUse = %b, want both sources marked", p.Code[4].SrcLastUse)
+	}
+}
+
+// TestAnnotateCARFCPredicatedKill: a predicated redefinition merges the
+// old value forward, so a read before it must NOT be marked last-use.
+func TestAnnotateCARFCPredicatedKill(t *testing.T) {
+	p := asm.MustParse(`
+  mov r1, 0x1
+  setp.eq p0, r1, 0x1
+  add r2, r1, 0x2
+  @p0 mov r1, 0x9
+  st.global [r3+0x0], r1
+  exit
+`)
+	if _, err := AnnotateCARFC(p); err != nil {
+		t.Fatal(err)
+	}
+	// pc 2 reads r1; the pc-3 redefinition is predicated, and pc 4 reads
+	// r1 again — the value may survive, so the read is not last.
+	if p.Code[2].SrcLastUse&1 != 0 {
+		t.Error("read of r1 marked last-use across a predicated redefinition")
+	}
+	// pc 4 is genuinely the last read (nothing after the store).
+	if p.Code[4].SrcLastUse == 0 {
+		t.Error("final read of r1 not marked last-use")
+	}
+}
+
+// TestAnnotateCARFCSoundness re-derives the last-use claim for every
+// marked read over loop-shaped programs: after a marked read, the
+// register must not be used again before an unconditional redefinition,
+// on any path (approximated by block scan + liveness, exactly the
+// guarantee the engine's deallocate-on-read relies on).
+func TestAnnotateCARFCSoundness(t *testing.T) {
+	progs := []string{
+		`
+  mov r1, 0x0
+L:
+  add r1, r1, 0x1
+  mul r2, r1, r1
+  setp.lt p0, r1, 0x8
+  @p0 bra L
+  st.global [r3+0x0], r2
+  exit`,
+		`
+  setp.eq p0, r1, r2
+  @p0 bra THEN
+  mov r3, 0x1
+  bra JOIN
+THEN:
+  mov r3, 0x2
+JOIN:
+  add r4, r3, 0x1
+  st.global [r5+0x0], r4
+  exit`,
+	}
+	for pi, src := range progs {
+		p := asm.MustParse(src)
+		if _, err := AnnotateCARFC(p); err != nil {
+			t.Fatal(err)
+		}
+		cfg, _ := BuildCFG(p)
+		lv := ComputeLiveness(cfg)
+		for bi := range cfg.Blocks {
+			b := &cfg.Blocks[bi]
+			for pc := b.Start; pc <= b.End; pc++ {
+				in := &p.Code[pc]
+				for s := 0; s < in.NSrc; s++ {
+					if in.SrcLastUse&(1<<s) == 0 || !in.Srcs[s].IsReg() {
+						continue
+					}
+					r := in.Srcs[s].Reg
+					// Self-kill: the same instruction unconditionally
+					// redefines r — nothing later reads the old value.
+					if d, ok := in.DstReg(); ok && d == r && in.PredReg == isa.PredTrue {
+						continue
+					}
+					killed := false
+					for q := pc + 1; q <= b.End; q++ {
+						use, def := useDef(&p.Code[q])
+						if use.Has(r) && !killed {
+							t.Errorf("prog %d pc %d: r%d marked last-use but read at pc %d", pi, pc, r, q)
+						}
+						if def.Has(r) && p.Code[q].PredReg == isa.PredTrue {
+							killed = true
+							break
+						}
+					}
+					if !killed && lv.LiveOut[b.End].Has(r) {
+						t.Errorf("prog %d pc %d: r%d marked last-use but live out of block", pi, pc, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAnnotateLTRFIntervals pins the partition contract: intervals are
+// monotone and contiguous within a block, every block boundary cuts,
+// and no interval's distinct-register working set exceeds the buffer
+// capacity the engine will size itself to.
+func TestAnnotateLTRFIntervals(t *testing.T) {
+	p := asm.MustParse(`
+  mov r1, 0x1
+  mov r2, 0x2
+  mov r3, 0x3
+  add r4, r1, r2
+  add r5, r3, r4
+  add r6, r5, r1
+  setp.eq p0, r6, 0x0
+  @p0 bra OUT
+  mul r7, r6, r6
+OUT:
+  st.global [r8+0x0], r6
+  exit
+`)
+	const capacity = 3
+	stats, err := AnnotateLTRF(p, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Instructions != len(p.Code) {
+		t.Errorf("partitioned %d of %d instructions", stats.Instructions, len(p.Code))
+	}
+	if stats.MaxWorkingSet > capacity {
+		t.Errorf("max working set %d exceeds capacity %d", stats.MaxWorkingSet, capacity)
+	}
+
+	cfg, _ := BuildCFG(p)
+	seen := map[int32]bool{}
+	for bi := range cfg.Blocks {
+		b := &cfg.Blocks[bi]
+		// Block boundaries always start a fresh interval.
+		if bi > 0 && p.Code[b.Start].Interval == p.Code[cfg.Blocks[bi-1].End].Interval {
+			t.Errorf("block %d continues the previous block's interval", bi)
+		}
+		var ws RegSet
+		prev := int32(-1)
+		for pc := b.Start; pc <= b.End; pc++ {
+			in := &p.Code[pc]
+			if in.Interval <= 0 {
+				t.Fatalf("pc %d unstamped (interval %d)", pc, in.Interval)
+			}
+			if prev != -1 && in.Interval != prev && in.Interval != prev+1 {
+				t.Errorf("pc %d jumps interval %d -> %d", pc, prev, in.Interval)
+			}
+			if in.Interval != prev {
+				if seen[in.Interval] {
+					t.Errorf("interval %d restarts at pc %d", in.Interval, pc)
+				}
+				seen[in.Interval] = true
+				ws = RegSet{}
+			}
+			prev = in.Interval
+			use, def := useDef(in)
+			use.UnionWith(&def)
+			ws.UnionWith(&use)
+			if ws.Count() > capacity {
+				t.Errorf("pc %d: interval %d working set %d > capacity %d",
+					pc, in.Interval, ws.Count(), capacity)
+			}
+		}
+	}
+	if len(seen) != stats.Intervals {
+		t.Errorf("stats report %d intervals, program carries %d", stats.Intervals, len(seen))
+	}
+
+	// A buffer too small for any instruction's own operands is rejected.
+	if _, err := AnnotateLTRF(p, 1); err == nil {
+		t.Error("capacity 1 accepted")
+	}
+}
+
+// TestAnnotateSCRFFixpoint: narrowness must survive copy chains, die on
+// arithmetic that can overflow 16 bits, and never mark a register whose
+// other definitions are wide.
+func TestAnnotateSCRFFixpoint(t *testing.T) {
+	p := asm.MustParse(`
+  mov r1, 0xFF
+  mov r2, r1
+  and r3, r9, 0xF
+  add r4, r1, r2
+  shr r5, r9, 0x10
+  mov r6, 0x1FFFF
+  mov r7, 0xA
+  add r7, r6, r6
+  st.global [r8+0x0], r4
+  exit
+`)
+	stats, err := AnnotateSCRF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrowDst := map[int]bool{}
+	for i := range p.Code {
+		narrowDst[i] = p.Code[i].DstNarrow
+	}
+	// r1 (small imm), r2 (copy of narrow), r3 (masked), r5 (shifted
+	// clear of the low half) are narrow.
+	for _, pc := range []int{0, 1, 2, 4} {
+		if !narrowDst[pc] {
+			t.Errorf("pc %d: provably narrow definition not marked", pc)
+		}
+	}
+	// r4 (add may carry past 16 bits), r6 (17-bit imm), and both defs of
+	// r7 (one wide def poisons the register) are wide.
+	for _, pc := range []int{3, 5, 6, 7} {
+		if narrowDst[pc] {
+			t.Errorf("pc %d: wide definition marked narrow", pc)
+		}
+	}
+	// Source marking follows register narrowness: the pc-3 add reads two
+	// narrow registers.
+	if p.Code[3].SrcNarrow&0b11 != 0b11 {
+		t.Errorf("pc 3 SrcNarrow = %b, want both sources narrow", p.Code[3].SrcNarrow)
+	}
+	if stats.NarrowRegs == 0 || stats.WideRegs == 0 {
+		t.Errorf("degenerate classification: %+v", stats)
+	}
+}
+
+// TestClearRivalHints: the shared-artifact layer depends on being able
+// to reset every rival pass's annotations before re-annotating a
+// cached program for a different policy.
+func TestClearRivalHints(t *testing.T) {
+	p := asm.MustParse(`
+  mov r1, 0x1
+  add r2, r1, r1
+  st.global [r3+0x0], r2
+  exit
+`)
+	if _, err := AnnotateCARFC(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnnotateLTRF(p, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnnotateSCRF(p); err != nil {
+		t.Fatal(err)
+	}
+	ClearRivalHints(p)
+	for i := range p.Code {
+		in := &p.Code[i]
+		if in.SrcLastUse != 0 || in.Interval != 0 || in.DstNarrow || in.SrcNarrow != 0 {
+			t.Errorf("pc %d: rival hints survived ClearRivalHints: %+v", i, in)
+		}
+	}
+}

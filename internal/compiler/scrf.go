@@ -1,0 +1,162 @@
+package compiler
+
+import (
+	"fmt"
+
+	"bow/internal/asm"
+	"bow/internal/isa"
+)
+
+// scrfNarrowMax is the largest value the SCRF narrow encoding holds: a
+// register is narrow when every definition provably stays within 16
+// bits (unsigned), matching the half-width packing of Angerd et al.
+const scrfNarrowMax = 0xFFFF
+
+// SCRFStats summarizes the static-compression analysis.
+type SCRFStats struct {
+	NarrowRegs  int // architectural registers proven narrow
+	WideRegs    int // defined registers that stay full-width
+	NarrowReads int // source positions reading a narrow register
+	NarrowDefs  int // destination writes of narrow registers
+}
+
+func (s SCRFStats) String() string {
+	total := s.NarrowRegs + s.WideRegs
+	if total == 0 {
+		return "no register definitions"
+	}
+	return fmt.Sprintf("%d/%d regs narrow, %d narrow reads, %d narrow writes",
+		s.NarrowRegs, total, s.NarrowReads, s.NarrowDefs)
+}
+
+// AnnotateSCRF runs the statically-compressed-register-file pass of
+// Angerd et al.: a whole-program fixpoint proves which architectural
+// registers only ever hold narrow (16-bit) values, then every
+// instruction is annotated with DstNarrow/SrcNarrow so the scrf engine
+// can charge compressed accesses a reduced energy. The policy never
+// changes values or timing — the hints steer accounting only, so an
+// unsound widening here could skew energy numbers but never
+// correctness; the transfer function below is nevertheless
+// conservative (any definition that might exceed 16 bits makes the
+// register wide).
+func AnnotateSCRF(prog *asm.Program) (SCRFStats, error) {
+	if len(prog.Code) == 0 {
+		return SCRFStats{}, fmt.Errorf("compiler: empty program")
+	}
+
+	// Optimistic fixpoint: assume every register narrow, demote on any
+	// definition whose result is not provably narrow given the current
+	// assumption, repeat until stable. Monotone (narrow -> wide only),
+	// so it terminates in at most 256 passes; real kernels settle in a
+	// couple.
+	var narrow, defined RegSet
+	for r := 0; r < 256; r++ {
+		narrow.Add(uint8(r))
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range prog.Code {
+			in := &prog.Code[i]
+			d, ok := in.DstReg()
+			if !ok {
+				continue
+			}
+			defined.Add(d)
+			if narrow.Has(d) && !defNarrow(in, &narrow) {
+				narrow.Remove(d)
+				changed = true
+			}
+		}
+	}
+
+	var stats SCRFStats
+	for r := 0; r < 256; r++ {
+		if !defined.Has(uint8(r)) {
+			continue
+		}
+		if narrow.Has(uint8(r)) {
+			stats.NarrowRegs++
+		} else {
+			stats.WideRegs++
+		}
+	}
+	for i := range prog.Code {
+		in := &prog.Code[i]
+		in.DstNarrow = false
+		in.SrcNarrow = 0
+		if d, ok := in.DstReg(); ok && narrow.Has(d) {
+			in.DstNarrow = true
+			stats.NarrowDefs++
+		}
+		for s := 0; s < in.NSrc; s++ {
+			if in.Srcs[s].IsReg() && narrow.Has(in.Srcs[s].Reg) {
+				in.SrcNarrow |= 1 << s
+				stats.NarrowReads++
+			}
+		}
+	}
+	return stats, nil
+}
+
+// defNarrow reports whether the value produced by in provably fits the
+// narrow encoding, given the current narrowness assumption for its
+// register operands.
+func defNarrow(in *isa.Instruction, narrow *RegSet) bool {
+	src := func(i int) (isa.Operand, bool) {
+		if i >= in.NSrc {
+			return isa.Operand{}, false
+		}
+		return in.Srcs[i], true
+	}
+	opdNarrow := func(o isa.Operand) bool {
+		switch o.Kind {
+		case isa.OpdReg:
+			return o.Reg == isa.RegZero || narrow.Has(o.Reg)
+		case isa.OpdImm:
+			return o.Imm <= scrfNarrowMax
+		case isa.OpdSpecial:
+			// Lane, thread, and CTA-size indices are architecturally
+			// bounded well under 2^16; CTA/grid indices are not.
+			switch o.Spec {
+			case isa.SpecLaneID, isa.SpecTidX, isa.SpecNtidX, isa.SpecWarpID:
+				return true
+			}
+			return false
+		}
+		return false
+	}
+
+	switch in.Op {
+	case isa.OpMov, isa.OpAbs:
+		a, ok := src(0)
+		return ok && opdNarrow(a)
+	case isa.OpAnd:
+		// A conjunction with one narrow operand is narrow.
+		a, aok := src(0)
+		b, bok := src(1)
+		return (aok && opdNarrow(a)) || (bok && opdNarrow(b))
+	case isa.OpShr:
+		// A logical right shift by 16 or more is narrow regardless of
+		// the shifted value; otherwise narrowness of the source wins
+		// (shifting a narrow value right keeps it narrow).
+		a, aok := src(0)
+		b, bok := src(1)
+		if bok && b.Kind == isa.OpdImm && b.Imm >= 16 {
+			return true
+		}
+		return aok && opdNarrow(a)
+	case isa.OpMin, isa.OpMax:
+		// Both operands narrow (and therefore non-negative under the
+		// 16-bit bound) keep signed min/max narrow.
+		a, aok := src(0)
+		b, bok := src(1)
+		return aok && bok && opdNarrow(a) && opdNarrow(b)
+	case isa.OpSel:
+		a, aok := src(0)
+		b, bok := src(1)
+		return aok && bok && opdNarrow(a) && opdNarrow(b)
+	}
+	// Arithmetic can overflow the bound, loads and atomics carry
+	// arbitrary data, floats use the full encoding: all wide.
+	return false
+}

@@ -45,6 +45,28 @@ const (
 	// PolicyCompilerHints is BOW-WR with the two-bit compiler hints
 	// steering each write to the RF, the BOC, or both.
 	PolicyCompilerHints
+	// PolicyCARFC models the compiler-assisted register file cache of
+	// Shoushtary et al. (arXiv 2310.17501): a capacity-managed cache
+	// (no nominal window) with ForwardThroughPort timing, plus two
+	// compiler assists — allocation hints (an rf-only write never
+	// occupies an entry) and last-use deallocation (a read whose
+	// register is dead afterwards frees its entry, dropping dead dirty
+	// values without an RF write).
+	PolicyCARFC
+	// PolicyLTRF models the latency-tolerant register file of
+	// Sadrosadati et al. (arXiv 2010.09330): the compiler partitions
+	// each block into prefetch intervals whose working set fits the
+	// buffer; the first touch of a register in an interval fetches it
+	// from the RF (the software prefetch), later touches hit the
+	// buffer, and the buffer drains back to the RF at every interval
+	// boundary.
+	PolicyLTRF
+	// PolicySCRF models the statically-compressed register file of
+	// Angerd et al. (arXiv 2006.05693): functionally and timing-wise
+	// identical to the baseline (every access goes to the banks), but
+	// accesses to registers the compiler proved narrow are counted
+	// separately and charged a reduced per-access energy.
+	PolicySCRF
 )
 
 func (p Policy) String() string {
@@ -57,12 +79,20 @@ func (p Policy) String() string {
 		return "bow-wb"
 	case PolicyCompilerHints:
 		return "bow-wr"
+	case PolicyCARFC:
+		return "carfc"
+	case PolicyLTRF:
+		return "ltrf"
+	case PolicySCRF:
+		return "scrf"
 	}
 	return fmt.Sprintf("Policy(%d)", uint8(p))
 }
 
-// Bypassing reports whether the policy uses the window at all.
-func (p Policy) Bypassing() bool { return p != PolicyBaseline }
+// Bypassing reports whether the policy uses the window at all. SCRF
+// compresses the banks themselves — it buffers nothing, so it behaves
+// as the baseline everywhere except energy accounting.
+func (p Policy) Bypassing() bool { return p != PolicyBaseline && p != PolicySCRF }
 
 // WriteCause distinguishes why a register-file write was generated.
 type WriteCause uint8
@@ -82,6 +112,12 @@ const (
 	// CauseHintDirect: the compiler tagged the value rf-only, so it goes
 	// straight to the RF and never occupies a BOC entry.
 	CauseHintDirect
+	// CauseIntervalDrain: the ltrf policy reached a prefetch-interval
+	// boundary and wrote the buffer's dirty values back to the RF.
+	CauseIntervalDrain
+
+	// NumWriteCauses sizes per-cause histograms.
+	NumWriteCauses = int(CauseIntervalDrain) + 1
 )
 
 func (c WriteCause) String() string {
@@ -94,6 +130,8 @@ func (c WriteCause) String() string {
 		return "capacity-evict"
 	case CauseHintDirect:
 		return "hint-direct"
+	case CauseIntervalDrain:
+		return "interval-drain"
 	}
 	return fmt.Sprintf("WriteCause(%d)", uint8(c))
 }
@@ -138,8 +176,20 @@ type Config struct {
 
 // Normalize fills defaults and validates.
 func (c Config) Normalize() (Config, error) {
-	if c.Policy == PolicyBaseline {
+	if !c.Policy.Bypassing() {
+		// Baseline and scrf buffer nothing: the window knobs are
+		// meaningless and the ablations have nothing to ablate.
+		if c.BeyondWindow || c.NoExtend {
+			return c, fmt.Errorf("core: BeyondWindow/NoExtend need a bypassing policy")
+		}
 		return c, nil
+	}
+	if c.Policy == PolicyCARFC || c.Policy == PolicyLTRF {
+		// The rival designs have no nominal instruction window, so the
+		// window ablations do not apply to them.
+		if c.BeyondWindow || c.NoExtend {
+			return c, fmt.Errorf("core: BeyondWindow/NoExtend do not apply to %v", c.Policy)
+		}
 	}
 	if c.IW < 2 {
 		return c, fmt.Errorf("core: instruction window %d too small (min 2)", c.IW)
@@ -183,18 +233,30 @@ type Stats struct {
 
 	RFWrites         int64 // writes that reached the register file
 	CoalescedWrites  int64 // dirty values superseded inside the window (write bypassed)
-	DroppedTransient int64 // dirty boc-only values discarded at window exit
+	DroppedTransient int64 // dirty dead values discarded (window exit or last-use free)
 	FlushDropped     int64 // dirty values discarded when the warp exited
 	CapacityEvicts   int64 // early evictions forced by a full BOC
 
 	BOCReads  int64 // reads of BOC entries (forwards)
 	BOCWrites int64 // writes into BOC entries (fills + results)
 
+	// LastUseFrees counts carfc cache entries deallocated by a last-use
+	// read hint; IntervalDrains counts ltrf prefetch-interval boundary
+	// drains (buffer flushes, not per-value writes).
+	LastUseFrees   int64
+	IntervalDrains int64
+	// CompressedReads/CompressedWrites count the scrf RF accesses that
+	// hit compiler-proven narrow registers (a subset of RFReads and
+	// RFWrites; the energy model charges them a reduced per-access
+	// cost).
+	CompressedReads  int64
+	CompressedWrites int64
+
 	// RFWritesByReg histograms RF writes per architectural register
 	// (used by the Table I reproduction).
 	RFWritesByReg [256]int64
 	// RFWriteCauses histograms writes by cause.
-	RFWriteCauses [4]int64
+	RFWriteCauses [NumWriteCauses]int64
 }
 
 // Merge accumulates o into s (aggregation across warps and SMs).
@@ -209,6 +271,10 @@ func (s *Stats) Merge(o *Stats) {
 	s.CapacityEvicts += o.CapacityEvicts
 	s.BOCReads += o.BOCReads
 	s.BOCWrites += o.BOCWrites
+	s.LastUseFrees += o.LastUseFrees
+	s.IntervalDrains += o.IntervalDrains
+	s.CompressedReads += o.CompressedReads
+	s.CompressedWrites += o.CompressedWrites
 	for i := range s.RFWritesByReg {
 		s.RFWritesByReg[i] += o.RFWritesByReg[i]
 	}
@@ -281,6 +347,11 @@ type Engine struct {
 	live  []*entry    // live entries in insertion order
 	free  *entry      // recycled entries (preallocated slab)
 	stats Stats
+
+	// interval is the ltrf prefetch interval currently buffered (-1
+	// before the first instruction). The buffer drains when an
+	// instruction carries a different interval index.
+	interval int32
 }
 
 // NewEngine creates a window engine. sink must not be nil for bypassing
@@ -293,7 +364,7 @@ func NewEngine(cfg Config, sink RFWriteSink) (*Engine, error) {
 	if cfg.Policy.Bypassing() && sink == nil {
 		return nil, fmt.Errorf("core: bypassing policy %v requires a write sink", cfg.Policy)
 	}
-	e := &Engine{cfg: cfg, sink: sink}
+	e := &Engine{cfg: cfg, sink: sink, interval: -1}
 	if cfg.Policy.Bypassing() {
 		// Capacity+1 covers the transient overshoot between attach and
 		// enforceCapacity; one spare keeps allocEntry off the heap even
@@ -408,13 +479,34 @@ func (e *Engine) Advance(in *isa.Instruction) Plan {
 			p.NeedRF[p.NNeedRF] = regs[i]
 			p.NNeedRF++
 			e.stats.RFReads++
+			if e.cfg.Policy == PolicySCRF && in.SrcNarrowOf(regs[i]) {
+				e.stats.CompressedReads++
+			}
+		}
+		if e.cfg.Policy == PolicySCRF && in.DstNarrow {
+			if _, ok := in.DstReg(); ok {
+				// The write-back this instruction will perform hits a
+				// narrow register; count it here where the hint is at
+				// hand (every advanced instruction with a destination
+				// writes back exactly once).
+				e.stats.CompressedWrites++
+			}
 		}
 		return p
 	}
 
-	// 1. Window slide: evict entries whose last access is IW or more
-	// instructions behind.
-	e.evictExpired()
+	// 1. Window slide. BOW policies evict entries whose last access is
+	// IW or more instructions behind; ltrf instead drains the whole
+	// buffer at prefetch-interval boundaries (carfc's effectively
+	// unbounded IW makes expiry a no-op).
+	if e.cfg.Policy == PolicyLTRF {
+		if in.Interval != e.interval {
+			e.drainInterval()
+			e.interval = in.Interval
+		}
+	} else {
+		e.evictExpired()
+	}
 
 	// 2. Source operand lookup. A hit on a pending entry forwards from
 	// the in-flight fill (request merging): no extra bank read, but the
@@ -422,6 +514,7 @@ func (e *Engine) Advance(in *isa.Instruction) Plan {
 	regs, n := in.UniqueSrcRegs()
 	for i := 0; i < n; i++ {
 		r := regs[i]
+		lastUse := e.cfg.Policy == PolicyCARFC && in.LastUseOf(r)
 		if en := e.byReg[r]; en != nil {
 			if !e.cfg.NoExtend {
 				en.lastAccess = e.seq
@@ -436,10 +529,23 @@ func (e *Engine) Advance(in *isa.Instruction) Plan {
 			}
 			e.stats.BypassedRead++
 			e.stats.BOCReads++
+			if lastUse {
+				// CARFC last-use deallocation: the register is dead after
+				// this read, so the entry is freed now — a dead dirty
+				// value never costs an RF write. (A pending entry's
+				// in-flight fill is dropped harmlessly; the merged readers
+				// receive the value through the caller's plumbing.)
+				e.deallocLastUse(en)
+			}
 		} else {
 			p.NeedRF[p.NNeedRF] = r
 			p.NNeedRF++
 			e.stats.RFReads++
+			if lastUse {
+				// CARFC allocation hint: a value read for the last time
+				// has no further reuse, so it never earns a cache entry.
+				continue
+			}
 			// Reserve the slot so later in-flight readers merge into this
 			// fill instead of issuing their own bank read.
 			en := e.allocEntry()
@@ -515,6 +621,43 @@ func (e *Engine) evict(en *entry, capacity bool) {
 	e.detach(en)
 }
 
+// deallocLastUse frees a carfc entry whose register just saw its
+// compiler-marked final read. A dead dirty value is dropped without an
+// RF write (that is the design's write saving); a superseded one was
+// already counted as coalesced at consolidation time.
+//
+//bow:hotpath
+func (e *Engine) deallocLastUse(en *entry) {
+	if en.dirty && !en.cancelWB {
+		e.stats.DroppedTransient++
+	}
+	e.stats.LastUseFrees++
+	e.detach(en)
+}
+
+// drainInterval empties the ltrf buffer at a prefetch-interval
+// boundary: dirty un-superseded values are written back to the RF in
+// insertion order, everything else is simply freed. An empty buffer
+// drains for free (and is not counted), which keeps a forked resume —
+// restored with an empty buffer and interval -1 — on the cold run's
+// exact statistics.
+//
+//bow:hotpath
+func (e *Engine) drainInterval() {
+	if len(e.live) == 0 {
+		return
+	}
+	e.stats.IntervalDrains++
+	for _, en := range e.live {
+		e.byReg[en.reg] = nil
+		if en.dirty && !en.cancelWB {
+			e.emitRF(en.reg, en.val, CauseIntervalDrain)
+		}
+		e.release(en)
+	}
+	e.live = e.live[:0]
+}
+
 //bow:hotpath
 func (e *Engine) emitRF(r uint8, v Value, cause WriteCause) {
 	e.stats.RFWrites++
@@ -556,17 +699,17 @@ func (e *Engine) FillFromRF(reg uint8, val Value, seq int64) {
 //bow:hotpath
 func (e *Engine) Writeback(reg uint8, val Value, hint isa.WritebackHint, seq int64) bool {
 	switch e.cfg.Policy {
-	case PolicyBaseline:
+	case PolicyBaseline, PolicySCRF:
 		e.emitRF(reg, val, CauseWriteThrough)
 		return false
 	case PolicyWriteThrough:
 		e.emitRF(reg, val, CauseWriteThrough)
 		e.install(reg, val, false, isa.WBBoth, seq)
 		return true
-	case PolicyWriteBack:
+	case PolicyWriteBack, PolicyLTRF:
 		e.install(reg, val, true, isa.WBBoth, seq)
 		return true
-	case PolicyCompilerHints:
+	case PolicyCompilerHints, PolicyCARFC:
 		if hint == isa.WBRegfileOnly {
 			// Straight to the RF; drop any stale window copy (its pending
 			// write was already cancelled by Advance's consolidation).

@@ -19,6 +19,10 @@ func (s *Stats) SaveState(enc *snap.Encoder) {
 	enc.I64(s.CapacityEvicts)
 	enc.I64(s.BOCReads)
 	enc.I64(s.BOCWrites)
+	enc.I64(s.LastUseFrees)
+	enc.I64(s.IntervalDrains)
+	enc.I64(s.CompressedReads)
+	enc.I64(s.CompressedWrites)
 	for _, v := range s.RFWritesByReg {
 		enc.I64(v)
 	}
@@ -39,6 +43,10 @@ func (s *Stats) LoadState(dec *snap.Decoder) {
 	s.CapacityEvicts = dec.I64()
 	s.BOCReads = dec.I64()
 	s.BOCWrites = dec.I64()
+	s.LastUseFrees = dec.I64()
+	s.IntervalDrains = dec.I64()
+	s.CompressedReads = dec.I64()
+	s.CompressedWrites = dec.I64()
 	for i := range s.RFWritesByReg {
 		s.RFWritesByReg[i] = dec.I64()
 	}
@@ -52,6 +60,7 @@ func (s *Stats) LoadState(dec *snap.Decoder) {
 // are derived state and are rebuilt on load.
 func (e *Engine) SaveState(enc *snap.Encoder) {
 	enc.I64(e.seq)
+	enc.I64(int64(e.interval))
 	e.stats.SaveState(enc)
 	enc.U32(uint32(len(e.live)))
 	for _, en := range e.live {
@@ -73,6 +82,7 @@ func (e *Engine) SaveState(enc *snap.Encoder) {
 // restores into a configuration that can hold it.
 func (e *Engine) LoadState(dec *snap.Decoder) {
 	e.seq = dec.I64()
+	e.interval = int32(dec.I64())
 	e.stats.LoadState(dec)
 	n := int(dec.U32())
 	if dec.Err() != nil {
@@ -86,7 +96,7 @@ func (e *Engine) LoadState(dec *snap.Decoder) {
 	e.live = e.live[:0]
 	if n > 0 {
 		if !e.cfg.Policy.Bypassing() {
-			dec.Fail(fmt.Errorf("core: snapshot has %d window entries but target policy is baseline", n))
+			dec.Fail(fmt.Errorf("core: snapshot has %d window entries but target policy %v buffers nothing", n, e.cfg.Policy))
 			return
 		}
 		if n > e.cfg.Capacity {

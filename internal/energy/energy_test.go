@@ -61,3 +61,25 @@ func TestBOCStorageBytes(t *testing.T) {
 		t.Errorf("storage = %d, want 48KB", got)
 	}
 }
+
+// TestCompressedAccounting: compressed accesses are a subset of the RF
+// accesses — they displace the full-width charge rather than adding to
+// it, and an all-compressed run costs exactly half an uncompressed one.
+func TestCompressedAccounting(t *testing.T) {
+	plain := Compute(Counts{RFReads: 100, RFWrites: 50})
+	half := Compute(Counts{RFReads: 100, RFWrites: 50,
+		CompressedRFReads: 100, CompressedRFWrites: 50})
+	if got, want := half.RFDynamicPJ, plain.RFDynamicPJ/2; got != want {
+		t.Errorf("all-compressed RF energy = %v, want %v", got, want)
+	}
+	// A partially compressed run sits strictly between.
+	part := Compute(Counts{RFReads: 100, RFWrites: 50, CompressedRFReads: 40})
+	if part.RFDynamicPJ >= plain.RFDynamicPJ || part.RFDynamicPJ <= half.RFDynamicPJ {
+		t.Errorf("partial compression %v not between %v and %v",
+			part.RFDynamicPJ, half.RFDynamicPJ, plain.RFDynamicPJ)
+	}
+	// Compression never touches the overhead components.
+	if half.BOCDynamicPJ != 0 || half.NetworkPJ != 0 {
+		t.Errorf("compression charged BOW overheads: %+v", half)
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bow/internal/simjob"
+)
+
+// TestCrossPolicyRacesAllArchitectures proves one CrossPolicy call
+// covers the full policy roster over the full suite: every canonical
+// policy appears with a result per benchmark, the baseline column is
+// the identity (0% gain, 100% energy), and scrf — functionally the
+// baseline — gains no IPC while spending strictly less RF energy.
+func TestCrossPolicyRacesAllArchitectures(t *testing.T) {
+	r := NewRunner()
+	f, err := CrossPolicy(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := simjob.AllPolicies()
+	if len(f.Policies) != len(want) {
+		t.Fatalf("raced %d policies, want %d (%v)", len(f.Policies), len(want), want)
+	}
+	for i, p := range want {
+		if f.Policies[i] != p {
+			t.Fatalf("policy roster %v, want %v", f.Policies, want)
+		}
+	}
+	if len(f.Benchmarks) != len(Suite()) {
+		t.Fatalf("raced %d benchmarks, want %d", len(f.Benchmarks), len(Suite()))
+	}
+	for _, p := range f.Policies {
+		for _, b := range f.Benchmarks {
+			if _, ok := f.IPCGain[p][b]; !ok {
+				t.Fatalf("%s/%s: no IPC result", p, b)
+			}
+			if _, ok := f.Energy[p][b]; !ok {
+				t.Fatalf("%s/%s: no energy result", p, b)
+			}
+		}
+	}
+	for _, b := range f.Benchmarks {
+		if g := f.IPCGain[simjob.PolicyBaseline][b]; g != 0 {
+			t.Errorf("%s: baseline IPC gain %v, want 0", b, g)
+		}
+		if e := f.Energy[simjob.PolicyBaseline][b]; math.Abs(e-1) > 1e-9 {
+			t.Errorf("%s: baseline normalized energy %v, want 1", b, e)
+		}
+		// scrf changes accounting, never timing or access counts.
+		if g := f.IPCGain[simjob.PolicySCRF][b]; g != 0 {
+			t.Errorf("%s: scrf IPC gain %v, want 0 (baseline timing)", b, g)
+		}
+		if e := f.Energy[simjob.PolicySCRF][b]; e >= 1 {
+			t.Errorf("%s: scrf normalized energy %v, want < 1 (compressed accesses)", b, e)
+		}
+	}
+	out := f.Render()
+	for _, p := range f.Policies {
+		if !strings.Contains(out, p) {
+			t.Errorf("rendered table omits policy %s", p)
+		}
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"context"
 
 	"bow/internal/core"
-	"bow/internal/rfc"
+	"bow/internal/simjob"
 )
 
 // prewarmPoints enumerates every (config, reorder, trace) point the
@@ -48,8 +48,23 @@ func prewarmPoints() []struct {
 	// Fig 11 down-sized BOCs (12 = the IW-3 default, already queued).
 	add(core.Config{IW: 3, Capacity: 6, Policy: core.PolicyCompilerHints}, false, false)
 	add(core.Config{IW: 3, Capacity: 3, Policy: core.PolicyCompilerHints}, false, false)
-	// RFC comparator.
-	add(rfc.Config(rfc.DefaultEntriesPerWarp), false, false)
+	// Comparator architectures at their default design points — derived
+	// from the full policy roster, so a policy added to simjob joins the
+	// prewarm set (and the cross-policy race) without touching this
+	// list. Baseline and the windowed BOW points above are already
+	// queued; re-adding them here is harmless (the engine's
+	// single-flight layer dedupes) but skipped for clarity.
+	for _, p := range simjob.AllPolicies() {
+		switch p {
+		case simjob.PolicyBaseline, simjob.PolicyBOWWT, simjob.PolicyBOWWB, simjob.PolicyBOWWR:
+			continue
+		}
+		cfg, err := simjob.DefaultPolicyConfig(p)
+		if err != nil {
+			continue
+		}
+		add(cfg, false, false)
+	}
 	// Future-work capacity-bound bypassing and the extension ablation.
 	add(core.Config{IW: 3, Capacity: 6, Policy: core.PolicyWriteBack}, false, false)
 	add(core.Config{IW: 3, Capacity: 6, Policy: core.PolicyWriteBack, BeyondWindow: true}, false, false)

@@ -147,8 +147,11 @@ func (r *Runner) engineSpec(b *workloads.Benchmark, bcfg core.Config, reorder, t
 // prepared kernel and sealed memory image), unregistered benchmark
 // values build uncached.
 func (r *Runner) simulateInline(b *workloads.Benchmark, bcfg core.Config, reorder, trace bool) (*gpu.Result, error) {
-	hints := bcfg.Policy == core.PolicyCompilerHints
-	key := artifact.KeyFor(b.Name, reorder, hints, bcfg.IW)
+	hints, param := artifact.PassForPolicy(bcfg)
+	if reorder && param == 0 {
+		param = bcfg.IW
+	}
+	key := artifact.KeyFor(b.Name, reorder, hints, param)
 	var (
 		pk  *artifact.Kernel
 		img *artifact.Image

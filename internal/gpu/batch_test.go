@@ -35,8 +35,8 @@ func TestBatchLockstepBitIdentical(t *testing.T) {
 
 		build := func(bcfg core.Config) *Device {
 			t.Helper()
-			hints := bcfg.Policy == core.PolicyCompilerHints
-			pk, err := artifact.BuildKernel(artifact.KeyFor(bench, false, hints, bcfg.IW))
+			hints, param := artifact.PassForPolicy(bcfg)
+			pk, err := artifact.BuildKernel(artifact.KeyFor(bench, false, hints, param))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -127,8 +127,8 @@ func TestBatchFuncSalvageBitIdentical(t *testing.T) {
 	}
 	solo := make([]*Result, len(batchPolicies))
 	for i, bcfg := range batchPolicies {
-		hints := bcfg.Policy == core.PolicyCompilerHints
-		pk, err := artifact.BuildKernel(artifact.KeyFor(bench, false, hints, bcfg.IW))
+		hints, param := artifact.PassForPolicy(bcfg)
+		pk, err := artifact.BuildKernel(artifact.KeyFor(bench, false, hints, param))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -144,8 +144,8 @@ func TestBatchFuncSalvageBitIdentical(t *testing.T) {
 	salvaged := 0
 	build := func(slot int, sv *Salvage) (*Device, error) {
 		bcfg := batchPolicies[slot]
-		hints := bcfg.Policy == core.PolicyCompilerHints
-		pk, err := artifact.BuildKernel(artifact.KeyFor(bench, false, hints, bcfg.IW))
+		hints, param := artifact.PassForPolicy(bcfg)
+		pk, err := artifact.BuildKernel(artifact.KeyFor(bench, false, hints, param))
 		if err != nil {
 			return nil, err
 		}
@@ -187,7 +187,7 @@ func TestBatchFuncSalvageBitIdentical(t *testing.T) {
 // successor built from it must be bit-identical to a solo run on fresh
 // components.
 func TestBatchFuncSalvageAfterError(t *testing.T) {
-	pk, err := artifact.BuildKernel(artifact.KeyFor("SAD", false, false, 0))
+	pk, err := artifact.BuildKernel(artifact.KeyFor("SAD", false, artifact.HintsNone, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func TestBatchFuncSalvageAfterError(t *testing.T) {
 // TestBatchFuncBuildErrorIsolated proves a slot whose builder fails is
 // reported like a device error without stopping its siblings.
 func TestBatchFuncBuildErrorIsolated(t *testing.T) {
-	pk, err := artifact.BuildKernel(artifact.KeyFor("VECTORADD", false, false, 0))
+	pk, err := artifact.BuildKernel(artifact.KeyFor("VECTORADD", false, artifact.HintsNone, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ func TestBatchFuncBuildErrorIsolated(t *testing.T) {
 // TestBatchIsolatesDeviceErrors proves one device blowing its cycle
 // budget doesn't stop its siblings.
 func TestBatchIsolatesDeviceErrors(t *testing.T) {
-	pk, err := artifact.BuildKernel(artifact.KeyFor("SAD", false, false, 0))
+	pk, err := artifact.BuildKernel(artifact.KeyFor("SAD", false, artifact.HintsNone, 0))
 	if err != nil {
 		t.Fatal(err)
 	}

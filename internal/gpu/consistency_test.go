@@ -16,7 +16,7 @@ import (
 // register file at service time — they must agree at the end of a run.
 func TestTrafficConsistency(t *testing.T) {
 	for _, bcfg := range allPolicies() {
-		hints := bcfg.Policy == core.PolicyCompilerHints
+		hints := policyHints(bcfg.Policy)
 		res, _ := runKernel(t, loopSrc, 4, 128, []uint32{0x4000}, nil, bcfg, hints)
 		if res.RF.Reads != res.Engine.RFReads {
 			t.Errorf("%v: banks served %d reads, engine planned %d",
@@ -29,11 +29,24 @@ func TestTrafficConsistency(t *testing.T) {
 		// Total reads must be policy-invariant; compare against baseline.
 	}
 
+	// The invariance sweep below must keep covering the comparator
+	// engines — a roster regression here would silently shrink the
+	// strongest cross-policy accounting check.
+	covered := map[core.Policy]bool{}
+	for _, bcfg := range allPolicies() {
+		covered[bcfg.Policy] = true
+	}
+	for _, p := range []core.Policy{core.PolicyCARFC, core.PolicyLTRF, core.PolicySCRF} {
+		if !covered[p] {
+			t.Errorf("allPolicies omits %v; the traffic invariants below no longer race it", p)
+		}
+	}
+
 	// Total operand reads and destination writes must be identical
 	// across policies (same dynamic instruction stream).
 	var totReads, totWrites int64
 	for i, bcfg := range allPolicies() {
-		hints := bcfg.Policy == core.PolicyCompilerHints
+		hints := policyHints(bcfg.Policy)
 		res, _ := runKernel(t, loopSrc, 4, 128, []uint32{0x4000}, nil, bcfg, hints)
 		r := res.Engine.RFReads + res.Engine.BypassedRead
 		w := res.Engine.TotalWrites()

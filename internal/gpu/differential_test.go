@@ -6,9 +6,11 @@ import (
 	"testing"
 
 	"bow/internal/asm"
-	"bow/internal/compiler"
+	"bow/internal/carfc"
 	"bow/internal/core"
+	"bow/internal/ltrf"
 	"bow/internal/mem"
+	"bow/internal/scrf"
 	"bow/internal/sm"
 )
 
@@ -91,6 +93,13 @@ func TestDifferentialFuzz(t *testing.T) {
 		{IW: 3, Policy: core.PolicyCompilerHints},
 		{IW: 4, Capacity: 4, Policy: core.PolicyCompilerHints}, // tiny BOC stress
 		{IW: 2, Capacity: 2, Policy: core.PolicyWriteBack},
+		// Rival architectures: defaults plus tiny capacities, which
+		// force eviction (carfc) and interval splitting (ltrf).
+		carfc.Config(carfc.DefaultEntriesPerWarp),
+		carfc.Config(2),
+		ltrf.Config(ltrf.DefaultEntriesPerWarp),
+		ltrf.Config(2),
+		scrf.Config(),
 	}
 	for trial := 0; trial < trials; trial++ {
 		src := genKernel(r)
@@ -100,10 +109,8 @@ func TestDifferentialFuzz(t *testing.T) {
 			if err != nil {
 				t.Fatalf("trial %d: generated invalid kernel: %v\n%s", trial, err, src)
 			}
-			if bcfg.Policy == core.PolicyCompilerHints {
-				if _, err := compiler.Annotate(prog, bcfg.IW); err != nil {
-					t.Fatal(err)
-				}
+			if policyHints(bcfg.Policy) {
+				annotateFor(t, prog, bcfg)
 			}
 			m := mem.NewMemory()
 			k := &sm.Kernel{Program: prog, GridDim: grid, BlockDim: block,

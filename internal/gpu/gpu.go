@@ -328,6 +328,9 @@ func (d *Device) collect() *Result {
 		RFWrites:  res.Engine.RFWrites,
 		BOCReads:  res.Engine.BOCReads,
 		BOCWrites: res.Engine.BOCWrites,
+
+		CompressedRFReads:  res.Engine.CompressedReads,
+		CompressedRFWrites: res.Engine.CompressedWrites,
 	}
 	return res
 }

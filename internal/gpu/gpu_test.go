@@ -4,10 +4,13 @@ import (
 	"testing"
 
 	"bow/internal/asm"
+	"bow/internal/carfc"
 	"bow/internal/compiler"
 	"bow/internal/config"
 	"bow/internal/core"
+	"bow/internal/ltrf"
 	"bow/internal/mem"
+	"bow/internal/scrf"
 	"bow/internal/sm"
 )
 
@@ -80,6 +83,36 @@ func smallGPU() config.GPU {
 	return g
 }
 
+// policyHints reports whether the policy consumes compiler-provided
+// instruction hints, i.e. whether a faithful test run must apply the
+// policy's annotation pass first.
+func policyHints(p core.Policy) bool {
+	switch p {
+	case core.PolicyCompilerHints, core.PolicyCARFC, core.PolicyLTRF, core.PolicySCRF:
+		return true
+	}
+	return false
+}
+
+// annotateFor runs the annotation pass the policy consumes.
+func annotateFor(t *testing.T, prog *asm.Program, bcfg core.Config) {
+	t.Helper()
+	var err error
+	switch bcfg.Policy {
+	case core.PolicyCompilerHints:
+		_, err = compiler.Annotate(prog, bcfg.IW)
+	case core.PolicyCARFC:
+		_, err = compiler.AnnotateCARFC(prog)
+	case core.PolicyLTRF:
+		_, err = compiler.AnnotateLTRF(prog, bcfg.Capacity)
+	case core.PolicySCRF:
+		_, err = compiler.AnnotateSCRF(prog)
+	}
+	if err != nil {
+		t.Fatalf("annotate %v: %v", bcfg.Policy, err)
+	}
+}
+
 func runKernel(t *testing.T, src string, grid, block int, params []uint32,
 	init func(*mem.Memory), bcfg core.Config, hints bool) (*Result, *mem.Memory) {
 	t.Helper()
@@ -88,9 +121,7 @@ func runKernel(t *testing.T, src string, grid, block int, params []uint32,
 		t.Fatalf("parse: %v", err)
 	}
 	if hints {
-		if _, err := compiler.Annotate(prog, bcfg.IW); err != nil {
-			t.Fatalf("annotate: %v", err)
-		}
+		annotateFor(t, prog, bcfg)
 	}
 	m := mem.NewMemory()
 	if init != nil {
@@ -117,6 +148,13 @@ func allPolicies() []core.Config {
 		{IW: 3, Capacity: 6, Policy: core.PolicyCompilerHints}, // half-size BOC
 		{IW: 2, Policy: core.PolicyWriteBack},
 		{IW: 5, Policy: core.PolicyWriteBack},
+		// Rival register-file architectures at their default design
+		// points, plus a tiny carfc to stress capacity eviction.
+		carfc.Config(carfc.DefaultEntriesPerWarp),
+		carfc.Config(2),
+		ltrf.Config(ltrf.DefaultEntriesPerWarp),
+		ltrf.Config(3),
+		scrf.Config(),
 	}
 }
 
@@ -130,7 +168,7 @@ func TestVecAddAllPolicies(t *testing.T) {
 		}
 	}
 	for _, bcfg := range allPolicies() {
-		hints := bcfg.Policy == core.PolicyCompilerHints
+		hints := policyHints(bcfg.Policy)
 		res, m := runKernel(t, vecaddSrc, grid, block, []uint32{baseA, baseB, baseC}, init, bcfg, hints)
 		for i := 0; i < n; i++ {
 			got, _ := m.Read32(baseC + uint32(4*i))
@@ -149,7 +187,7 @@ func TestLoopKernelAllPolicies(t *testing.T) {
 	const grid, block, n = 2, 64, 2 * 64
 	base := uint32(0x4000)
 	for _, bcfg := range allPolicies() {
-		hints := bcfg.Policy == core.PolicyCompilerHints
+		hints := policyHints(bcfg.Policy)
 		_, m := runKernel(t, loopSrc, grid, block, []uint32{base}, nil, bcfg, hints)
 		for cta := 0; cta < grid; cta++ {
 			for tid := 0; tid < block; tid++ {
@@ -167,7 +205,7 @@ func TestDivergenceAllPolicies(t *testing.T) {
 	const grid, block = 1, 64
 	base := uint32(0x5000)
 	for _, bcfg := range allPolicies() {
-		hints := bcfg.Policy == core.PolicyCompilerHints
+		hints := policyHints(bcfg.Policy)
 		res, m := runKernel(t, divergeSrc, grid, block, []uint32{base}, nil, bcfg, hints)
 		for tid := 0; tid < block; tid++ {
 			got, _ := m.Read32(base + uint32(4*tid))
@@ -210,10 +248,12 @@ func TestBypassImprovesIPC(t *testing.T) {
 
 // TestRegisterOracle: final effective register state must be identical
 // across all value-preserving policies (baseline, write-through,
-// write-back) — bit-exact functional equivalence. Compiler-hint policies
-// legitimately drop *dead* transient values (the paper never allocates
-// them in the RF), so they are covered by the memory-state oracle in the
-// other tests instead.
+// write-back, ltrf — which drains every dirty value at interval
+// boundaries — and scrf, whose compression is accounting-only) —
+// bit-exact functional equivalence. Policies with compiler-directed
+// dead drops (bow-wr, carfc) legitimately discard *dead* transient
+// values (the paper never allocates them in the RF), so they are
+// covered by the memory-state oracle in the other tests instead.
 func TestRegisterOracle(t *testing.T) {
 	const grid, block = 2, 64
 	base := uint32(0x4000)
@@ -224,15 +264,15 @@ func TestRegisterOracle(t *testing.T) {
 		{IW: 2, Policy: core.PolicyWriteBack},
 		{IW: 5, Policy: core.PolicyWriteBack},
 		{IW: 3, Capacity: 3, Policy: core.PolicyWriteBack}, // tiny BOC stress
+		ltrf.Config(ltrf.DefaultEntriesPerWarp),
+		ltrf.Config(3), // tiny buffer: frequent capacity-split intervals
+		scrf.Config(),
 	}
 	var ref map[[2]int][]core.Value
 	for i, bcfg := range policies {
 		prog := asm.MustParse(loopSrc)
-		hints := bcfg.Policy == core.PolicyCompilerHints
-		if hints {
-			if _, err := compiler.Annotate(prog, bcfg.IW); err != nil {
-				t.Fatal(err)
-			}
+		if policyHints(bcfg.Policy) {
+			annotateFor(t, prog, bcfg)
 		}
 		m := mem.NewMemory()
 		k := &sm.Kernel{Program: prog, GridDim: grid, BlockDim: block, Params: []uint32{base}}

@@ -6,9 +6,11 @@ import (
 	"testing"
 
 	"bow/internal/asm"
-	"bow/internal/compiler"
+	"bow/internal/carfc"
 	"bow/internal/core"
+	"bow/internal/ltrf"
 	"bow/internal/mem"
+	"bow/internal/scrf"
 	"bow/internal/sm"
 )
 
@@ -32,6 +34,9 @@ func TestLoopDifferentialFuzz(t *testing.T) {
 		{IW: 3, Policy: core.PolicyWriteBack},
 		{IW: 3, Policy: core.PolicyCompilerHints},
 		{IW: 2, Capacity: 2, Policy: core.PolicyWriteBack}, // tiny BOC stress
+		carfc.Config(2),
+		ltrf.Config(3),
+		scrf.Config(),
 	}
 	for trial := 0; trial < trials; trial++ {
 		src := genKernel(r)
@@ -43,10 +48,8 @@ func TestLoopDifferentialFuzz(t *testing.T) {
 				if err != nil {
 					t.Fatalf("trial %d: generated invalid kernel: %v\n%s", trial, err, src)
 				}
-				if bcfg.Policy == core.PolicyCompilerHints {
-					if _, err := compiler.Annotate(prog, bcfg.IW); err != nil {
-						t.Fatal(err)
-					}
+				if policyHints(bcfg.Policy) {
+					annotateFor(t, prog, bcfg)
 				}
 				m := mem.NewMemory()
 				k := &sm.Kernel{Program: prog, GridDim: grid, BlockDim: block,

@@ -102,7 +102,7 @@ func TestPredicatedExecution(t *testing.T) {
   exit
 `
 	for _, bcfg := range allPolicies() {
-		hints := bcfg.Policy == core.PolicyCompilerHints
+		hints := policyHints(bcfg.Policy)
 		_, m := runKernel(t, src, 1, 32, []uint32{0x3000}, nil, bcfg, hints)
 		for tid := 0; tid < 32; tid++ {
 			got, _ := m.Read32(0x3000 + uint32(4*tid))
@@ -318,7 +318,7 @@ JOIN:
   exit
 `
 	for _, bcfg := range allPolicies() {
-		hints := bcfg.Policy == core.PolicyCompilerHints
+		hints := policyHints(bcfg.Policy)
 		_, m := runKernel(t, src, 1, 32, []uint32{0x6000}, nil, bcfg, hints)
 		want := []uint32{4, 1, 2, 3}
 		for tid := 0; tid < 32; tid++ {

@@ -7,11 +7,14 @@ import (
 	"reflect"
 	"testing"
 
+	"bow/internal/carfc"
 	"bow/internal/compiler"
 	"bow/internal/config"
 	"bow/internal/core"
 	"bow/internal/gpu"
+	"bow/internal/ltrf"
 	"bow/internal/mem"
+	"bow/internal/scrf"
 	"bow/internal/sm"
 	"bow/internal/trace"
 	"bow/internal/workloads"
@@ -27,10 +30,19 @@ func snapDevice(t *testing.T, bench string, bcfg core.Config, prime bool) *gpu.D
 		t.Fatal(err)
 	}
 	prog := b.Program()
-	if bcfg.Policy == core.PolicyCompilerHints {
-		if _, err := compiler.Annotate(prog, bcfg.IW); err != nil {
-			t.Fatal(err)
-		}
+	var aerr error
+	switch bcfg.Policy {
+	case core.PolicyCompilerHints:
+		_, aerr = compiler.Annotate(prog, bcfg.IW)
+	case core.PolicyCARFC:
+		_, aerr = compiler.AnnotateCARFC(prog)
+	case core.PolicyLTRF:
+		_, aerr = compiler.AnnotateLTRF(prog, bcfg.Capacity)
+	case core.PolicySCRF:
+		_, aerr = compiler.AnnotateSCRF(prog)
+	}
+	if aerr != nil {
+		t.Fatal(aerr)
 	}
 	m := mem.NewMemory()
 	if prime && b.Init != nil {
@@ -68,6 +80,9 @@ func TestSnapshotRestoreDifferential(t *testing.T) {
 		{Policy: core.PolicyBaseline},
 		{IW: 2, Policy: core.PolicyWriteThrough},
 		{IW: 3, Policy: core.PolicyCompilerHints},
+		carfc.Config(carfc.DefaultEntriesPerWarp),
+		ltrf.Config(ltrf.DefaultEntriesPerWarp),
+		scrf.Config(),
 	}
 	for _, bench := range benches {
 		for _, bcfg := range policies {

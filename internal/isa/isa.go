@@ -234,6 +234,26 @@ type Instruction struct {
 	// WBHint is the compiler-assigned write-back destination (BOW-WR).
 	WBHint WritebackHint
 
+	// SrcLastUse is the CARFC last-use hint: bit i set means source
+	// operand position i reads its register for the last time (the
+	// register is dead immediately after this instruction on every
+	// path). The carfc engine deallocates the cache entry on such a
+	// read. Zero (no hint) is always sound.
+	SrcLastUse uint8
+	// Interval is the LTRF prefetch-interval index of this instruction
+	// (monotonically increasing within a warp's dynamic stream; the
+	// compiler cuts intervals at block boundaries and working-set
+	// limits). The ltrf engine drains its buffer at each interval
+	// boundary. Zero is a valid interval; non-LTRF kernels leave it 0.
+	Interval int32
+	// DstNarrow / SrcNarrow are the SCRF static-compression hints:
+	// DstNarrow marks a destination whose value provably fits the
+	// narrow encoding; SrcNarrow bit i marks source position i reading
+	// a narrow register. They steer energy accounting only — the scrf
+	// policy never changes values or timing.
+	DstNarrow bool
+	SrcNarrow uint8
+
 	// Haz caches the hazard-check masks (FinalizeHazards); the
 	// scoreboard consults it on every issue-candidate scan. Valid only
 	// when HazValid is set — a hand-built Instruction without the cache
@@ -321,6 +341,39 @@ func (in *Instruction) UniqueSrcRegs() ([MaxSrcOperands]uint8, int) {
 		}
 	}
 	return out, n
+}
+
+// LastUseOf reports whether register r is marked last-use by this
+// instruction's CARFC hints: every source position holding r must
+// carry the bit (the compiler sets all positions of a register
+// together, so checking any would do — requiring all keeps a
+// hand-built partial mask conservative).
+func (in *Instruction) LastUseOf(r uint8) bool {
+	found := false
+	for i := 0; i < in.NSrc; i++ {
+		if in.Srcs[i].IsReg() && in.Srcs[i].Reg == r {
+			if in.SrcLastUse&(1<<i) == 0 {
+				return false
+			}
+			found = true
+		}
+	}
+	return found
+}
+
+// SrcNarrowOf reports whether register r is marked narrow at every
+// source position holding it (SCRF compression hint).
+func (in *Instruction) SrcNarrowOf(r uint8) bool {
+	found := false
+	for i := 0; i < in.NSrc; i++ {
+		if in.Srcs[i].IsReg() && in.Srcs[i].Reg == r {
+			if in.SrcNarrow&(1<<i) == 0 {
+				return false
+			}
+			found = true
+		}
+	}
+	return found
 }
 
 // DstReg returns the destination GPR and true, or 0,false when the

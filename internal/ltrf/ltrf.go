@@ -1,0 +1,43 @@
+// Package ltrf configures the latency-tolerant register file
+// comparator (Sadrosadati et al., arXiv 2010.09330): the compiler
+// partitions each basic block into prefetch intervals whose
+// distinct-register working set fits a small operand buffer, the first
+// touch of a register in an interval fetches it from the RF (the
+// software-managed prefetch), later touches hit the buffer, and the
+// buffer drains dirty values back to the RF at every interval
+// boundary. The design tolerates RF access latency rather than port
+// serialization, so hits ride BOW's forwarding network (no
+// ForwardThroughPort).
+package ltrf
+
+import "bow/internal/core"
+
+// DefaultEntriesPerWarp sizes the per-warp operand buffer. Eight
+// entries comfortably hold the working set of the compiler's default
+// intervals (three-source ISA, a handful of instructions per
+// interval).
+const DefaultEntriesPerWarp = 8
+
+// noWindow disables the nominal instruction window: the buffer is
+// managed by interval boundaries and capacity, never by instruction
+// distance.
+const noWindow = 1 << 30
+
+// Config returns the core configuration modeling an LTRF with the
+// given number of warp-register buffer entries per warp.
+func Config(entriesPerWarp int) core.Config {
+	if entriesPerWarp <= 0 {
+		entriesPerWarp = DefaultEntriesPerWarp
+	}
+	return core.Config{
+		IW:       noWindow,
+		Capacity: entriesPerWarp,
+		Policy:   core.PolicyLTRF,
+	}
+}
+
+// StorageBytes is the added storage of the operand buffer across an
+// SM's warps: entries × 128 B per warp.
+func StorageBytes(entriesPerWarp, warps int) int {
+	return entriesPerWarp * 128 * warps
+}

@@ -1,0 +1,21 @@
+// Package scrf configures the statically-compressed register file
+// comparator (Angerd et al., arXiv 2006.05693): the compiler proves
+// which architectural registers only ever hold narrow (16-bit) values
+// and the register file stores those compressed, halving the bank
+// energy of their accesses. The design buffers nothing and changes no
+// timing — functionally it is the baseline — so its core.Config is a
+// non-bypassing policy whose only effect is the compressed-access
+// accounting the energy model consumes.
+package scrf
+
+import "bow/internal/core"
+
+// Config returns the core configuration modeling an SCRF.
+func Config() core.Config {
+	return core.Config{Policy: core.PolicySCRF}
+}
+
+// StorageBytes is the added storage of the design: none — compression
+// reuses the existing banks (the paper's decompressor area is not
+// modeled).
+func StorageBytes() int { return 0 }

@@ -219,7 +219,7 @@ func (e *Engine) runBatchChunk(ctx context.Context, specs []JobSpec, hashes []st
 		if err != nil {
 			return nil, err
 		}
-		pk, err := artifact.Default.Kernel(artifact.KeyFor(sp.Bench, sp.Reorder, sp.Policy == PolicyBOWWR, bcfg.IW))
+		pk, err := artifact.Default.Kernel(kernelKey(sp, bcfg))
 		if err != nil {
 			return nil, err
 		}

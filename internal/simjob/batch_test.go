@@ -11,10 +11,12 @@ import (
 )
 
 // batchDiffSweep is the differential grid: three workloads under the
-// baseline and both BOW policies, two window sizes.
+// baseline, both BOW policies, and the rival register-file
+// architectures (whose points collapse the IW axis like baseline does —
+// the engine's dedup layers absorb the duplicate hashes).
 var batchDiffSweep = SweepSpec{
 	Benches:  []string{"VECTORADD", "LIB", "SAD"},
-	Policies: []string{PolicyBaseline, PolicyBOWWT, PolicyBOWWR},
+	Policies: []string{PolicyBaseline, PolicyBOWWT, PolicyBOWWR, PolicyCARFC, PolicyLTRF, PolicySCRF},
 	IWs:      []int{2, 4},
 }
 

@@ -308,3 +308,104 @@ func TestDiskCacheCorruptionIsAMiss(t *testing.T) {
 		})
 	}
 }
+
+// TestCheckpointResumeNewPolicies extends the resume invariant to the
+// rival architectures: pausing and resuming a carfc, ltrf, or scrf job
+// must reproduce the cold run byte for byte. ltrf is the sharpest case
+// — its snapshot must carry the prefetch-interval counter and buffer
+// contents, or the resumed run drains at the wrong cycles.
+func TestCheckpointResumeNewPolicies(t *testing.T) {
+	for _, policy := range []string{PolicyCARFC, PolicyLTRF, PolicySCRF} {
+		t.Run(policy, func(t *testing.T) {
+			t.Parallel()
+			spec := JobSpec{Bench: "SAD", Policy: policy}
+			cold, err := Execute(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := cold.Summary.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range []int64{1, 2, 3} {
+				at := cold.Summary.Cycles * q / 4
+				if at < 1 {
+					at = 1
+				}
+				paused, err := ExecuteUntil(context.Background(), spec, nil, at)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !paused.Interrupted || len(paused.Checkpoint) == 0 {
+					t.Fatalf("@%d: interrupted=%v checkpoint=%d bytes",
+						at, paused.Interrupted, len(paused.Checkpoint))
+				}
+				resumeSpec := spec
+				resumeSpec.FromCheckpoint = paused.Checkpoint
+				resumed, err := Execute(context.Background(), resumeSpec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := resumed.Summary.CanonicalJSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(want, got) {
+					t.Errorf("@%d: resumed run diverged from cold run:\n%s\n%s", at, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestRunSweepForkedCrossPolicy is the regression test for the fork
+// planner's warm-up contract: the shared prefix always simulates under
+// the *baseline* policy, and its snapshot (empty operand windows,
+// engine interval -1) must restore into every rival architecture's
+// engine — carfc's capacity cache, ltrf's prefetch buffer, scrf's
+// compression accounting — exactly as a cold start would. A policy the
+// warm-up snapshot cannot feed would surface here as a failed item.
+func TestRunSweepForkedCrossPolicy(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 4})
+	const warm = 64
+	sw := SweepSpec{
+		Benches:      []string{"SAD"},
+		Policies:     []string{PolicyBaseline, PolicyBOWWB, PolicyRFC, PolicyCARFC, PolicyLTRF, PolicySCRF},
+		ForkPrefix:   true,
+		WarmupCycles: warm,
+	}
+	res, err := e.RunSweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		for _, it := range res.Items {
+			if it.Error != "" {
+				t.Errorf("%s/%s: %s", it.Spec.Bench, it.Spec.Policy, it.Error)
+			}
+		}
+		t.Fatalf("cross-policy forked sweep failed %d/%d items", res.Failed, res.Jobs)
+	}
+	if res.ForkGroups != 1 {
+		t.Errorf("ForkGroups = %d, want 1 (one bench, one prefix class)", res.ForkGroups)
+	}
+	if want := int64(warm * (len(sw.Policies) - 1)); res.ReusedCycles != want {
+		t.Errorf("ReusedCycles = %d, want %d", res.ReusedCycles, want)
+	}
+	for _, it := range res.Items {
+		if it.Cached != "forked" {
+			t.Errorf("%s not forked (cached=%q)", it.Spec.Policy, it.Cached)
+		}
+		if it.Result == nil {
+			t.Fatalf("%s has no result", it.Spec.Policy)
+		}
+		// The functional self-check is the oracle that the restored
+		// engine still computes the right answer.
+		if !it.Result.Checked {
+			t.Errorf("%s skipped the functional self-check", it.Spec.Policy)
+		}
+		if it.Result.ReusedCycles != warm {
+			t.Errorf("%s ReusedCycles = %d, want %d", it.Spec.Policy, it.Result.ReusedCycles, warm)
+		}
+	}
+}

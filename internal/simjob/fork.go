@@ -197,7 +197,7 @@ func warmupSnapshot(ctx context.Context, c forkClass, until int64) ([]byte, int6
 	// Warm-ups draw from the shared artifact layer like any other cold
 	// run: only forkable specs reach here (no Reorder, baseline policy),
 	// so the kernel key is the plain parsed program.
-	pk, err := artifact.Default.Kernel(artifact.KeyFor(spec.Bench, false, false, bcfg.IW))
+	pk, err := artifact.Default.Kernel(artifact.KeyFor(spec.Bench, false, artifact.HintsNone, 0))
 	if err != nil {
 		return nil, 0, err
 	}

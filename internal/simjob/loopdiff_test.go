@@ -7,8 +7,10 @@ import (
 )
 
 // loopDiffPolicies is every policy family the cycle loop serves; the
-// optimized loop must be bit-identical under all of them.
-var loopDiffPolicies = []string{PolicyBaseline, PolicyBOWWT, PolicyBOWWB, PolicyBOWWR}
+// optimized loop must be bit-identical under all of them. Deriving the
+// roster from the alias table keeps a newly added architecture from
+// silently escaping the loop differential.
+var loopDiffPolicies = AllPolicies()
 
 // TestLoopDifferential runs real workloads under the optimized cycle
 // loop and the in-tree reference loop (the seed's map calendar and

@@ -34,6 +34,69 @@ type SimRateReport struct {
 	Points      []SimRatePoint   `json:"points"`
 	ForkedSweep *ForkedSweepRate `json:"forked_sweep,omitempty"`
 	BatchSweep  *BatchSweepRate  `json:"batch_sweep,omitempty"`
+	CrossPolicy *CrossPolicyRate `json:"cross_policy,omitempty"`
+}
+
+// CrossPolicyRate is one measured run of the full architecture race:
+// every canonical policy (AllPolicies) on every tracked workload,
+// expanded as one sweep and executed on the worker pool. Its presence
+// in the report certifies the race completed with every point passing
+// its functional self-check; the throughput is the aggregate over the
+// whole roster.
+type CrossPolicyRate struct {
+	Benches      []string `json:"benches"`
+	Policies     []string `json:"policies"`
+	Workers      int      `json:"workers"`
+	Points       int      `json:"points"`
+	SimCycles    int64    `json:"sim_cycles"`
+	WallSec      float64  `json:"wall_sec"`
+	CyclesPerSec float64  `json:"cycles_per_sec"`
+}
+
+// MeasureCrossPolicyRate races the full policy roster over benches as
+// one sweep per round on a fresh engine (no result cache between
+// rounds), reporting the best wall time. Any failed point fails the
+// measurement.
+func MeasureCrossPolicyRate(benches []string, workers, rounds int) (*CrossPolicyRate, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if rounds <= 0 {
+		rounds = 3
+	}
+	sw := SweepSpec{Benches: benches, Policies: AllPolicies()}
+	out := &CrossPolicyRate{Benches: benches, Policies: AllPolicies(), Workers: workers}
+	for r := 0; r < rounds; r++ {
+		e, err := New(Options{Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := e.RunSweep(context.Background(), sw)
+		wall := time.Since(start).Seconds()
+		e.Close()
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range res.Items {
+			if it.Error != "" {
+				return nil, fmt.Errorf("cross-policy %s/%s: %s", it.Spec.Bench, it.Spec.Policy, it.Error)
+			}
+		}
+		if r == 0 {
+			out.Points = res.Jobs
+			for _, it := range res.Items {
+				out.SimCycles += it.Result.Cycles
+			}
+		}
+		if r == 0 || wall < out.WallSec {
+			out.WallSec = wall
+		}
+	}
+	if out.WallSec > 0 {
+		out.CyclesPerSec = float64(out.SimCycles) / out.WallSec
+	}
+	return out, nil
 }
 
 // ForkedSweepRate is one measured comparison of an instruction-window
@@ -424,6 +487,18 @@ func WriteSimRateReport(path string, workloads, policies []string,
 			progress(fmt.Sprintf("forked sweep: %d pts, %d groups, %d cycles reused — cold %.2fs vs forked %.2fs (%.2fx)",
 				fr.Points, fr.ForkGroups, fr.ReusedCycles, fr.ColdWallSec, fr.ForkedWallSec, fr.Gain))
 		}
+	}
+	// The cross-policy race always rides along: one sweep over the full
+	// architecture roster, certifying every policy still completes and
+	// self-checks on the tracked workloads.
+	xr, err := MeasureCrossPolicyRate(workloads, 0, 0)
+	if err != nil {
+		return fmt.Errorf("cross-policy rate: %w", err)
+	}
+	rep.CrossPolicy = xr
+	if progress != nil {
+		progress(fmt.Sprintf("cross-policy race: %d pts over %d policies — %.2fs (%.0f cyc/s)",
+			xr.Points, len(xr.Policies), xr.WallSec, xr.CyclesPerSec))
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -15,10 +15,14 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strings"
 
+	"bow/internal/carfc"
 	"bow/internal/config"
 	"bow/internal/core"
+	"bow/internal/ltrf"
 	"bow/internal/rfc"
+	"bow/internal/scrf"
 	"bow/internal/workloads"
 )
 
@@ -30,24 +34,66 @@ const (
 	PolicyBOWWB    = "bow-wb"
 	PolicyBOWWR    = "bow-wr"
 	PolicyRFC      = "rfc"
+	PolicyCARFC    = "carfc"
+	PolicyLTRF     = "ltrf"
+	PolicySCRF     = "scrf"
 )
+
+// policyAliases is the single table every policy spelling flows
+// through: canonical name first, aliases after. CanonicalPolicy, its
+// error message, cmd/bowsim's -policy usage text, and the sweep/
+// experiment policy enumerations all derive from it, so a new policy
+// (or spelling) lands everywhere at once and the pieces cannot drift.
+var policyAliases = []struct {
+	Canonical string
+	Aliases   []string
+}{
+	{PolicyBaseline, nil},
+	{PolicyBOWWT, []string{"bow", "write-through"}},
+	{PolicyBOWWB, []string{"write-back"}},
+	{PolicyBOWWR, []string{"hints", "compiler"}},
+	{PolicyRFC, nil},
+	{PolicyCARFC, nil},
+	{PolicyLTRF, nil},
+	{PolicySCRF, nil},
+}
+
+// AllPolicies returns the canonical policy names in declaration order
+// — the full architecture roster a cross-policy sweep races.
+func AllPolicies() []string {
+	out := make([]string, len(policyAliases))
+	for i, p := range policyAliases {
+		out[i] = p.Canonical
+	}
+	return out
+}
+
+// PolicySpellings renders every accepted spelling, canonical forms
+// first within each group, as a "a|b|c" usage string. cmd/bowsim's
+// -policy flag help and CanonicalPolicy's error share it.
+func PolicySpellings() string {
+	var parts []string
+	for _, p := range policyAliases {
+		parts = append(parts, p.Canonical)
+		parts = append(parts, p.Aliases...)
+	}
+	return strings.Join(parts, "|")
+}
 
 // CanonicalPolicy maps the user-facing policy spellings (shared with
 // cmd/bowsim) onto the canonical names the spec hash uses.
 func CanonicalPolicy(s string) (string, error) {
-	switch s {
-	case "baseline":
-		return PolicyBaseline, nil
-	case "bow", "bow-wt", "write-through":
-		return PolicyBOWWT, nil
-	case "bow-wb", "write-back":
-		return PolicyBOWWB, nil
-	case "bow-wr", "hints", "compiler":
-		return PolicyBOWWR, nil
-	case "rfc":
-		return PolicyRFC, nil
+	for _, p := range policyAliases {
+		if s == p.Canonical {
+			return p.Canonical, nil
+		}
+		for _, a := range p.Aliases {
+			if s == a {
+				return p.Canonical, nil
+			}
+		}
 	}
-	return "", fmt.Errorf("simjob: unknown policy %q (baseline|bow|bow-wb|bow-wr|rfc)", s)
+	return "", fmt.Errorf("simjob: unknown policy %q (%s)", s, PolicySpellings())
 }
 
 // JobSpec is one point of the design space: a kernel under one bypass
@@ -139,6 +185,43 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 		if s.BeyondWindow || s.NoExtend {
 			return s, fmt.Errorf("simjob: BeyondWindow/NoExtend do not apply to rfc")
 		}
+	case PolicyCARFC:
+		// Compiler-assisted RF cache: capacity-managed like rfc, no
+		// nominal window, no ablations. Reorder would need a window for
+		// its reuse-distance scheduling, which this policy doesn't have.
+		s.IW = 0
+		if s.Capacity == 0 {
+			s.Capacity = carfc.DefaultEntriesPerWarp
+		}
+		if s.BeyondWindow || s.NoExtend {
+			return s, fmt.Errorf("simjob: BeyondWindow/NoExtend do not apply to carfc")
+		}
+		if s.Reorder {
+			return s, fmt.Errorf("simjob: Reorder does not apply to carfc")
+		}
+	case PolicyLTRF:
+		// Latency-tolerant RF: the buffer capacity parametrizes both the
+		// engine and the compiler's interval partition.
+		s.IW = 0
+		if s.Capacity == 0 {
+			s.Capacity = ltrf.DefaultEntriesPerWarp
+		}
+		if s.BeyondWindow || s.NoExtend {
+			return s, fmt.Errorf("simjob: BeyondWindow/NoExtend do not apply to ltrf")
+		}
+		if s.Reorder {
+			return s, fmt.Errorf("simjob: Reorder does not apply to ltrf")
+		}
+	case PolicySCRF:
+		// Statically-compressed RF: baseline timing, no window knobs at
+		// all.
+		s.IW, s.Capacity = 0, 0
+		if s.BeyondWindow || s.NoExtend {
+			return s, fmt.Errorf("simjob: BeyondWindow/NoExtend do not apply to scrf")
+		}
+		if s.Reorder {
+			return s, fmt.Errorf("simjob: Reorder does not apply to scrf")
+		}
 	default:
 		if s.IW == 0 {
 			s.IW = 3
@@ -203,6 +286,12 @@ func (s JobSpec) coreConfig() (core.Config, error) {
 		bcfg = core.Config{Policy: core.PolicyCompilerHints}
 	case PolicyRFC:
 		return rfc.Config(s.Capacity).Normalize()
+	case PolicyCARFC:
+		return carfc.Config(s.Capacity).Normalize()
+	case PolicyLTRF:
+		return ltrf.Config(s.Capacity).Normalize()
+	case PolicySCRF:
+		return scrf.Config().Normalize()
 	default:
 		return bcfg, fmt.Errorf("simjob: unknown policy %q", s.Policy)
 	}
@@ -213,6 +302,29 @@ func (s JobSpec) coreConfig() (core.Config, error) {
 		bcfg.NoExtend = s.NoExtend
 	}
 	return bcfg.Normalize()
+}
+
+// DefaultPolicyConfig returns the canonical window configuration a
+// bare spec of the given policy (any accepted spelling) normalizes to:
+// the paper's IW=3 window for the BOW variants, each comparator's
+// sibling-package default capacity otherwise. The prewarm set and the
+// cross-policy experiment derive one design point per architecture
+// through it, so the roster tracks AllPolicies automatically.
+func DefaultPolicyConfig(policy string) (core.Config, error) {
+	p, err := CanonicalPolicy(policy)
+	if err != nil {
+		return core.Config{}, err
+	}
+	s := JobSpec{Policy: p}
+	switch p {
+	case PolicyBOWWT, PolicyBOWWB, PolicyBOWWR:
+		// Normalize's defaults for the windowed policies; the
+		// capacity-managed comparators default inside their Config
+		// constructors.
+		s.IW = 3
+		s.Capacity = 4 * s.IW
+	}
+	return s.coreConfig()
 }
 
 // gpuConfig builds the chip configuration: SimDefault with the spec's
@@ -235,6 +347,32 @@ func (s JobSpec) gpuConfig() config.GPU {
 func SpecFromConfig(bench string, bcfg core.Config, sms int, scheduler string, maxCycles int64) (JobSpec, bool) {
 	s := JobSpec{
 		Bench: bench, SMs: sms, Scheduler: scheduler, MaxCycles: maxCycles,
+	}
+	// The cache-shaped rivals are recognized by round-tripping through
+	// their sibling package's canonical Config — anything hand-built
+	// that deviates (say, carfc without ForwardThroughPort) is not a
+	// spec-expressible design point and falls back to inline simulation.
+	switch bcfg.Policy {
+	case core.PolicyCARFC:
+		ref, err := carfc.Config(bcfg.Capacity).Normalize()
+		if err != nil || ref != bcfg {
+			return JobSpec{}, false
+		}
+		s.Policy, s.Capacity = PolicyCARFC, bcfg.Capacity
+		return s, true
+	case core.PolicyLTRF:
+		ref, err := ltrf.Config(bcfg.Capacity).Normalize()
+		if err != nil || ref != bcfg {
+			return JobSpec{}, false
+		}
+		s.Policy, s.Capacity = PolicyLTRF, bcfg.Capacity
+		return s, true
+	case core.PolicySCRF:
+		if bcfg != (core.Config{Policy: core.PolicySCRF}) {
+			return JobSpec{}, false
+		}
+		s.Policy = PolicySCRF
+		return s, true
 	}
 	if bcfg.ForwardThroughPort {
 		ref, err := rfc.Config(bcfg.Capacity).Normalize()

@@ -257,7 +257,8 @@ func (s *SM) buildEngines() error {
 		wslot := w
 		eng, err := core.NewEngine(s.bcfg, func(reg uint8, val core.Value, cause core.WriteCause) {
 			if s.Tracer != nil &&
-				(cause == core.CauseWindowEvict || cause == core.CauseCapacityEvict) {
+				(cause == core.CauseWindowEvict || cause == core.CauseCapacityEvict ||
+					cause == core.CauseIntervalDrain) {
 				s.Tracer.Emit(s.cycle, s.id, wslot, trace.EvBOCEvict, int32(reg))
 			}
 			// Functional value propagates instantly so Peek-based merge

@@ -38,7 +38,13 @@ const Magic = "BOWSNAP1"
 // refuses any other version: state layout is tied to simulator
 // internals, and silently reinterpreting an old layout would break the
 // bit-identity guarantee the format exists to provide.
-const FormatVersion uint32 = 1
+//
+// Version history:
+//
+//	1 — initial format
+//	2 — window engines carry a prefetch-interval counter and the
+//	    extended stats block (carfc/ltrf/scrf policy counters)
+const FormatVersion uint32 = 2
 
 // maxSnapshotBytes bounds how much a decoder will buffer: a defensive
 // cap against corrupt length fields, far above any real snapshot (the
