@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cluster-smoke trace-smoke failover-smoke bench bench-all repro examples cover clean
+.PHONY: all build vet lint lint-fix-check test race cluster-smoke trace-smoke failover-smoke bench bench-all repro examples cover clean
 
 all: build lint test
 
@@ -16,14 +16,25 @@ bin/bowvet: $(wildcard cmd/bowvet/*.go internal/analysis/*.go) go.mod
 	$(GO) build -o bin/bowvet ./cmd/bowvet
 
 # lint is the full static gate: stock go vet first, then the repo's own
-# invariant passes (determinism, hotpathalloc, nilguardtrace, locksafe)
-# driven through the same vet harness. `go run ./cmd/bowvet ./...` is
-# the cache-free equivalent of the second step.
+# invariant passes (determinism, hotpathalloc, nilguardtrace, locksafe,
+# statecover, resetcover, policyexhaustive, annotcheck) driven through
+# the same vet harness. `go run ./cmd/bowvet ./...` is the cache-free
+# equivalent of the second step; add `-json` there for the flat
+# machine-readable findings array.
 lint: bin/bowvet
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(CURDIR)/bin/bowvet ./...
 
 vet: lint
+
+# lint-fix-check guards the annotation layer the coverage passes stand
+# on: annotcheck (typoed directives, missing reasons, dangling and
+# stale markers) over the whole tree, then the per-pass fixture tests
+# and the repository-clean proof. Run it after editing any //bow:
+# annotation, a policy roster, or an analysis pass.
+lint-fix-check:
+	$(GO) run ./cmd/bowvet -pass annotcheck ./...
+	$(GO) test -run 'Fixture|RepositoryClean' ./internal/analysis/
 
 # The default test gate includes lint, the race detector, and the
 # failover differential smoke: the job engine (internal/simjob)

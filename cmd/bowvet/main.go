@@ -1,6 +1,7 @@
 // Command bowvet is the repo's invariant checker: a multichecker of
-// the four internal/analysis passes (determinism, hotpathalloc,
-// nilguardtrace, locksafe).
+// the internal/analysis passes (determinism, hotpathalloc,
+// nilguardtrace, locksafe, statecover, resetcover, policyexhaustive,
+// annotcheck).
 //
 // Two invocation modes:
 //
@@ -13,6 +14,11 @@
 // with a JSON .cfg file naming the sources and the export data of
 // every import, and expects diagnostics on stderr with exit status 2
 // (or a JSON object on stdout under -json).
+//
+// -json is mode-sensitive: under the vettool protocol it emits the
+// unitchecker tree the go command expects; standalone it emits a flat
+// findings array — [{"file","line","col","pass","message"}, ...] —
+// for CI annotators and editor integrations.
 //
 // Exit status: 0 clean, 1 usage/load failure, 2 diagnostics reported.
 package main
@@ -113,15 +119,43 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer, asJSON boo
 		os.Exit(1)
 	}
 	var diags []analysis.Diagnostic
-	byPkg := map[string][]analysis.Diagnostic{}
 	for _, pkg := range pkgs {
-		ds := analysis.Run(pkg, analyzers)
-		diags = append(diags, ds...)
-		if len(ds) > 0 {
-			byPkg[pkg.Path] = ds
-		}
+		diags = append(diags, analysis.Run(pkg, analyzers)...)
 	}
-	emit(diags, byPkg, asJSON)
+	if asJSON {
+		emitFlatJSON(diags)
+		return
+	}
+	emit(diags, nil, false)
+}
+
+// emitFlatJSON prints the standalone machine-readable form: a flat,
+// position-sorted findings array. Exit 2 when any finding survived, so
+// scripted callers get the same verdict as the human-readable mode.
+func emitFlatJSON(diags []analysis.Diagnostic) {
+	type finding struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Pass    string `json:"pass"`
+		Message string `json:"message"`
+	}
+	sortDiags(diags)
+	findings := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, finding{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Pass: d.Analyzer, Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(findings); err != nil {
+		fatal(err)
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
 }
 
 // vetConfig mirrors the JSON the go command writes for its vet tool
@@ -226,6 +260,14 @@ func emit(diags []analysis.Diagnostic, byPkg map[string][]analysis.Diagnostic, a
 	if len(diags) == 0 {
 		return
 	}
+	sortDiags(diags)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	os.Exit(2)
+}
+
+func sortDiags(diags []analysis.Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -233,10 +275,6 @@ func emit(diags []analysis.Diagnostic, byPkg map[string][]analysis.Diagnostic, a
 		}
 		return a.Pos.Line < b.Pos.Line
 	})
-	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d.String())
-	}
-	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -1,7 +1,6 @@
 // Package analysis is a small, dependency-free static-analysis
 // framework in the spirit of golang.org/x/tools/go/analysis, carrying
-// the four passes that prove this repository's invariants at compile
-// time:
+// the passes that prove this repository's invariants at compile time:
 //
 //   - determinism: the simulation packages may not consult wall-clock
 //     time, global randomness, or goroutines, and map iteration with
@@ -17,6 +16,19 @@
 //     trace.SpanLog methods keep the nil-safe-receiver discipline.
 //   - locksafe: internal/cluster and internal/simjob may not copy
 //     locks or hold a mutex across channel operations or HTTP calls.
+//   - statecover: every field of a //bow:state struct must be written
+//     by the package's snapshot path and read by its restore path, or
+//     carry a //bow:derived / //bow:snapskip marker with a reason —
+//     the checkpoint-determinism contract as a build failure.
+//   - resetcover: the same coverage engine proves a //bow:state
+//     struct's Reset method assigns (or explicitly skips via
+//     //bow:resetskip) every field — the carcass-recycling contract.
+//   - policyexhaustive: switches/tables marked //bow:policyexhaustive
+//     must cover the full canonical policy roster (simjob's
+//     policyAliases, or core.Policy's constants).
+//   - annotcheck: the annotation layer itself — unknown directives,
+//     missing reasons, markers attached to nothing, and stale markers
+//     that contradict the code.
 //
 // The framework is deliberately tiny: an Analyzer runs over one
 // type-checked package and reports position-tagged diagnostics. It
@@ -55,9 +67,14 @@ type Analyzer struct {
 
 // A Pass is one Analyzer's view of one type-checked package.
 type Pass struct {
-	Analyzer  *Analyzer
-	Fset      *token.FileSet
-	Files     []*ast.File // files the pass may report on (non-test)
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File // files the pass may report on (non-test)
+	// AllFiles adds the test files that participated in type checking.
+	// Most passes report on Files only; policyexhaustive and annotcheck
+	// walk AllFiles because differential-test rosters and their markers
+	// live in _test.go files.
+	AllFiles  []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
@@ -86,7 +103,10 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full bowvet suite, in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Determinism, HotPathAlloc, NilGuardTrace, LockSafe}
+	return []*Analyzer{
+		Determinism, HotPathAlloc, NilGuardTrace, LockSafe,
+		StateCover, ResetCover, PolicyExhaustive, AnnotCheck,
+	}
 }
 
 // ByName resolves a pass name, for single-pass runs and tests.
@@ -121,6 +141,7 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Analyzer:  a,
 			Fset:      pkg.Fset,
 			Files:     pkg.Files,
+			AllFiles:  pkg.AllFiles,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
 			diags:     &diags,

@@ -178,3 +178,10 @@ func TestDeterminismFixture(t *testing.T)   { runFixture(t, Determinism, "determ
 func TestHotPathAllocFixture(t *testing.T)  { runFixture(t, HotPathAlloc, "hotpathalloc") }
 func TestNilGuardTraceFixture(t *testing.T) { runFixture(t, NilGuardTrace, "nilguardtrace") }
 func TestLockSafeFixture(t *testing.T)      { runFixture(t, LockSafe, "locksafe") }
+
+func TestStateCoverFixture(t *testing.T) { runFixture(t, StateCover, "statecover") }
+func TestResetCoverFixture(t *testing.T) { runFixture(t, ResetCover, "resetcover") }
+func TestPolicyExhaustiveFixture(t *testing.T) {
+	runFixture(t, PolicyExhaustive, "policyexhaustive")
+}
+func TestAnnotCheckFixture(t *testing.T) { runFixture(t, AnnotCheck, "annotcheck") }

@@ -23,6 +23,7 @@ type listPackage struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	ForTest    string // set on test variants: the package under test
 	DepOnly    bool
 	Standard   bool
 	Error      *struct{ Err string }
@@ -30,15 +31,22 @@ type listPackage struct {
 
 // Load type-checks the packages matching the patterns (resolved
 // relative to dir) and returns them ready for analysis. It shells out
-// to `go list -export -deps -json`, so the tree must compile — which
-// is exactly the precondition for proving anything about it. Imports
-// are satisfied from the build cache's export data; no network and no
-// third-party dependencies are involved.
+// to `go list -export -deps -test -json`, so the tree must compile —
+// which is exactly the precondition for proving anything about it.
+// Imports are satisfied from the build cache's export data; no network
+// and no third-party dependencies are involved.
+//
+// Listing with -test matters: policyexhaustive and annotcheck walk
+// test files (differential-test rosters live there), so each package
+// with in-package test files is analyzed in its test-augmented form —
+// the same unit `go vet` hands the vettool. The generated .test mains
+// are skipped, and the plain form is dropped when an augmented twin
+// exists so nothing is reported twice.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	args := append([]string{"list", "-e", "-export", "-deps", "-test", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
@@ -50,6 +58,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 	exports := map[string]string{}
 	var targets []listPackage
+	augmented := map[string]bool{} // packages with a test-augmented twin
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listPackage
@@ -64,9 +73,22 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard {
-			targets = append(targets, p)
+		if p.DepOnly || p.Standard || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
 		}
+		if p.ForTest != "" {
+			// "pkg [pkg.test]" is pkg plus its in-package test files;
+			// "pkg_test [pkg.test]" is the external test package. Both are
+			// analyzed (external test packages have rosters too); the
+			// internal form supersedes the plain listing.
+			if strings.HasPrefix(p.ImportPath, p.ForTest+" [") {
+				augmented[p.ForTest] = true
+				p.ImportPath = p.ForTest
+			} else {
+				p.ImportPath = strings.TrimSuffix(strings.Fields(p.ImportPath)[0], " ")
+			}
+		}
+		targets = append(targets, p)
 	}
 
 	fset := token.NewFileSet()
@@ -82,6 +104,9 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	for _, t := range targets {
 		if len(t.GoFiles) == 0 {
 			continue
+		}
+		if t.ForTest == "" && augmented[t.ImportPath] {
+			continue // superseded by its test-augmented twin
 		}
 		pkg, err := checkPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles, nil)
 		if err != nil {

@@ -1,0 +1,291 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PolicyExhaustive proves the eight-way policy roster stays closed
+// under extension: every switch, table, or slice marked
+// //bow:policyexhaustive must cover the full canonical policy roster,
+// so adding a ninth policy is one line in simjob's policyAliases plus
+// whatever this pass forces — the prewarm set, the cross-policy
+// storage table, the compiler-pass map, and the differential-test
+// rosters can no longer drift silently (PR 9's prewarm-roster drift is
+// exactly this bug class).
+//
+// Two roster universes are understood, chosen from the marked code:
+//
+//   - string policies: the canonical simjob names. The roster is the
+//     Policy* string constants of the analyzed package itself, or of
+//     its bow/internal/simjob import.
+//   - enum policies: a named non-string type (core.Policy). The roster
+//     is the Policy*-named constants of that type, from the type's own
+//     package.
+//
+// The marker sits on the line directly above a `switch`, a `var`
+// declaration, or an assignment. For a switch, coverage counts the
+// case-clause expressions; otherwise any constant of the roster's
+// universe mentioned inside the marked statement counts.
+var PolicyExhaustive = &Analyzer{
+	Name: "policyexhaustive",
+	Doc: "a switch/table/roster marked //bow:policyexhaustive must cover every " +
+		"canonical policy (simjob policyAliases / core.Policy)",
+	Run: runPolicyExhaustive,
+}
+
+func runPolicyExhaustive(pass *Pass) {
+	// Test files participate: differential-test rosters are exactly
+	// the tables this bug class lives in.
+	for _, f := range pass.AllFiles {
+		checkFileRosters(pass, f)
+	}
+}
+
+// policyMarker is one //bow:policyexhaustive comment in a file.
+type policyMarker struct {
+	pos  token.Pos
+	line int
+}
+
+func checkFileRosters(pass *Pass, f *ast.File) {
+	var markers []policyMarker
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if name, _, ok := bowDirective(c.Text); ok && name == "policyexhaustive" {
+				markers = append(markers, policyMarker{
+					pos:  c.Pos(),
+					line: pass.Fset.Position(c.Pos()).Line,
+				})
+			}
+		}
+	}
+	if len(markers) == 0 {
+		return
+	}
+	claimed := make([]bool, len(markers))
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.SwitchStmt, *ast.GenDecl, *ast.AssignStmt:
+		default:
+			return true
+		}
+		line := pass.Fset.Position(n.Pos()).Line
+		for i, m := range markers {
+			if !claimed[i] && m.line == line-1 {
+				claimed[i] = true
+				checkRoster(pass, n)
+				break
+			}
+		}
+		return true
+	})
+	for i, m := range markers {
+		if !claimed[i] {
+			pass.Reportf(m.pos,
+				"//bow:policyexhaustive does not attach to a switch, var declaration, or assignment on the next line")
+		}
+	}
+}
+
+// rosterConst is one canonical policy in whichever universe the marked
+// code works in: name for diagnostics, val (exact constant
+// representation) for matching.
+type rosterConst struct {
+	name string
+	val  string
+}
+
+// A rosterUniverse is a resolved canonical roster plus the predicate
+// deciding which constants in the marked code belong to it — so an
+// `IW: 3` literal sitting next to `Policy: core.PolicyWriteBack`
+// cannot masquerade as an enum policy of value 3.
+type rosterUniverse struct {
+	roster []rosterConst
+	source string
+	match  func(tv types.TypeAndValue) bool
+}
+
+// checkRoster verifies one marked node covers the full policy roster.
+func checkRoster(pass *Pass, n ast.Node) {
+	var u *rosterUniverse
+	seen := map[string]bool{}
+	if sw, ok := n.(*ast.SwitchStmt); ok {
+		if sw.Tag == nil {
+			pass.Reportf(sw.Pos(), "//bow:policyexhaustive needs a tagged switch (switch <policy> { ... })")
+			return
+		}
+		u = universeForType(pass, pass.TypesInfo.TypeOf(sw.Tag), sw.Pos())
+		if u == nil {
+			return
+		}
+		for _, stmt := range sw.Body.List {
+			cc, ok := stmt.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, e := range cc.List {
+				collectConstValues(pass, e, u, seen)
+			}
+		}
+	} else {
+		u = universeForSubtree(pass, n)
+		if u == nil {
+			return
+		}
+		collectConstValues(pass, n, u, seen)
+	}
+	var missing []string
+	for _, rc := range u.roster {
+		if !seen[rc.val] {
+			missing = append(missing, rc.name)
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(n.Pos(), "missing policy cases: %s (roster: %d policies from %s)",
+			strings.Join(missing, ", "), len(u.roster), u.source)
+	}
+}
+
+// collectConstValues records the exact value of every constant
+// expression under n that belongs to the roster's universe.
+func collectConstValues(pass *Pass, n ast.Node, u *rosterUniverse, seen map[string]bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		e, ok := c.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil && u.match(tv) {
+			seen[constKey(tv.Value)] = true
+		}
+		return true
+	})
+}
+
+func constKey(v constant.Value) string { return v.ExactString() }
+
+// universeForType resolves the roster for a switch tag's type: a named
+// non-string type yields that type's Policy* constants; any string-ish
+// type yields the simjob string roster.
+func universeForType(pass *Pass, t types.Type, at token.Pos) *rosterUniverse {
+	if t == nil {
+		pass.Reportf(at, "//bow:policyexhaustive: cannot type the switch tag")
+		return nil
+	}
+	if named, ok := t.(*types.Named); ok {
+		if b, ok := named.Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+			return enumUniverse(pass, named, at)
+		}
+	}
+	return stringUniverse(pass, at)
+}
+
+// universeForSubtree picks the universe for a non-switch roster: if
+// any constant mentioned inside has a named non-string type, that
+// type's enum roster; otherwise the simjob string roster.
+func universeForSubtree(pass *Pass, n ast.Node) *rosterUniverse {
+	var named *types.Named
+	ast.Inspect(n, func(c ast.Node) bool {
+		if named != nil {
+			return false
+		}
+		id, ok := c.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		cst, ok := pass.TypesInfo.Uses[id].(*types.Const)
+		if !ok {
+			return true
+		}
+		if nt, ok := cst.Type().(*types.Named); ok {
+			if b, ok := nt.Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+				named = nt
+			}
+		}
+		return true
+	})
+	if named != nil {
+		return enumUniverse(pass, named, n.Pos())
+	}
+	return stringUniverse(pass, n.Pos())
+}
+
+// enumUniverse is every Policy*-named constant of the named type,
+// looked up in the type's own package (complete for export-data
+// imports: the constants are exported).
+func enumUniverse(pass *Pass, named *types.Named, at token.Pos) *rosterUniverse {
+	tn := named.Obj()
+	if tn == nil || tn.Pkg() == nil {
+		pass.Reportf(at, "//bow:policyexhaustive: type %s has no package scope to enumerate", named)
+		return nil
+	}
+	var roster []rosterConst
+	scope := tn.Pkg().Scope()
+	for _, nm := range scope.Names() { // Names() is sorted: deterministic
+		if !strings.HasPrefix(nm, "Policy") {
+			continue
+		}
+		cst, ok := scope.Lookup(nm).(*types.Const)
+		if !ok || !types.Identical(cst.Type(), named) {
+			continue
+		}
+		roster = append(roster, rosterConst{name: nm, val: constKey(cst.Val())})
+	}
+	if len(roster) == 0 {
+		pass.Reportf(at, "//bow:policyexhaustive: no Policy* constants of type %s in %s", named, tn.Pkg().Path())
+		return nil
+	}
+	return &rosterUniverse{
+		roster: roster,
+		source: fmt.Sprintf("%s.%s", tn.Pkg().Name(), tn.Name()),
+		match: func(tv types.TypeAndValue) bool {
+			return tv.Type != nil && types.Identical(tv.Type, named)
+		},
+	}
+}
+
+// stringUniverse is the canonical simjob policy-name roster: the
+// Policy* string constants of the analyzed package itself (simjob, and
+// fixtures) or of its bow/internal/simjob import.
+func stringUniverse(pass *Pass, at token.Pos) *rosterUniverse {
+	matchString := func(tv types.TypeAndValue) bool {
+		return tv.Value != nil && tv.Value.Kind() == constant.String
+	}
+	if roster := policyStringConsts(pass.Pkg); len(roster) > 0 {
+		return &rosterUniverse{roster: roster, source: pass.Pkg.Name() + " Policy* constants", match: matchString}
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		if strings.HasSuffix(imp.Path(), "internal/simjob") {
+			if roster := policyStringConsts(imp); len(roster) > 0 {
+				return &rosterUniverse{roster: roster, source: "simjob policyAliases", match: matchString}
+			}
+		}
+	}
+	pass.Reportf(at,
+		"//bow:policyexhaustive: no Policy* string constants in %s or an imported internal/simjob",
+		pass.Pkg.Path())
+	return nil
+}
+
+func policyStringConsts(pkg *types.Package) []rosterConst {
+	var out []rosterConst
+	scope := pkg.Scope()
+	for _, nm := range scope.Names() { // Names() is sorted: deterministic
+		if !strings.HasPrefix(nm, "Policy") {
+			continue
+		}
+		cst, ok := scope.Lookup(nm).(*types.Const)
+		if !ok || cst.Val().Kind() != constant.String {
+			continue
+		}
+		out = append(out, rosterConst{
+			name: fmt.Sprintf("%q", constant.StringVal(cst.Val())),
+			val:  constKey(cst.Val()),
+		})
+	}
+	return out
+}

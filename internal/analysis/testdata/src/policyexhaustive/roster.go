@@ -1,0 +1,64 @@
+// Package policyexhaustive exercises the roster-exhaustiveness pass in
+// both universes: the canonical Policy* string constants of the
+// package itself, and a Policy*-named enum type.
+package policyexhaustive
+
+const (
+	PolicyAlpha = "alpha"
+	PolicyBeta  = "beta"
+	PolicyGamma = "gamma"
+)
+
+// Mode is the enum universe: its Policy* constants form the roster.
+type Mode int
+
+const (
+	PolicyOn Mode = iota
+	PolicyOff
+	PolicyAuto
+)
+
+// pick covers the full string roster: clean.
+func pick(p string) int {
+	//bow:policyexhaustive
+	switch p {
+	case PolicyAlpha:
+		return 1
+	case PolicyBeta, PolicyGamma:
+		return 2
+	}
+	return 0
+}
+
+// incomplete drops one string policy.
+func incomplete(p string) int {
+	//bow:policyexhaustive
+	switch p { // want "missing policy cases: .gamma."
+	case PolicyAlpha, PolicyBeta:
+		return 1
+	}
+	return 0
+}
+
+// allModes covers the full enum roster in a marked declaration: clean.
+//
+//bow:policyexhaustive
+var allModes = []Mode{PolicyOn, PolicyOff, PolicyAuto}
+
+// modeName drops one enum policy.
+func modeName(m Mode) string {
+	//bow:policyexhaustive
+	switch m { // want "missing policy cases: PolicyAuto"
+	case PolicyOn:
+		return "on"
+	case PolicyOff:
+		return "off"
+	}
+	return ""
+}
+
+// A marker with nothing attachable on the next line is itself a
+// finding, not a silent no-op.
+//
+//bow:policyexhaustive // want "does not attach to a switch, var declaration, or assignment"
+func unattached() {}

@@ -1,0 +1,10 @@
+package policyexhaustive
+
+// Differential-test rosters live in _test.go files; the pass walks
+// them too (Pass.AllFiles), so a drifted test roster is a finding.
+
+//bow:policyexhaustive
+var testRoster = []string{PolicyAlpha, PolicyBeta} // want "missing policy cases: .gamma."
+
+//bow:policyexhaustive
+var fullTestRoster = []string{PolicyAlpha, PolicyBeta, PolicyGamma}

@@ -1,0 +1,48 @@
+// Package resetcover exercises write-based reset coverage: an
+// assignment someone deletes is a finding even while the reset path
+// still *reads* the field, restoring writes are recognized in every
+// in-tree shape (direct assignment, delegated x.Reset(), clear, range
+// loops), and function literals the Reset merely builds don't count.
+package resetcover
+
+type counter struct{ n int64 }
+
+func (c *counter) Reset() { c.n = 0 }
+
+//bow:state
+type machine struct {
+	cycle   int64
+	sub     *counter
+	slots   []int
+	seen    map[int]bool
+	geom    int   //bow:resetskip -- fixed geometry, set at construction
+	scratch int   //bow:snapskip -- rebuilt on demand by the next step
+	stale   int64 // want "machine.stale is not assigned by machine.Reset"
+	watched int64 // want "machine.watched is not assigned by machine.Reset"
+	hook    func()
+}
+
+func (m *machine) Reset() {
+	m.cycle = 0
+	m.sub.Reset()
+	for i := range m.slots {
+		m.slots[i] = 0
+	}
+	clear(m.seen)
+	// stale is read but never restored: reads are not coverage.
+	if m.stale > 0 {
+		panic("resetting a dirty machine")
+	}
+	// watched is assigned only inside a callback this Reset builds;
+	// the literal runs later, so it is not coverage either.
+	m.hook = func() { m.watched = 0 }
+}
+
+// record has no Reset method of its own: resetcover leaves it to its
+// container's contract.
+//
+//bow:state
+type record struct {
+	a int
+	b int
+}

@@ -43,6 +43,7 @@ import (
 // acquisition path (per-job, batched, forked warm-up, inline
 // experiments) builds its KernelKey through it.
 func PassForPolicy(bcfg core.Config) (hints string, param int) {
+	//bow:policyexhaustive
 	switch bcfg.Policy {
 	case core.PolicyCompilerHints:
 		return HintsBOWWR, bcfg.IW
@@ -52,6 +53,10 @@ func PassForPolicy(bcfg core.Config) (hints string, param int) {
 		return HintsLTRF, bcfg.Capacity
 	case core.PolicySCRF:
 		return HintsSCRF, 0
+	case core.PolicyBaseline, core.PolicyWriteThrough, core.PolicyWriteBack:
+		// No annotation pass: these policies (and rfc, which is
+		// PolicyWriteBack + ForwardThroughPort) run the plain program.
+		return HintsNone, 0
 	}
 	return HintsNone, 0
 }

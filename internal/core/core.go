@@ -70,6 +70,7 @@ const (
 )
 
 func (p Policy) String() string {
+	//bow:policyexhaustive
 	switch p {
 	case PolicyBaseline:
 		return "baseline"
@@ -207,7 +208,10 @@ func (c Config) Normalize() (Config, error) {
 	return c, nil
 }
 
-// entry is one buffered register value inside the window.
+// entry is one buffered register value inside the window. Live
+// entries are serialized field-by-field inside Engine.SaveState.
+//
+//bow:state
 type entry struct {
 	reg        uint8
 	val        Value
@@ -220,11 +224,13 @@ type entry struct {
 	// but the value is not yet architecturally valid.
 	pending bool
 	// next links recycled entries on the engine's free list.
-	next *entry
+	next *entry //bow:derived -- free-list link; only dead entries are on the list, live ones are serialized
 }
 
 // Stats counts the engine's traffic. All counts are in warp-register
 // accesses (one access = one 128-byte warp-wide operand).
+//
+//bow:state
 type Stats struct {
 	Instructions int64 // dynamic instructions advanced through the window
 
@@ -339,13 +345,15 @@ type Plan struct {
 // scan must iterate in a deterministic order, and the steady state must
 // not allocate. Entries are recycled through a free list preallocated
 // at construction.
+//
+//bow:state
 type Engine struct {
-	cfg   Config
-	sink  RFWriteSink
+	cfg   Config      //bow:snapskip -- design-point config, fixed at construction (buildEngines)
+	sink  RFWriteSink //bow:snapskip -- RF write wiring, rebound at construction
 	seq   int64
-	byReg [256]*entry // direct-indexed by register number; nil = absent
+	byReg [256]*entry //bow:derived -- index over live, rebuilt by LoadState via attach
 	live  []*entry    // live entries in insertion order
-	free  *entry      // recycled entries (preallocated slab)
+	free  *entry      //bow:derived -- recycled-entry pool; dead by definition
 	stats Stats
 
 	// interval is the ltrf prefetch interval currently buffered (-1
@@ -698,6 +706,9 @@ func (e *Engine) FillFromRF(reg uint8, val Value, seq int64) {
 //
 //bow:hotpath
 func (e *Engine) Writeback(reg uint8, val Value, hint isa.WritebackHint, seq int64) bool {
+	// Every policy must take a write-path stance; policyexhaustive
+	// holds this roster closed under policy addition.
+	//bow:policyexhaustive
 	switch e.cfg.Policy {
 	case PolicyBaseline, PolicySCRF:
 		e.emitRF(reg, val, CauseWriteThrough)

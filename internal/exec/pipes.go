@@ -28,8 +28,10 @@ func DefaultPipeConfig() PipeConfig {
 // Pipes tracks per-cycle issue slots of the functional units. Latency is
 // applied by the SM's event queue; Pipes only answers "can another warp
 // instruction of this class start this cycle?".
+//
+//bow:state
 type Pipes struct {
-	cfg   PipeConfig
+	cfg   PipeConfig //bow:resetskip -- design-point config, fixed at construction; Reset restores slot state only
 	cycle int64
 	used  [5]int // slots consumed this cycle per class (alu/fpu/sfu/mem/ctrl)
 }

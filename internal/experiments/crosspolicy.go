@@ -36,6 +36,7 @@ type CrossPolicyResult struct {
 // default design point, relative to the baseline's 3-entry operand
 // collectors.
 func crossPolicyStorage(bcfg core.Config, warps int) int {
+	//bow:policyexhaustive
 	switch bcfg.Policy {
 	case core.PolicyWriteBack:
 		if bcfg.ForwardThroughPort { // the rfc comparator
@@ -49,8 +50,12 @@ func crossPolicyStorage(bcfg core.Config, warps int) int {
 		return carfc.StorageBytes(bcfg.Capacity, warps)
 	case core.PolicyLTRF:
 		return ltrf.StorageBytes(bcfg.Capacity, warps)
+	case core.PolicyBaseline, core.PolicySCRF:
+		// Baseline adds nothing by definition; SCRF compresses in place —
+		// no extra operand storage, the win is per-access energy.
+		return 0
 	}
-	return 0 // baseline, scrf
+	return 0
 }
 
 // CrossPolicy runs the five-way architecture race: one simulation per

@@ -55,9 +55,13 @@ func prewarmPoints() []struct {
 	// queued; re-adding them here is harmless (the engine's
 	// single-flight layer dedupes) but skipped for clarity.
 	for _, p := range simjob.AllPolicies() {
+		//bow:policyexhaustive
 		switch p {
 		case simjob.PolicyBaseline, simjob.PolicyBOWWT, simjob.PolicyBOWWB, simjob.PolicyBOWWR:
+			// Already queued above at their figure-specific design points.
 			continue
+		case simjob.PolicyRFC, simjob.PolicyCARFC, simjob.PolicyLTRF, simjob.PolicySCRF:
+			// Comparators prewarm at their sibling-package defaults below.
 		}
 		cfg, err := simjob.DefaultPolicyConfig(p)
 		if err != nil {

@@ -29,14 +29,21 @@ func TestTrafficConsistency(t *testing.T) {
 		// Total reads must be policy-invariant; compare against baseline.
 	}
 
-	// The invariance sweep below must keep covering the comparator
-	// engines — a roster regression here would silently shrink the
-	// strongest cross-policy accounting check.
+	// The invariance sweep below must keep covering every architecture
+	// the simulator models — a roster regression here would silently
+	// shrink the strongest cross-policy accounting check. The literal is
+	// pinned to the full core.Policy universe by bowvet's
+	// policyexhaustive pass, and the loop pins allPolicies to it.
+	//bow:policyexhaustive
+	fullRoster := []core.Policy{
+		core.PolicyBaseline, core.PolicyWriteThrough, core.PolicyWriteBack,
+		core.PolicyCompilerHints, core.PolicyCARFC, core.PolicyLTRF, core.PolicySCRF,
+	}
 	covered := map[core.Policy]bool{}
 	for _, bcfg := range allPolicies() {
 		covered[bcfg.Policy] = true
 	}
-	for _, p := range []core.Policy{core.PolicyCARFC, core.PolicyLTRF, core.PolicySCRF} {
+	for _, p := range fullRoster {
 		if !covered[p] {
 			t.Errorf("allPolicies omits %v; the traffic invariants below no longer race it", p)
 		}

@@ -26,9 +26,11 @@ import (
 var ErrInterrupted = errors.New("gpu: run interrupted")
 
 // Device is one simulated GPU.
+//
+//bow:state
 type Device struct {
 	cfg    config.GPU
-	bcfg   core.Config
+	bcfg   core.Config //bow:snapskip -- window config is deliberately outside ConfigHash; restore checks window state structurally (core.Engine.LoadState)
 	Global *mem.Memory
 	l2     *mem.Cache
 	sms    []*sm.SM
@@ -39,19 +41,19 @@ type Device struct {
 	// restored device resumes mid-grid.
 	nextCTA   int
 	cycles    int64
-	interrupt atomic.Bool
+	interrupt atomic.Bool //bow:snapskip -- cross-goroutine stop flag; snapshots happen at quiescent cycle boundaries
 
 	// CaptureRegs propagates to the SMs: snapshot effective register
 	// state at warp exit for oracle comparison.
-	CaptureRegs bool
+	CaptureRegs bool //bow:snapskip -- observability wiring; does not affect Result
 	// CaptureTrace records each warp's dynamic instruction stream for
 	// internal/trace analyses.
-	CaptureTrace bool
+	CaptureTrace bool //bow:snapskip -- observability wiring; does not affect Result
 	// Tracer, when non-nil, receives cycle-level events from every SM
 	// (the SM loop is sequential, so the shared ring stays deterministic
 	// and needs no locking). It does not affect the simulation: Result
 	// is bit-identical with and without it.
-	Tracer *trace.CycleTracer
+	Tracer *trace.CycleTracer //bow:snapskip -- observability wiring; does not affect Result
 }
 
 // Salvage holds a retired device's recyclable hardware model: the L2

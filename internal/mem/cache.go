@@ -4,11 +4,13 @@ import "fmt"
 
 // Cache is a set-associative LRU tag array used for timing (hit/miss)
 // decisions only; data lives in the functional stores.
+//
+//bow:state
 type Cache struct {
-	name      string
-	lineBytes int
-	sets      int
-	assoc     int
+	name      string     //bow:snapskip -- diagnostic label, fixed at construction
+	lineBytes int        //bow:snapskip -- construction-time geometry; snapshot validation keys on sets/assoc, which fix the storage layout
+	sets      int        //bow:resetskip -- geometry, fixed at construction; Reset restores contents only
+	assoc     int        //bow:resetskip -- geometry, fixed at construction; Reset restores contents only
 	tags      [][]uint32 // [set][way] line tag; 0 means invalid
 	lru       [][]int64  // [set][way] last-use stamp
 	stamp     int64

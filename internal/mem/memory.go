@@ -30,12 +30,14 @@ const pageWords = 1024
 // through the overlay to the base; the first write to a base page
 // copies it into the overlay (copy-on-write). Forking a warm-up state
 // for N sweep points is therefore a map-share, not a deep page walk.
+//
+//bow:state
 type Memory struct {
 	pages    map[uint32]*[pageWords]uint32
 	base     map[uint32]*[pageWords]uint32 // frozen, shared across forks; never written
-	last     *[pageWords]uint32            // most recently touched page
-	lastPage uint32                        // its page number; ^0 when none
-	lastRO   bool                          // cached page belongs to base (copy before write)
+	last     *[pageWords]uint32            //bow:derived -- one-entry page cache; LoadState invalidates it
+	lastPage uint32                        //bow:derived -- cached page number (^0 when none); LoadState invalidates it
+	lastRO   bool                          //bow:derived -- cached page's tier flag; LoadState invalidates it
 }
 
 // NewMemory creates an empty global memory.
@@ -251,6 +253,8 @@ func (m *Memory) Snapshot() map[uint32]uint32 {
 }
 
 // SharedMemory is one CTA's scratchpad: a dense word array.
+//
+//bow:state
 type SharedMemory struct {
 	words []uint32
 }

@@ -65,16 +65,20 @@ type ReadSink interface {
 // readReq is a queued bank read. It carries no value payload — the
 // value is read from storage at serve time — so ring operations move
 // ~40 bytes, not a warp-wide register.
+//
+//bow:state
 type readReq struct {
 	warp   int32
 	reg    uint8
-	queued int64 // cycle the request was enqueued (conflict accounting)
-	cb     ReadCallback
+	queued int64        // cycle the request was enqueued (conflict accounting)
+	cb     ReadCallback //bow:snapskip -- closure reads are test-only plumbing; SaveState fails on them rather than drop a delivery
 	sink   ReadSink
 }
 
 // writeReq is a queued bank write; the value travels in the ring slot
 // and is written into storage in place at serve time.
+//
+//bow:state
 type writeReq struct {
 	warp   int32
 	reg    uint8
@@ -83,6 +87,8 @@ type writeReq struct {
 }
 
 // readRing is a FIFO of readReq over a reusable ring buffer.
+//
+//bow:state
 type readRing struct {
 	buf  []readReq
 	head int
@@ -117,6 +123,8 @@ func (r *readRing) pop() readReq {
 // drop serve the head without copying it out. Slots are not zeroed on
 // drop: writeReq holds no pointers, so stale values are invisible to
 // the collector and harmless.
+//
+//bow:state
 type writeRing struct {
 	buf  []writeReq
 	head int
@@ -158,6 +166,8 @@ func maxInt(a, b int) int {
 // separately so the write-priority pick ("first write in request order,
 // else the head read") is O(1); relative order within each class is the
 // enqueue order, exactly as in the single-queue model.
+//
+//bow:state
 type bank struct {
 	reads  readRing
 	writes writeRing
@@ -166,6 +176,8 @@ type bank struct {
 func (b *bank) pending() int { return b.reads.n + b.writes.n }
 
 // Stats counts register file traffic.
+//
+//bow:state
 type Stats struct {
 	Reads         int64 // bank read accesses served
 	Writes        int64 // bank write accesses served
@@ -176,13 +188,15 @@ type Stats struct {
 func (s *Stats) Accesses() int64 { return s.Reads + s.Writes }
 
 // File is one SM's register file.
+//
+//bow:state
 type File struct {
-	cfg   Config
+	cfg   Config         //bow:snapskip -- design-point geometry, fixed at construction; a restored File must be built with the same Config
 	vals  [][]core.Value // [warp][reg]
 	banks []bank
 	// nonempty is a bitmap of banks with pending requests, so Cycle
 	// visits only busy banks (ascending index, matching the full scan).
-	nonempty []uint64
+	nonempty []uint64 //bow:derived -- busy-bank bitmap; LoadState rederives it from rebuilt queues via markBusy
 	cycle    int64
 	stats    Stats
 
@@ -191,17 +205,20 @@ type File struct {
 	delay servedRing
 }
 
+//bow:state
 type servedRead struct {
 	readyAt int64
 	reg     uint8
 	val     core.Value
-	cb      ReadCallback
+	cb      ReadCallback //bow:snapskip -- closure reads are test-only plumbing; SaveState fails on them rather than drop a delivery
 	sink    ReadSink
 }
 
 // servedRing is the crossbar delay line. Like writeRing it exposes
 // slots so values are copied exactly once in (from bank storage) and
 // delivered by pointer out.
+//
+//bow:state
 type servedRing struct {
 	buf  []servedRead
 	head int

@@ -27,20 +27,22 @@ func ParseKind(s string) (Kind, error) {
 }
 
 // Scheduler ranks the warps of one issue partition.
+//
+//bow:state
 type Scheduler struct {
-	kind  Kind
-	warps []int // warp IDs owned by this scheduler, in age order
+	kind  Kind  //bow:resetskip -- policy identity, fixed at construction; Reset restores decision state only
+	warps []int //bow:resetskip -- static warp partition, fixed at construction
 	// greedy is the warp GTO sticks with until it stalls.
 	greedy int
 	// rrNext is LRR's rotation cursor (index into warps).
 	rrNext int
 	// out is the ranking buffer Order returns, reused across cycles;
 	// callers consume it before the next Order call.
-	out []int
+	out []int //bow:snapskip -- scratch ranking buffer, rebuilt on demand by the next Order call
 	// outFor is the greedy warp the cached GTO ranking in out encodes
 	// (-1 = no valid cache). The ranking is a pure function of the
 	// greedy warp, so it is rebuilt only when greedy changes.
-	outFor int
+	outFor int //bow:derived -- cache key for out; LoadState and Reset invalidate it
 }
 
 // New creates a scheduler owning the given warp IDs (ordered oldest

@@ -9,6 +9,8 @@ import (
 )
 
 // Board is the hazard state of one SM (all warps).
+//
+//bow:state
 type Board struct {
 	pendingWrite []regBits  // per warp: GPRs with an in-flight writer
 	pendingPred  []uint8    // per warp: predicate regs with in-flight writer (bitmask)

@@ -44,6 +44,11 @@ const (
 // error message, cmd/bowsim's -policy usage text, and the sweep/
 // experiment policy enumerations all derive from it, so a new policy
 // (or spelling) lands everywhere at once and the pieces cannot drift.
+// The exhaustiveness marker closes the loop in the other direction: a
+// ninth Policy* constant that never lands in this table is a lint
+// failure, not a name the engine silently refuses.
+//
+//bow:policyexhaustive
 var policyAliases = []struct {
 	Canonical string
 	Aliases   []string
@@ -169,6 +174,7 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 		return s, err
 	}
 	s.Policy = p
+	//bow:policyexhaustive
 	switch p {
 	case PolicyBaseline:
 		s.IW, s.Capacity = 0, 0
@@ -222,13 +228,21 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 		if s.Reorder {
 			return s, fmt.Errorf("simjob: Reorder does not apply to scrf")
 		}
-	default:
+	case PolicyBOWWT, PolicyBOWWB, PolicyBOWWR:
 		if s.IW == 0 {
 			s.IW = 3
 		}
 		if s.Capacity == 0 {
 			s.Capacity = 4 * s.IW
 		}
+	default:
+		// Unreachable today (p came out of CanonicalPolicy), but a ninth
+		// policyAliases entry without a case here used to fall into the
+		// windowed-BOW defaults above and silently simulate the wrong
+		// architecture. Now it is a submission error — and the
+		// policyexhaustive marker makes the missing case a lint failure
+		// before it is ever a runtime one.
+		return s, fmt.Errorf("simjob: policy %q has no normalization case", p)
 	}
 	if s.SMs == 0 {
 		s.SMs = 1
@@ -275,6 +289,7 @@ func (s JobSpec) Hash() (string, error) {
 // configuration.
 func (s JobSpec) coreConfig() (core.Config, error) {
 	var bcfg core.Config
+	//bow:policyexhaustive
 	switch s.Policy {
 	case PolicyBaseline:
 		bcfg = core.Config{Policy: core.PolicyBaseline}

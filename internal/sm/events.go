@@ -37,6 +37,8 @@ const (
 
 // event is one scheduled completion. Records are free-listed by the
 // calendar, so steady-state cycling allocates nothing.
+//
+//bow:state
 type event struct {
 	next    *event
 	f       *inflight
@@ -51,8 +53,11 @@ type event struct {
 
 // eventList is a FIFO of events (fired in scheduling order, matching
 // the seed calendar's append semantics).
+//
+//bow:state
 type eventList struct {
-	head, tail *event
+	head *event
+	tail *event //bow:derived -- FIFO tail; LoadState re-pushes events in firing order, which rebuilds it
 }
 
 func (l *eventList) push(ev *event) {
@@ -73,6 +78,8 @@ func (l *eventList) take() *event {
 }
 
 // farEvent parks an event scheduled beyond the wheel horizon.
+//
+//bow:state
 type farEvent struct {
 	at int64
 	ev *event
@@ -85,10 +92,12 @@ type farEvent struct {
 // cover them all; anything farther out — possible only with exotic
 // configs — parks in the far list and migrates into the wheel as its
 // cycle approaches.
+//
+//bow:state
 type eventWheel struct {
 	slots []eventList
-	mask  int64
-	free  *event
+	mask  int64  //bow:resetskip -- wheel geometry, fixed at construction from the configured latency span
+	free  *event //bow:derived -- recycled-event pool; dead records by definition, rebuilt empty on restore
 	far   []farEvent
 }
 

@@ -8,6 +8,8 @@ import (
 // inflight is one warp instruction traversing the pipeline from issue to
 // completion. Records are free-listed by the SM (allocInflight /
 // releaseInflight), so steady-state issue allocates nothing.
+//
+//bow:state
 type inflight struct {
 	in   *isa.Instruction
 	warp *warpCtx
@@ -41,11 +43,14 @@ type inflight struct {
 	ready bool // operands complete, awaiting a functional-unit slot
 
 	// rnext/rprev link the SM's dispatch-ordered ready list.
-	rnext, rprev *inflight
+	rnext *inflight
+	rprev *inflight //bow:derived -- back link; LoadState rebuilds it from the serialized forward walk
 }
 
 // delivery is one register value awaiting the collector port, with the
 // operand slots it feeds as a bitmask.
+//
+//bow:state
 type delivery struct {
 	slots uint8
 	val   core.Value

@@ -5,6 +5,8 @@ import (
 )
 
 // RunStats aggregates the per-SM measurements the experiments consume.
+//
+//bow:state
 type RunStats struct {
 	Cycles   int64
 	Issued   int64

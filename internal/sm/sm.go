@@ -62,6 +62,8 @@ func (k *Kernel) Prepare() error {
 }
 
 // ctaWork is one thread block assigned to the SM.
+//
+//bow:state
 type ctaWork struct {
 	ctaID    int // global CTA index within the grid
 	shared   *mem.SharedMemory
@@ -71,18 +73,20 @@ type ctaWork struct {
 }
 
 // SM is one streaming multiprocessor.
+//
+//bow:state
 type SM struct {
-	id   int
-	gcfg config.GPU
-	bcfg core.Config // BOW window configuration (policy baseline disables)
+	id   int         //bow:resetskip -- SM identity, fixed at construction; a recycled SM keeps its slot in the device
+	gcfg config.GPU  //bow:snapskip -- chip configuration, fixed at construction; the Device header hashes it for restore validation
+	bcfg core.Config //bow:snapskip -- BOW window configuration (policy baseline disables); restore validates window state structurally instead
 
 	kernel *Kernel
-	global *mem.Memory
+	global *mem.Memory //bow:snapskip -- functional global memory is owned and serialized by the Device (one store, many SMs)
 	hier   *mem.Hierarchy
 
 	rf     *regfile.File
 	sb     *scoreboard.Board
-	pipes  *exec.Pipes
+	pipes  *exec.Pipes //bow:snapskip -- per-cycle issue-slot counters; empty at every cycle boundary, where snapshots are taken
 	scheds []*scheduler.Scheduler
 
 	warps   []*warpCtx
@@ -100,24 +104,25 @@ type SM struct {
 	// ref selects the reference cycle loop (config.GPU.ReferenceLoop):
 	// the seed's map calendar and scan-everything dispatch, kept
 	// in-tree as the oracle for the differential suite.
-	ref        bool
-	refEvents  map[int64][]*event
-	refScratch []*inflight // reference dispatch scratch
+	ref        bool               //bow:resetskip -- loop-flavor selector, fixed at construction; Reset recycles within one flavor
+	refEvents  map[int64][]*event //bow:snapskip -- reference-loop calendar; reference SMs refuse snapshots (SaveState fails)
+	refScratch []*inflight        //bow:snapskip -- reference dispatch scratch; reference SMs refuse snapshots
 
 	// active lists resident, not-yet-done warps so the cycle loop
 	// skips empty warp slots entirely.
-	active []*warpCtx
+	active []*warpCtx //bow:derived -- rebuilt in slot order by LoadState from restored warp residency
 
 	// readyHead/readyTail is the dispatch-ordered ready list: operand-
 	// complete instructions linked intrusively in (issueCycle, slot,
 	// seq) order, replacing the per-cycle scan + sort.
-	readyHead, readyTail *inflight
+	readyHead *inflight
+	readyTail *inflight //bow:derived -- tail of the ready list; LoadState rebuilds it from the serialized head-to-tail walk
 
 	// freeInflights recycles completed instruction records.
-	freeInflights []*inflight
+	freeInflights []*inflight //bow:snapskip -- free pool; rebuilt empty on restore and deliberately kept warm across Reset
 
 	// segScratch is the reusable coalescing buffer (executeMem).
-	segScratch []uint32
+	segScratch []uint32 //bow:snapskip -- per-instruction coalescing scratch; dead between cycles
 
 	// Pending CTA-issue bookkeeping.
 	freeWarpSlots int
@@ -127,32 +132,32 @@ type SM struct {
 
 	// busyCollectors counts operand collectors in use across the SM; the
 	// pool (gcfg.NumOCUs) gates issue.
-	busyCollectors int
+	busyCollectors int //bow:derived -- recounted by LoadState from restored collector lists
 
 	// RegSnapshots, when enabled, captures each warp's effective
 	// register values at exit, keyed by (ctaID, warpInCTA).
-	CaptureRegs  bool
+	CaptureRegs  bool //bow:snapskip -- capture switch, set by the harness; not simulation state
 	RegSnapshots map[[2]int][]core.Value
 
 	// CaptureTrace, when enabled, records each warp's issue-ordered
 	// dynamic instruction stream (internal/trace consumes these).
-	CaptureTrace bool
+	CaptureTrace bool //bow:snapskip -- capture switch, set by the harness; not simulation state
 	Traces       map[[2]int][]*isa.Instruction
 
 	// Tracer, when non-nil, receives cycle-level events (warp issues,
 	// BOC hits/misses/evictions, consolidations, bank conflicts, wheel
 	// pops). Every emission site guards on nil, so a disabled tracer
 	// costs one branch per site and zero allocations.
-	Tracer *trace.CycleTracer
+	Tracer *trace.CycleTracer //bow:snapskip -- observability wiring; does not affect the simulation
 
 	// lastBankConflicts remembers the RF conflict counter between
 	// cycles so the tracer can emit per-cycle conflict deltas.
-	lastBankConflicts int64
+	lastBankConflicts int64 //bow:derived -- tracer delta baseline; LoadState reseeds it from the restored RF counter
 
 	// canIssue is the eligibility predicate handed to the warp
 	// schedulers, built once at construction so issue() does not
 	// allocate a capturing closure per scheduler per cycle.
-	canIssue func(wid int) bool
+	canIssue func(wid int) bool //bow:snapskip -- closure wiring, built once at construction
 }
 
 // New creates an SM.

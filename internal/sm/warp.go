@@ -12,6 +12,8 @@ import (
 func buildCFG(p *asm.Program) (*compiler.CFG, error) { return compiler.BuildCFG(p) }
 
 // simtEntry is one frame of the SIMT reconvergence stack (PDOM scheme).
+//
+//bow:state
 type simtEntry struct {
 	pc   int
 	rpc  int // reconvergence PC; -1 for the base frame
@@ -23,14 +25,18 @@ type simtEntry struct {
 // most collectorsPerWarp in-flight instructions of at most
 // isa.MaxSrcOperands operands, so the list stays tiny and its backing
 // array is reused across the warp's lifetime.
+//
+//bow:state
 type fillWaiter struct {
 	reg uint8
 	f   *inflight
 }
 
 // warpCtx is one hardware warp slot.
+//
+//bow:state
 type warpCtx struct {
-	sm        *SM
+	sm        *SM //bow:snapskip -- back-pointer to the owning SM, wired at construction
 	slot      int // SM-local warp ID
 	ctaID     int // resident CTA (-1 = free)
 	warpInCTA int
@@ -55,7 +61,7 @@ type warpCtx struct {
 
 	// activeIdx is this warp's position in the SM's active list
 	// (-1 when not resident or already done).
-	activeIdx int
+	activeIdx int //bow:derived -- position in the derived active list; LoadState rebuilds both together
 
 	issued int64 // dynamic instructions issued (sequence numbering)
 }

@@ -52,8 +52,11 @@ const FormatVersion uint32 = 2
 const maxSnapshotBytes = 1 << 30
 
 // Header is the self-describing snapshot preamble.
+//
+//bow:state
 type Header struct {
 	// Version is the snapshot format version (FormatVersion).
+	//bow:snapskip -- Encode stamps the FormatVersion constant, never a Header value; Decode fills this for the caller
 	Version uint32
 	// Cycle is the device cycle the state was captured at.
 	Cycle int64

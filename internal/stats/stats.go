@@ -18,6 +18,8 @@ import (
 const denseSlots = 64
 
 // Histogram counts occurrences of integer-valued samples.
+//
+//bow:state
 type Histogram struct {
 	dense  [denseSlots]int64
 	counts map[int]int64 // overflow values only; nil until needed
